@@ -1,0 +1,412 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Figure benchmarks
+// run full cost-mode simulations of the corresponding evaluation points
+// and report simulated kiloseconds and speedups as custom metrics;
+// scheme benchmarks execute real arithmetic at small extents.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFigure2  # the five sub-figures only
+package fourindex
+
+import (
+	"fmt"
+	"testing"
+
+	"fourindex/internal/cdag"
+	"fourindex/internal/experiments"
+	ifx "fourindex/internal/fourindex"
+	"fourindex/internal/ga"
+	"fourindex/internal/lb"
+	"fourindex/internal/pebble"
+	"fourindex/internal/sym"
+	"fourindex/internal/tile"
+)
+
+// T1: Table 1 — tensor size computation for every catalog molecule.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range Molecules() {
+			sz := Sizes(m.Orbitals, experiments.SpatialSymmetry)
+			if sz.C >= sz.O1 {
+				b.Fatal("Table 1 violated: C must be the smallest 4D tensor")
+			}
+		}
+	}
+}
+
+// benchFigure2 runs one sub-figure's simulation per iteration and
+// reports the aggregate simulated time and the mean speedup at
+// memory-constrained points.
+func benchFigure2(b *testing.B, fig string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		outs, err := RunFigure2(fig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var simKs, spdSum float64
+		var spdN int
+		for _, o := range outs {
+			simKs += o.HybridKs
+			if o.Speedup > 0 && !o.PaperEqual {
+				spdSum += o.Speedup
+				spdN++
+			}
+			if bad := experiments.CheckShape(o); len(bad) != 0 {
+				b.Fatalf("%s %s/%d deviates: %v", o.Fig, o.System, o.Cores, bad)
+			}
+		}
+		b.ReportMetric(simKs, "sim-hybrid-ks")
+		if spdN > 0 {
+			b.ReportMetric(spdSum/float64(spdN), "mean-speedup")
+		}
+	}
+}
+
+// F2a-F2e: Figure 2's five sub-figures.
+func BenchmarkFigure2a(b *testing.B) { benchFigure2(b, "2a") }
+func BenchmarkFigure2b(b *testing.B) { benchFigure2(b, "2b") }
+func BenchmarkFigure2c(b *testing.B) { benchFigure2(b, "2c") }
+func BenchmarkFigure2d(b *testing.B) { benchFigure2(b, "2d") }
+func BenchmarkFigure2e(b *testing.B) { benchFigure2(b, "2e") }
+
+// S5: the Theorem 5.2 fusion ranking across problem sizes.
+func BenchmarkFusionOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range Molecules() {
+			ranked := RankFusionConfigs(m.Orbitals, experiments.SpatialSymmetry)
+			if ranked[0].Config.String() != "op1234" {
+				b.Fatalf("%s: best config %s", m.Name, ranked[0].Config)
+			}
+		}
+	}
+}
+
+// S6: the S >= |C| full-reuse threshold, swept empirically on the
+// pebble game around |C|.
+func BenchmarkFullReuseThreshold(b *testing.B) {
+	n := 3
+	f := cdag.BuildFourIndex(n)
+	order := pebble.OrderFourIndexFullyFused(f)
+	n4 := n * n * n * n
+	bound := 2*n4 + 4*n*n
+	big := n4 + 3*n*n*n + 4*n*n + 2*n + 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		above, err := pebble.Simulate(f.G, big, order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		below, err := pebble.Simulate(f.G, n4-1, order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if above.IO() != bound || below.IO() <= bound {
+			b.Fatalf("threshold violated: above=%d below=%d bound=%d", above.IO(), below.IO(), bound)
+		}
+		b.ReportMetric(float64(below.IO())/float64(bound), "spill-factor-below-C")
+	}
+}
+
+// L5-7: measured I/O of the Listing 5/6/7 schedule family on the pebble
+// game versus the unfused order.
+func BenchmarkListingIO(b *testing.B) {
+	n := 3
+	f := cdag.BuildFourIndex(n)
+	s := n*n*n*n + 3*n*n*n + 4*n*n + 2*n + 8
+	orders := map[string][]cdag.VID{
+		"unfused": pebble.OrderFourIndexUnfused(f),
+		"pair":    pebble.OrderFourIndexFusedPair(f),
+		"full":    pebble.OrderFourIndexFullyFused(f),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		io := map[string]int{}
+		for name, o := range orders {
+			res, err := pebble.Simulate(f.G, s, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io[name] = res.IO()
+		}
+		if !(io["full"] <= io["pair"] && io["pair"] <= io["unfused"]) {
+			b.Fatalf("fusion I/O not monotone: %v", io)
+		}
+		b.ReportMetric(float64(io["full"]), "io-fullyfused")
+	}
+}
+
+// X3 (Section 2.3 / Figure 1): untiled vs tiled matmul I/O.
+func BenchmarkMatmulTiling(b *testing.B) {
+	n, t := 12, 4
+	m := cdag.BuildMatMul(n)
+	s := 3*t*t + 3
+	untiled := pebble.OrderMatMulUntiled(m)
+	tiled := pebble.OrderMatMulTiled(m, t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ru, err := pebble.Simulate(m.G, s, untiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := pebble.Simulate(m.G, s, tiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rt.IO() >= ru.IO() {
+			b.Fatalf("tiling did not reduce I/O: %d vs %d", rt.IO(), ru.IO())
+		}
+		b.ReportMetric(float64(ru.IO())/float64(rt.IO()), "untiled/tiled-io")
+	}
+}
+
+// C12T: the Section 1/8 capacity claim — >12 TB unfused on <9 TB fused.
+func BenchmarkCapacityClaim(b *testing.B) {
+	mol, err := MoleculeByName("Shell-Mixed")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if mol.UnfusedMemoryBytes() < 12e12 {
+			b.Fatal("unfused requirement below 12 TB")
+		}
+		adv := Advise(mol.Orbitals, experiments.SpatialSymmetry, int64(8.8e12))
+		if adv.Scheme != "fused" {
+			b.Fatalf("advice = %s", adv.Scheme)
+		}
+		b.ReportMetric(float64(adv.MemoryBytes)/1e12, "fused-footprint-TB")
+	}
+}
+
+// X1: the Section 7.4 ~1.5x fused flop overhead, measured from the real
+// schedules' counters (cost mode, contraction flops isolated by running
+// with free integrals disabled analytically via lb formulas).
+func BenchmarkFusedFlopOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := lb.FusedFlopOverhead(1194)
+		if r < 1.4 || r > 1.6 {
+			b.Fatalf("overhead = %v", r)
+		}
+		b.ReportMetric(r, "fused/unfused-flops")
+	}
+}
+
+// X2: load imbalance of the triangular (alpha >= beta) pair space under
+// the distribution policies (Section 7.3's imbalance discussion).
+func BenchmarkLoadImbalance(b *testing.B) {
+	nt := sym.Pairs(48) // pair-blocks of a 48-tile dimension
+	for _, pol := range []tile.Policy{tile.RoundRobin, tile.Block, tile.BlockCyclic} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := tile.NewDist(nt, 504, pol, 4)
+				b.ReportMetric(d.Imbalance(), "max/mean-tiles")
+			}
+		})
+	}
+}
+
+// Scheme execution benchmarks: real arithmetic at a small extent, the
+// classical Go benchmark for the library's compute path.
+func BenchmarkSchemesExecute(b *testing.B) {
+	spec, err := NewSpec(16, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []Scheme{Unfused, Fused1234Pair, FullyFused, FullyFusedInner, NWChemFused, Recompute} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Transform(s, Options{
+					Spec: spec, Procs: 2, Mode: ModeExecute, TileN: 8, TileL: 4,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: fused-loop tile width vs communication volume and memory
+// (the Eq. 7/8 trade-off).
+func BenchmarkTileLSweep(b *testing.B) {
+	spec, err := NewSpec(48, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tl := range []int{2, 6, 12, 24} {
+		b.Run(fmt.Sprintf("Tl=%d", tl), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Transform(FullyFusedInner, Options{
+					Spec: spec, Procs: 4, Mode: ModeCost, TileN: 12, TileL: tl,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.CommVolume+res.IntraVolume), "moved-elements")
+				b.ReportMetric(float64(res.PeakGlobalBytes), "peak-bytes")
+			}
+		})
+	}
+}
+
+// Ablation: alpha-parallelisation factor vs replicated A traffic
+// (Section 7.3).
+func BenchmarkAlphaParSweep(b *testing.B) {
+	spec, err := NewSpec(48, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ap := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("alphaPar=%d", ap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Transform(FullyFusedInner, Options{
+					Spec: spec, Procs: 8, Mode: ModeCost, TileN: 12, TileL: 12, AlphaPar: ap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.CommVolume+res.IntraVolume), "moved-elements")
+			}
+		})
+	}
+}
+
+// Ablation: the inner op12/34 fusion's communication saving at a fixed
+// slab width (Listing 8 vs Listing 10).
+func BenchmarkInnerFusionSaving(b *testing.B) {
+	spec, err := NewSpec(48, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		vol := func(s Scheme) int64 {
+			res, err := Transform(s, Options{
+				Spec: spec, Procs: 4, Mode: ModeCost, TileN: 12, TileL: 12,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.CommVolume + res.IntraVolume
+		}
+		plain, inner := vol(FullyFused), vol(FullyFusedInner)
+		if inner >= plain {
+			b.Fatalf("inner fusion did not reduce traffic: %d vs %d", inner, plain)
+		}
+		b.ReportMetric(float64(plain)/float64(inner), "traffic-ratio")
+	}
+}
+
+// Guard: the cost simulator and the execute path agree on accounting —
+// benchmarked to keep the invariant cheap to re-verify.
+func BenchmarkCostExecuteParity(b *testing.B) {
+	spec, err := NewSpec(10, 1, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		opts := Options{Spec: spec, Procs: 2, Mode: ga.Execute, TileN: 4, TileL: 2}
+		ex, err := ifx.Run(ifx.FullyFusedInner, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Mode = ga.Cost
+		co, err := ifx.Run(ifx.FullyFusedInner, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ex.Totals.Flops != co.Totals.Flops {
+			b.Fatal("cost/execute flop mismatch")
+		}
+	}
+}
+
+// Ablation: the Section 3 zero-spill motivation — out-of-core unfused vs
+// in-memory fused under the same memory cap.
+func BenchmarkSpillVsZeroSpill(b *testing.B) {
+	spec, err := NewSpec(128, 4, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := SystemA()
+	run, err := machine.Configure(64, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cap := UnfusedMemoryWords(128, 4) * 8 * 6 / 10
+	base := Options{
+		Spec: spec, Procs: 64, Mode: ModeCost, Run: &run,
+		GlobalMemBytes: cap, TileN: 8, TileL: 8, AlphaPar: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		spillOpts := base
+		spillOpts.AllowSpill = true
+		spilled, err := Transform(Unfused, spillOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fused, err := Transform(FullyFusedInner, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fused.DiskVolume != 0 || spilled.DiskVolume == 0 {
+			b.Fatal("spill accounting wrong")
+		}
+		b.ReportMetric(spilled.ElapsedSeconds/fused.ElapsedSeconds, "spill-slowdown")
+	}
+}
+
+// Ablation: nested l tiling (Section 7.3) — parallelism vs slab memory.
+func BenchmarkLParSweep(b *testing.B) {
+	spec, err := NewSpec(48, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := SystemB()
+	run, err := machine.Configure(224, 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lp := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("LPar=%d", lp), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Transform(FullyFusedInner, Options{
+					Spec: spec, Procs: 224, Mode: ModeCost, Run: &run,
+					TileN: 8, TileL: 4, LPar: lp,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ElapsedSeconds, "sim-seconds")
+				b.ReportMetric(float64(res.PeakGlobalBytes), "peak-bytes")
+			}
+		})
+	}
+}
+
+// Ablation: tile distribution policy at scale — the Section 7.3 load
+// balance discussion, end to end.
+func BenchmarkDistributionPolicy(b *testing.B) {
+	spec, err := NewSpec(48, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := SystemB()
+	run, err := machine.Configure(112, 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []tile.Policy{tile.RoundRobin, tile.Block, tile.BlockCyclic} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Transform(FullyFusedInner, Options{
+					Spec: spec, Procs: 112, Mode: ModeCost, Run: &run,
+					TileN: 6, TileL: 6, AlphaPar: 2, Policy: pol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ElapsedSeconds, "sim-seconds")
+				b.ReportMetric(res.IdleFraction, "idle-fraction")
+			}
+		})
+	}
+}

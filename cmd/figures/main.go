@@ -1,0 +1,220 @@
+// Command figures regenerates the paper's evaluation artifacts:
+//
+//	figures -table1          Table 1 (tensor sizes) for a given n
+//	figures -fig2 a          Figure 2a (and b..e, or "all")
+//	figures -claims          the Section 1/8 capacity claims
+//
+// Figure 2 runs are full cost-mode simulations of every schedule over
+// the simulated Global Arrays runtime with the paper's machine models;
+// expect roughly one to thirty seconds per bar group.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fourindex"
+	"fourindex/internal/experiments"
+	"fourindex/internal/lb"
+	"fourindex/internal/sym"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print Table 1 tensor sizes")
+		n        = flag.Int("n", 698, "orbital count for -table1")
+		s        = flag.Int("s", 8, "spatial symmetry order")
+		fig2     = flag.String("fig2", "", "regenerate Figure 2: a|b|c|d|e|all")
+		claims   = flag.Bool("claims", false, "verify the Section 1/8 capacity claims")
+		scaling  = flag.Bool("scaling", false, "strong-scaling sweep (with -molecule/-system/-cores)")
+		molecule = flag.String("molecule", "Uracil", "molecule for -scaling")
+		system   = flag.String("system", "B", "cluster for -scaling")
+		cores    = flag.String("cores", "56,112,224,448", "comma-separated core counts for -scaling")
+		rpn      = flag.Int("ranks-per-node", 0, "ranks per node for -scaling")
+		ample    = flag.Bool("ample-memory", false, "scaling with unconstrained memory (both sides unfused)")
+		report   = flag.String("report", "", "write a full markdown reproduction report to this file (~2 min)")
+	)
+	flag.Parse()
+
+	did := false
+	if *table1 {
+		printTable1(*n, *s)
+		did = true
+	}
+	if *claims {
+		printClaims()
+		did = true
+	}
+	if *fig2 != "" {
+		runFig2(*fig2)
+		did = true
+	}
+	if *scaling {
+		runScaling(*molecule, *system, *cores, *rpn, !*ample)
+		did = true
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		err = experiments.WriteReport(f, time.Now())
+		cerr := f.Close()
+		if err != nil || cerr != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err, cerr)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *report)
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable1(n, s int) {
+	sz := sym.ExactSizes(n, s)
+	paper := sym.PaperSizes(n, s)
+	fmt.Printf("Table 1 — tensor sizes for n = %d, spatial symmetry s = %d\n", n, s)
+	fmt.Printf("%-6s %-12s %16s %16s\n", "tensor", "paper form", "paper value", "exact packed")
+	rows := []struct {
+		name, form    string
+		paperV, exact int64
+	}{
+		{"A", "n^4/4", paper.A, sz.A},
+		{"O1", "n^4/2", paper.O1, sz.O1},
+		{"O2", "n^4/4", paper.O2, sz.O2},
+		{"O3", "n^4/2", paper.O3, sz.O3},
+		{"C", "n^4/(4s)", paper.C, sz.C},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-6s %-12s %16d %16d\n", r.name, r.form, r.paperV, r.exact)
+	}
+}
+
+func printClaims() {
+	fmt.Println("Section 1 / Section 8 capacity claims")
+	fmt.Println()
+	fmt.Printf("%-12s %8s %14s %14s %12s\n", "molecule", "orbitals", "unfused (GB)", "paper (GB)", "match")
+	paperGB := map[string]float64{
+		"Hyperpolar": 110, "C60H20": 678, "Uracil": 1400, "C40H56": 6500, "Shell-Mixed": 12100,
+	}
+	for _, m := range fourindex.Molecules() {
+		need := float64(m.UnfusedMemoryBytes()) / 1e9
+		p := paperGB[m.Name]
+		match := "ok"
+		if p > 0 && (need < 0.9*p || need > 1.1*p) {
+			match = "MISMATCH"
+		}
+		fmt.Printf("%-12s %8d %14.0f %14.0f %12s\n", m.Name, m.Orbitals, need, p, match)
+	}
+
+	fmt.Println()
+	mol, _ := fourindex.MoleculeByName("Shell-Mixed")
+	adv := fourindex.Advise(mol.Orbitals, experiments.SpatialSymmetry, int64(8.8e12))
+	fmt.Printf("Headline: Shell-Mixed needs %.1f TB unfused; on 8.8 TB the hybrid advises %q\n",
+		float64(mol.UnfusedMemoryBytes())/1e12, adv.Scheme)
+	if adv.Scheme == "fused" {
+		fmt.Printf("  fused footprint %.2f TB with Tl = %d — the >12 TB problem runs in <9 TB (Section 8)\n",
+			float64(adv.MemoryBytes)/1e12, adv.RequiredTileL)
+	}
+	fmt.Println()
+	fmt.Printf("Fused flop overhead (Section 7.4): %.3fx (paper: ~1.5x)\n",
+		lb.FusedFlopOverhead(mol.Orbitals))
+}
+
+func runScaling(molecule, system, coreList string, rpn int, constrained bool) {
+	var cores []int
+	for _, part := range strings.Split(coreList, ",") {
+		var c int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &c); err != nil || c <= 0 {
+			fmt.Fprintf(os.Stderr, "figures: bad core count %q\n", part)
+			os.Exit(1)
+		}
+		cores = append(cores, c)
+	}
+	outs, err := experiments.Scaling(molecule, system, cores, rpn, constrained)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	regime := "memory-constrained (hybrid fused)"
+	if !constrained {
+		regime = "ample memory (both unfused)"
+	}
+	fmt.Printf("Strong scaling — %s on System %s, %s\n", molecule, system, regime)
+	fmt.Printf("  %6s | %10s %10s %9s | %10s\n", "cores", "hybrid ks", "nwchem ks", "speedup", "efficiency")
+	eff := experiments.ParallelEfficiency(outs)
+	for i, o := range outs {
+		spd := ""
+		if o.Speedup > 0 {
+			spd = fmt.Sprintf("%.2fx", o.Speedup)
+		}
+		fmt.Printf("  %6d | %10s %10s %9s | %9.0f%%\n",
+			o.Cores,
+			experiments.FormatKs(o.HybridKs, false),
+			experiments.FormatKs(o.NWChemKs, o.NWChemFailed),
+			spd, 100*eff[i])
+	}
+}
+
+func runFig2(which string) {
+	which = strings.ToLower(which)
+	var figs []string
+	if which == "all" {
+		figs = []string{"2a", "2b", "2c", "2d", "2e"}
+	} else {
+		figs = []string{"2" + strings.TrimPrefix(which, "2")}
+	}
+	captions := map[string]string{
+		"2a": "Hyperpolar: Small 368 Orbitals",
+		"2b": "Uracil: Large 698 Orbitals",
+		"2c": "C60H20: Medium 580 Orbitals",
+		"2d": "C40H56: VeryLarge 1023 Orbitals",
+		"2e": "Shell-Mixed: VeryLarge 1194 Orbitals",
+	}
+	for _, f := range figs {
+		fmt.Printf("Figure %s — %s\n", f, captions[f])
+		fmt.Printf("  %-6s %6s | %9s %-18s %9s %-18s %7s | %9s %9s %7s | %s\n",
+			"system", "cores",
+			"hybrid", "(scheme)", "nwchem", "(scheme)", "speedup",
+			"paper-h", "paper-nw", "p-spdup", "deviations")
+		outs, err := fourindex.RunFigure2(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for _, o := range outs {
+			dev := "conforms"
+			if bad := experiments.CheckShape(o); len(bad) > 0 {
+				dev = strings.Join(bad, "; ")
+			}
+			nwS := ""
+			if !o.NWChemFailed {
+				nwS = fmt.Sprintf("(%v)", o.NWChemScheme)
+			}
+			spd := ""
+			if o.Speedup > 0 {
+				spd = fmt.Sprintf("%.2fx", o.Speedup)
+			}
+			pspd := ""
+			if v := o.PaperSpeedup(); v > 0 {
+				pspd = fmt.Sprintf("%.2fx", v)
+			}
+			fmt.Printf("  %-6s %6d | %9s %-18s %9s %-18s %7s | %9s %9s %7s | %s\n",
+				o.System, o.Cores,
+				experiments.FormatKs(o.HybridKs, false), fmt.Sprintf("(%v)", o.HybridScheme),
+				experiments.FormatKs(o.NWChemKs, o.NWChemFailed), nwS, spd,
+				experiments.FormatKs(o.PaperHybridKs, false),
+				experiments.FormatKs(o.PaperNWChemKs, o.PaperNWChemFailed && o.PaperNWChemKs == 0),
+				pspd, dev)
+		}
+		fmt.Println("  (times in kiloseconds; paper bars OCR-approximate, flags authoritative)")
+		fmt.Println()
+	}
+}

@@ -1,0 +1,216 @@
+// Command fouridx runs the four-index integral transform with a chosen
+// schedule, either executing real arithmetic at small extents or
+// simulating data movement and wall time at molecule scale on one of the
+// paper's cluster models.
+//
+// Examples:
+//
+//	fouridx -n 24 -scheme hybrid -procs 8
+//	fouridx -molecule Uracil -scheme fullyfused-inner -system B -cores 140 -cost
+//	fouridx -n 16 -scheme unfused -mem 4GB
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fourindex"
+	"fourindex/internal/units"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 16, "orbital count (ignored when -molecule is set)")
+		molecule = flag.String("molecule", "", "benchmark molecule (Hyperpolar, C60H20, Uracil, C40H56, Shell-Mixed)")
+		scheme   = flag.String("scheme", "hybrid", "schedule: unfused | fused12-34 | recompute | fullyfused | fullyfused-inner | hybrid | nwchem-fused12-34 | fused123-4")
+		procs    = flag.Int("procs", 4, "parallel processes (overridden by -cores)")
+		spatial  = flag.Int("s", 1, "spatial symmetry order (power of two)")
+		seed     = flag.Uint64("seed", 42, "integral generator seed")
+		tileN    = flag.Int("tile", 0, "orbital data-tile width (0 = auto)")
+		tileL    = flag.Int("tilel", 0, "fused-loop tile width (0 = auto)")
+		alphaPar = flag.Int("alphapar", 1, "alpha-parallelisation factor (Section 7.3)")
+		cost     = flag.Bool("cost", false, "cost-simulation mode (no arithmetic; required for large n)")
+		system   = flag.String("system", "", "cluster model A | B | C (enables simulated timing)")
+		cores    = flag.Int("cores", 0, "cores on the cluster model (with -system)")
+		rpn      = flag.Int("ranks-per-node", 0, "ranks per node (0 = one per core)")
+		mem      = flag.String("mem", "", "aggregate memory cap, e.g. 512MB, 9TB (empty = unlimited)")
+		verbose  = flag.Bool("v", false, "print the transformed tensor's checksum")
+		autotune = flag.Bool("autotune", false, "sweep configurations in simulation and report the fastest (needs -system)")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
+	)
+	flag.Parse()
+
+	sch, err := fourindex.SchemeByName(*scheme)
+	fatalIf(err)
+
+	orbitals := *n
+	if *molecule != "" {
+		m, err := fourindex.MoleculeByName(*molecule)
+		fatalIf(err)
+		orbitals = m.Orbitals
+		if !*cost {
+			fmt.Fprintf(os.Stderr, "note: %s has %d orbitals; forcing -cost mode\n", m.Name, orbitals)
+			*cost = true
+		}
+	}
+	spec, err := fourindex.NewSpec(orbitals, *spatial, *seed)
+	fatalIf(err)
+
+	opt := fourindex.Options{
+		Spec:     spec,
+		Procs:    *procs,
+		TileN:    *tileN,
+		TileL:    *tileL,
+		AlphaPar: *alphaPar,
+	}
+	if *cost {
+		opt.Mode = fourindex.ModeCost
+	} else {
+		opt.Mode = fourindex.ModeExecute
+	}
+	if *mem != "" {
+		b, err := units.ParseBytes(*mem)
+		fatalIf(err)
+		opt.GlobalMemBytes = b
+	}
+	if *system != "" {
+		m, err := fourindex.MachineByName(*system)
+		fatalIf(err)
+		c := *cores
+		if c == 0 {
+			c = *procs
+		}
+		run, err := m.Configure(c, *rpn)
+		fatalIf(err)
+		opt.Run = &run
+		opt.Procs = c
+		fmt.Printf("machine:  %s\n", run)
+	}
+
+	if *autotune {
+		if opt.Run == nil {
+			fatalIf(fmt.Errorf("-autotune needs -system for the cost model"))
+		}
+		points, err := fourindex.Tune(opt, fourindex.TuneSpace{})
+		fatalIf(err)
+		fmt.Printf("autotune: %d configurations\n", len(points))
+		fmt.Printf("  %-18s %5s %5s %8s %5s | %10s %12s\n",
+			"scheme", "tileN", "tileL", "alphaPar", "lPar", "sim s", "peak GB")
+		shown := 0
+		for _, p := range points {
+			if p.Err != "" {
+				continue
+			}
+			fmt.Printf("  %-18v %5d %5d %8d %5d | %10.1f %12.2f\n",
+				p.Scheme, p.TileN, p.TileL, p.AlphaPar, p.LPar,
+				p.Seconds, float64(p.PeakBytes)/1e9)
+			if shown++; shown >= 8 {
+				break
+			}
+		}
+		return
+	}
+
+	res, err := fourindex.Transform(sch, opt)
+	fatalIf(err)
+
+	if *jsonOut {
+		fatalIf(emitJSON(res, orbitals, *spatial, opt.Procs))
+		return
+	}
+
+	fmt.Printf("scheme:   %v", res.Scheme)
+	if res.ChosenScheme != res.Scheme {
+		fmt.Printf(" (chose %v)", res.ChosenScheme)
+	}
+	fmt.Println()
+	fmt.Printf("n:        %d orbitals, spatial symmetry %d, %d procs\n", orbitals, *spatial, opt.Procs)
+	fmt.Printf("flops:    %.4g\n", float64(res.Totals.Flops))
+	fmt.Printf("comm:     %.4g elements inter-node, %.4g intra-node\n",
+		float64(res.CommVolume), float64(res.IntraVolume))
+	fmt.Printf("messages: %d\n", res.Totals.CommMessages)
+	fmt.Printf("peak mem: %.4g GB aggregate\n", float64(res.PeakGlobalBytes)/1e9)
+	if res.ElapsedSeconds > 0 {
+		fmt.Printf("sim time: %.1f s (%.0f%% idle at barriers)\n",
+			res.ElapsedSeconds, 100*res.IdleFraction)
+	}
+	if len(res.Phases) > 0 {
+		fmt.Printf("phases:\n")
+		fmt.Printf("  %-18s %10s %12s %12s\n", "phase", "sim s", "flops", "comm el")
+		for _, ph := range res.Phases {
+			fmt.Printf("  %-18s %10.2f %12.4g %12.4g\n",
+				ph.Name, ph.Seconds, float64(ph.Flops), float64(ph.CommElements))
+		}
+	}
+	if *verbose && res.C != nil {
+		var sum float64
+		for _, v := range res.C.Data() {
+			sum += v * v
+		}
+		fmt.Printf("|C|_F^2:  %.12g\n", sum)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fouridx:", err)
+		os.Exit(1)
+	}
+}
+
+// jsonResult is the machine-readable result shape.
+type jsonResult struct {
+	Scheme        string      `json:"scheme"`
+	ChosenScheme  string      `json:"chosenScheme"`
+	Orbitals      int         `json:"orbitals"`
+	Spatial       int         `json:"spatialSymmetry"`
+	Procs         int         `json:"procs"`
+	Flops         int64       `json:"flops"`
+	CommElements  int64       `json:"commElements"`
+	IntraElements int64       `json:"intraElements"`
+	DiskElements  int64       `json:"diskElements"`
+	Messages      int64       `json:"messages"`
+	PeakBytes     int64       `json:"peakGlobalBytes"`
+	SimSeconds    float64     `json:"simSeconds"`
+	IdleFraction  float64     `json:"idleFraction"`
+	Phases        []jsonPhase `json:"phases,omitempty"`
+}
+
+type jsonPhase struct {
+	Name          string  `json:"name"`
+	Seconds       float64 `json:"seconds"`
+	Flops         int64   `json:"flops"`
+	CommElements  int64   `json:"commElements"`
+	IntraElements int64   `json:"intraElements"`
+	Messages      int64   `json:"messages"`
+}
+
+func emitJSON(res *fourindex.Result, orbitals, spatial, procs int) error {
+	out := jsonResult{
+		Scheme:        res.Scheme.String(),
+		ChosenScheme:  res.ChosenScheme.String(),
+		Orbitals:      orbitals,
+		Spatial:       spatial,
+		Procs:         procs,
+		Flops:         res.Totals.Flops,
+		CommElements:  res.CommVolume,
+		IntraElements: res.IntraVolume,
+		DiskElements:  res.DiskVolume,
+		Messages:      res.Totals.CommMessages,
+		PeakBytes:     res.PeakGlobalBytes,
+		SimSeconds:    res.ElapsedSeconds,
+		IdleFraction:  res.IdleFraction,
+	}
+	for _, ph := range res.Phases {
+		out.Phases = append(out.Phases, jsonPhase{
+			Name: ph.Name, Seconds: ph.Seconds, Flops: ph.Flops,
+			CommElements: ph.CommElements, IntraElements: ph.IntraElements,
+			Messages: ph.Messages,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,108 @@
+// Command pebblegame plays red-blue pebble games (Hong & Kung, the
+// paper's Appendix A) on small computational DAGs and compares the
+// measured I/O of concrete schedules against the analytic lower bounds:
+//
+//	pebblegame -matmul -n 12 -s 51      untiled vs tiled matmul (Fig. 1)
+//	pebblegame -fourindex -n 3          unfused vs fused chains (Sec. 5-6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fourindex/internal/cdag"
+	"fourindex/internal/lb"
+	"fourindex/internal/pebble"
+)
+
+func main() {
+	var (
+		matmul    = flag.Bool("matmul", false, "play the Section 2.3 matmul tiling game")
+		fourIndex = flag.Bool("fourindex", false, "play the Section 5-6 fusion games")
+		n         = flag.Int("n", 8, "problem extent (matmul: matrix order; fourindex: tensor extent, keep <= 4)")
+		s         = flag.Int("s", 0, "red pebbles / fast memory size (0 = auto)")
+		tileW     = flag.Int("tile", 4, "tile width for the tiled matmul order")
+	)
+	flag.Parse()
+	if !*matmul && !*fourIndex {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *matmul {
+		playMatmul(*n, *s, *tileW)
+	}
+	if *fourIndex {
+		playFourIndex(*n, *s)
+	}
+}
+
+func playMatmul(n, s, t int) {
+	if s == 0 {
+		s = 3*t*t + 3
+	}
+	m := cdag.BuildMatMul(n)
+	fmt.Printf("Matrix multiplication C = A*B, n = %d, S = %d red pebbles\n", n, s)
+	fmt.Printf("  CDAG: %d vertices (%d inputs, %d outputs)\n",
+		m.G.NumVertices(), len(m.G.Inputs()), len(m.G.Outputs()))
+
+	for _, o := range []struct {
+		name  string
+		order []cdag.VID
+	}{
+		{"untiled i-j-k (Figure 1 left)", pebble.OrderMatMulUntiled(m)},
+		{fmt.Sprintf("tiled T=%d (Figure 1 right)", t), pebble.OrderMatMulTiled(m, t)},
+	} {
+		res, err := pebble.Simulate(m.G, s, o.order)
+		if err != nil {
+			fmt.Printf("  %-32s %v\n", o.name, err)
+			continue
+		}
+		fmt.Printf("  %-32s I/O = %6d (loads %d, stores %d), peak red = %d\n",
+			o.name, res.IO(), res.Loads, res.Stores, res.PeakRed)
+	}
+	fmt.Printf("  Hong-Kung bound n^3/sqrt(S):     %8.0f\n", lb.HongKungMatmulLB(int64(n), int64(s)))
+	fmt.Printf("  Irony et al. bound:              %8.0f\n", lb.IronyMatmulLB(int64(n), int64(n), int64(n), int64(s)))
+	fmt.Printf("  Dongarra et al. bound:           %8.0f\n", lb.DongarraMatmulLB(int64(n), int64(n), int64(n), int64(s)))
+	fmt.Printf("  trivial bound (inputs+outputs):  %8d\n", 3*n*n)
+}
+
+func playFourIndex(n, s int) {
+	if n > 4 {
+		fmt.Fprintln(os.Stderr, "pebblegame: -fourindex needs n <= 4 (the CDAG has 4n^5 operation vertices)")
+		os.Exit(1)
+	}
+	f := cdag.BuildFourIndex(n)
+	n4 := n * n * n * n
+	if s == 0 {
+		s = n4 + 3*n*n*n + 4*n*n + 2*n + 8
+	}
+	fmt.Printf("Four-index transform chain, n = %d, S = %d red pebbles, |C| = %d\n", n, s, n4)
+	fmt.Printf("  CDAG: %d vertices\n", f.G.NumVertices())
+
+	for _, o := range []struct {
+		name  string
+		order []cdag.VID
+	}{
+		{"unfused op1/2/3/4 (Listing 1)", pebble.OrderFourIndexUnfused(f)},
+		{"fused op12/34 (Listing 9)", pebble.OrderFourIndexFusedPair(f)},
+		{"fully fused op1234 (Listing 7)", pebble.OrderFourIndexFullyFused(f)},
+	} {
+		res, err := pebble.Simulate(f.G, s, o.order)
+		if err != nil {
+			fmt.Printf("  %-32s %v\n", o.name, err)
+			continue
+		}
+		fmt.Printf("  %-32s I/O = %6d, peak red = %d\n", o.name, res.IO(), res.PeakRed)
+	}
+	fmt.Printf("  full-reuse bound |A|+|B|+|C|:    %8d (achieved by Listing 7 when S >= |C|+2n^3)\n",
+		n4+4*n*n+n4)
+
+	if s > n4 {
+		small := n4 - 1
+		res, err := pebble.Simulate(f.G, small, pebble.OrderFourIndexFullyFused(f))
+		if err == nil {
+			fmt.Printf("  same schedule with S = |C|-1:    I/O = %6d (> bound: Theorem 6.2's necessity)\n", res.IO())
+		}
+	}
+}

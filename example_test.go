@@ -1,0 +1,71 @@
+package fourindex_test
+
+import (
+	"fmt"
+
+	"fourindex"
+)
+
+// Transform a small synthetic system with the hybrid driver and read an
+// element of the packed-symmetric result.
+func ExampleTransform() {
+	spec, _ := fourindex.NewSpec(8, 1, 42)
+	res, _ := fourindex.Transform(fourindex.Hybrid, fourindex.Options{
+		Spec:  spec,
+		Procs: 2,
+		Mode:  fourindex.ModeExecute,
+	})
+	fmt.Println(res.ChosenScheme)
+	fmt.Println(res.C.At(3, 1, 2, 0) == res.C.At(1, 3, 0, 2)) // permutation symmetry
+	// Output:
+	// unfused
+	// true
+}
+
+// The Section 7.4 decision: once the intermediates no longer fit, the
+// advisor switches from unfused to fused.
+func ExampleAdvise() {
+	need := fourindex.UnfusedMemoryWords(698, 8) * 8
+	fmt.Println(fourindex.Advise(698, 8, need+1).Scheme)
+	fmt.Println(fourindex.Advise(698, 8, need/2).Scheme)
+	// Output:
+	// unfused
+	// fused
+}
+
+// Theorem 5.2's total order: full fusion has the least I/O, op12/34 is
+// the best partial fusion.
+func ExampleRankFusionConfigs() {
+	ranked := fourindex.RankFusionConfigs(698, 8)
+	fmt.Println(ranked[0].Config)
+	fmt.Println(ranked[1].Config)
+	// Output:
+	// op1234
+	// op12/34
+}
+
+// Theorem 6.2: full reuse of all intermediates is possible exactly when
+// fast memory holds the output tensor.
+func ExampleFullReusePossible() {
+	sizeC := fourindex.Sizes(698, 8).C
+	fmt.Println(fourindex.FullReusePossible(sizeC, sizeC))
+	fmt.Println(fourindex.FullReusePossible(sizeC-1, sizeC))
+	// Output:
+	// true
+	// false
+}
+
+// The paper's benchmark molecules and their unfused memory requirements
+// (Section 8: "110 GB, 678 GB, 1.4 TB, 6.5 TB, and 12.1 TB").
+func ExampleMolecules() {
+	for _, m := range fourindex.Molecules() {
+		fmt.Printf("%s: %d orbitals, %.2g TB unfused\n",
+			m.Name, m.Orbitals, float64(m.UnfusedMemoryBytes())/1e12)
+	}
+	// Output:
+	// Hyperpolar: 368 orbitals, 0.11 TB unfused
+	// C60H20: 580 orbitals, 0.68 TB unfused
+	// Uracil: 698 orbitals, 1.4 TB unfused
+	// C40H56: 1023 orbitals, 6.6 TB unfused
+	// Shell-Mixed: 1194 orbitals, 12 TB unfused
+}

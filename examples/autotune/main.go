@@ -1,0 +1,93 @@
+// Autotune vs analysis: the paper's central thesis in one program.
+//
+// Section 1 argues that the space of fusion and tiling configurations is
+// so large that "neither analytical model-based optimization, nor any
+// successful auto-tuning approach has been previously reported" — and
+// that data-movement lower bounds cut through it. Here we run both
+// roads on the same problem:
+//
+//   - the brute-force road: sweep schedules x tile widths x
+//     parallelisation knobs through the cost simulator and pick the
+//     fastest feasible configuration;
+//   - the analysis road: one call to the Section 7.4 advisor, which
+//     consults the Theorem 5.2/6.2 bounds.
+//
+// They agree — and the advisor needed no search at all.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fourindex"
+)
+
+func main() {
+	const (
+		n     = 48
+		procs = 56
+	)
+	spec, err := fourindex.NewSpec(n, 1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := fourindex.SystemB().Configure(procs, 28)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, scenario := range []struct {
+		name string
+		mem  int64
+	}{
+		{"ample memory", 0},
+		{"memory-constrained (70% of unfused need)", fourindex.UnfusedMemoryWords(n, 1) * 8 * 7 / 10},
+	} {
+		fmt.Printf("== %s ==\n", scenario.name)
+
+		// Road 1: exhaustive sweep.
+		points, err := fourindex.Tune(fourindex.Options{
+			Spec:           spec,
+			Procs:          procs,
+			Run:            &run,
+			GlobalMemBytes: scenario.mem,
+		}, fourindex.TuneSpace{
+			TileNs:    []int{6, 8, 12},
+			TileLs:    []int{2, 6, 12},
+			AlphaPars: []int{1, 2},
+			LPars:     []int{1, 2},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		feasible, failed := 0, 0
+		for _, p := range points {
+			if p.Err == "" {
+				feasible++
+			} else {
+				failed++
+			}
+		}
+		best, _ := fourindex.BestTunePoint(points)
+		fmt.Printf("autotuner: swept %d configurations (%d infeasible)\n", len(points), failed)
+		fmt.Printf("           best = %v  tileN=%d tileL=%d alphaPar=%d lPar=%d  (%.1f sim-s)\n",
+			best.Scheme, best.TileN, best.TileL, best.AlphaPar, best.LPar, best.Seconds)
+
+		// Road 2: the lower-bound advisor.
+		mem := scenario.mem
+		if mem == 0 {
+			mem = 1 << 62 // unlimited
+		}
+		adv := fourindex.Advise(n, 1, mem)
+		fmt.Printf("advisor:   %q — %s\n", adv.Scheme, adv.Reason)
+
+		agree := (adv.Scheme == "unfused" && best.Scheme == fourindex.Unfused) ||
+			(adv.Scheme == "fused" && best.Scheme == fourindex.FullyFusedInner)
+		if !agree {
+			log.Fatalf("the sweep (%v) and the analysis (%s) disagree", best.Scheme, adv.Scheme)
+		}
+		fmt.Printf("agreement: the O(1) bound analysis matches the exhaustive search\n\n")
+	}
+}

@@ -1,0 +1,76 @@
+// Capacity planning: for each of the paper's cluster models, what is the
+// largest four-index transform each schedule can run without disk I/O?
+// This walks the Section 7.1 claim — the fully fused schedule executes
+// the provably largest problem for a given aggregate memory — across the
+// benchmark molecules, reproducing the Section 8 headline: a transform
+// needing more than 12 TB unfused runs on a cluster holding less than
+// 9 TB.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+
+	"fourindex"
+)
+
+func main() {
+	const spatial = 8 // the paper's benchmark symmetry (n^4/32 output)
+
+	clusters := []struct {
+		name  string
+		nodes int
+		bytes int64
+	}{
+		{"System A (64 x 24 GB)", 64, fourindex.SystemA().AggregateMemBytes(0)},
+		{"System B (18 x 512 GB)", 18, fourindex.SystemB().AggregateMemBytes(0)},
+		{"System C, 128 nodes", 128, fourindex.SystemC().AggregateMemBytes(128)},
+	}
+
+	for _, cl := range clusters {
+		fmt.Printf("%s — %.1f TB aggregate physical memory\n", cl.name, float64(cl.bytes)/1e12)
+		fmt.Printf("  %-12s %8s %12s | %-10s %s\n", "molecule", "orbitals", "unfused TB", "advice", "detail")
+		for _, m := range fourindex.Molecules() {
+			needTB := float64(m.UnfusedMemoryBytes()) / 1e12
+			adv := fourindex.Advise(m.Orbitals, spatial, cl.bytes)
+			detail := adv.Reason
+			if adv.Scheme == "fused" {
+				detail = fmt.Sprintf("fused-loop tile %d, footprint %.2f TB",
+					adv.RequiredTileL, float64(adv.MemoryBytes)/1e12)
+			}
+			fmt.Printf("  %-12s %8d %12.2f | %-10s %s\n",
+				m.Name, m.Orbitals, needTB, adv.Scheme, detail)
+		}
+		fmt.Println()
+	}
+
+	// The largest extent each schedule family handles on System B,
+	// found by bisection over n.
+	sysB := fourindex.SystemB().AggregateMemBytes(0)
+	fmt.Printf("Largest disk-free extent on System B (%.1f TB), s = %d:\n", float64(sysB)/1e12, spatial)
+	largest := func(fits func(n int) bool) int {
+		lo, hi := 1, 20000
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if fits(mid) {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	nUnfused := largest(func(n int) bool {
+		return fourindex.UnfusedMemoryWords(n, spatial)*8 <= sysB
+	})
+	nFused := largest(func(n int) bool {
+		return fourindex.Advise(n, spatial, sysB).Scheme != "infeasible"
+	})
+	fmt.Printf("  unfused:      n <= %d\n", nUnfused)
+	fmt.Printf("  fully fused:  n <= %d (%.1fx more orbitals, %.0fx more tensor elements)\n",
+		nFused, float64(nFused)/float64(nUnfused),
+		pow4(float64(nFused)/float64(nUnfused)))
+}
+
+func pow4(x float64) float64 { return x * x * x * x }

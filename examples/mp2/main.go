@@ -1,0 +1,69 @@
+// MP2: the four-index transform's canonical consumer. Second-order
+// Moller-Plesset perturbation theory needs molecular-orbital integrals
+// (ia|jb) — exactly what the transform produces — to evaluate the
+// correlation energy
+//
+//	E2 = - sum_{i,j occ; a,b virt} (ia|jb) [2 (ia|jb) - (ib|ja)]
+//	     / (e_a + e_b - e_i - e_j)
+//
+// This example transforms a synthetic system, then computes E2 twice —
+// from the unfused and from the fully fused schedules — and checks the
+// energies agree to near machine precision, demonstrating that the
+// memory-saving schedule is a drop-in replacement for a real workload.
+//
+//	go run ./examples/mp2
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fourindex"
+)
+
+func main() {
+	const (
+		n    = 20 // orbitals
+		nOcc = 6  // "occupied" orbitals: indices 0..nOcc-1
+	)
+	spec, err := fourindex.NewSpec(n, 1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	energies := make([]float64, n)
+	for p := 0; p < n; p++ {
+		energies[p] = spec.OrbitalEnergy(p)
+	}
+
+	e2 := func(scheme fourindex.Scheme) float64 {
+		res, err := fourindex.Transform(scheme, fourindex.Options{
+			Spec:  spec,
+			Procs: 4,
+			Mode:  fourindex.ModeExecute,
+			TileN: 5,
+			TileL: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e2, err := fourindex.MP2Energy(res.C, energies, nOcc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e2
+	}
+
+	eUnfused := e2(fourindex.Unfused)
+	eFused := e2(fourindex.FullyFusedInner)
+	fmt.Printf("MP2-style correlation energy (synthetic integrals, %d orbitals, %d occupied)\n", n, nOcc)
+	fmt.Printf("  from the unfused transform:      %.12f\n", eUnfused)
+	fmt.Printf("  from the fully fused transform:  %.12f\n", eFused)
+	diff := math.Abs(eUnfused - eFused)
+	fmt.Printf("  |difference| = %.3e\n", diff)
+	if diff > 1e-9 {
+		log.Fatal("schedules disagree — the fused transform is not a faithful replacement")
+	}
+	fmt.Println("the fused schedule feeds the downstream calculation identically")
+}

@@ -1,0 +1,80 @@
+// RHF pipeline: the complete quantum-chemistry stack this repository
+// implements, end to end —
+//
+//	synthetic AO integrals  →  SCF (DIIS-accelerated Hartree-Fock)
+//	                        →  four-index transform (fuse/unfuse hybrid)
+//	                        →  MP2 correlation energy
+//
+// The SCF loop produces the genuinely orthogonal molecular-orbital
+// coefficient matrix B and canonical orbital energies that the paper's
+// transform consumes; the transform turns the AO integrals into MO
+// integrals; MP2 consumes them. Run twice — once with the memory-ample
+// unfused schedule, once memory-capped so the hybrid switches to the
+// paper's fused algorithm — the correlation energies agree to machine
+// precision.
+//
+//	go run ./examples/rhf
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fourindex"
+)
+
+func main() {
+	const (
+		n    = 16
+		nOcc = 5
+	)
+	spec, err := fourindex.NewSpec(n, 1, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Self-consistent field: the producer of B.
+	hf, err := fourindex.RHF(spec, nOcc, fourindex.SCFOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !hf.Converged {
+		log.Fatalf("SCF did not converge in %d iterations", hf.Iterations)
+	}
+	fmt.Printf("SCF converged in %d iterations, E_elec = %.8f\n", hf.Iterations, hf.Energy)
+	fmt.Printf("HOMO-LUMO gap: %.4f\n", hf.OrbitalEnergies[nOcc]-hf.OrbitalEnergies[nOcc-1])
+
+	// 2. Install the converged coefficients as the transform's B.
+	moSpec, err := spec.WithB(hf.B)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3+4. Transform and MP2, with and without memory pressure.
+	e2 := func(cap int64) float64 {
+		res, err := fourindex.Transform(fourindex.Hybrid, fourindex.Options{
+			Spec:           moSpec,
+			Procs:          4,
+			Mode:           fourindex.ModeExecute,
+			GlobalMemBytes: cap,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := fourindex.MP2Energy(res.C, hf.OrbitalEnergies, nOcc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18v E2 = %.12f\n", res.ChosenScheme, e)
+		return e
+	}
+	fmt.Println("MP2 through the transform:")
+	ample := e2(0)
+	capped := e2(fourindex.UnfusedMemoryWords(n, 1) * 8 * 6 / 10)
+	if math.Abs(ample-capped) > 1e-10 {
+		log.Fatalf("schedules disagree: %v vs %v", ample, capped)
+	}
+	fmt.Printf("total electronic + MP2 energy: %.8f\n", hf.Energy+ample)
+	fmt.Println("the fused schedule is energy-exact — the full pipeline verified")
+}

@@ -1,0 +1,227 @@
+// Package fourindex is a from-scratch reproduction of "Optimizing the
+// Four-Index Integral Transform Using Data Movement Lower Bounds
+// Analysis" (Rajbhandari, Rastello, Kowalski, Krishnamoorthy,
+// Sadayappan — PPoPP 2017).
+//
+// It provides:
+//
+//   - Transform: the four-index integral transform C = B B B B A over a
+//     simulated Global-Arrays cluster, as any of the paper's schedules —
+//     the unfused baseline, the op12/34 fusion, the minimal-memory
+//     direct method, the fully fused Listing 8/10 algorithms, and the
+//     Section 7.4 fuse/unfuse hybrid. Schedules run with real arithmetic
+//     (ModeExecute, for verification at small extents) or as exact
+//     data-movement/cost simulations (ModeCost, at molecule scale).
+//
+//   - The lower-bounds toolkit of Sections 4-6: matrix-multiplication
+//     I/O lower bounds, the Fusion Lemma, fusion-configuration ranking
+//     (Theorem 5.2), the full-reuse condition S >= |C| (Theorem 6.2),
+//     memory and communication formulas, and the Advise planner.
+//
+//   - The red-blue pebble game (Appendix A) on computational DAGs for
+//     empirically validating the bounds.
+//
+//   - The paper's complete evaluation (Figure 2) as runnable
+//     simulations over machine models of its three clusters.
+//
+// The deeper implementation lives under internal/; this package is the
+// stable façade the examples and benchmarks are written against.
+package fourindex
+
+import (
+	"fourindex/internal/chem"
+	"fourindex/internal/cluster"
+	"fourindex/internal/experiments"
+	ifx "fourindex/internal/fourindex"
+	"fourindex/internal/ga"
+	"fourindex/internal/lb"
+	"fourindex/internal/scf"
+	"fourindex/internal/sym"
+)
+
+// Scheme selects a transform schedule.
+type Scheme = ifx.Scheme
+
+// The implemented schedules (see the paper sections in parentheses).
+const (
+	// Unfused is the four-separate-contractions baseline (Listing 1).
+	Unfused = ifx.Unfused
+	// Fused1234Pair fuses op1+op2 and op3+op4 at full size (Listing 9).
+	Fused1234Pair = ifx.Fused1234Pair
+	// Recompute is the minimal-memory direct method (Listing 3).
+	Recompute = ifx.Recompute
+	// FullyFused fuses loop l across all contractions (Listing 8).
+	FullyFused = ifx.FullyFused
+	// FullyFusedInner adds the inner op12/34 fusion (Listing 10) —
+	// the paper's contributed implementation.
+	FullyFusedInner = ifx.FullyFusedInner
+	// Hybrid picks Unfused or FullyFusedInner by memory (Section 7.4).
+	Hybrid = ifx.Hybrid
+	// NWChemFused models the production NWChem fused baseline.
+	NWChemFused = ifx.NWChemFused
+	// Fused123 is the op123/4 configuration — implemented to make
+	// Theorem 5.2's "three-way fusion does not help" measurable.
+	Fused123 = ifx.Fused123
+)
+
+// SchemeByName resolves a scheme from its name ("unfused", "hybrid", ...).
+func SchemeByName(name string) (Scheme, error) { return ifx.SchemeByName(name) }
+
+// Mode selects real execution or cost-only simulation.
+type Mode = ga.Mode
+
+// Execution modes.
+const (
+	// ModeExecute runs real arithmetic and returns the packed C tensor.
+	ModeExecute = ga.Execute
+	// ModeCost runs the same schedules, accounting data movement,
+	// memory and simulated time only.
+	ModeCost = ga.Cost
+)
+
+// Options configures a transform run; Result reports it.
+type (
+	Options = ifx.Options
+	Result  = ifx.Result
+)
+
+// PackedC is the permutation-symmetric packed output tensor.
+type PackedC = sym.PackedC
+
+// Transform runs the four-index integral transform with the given
+// schedule.
+func Transform(scheme Scheme, opt Options) (*Result, error) { return ifx.Run(scheme, opt) }
+
+// Spec describes a synthetic electronic-structure problem: orbital
+// count, spatial-symmetry order, and generator seed.
+type Spec = chem.Spec
+
+// NewSpec validates and builds a Spec.
+func NewSpec(orbitals, spatialSymmetry int, seed uint64) (Spec, error) {
+	return chem.NewSpec(orbitals, spatialSymmetry, seed)
+}
+
+// Molecule is a benchmark system from the paper's evaluation.
+type Molecule = chem.Molecule
+
+// Molecules returns the paper's five benchmark molecules.
+func Molecules() []Molecule { return chem.Catalog }
+
+// MoleculeByName looks up a benchmark molecule.
+func MoleculeByName(name string) (Molecule, error) { return chem.ByName(name) }
+
+// Machine and Run describe simulated clusters.
+type (
+	Machine = cluster.Machine
+	Run     = cluster.Run
+)
+
+// The paper's three evaluation platforms (Section 8).
+var (
+	SystemA = cluster.SystemA
+	SystemB = cluster.SystemB
+	SystemC = cluster.SystemC
+)
+
+// MachineByName resolves "A"/"B"/"C" (or SystemA/B/C).
+func MachineByName(name string) (Machine, error) { return cluster.ByName(name) }
+
+// Advice is the Section 7.4 fuse/unfuse decision.
+type Advice = lb.Advice
+
+// Advise picks between the unfused and fused implementations for extent
+// n with spatial symmetry s under the given aggregate memory.
+func Advise(n, s int, globalMemBytes int64) Advice { return lb.Advise(n, s, globalMemBytes) }
+
+// FusionConfig is a grouping of the four contractions (op12/34, ...).
+type FusionConfig = lb.FusionConfig
+
+// RankedConfig pairs a fusion configuration with its I/O lower bound.
+type RankedConfig = lb.RankedConfig
+
+// RankFusionConfigs orders all eight fusion configurations by their
+// Section 5.3 I/O lower bounds for extent n with spatial symmetry s,
+// realising the Theorem 5.2 total order.
+func RankFusionConfigs(n, s int) []RankedConfig {
+	return lb.RankConfigs(sym.ExactSizes(n, s))
+}
+
+// FusionLemma is Lemma 4.2: a fused producer-consumer pair moves at
+// least lb1 + lb2 - 2|intermediate| elements.
+func FusionLemma(lb1, lb2 float64, intermediate int64) float64 {
+	return lb.FusionLemma(lb1, lb2, intermediate)
+}
+
+// DongarraMatmulLB is the matrix-multiplication I/O lower bound used
+// throughout the paper: 1.73 ni nj nk / sqrt(S).
+func DongarraMatmulLB(ni, nj, nk, s int64) float64 { return lb.DongarraMatmulLB(ni, nj, nk, s) }
+
+// FullReusePossible is Theorem 6.2: I/O = |A|+|C| is achievable iff the
+// fast memory holds the output tensor.
+func FullReusePossible(s, sizeC int64) bool { return lb.FullReusePossible(s, sizeC) }
+
+// TensorSizes holds the element counts of Table 1.
+type TensorSizes = sym.Sizes
+
+// Sizes returns the exact packed tensor sizes for extent n with spatial
+// symmetry s (Table 1).
+func Sizes(n, s int) TensorSizes { return sym.ExactSizes(n, s) }
+
+// UnfusedMemoryWords returns the peak live elements of the unfused
+// schedule, ~3n^4/4 (Section 2.2).
+func UnfusedMemoryWords(n, s int) int64 { return lb.MemoryUnfused(n, s) }
+
+// Figure2Point is one bar group of the paper's Figure 2; Figure2Outcome
+// its simulated result.
+type (
+	Figure2Point   = experiments.Point
+	Figure2Outcome = experiments.Outcome
+)
+
+// Figure2 returns the paper's full evaluation matrix.
+func Figure2() []Figure2Point { return experiments.Figure2() }
+
+// RunFigure2Point simulates one evaluation point.
+func RunFigure2Point(pt Figure2Point) (Figure2Outcome, error) { return experiments.RunPoint(pt) }
+
+// RunFigure2 simulates one sub-figure ("2a".."2e") or, with "", all of
+// Figure 2.
+func RunFigure2(fig string) ([]Figure2Outcome, error) { return experiments.RunFigure(fig) }
+
+// ReferencePacked computes C with the sequential packed algorithm —
+// the ground truth for verification at small extents.
+func ReferencePacked(spec Spec) *PackedC { return ifx.ReferencePacked(spec) }
+
+// TunePoint and TuneSpace parametrise the brute-force configuration
+// sweep; Tune runs it (cost mode, machine model required) and returns
+// points sorted fastest-first.
+type (
+	TunePoint = ifx.TunePoint
+	TuneSpace = ifx.TuneSpace
+)
+
+// MP2Energy evaluates the MP2 correlation energy from a transformed
+// integral tensor — the transform's canonical consumer.
+func MP2Energy(c *PackedC, orbitalEnergies []float64, nOcc int) (float64, error) {
+	return chem.MP2Energy(c, orbitalEnergies, nOcc)
+}
+
+// SCFOptions tunes the Hartree-Fock solver; SCFResult is its converged
+// state, with coefficients in the transform's B[mo, ao] layout.
+type (
+	SCFOptions = scf.Options
+	SCFResult  = scf.Result
+)
+
+// RHF runs the restricted Hartree-Fock solver on the spec's synthetic
+// integrals — the upstream producer of the transformation matrix B.
+func RHF(spec Spec, nOcc int, opt SCFOptions) (SCFResult, error) {
+	return scf.RHF(spec, nOcc, opt)
+}
+
+// Tune sweeps schedule configurations in simulation — the exhaustive
+// search the paper's lower-bound analysis replaces.
+func Tune(opt Options, space TuneSpace) ([]TunePoint, error) { return ifx.Tune(opt, space) }
+
+// BestTunePoint returns the fastest feasible point of a sorted sweep.
+func BestTunePoint(points []TunePoint) (TunePoint, bool) { return ifx.Best(points) }

@@ -1,0 +1,3 @@
+module fourindex
+
+go 1.22

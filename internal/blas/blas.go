@@ -1,0 +1,244 @@
+// Package blas provides the dense linear-algebra kernels the four-index
+// transform schedules are built from: a cache-blocked, goroutine-parallel
+// double-precision GEMM plus the level-1 kernels (axpy, dot, scal, ger).
+//
+// All matrices are row-major with an explicit leading dimension (row
+// stride), following the conventions of CBLAS with CblasRowMajor. Only
+// the operations the transform needs are implemented; this is a substrate
+// for the simulator, not a general BLAS.
+package blas
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Tuning parameters for the blocked GEMM kernel. These are modest values
+// chosen for typical L1/L2 sizes; correctness never depends on them.
+const (
+	blockM = 64
+	blockN = 256
+	blockK = 64
+
+	// parallelThreshold is the m*n*k product above which Dgemm fans
+	// out across goroutines.
+	parallelThreshold = 1 << 21
+)
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C where op(X) is X or X^T
+// according to transA/transB. Dimensions: op(A) is m x k, op(B) is k x n,
+// C is m x n. lda, ldb, ldc are row strides of the stored (untransposed)
+// matrices.
+func Dgemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("blas: negative dimension m=%d n=%d k=%d", m, n, k))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	checkMatrix("A", a, lda, rows(transA, m, k), cols(transA, m, k))
+	checkMatrix("B", b, ldb, rows(transB, k, n), cols(transB, k, n))
+	checkMatrix("C", c, ldc, m, n)
+
+	// Scale C by beta first; the kernel then accumulates.
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && int64(m)*int64(n)*int64(k) >= parallelThreshold && m >= 2 {
+		parallelGemm(workers, transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	gemmBlocked(transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+func rows(trans bool, r, c int) int {
+	if trans {
+		return c
+	}
+	return r
+}
+
+func cols(trans bool, r, c int) int {
+	if trans {
+		return r
+	}
+	return c
+}
+
+func checkMatrix(name string, x []float64, ld, r, c int) {
+	if r == 0 || c == 0 {
+		return
+	}
+	if ld < c {
+		panic(fmt.Sprintf("blas: %s leading dimension %d < %d", name, ld, c))
+	}
+	if len(x) < (r-1)*ld+c {
+		panic(fmt.Sprintf("blas: %s slice too short: len %d, need %d", name, len(x), (r-1)*ld+c))
+	}
+}
+
+// parallelGemm splits the row range of C across workers.
+func parallelGemm(workers int, transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmBlocked(transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, c, ldc)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmBlocked accumulates alpha*op(A)*op(B) into C for C-rows [i0, i1).
+func gemmBlocked(transA, transB bool, i0, i1, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for ib := i0; ib < i1; ib += blockM {
+		iMax := min(ib+blockM, i1)
+		for kb := 0; kb < k; kb += blockK {
+			kMax := min(kb+blockK, k)
+			for jb := 0; jb < n; jb += blockN {
+				jMax := min(jb+blockN, n)
+				gemmKernel(transA, transB, ib, iMax, jb, jMax, kb, kMax, alpha, a, lda, b, ldb, c, ldc)
+			}
+		}
+	}
+}
+
+// gemmKernel is the innermost i-k-j loop. The j loop runs over contiguous
+// rows of B (or strided columns when transB), accumulating into a
+// contiguous row of C.
+func gemmKernel(transA, transB bool, i0, i1, j0, j1, k0, k1 int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := i0; i < i1; i++ {
+		crow := c[i*ldc+j0 : i*ldc+j1]
+		for kk := k0; kk < k1; kk++ {
+			var av float64
+			if transA {
+				av = a[kk*lda+i]
+			} else {
+				av = a[i*lda+kk]
+			}
+			av *= alpha
+			if av == 0 {
+				continue
+			}
+			if transB {
+				for j := j0; j < j1; j++ {
+					crow[j-j0] += av * b[j*ldb+kk]
+				}
+			} else {
+				brow := b[kk*ldb+j0 : kk*ldb+j1]
+				for j := range brow {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// GemmFlops returns the floating-point operation count of a GEMM with the
+// given dimensions (2*m*n*k, counting multiply and add separately).
+func GemmFlops(m, n, k int) int64 {
+	return 2 * int64(m) * int64(n) * int64(k)
+}
+
+// Daxpy computes y += alpha * x elementwise.
+func Daxpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Daxpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Ddot returns the inner product of x and y.
+func Ddot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Ddot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Dscal scales x by alpha in place.
+func Dscal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dger performs the rank-1 update A += alpha * x * y^T where A is
+// len(x) x len(y) row-major with leading dimension lda.
+func Dger(alpha float64, x, y, a []float64, lda int) {
+	checkMatrix("A", a, lda, len(x), len(y))
+	for i, xv := range x {
+		s := alpha * xv
+		if s == 0 {
+			continue
+		}
+		row := a[i*lda : i*lda+len(y)]
+		for j, yv := range y {
+			row[j] += s * yv
+		}
+	}
+}
+
+// Idamax returns the index of the element of x with the largest absolute
+// value, or -1 for an empty slice.
+func Idamax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := -1.0, -1
+	for i, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

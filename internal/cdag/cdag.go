@@ -1,0 +1,198 @@
+// Package cdag builds computational directed acyclic graphs (CDAGs,
+// Definition A.1 of the paper): vertices are input values or operations,
+// edges carry values between them. CDAGs are the board on which the
+// red-blue pebble game (package pebble) is played to measure and validate
+// data-movement lower bounds.
+//
+// Builders are provided for the computations the paper analyses: a single
+// matrix multiplication (Section 2.3), a chain of two matmuls
+// (Section 4's producer-consumer example), and the four-index transform
+// contraction chain at small extents (Sections 5-6).
+package cdag
+
+import "fmt"
+
+// VID identifies a vertex.
+type VID int32
+
+// Graph is a CDAG per Definition A.1: inputs have no predecessors,
+// operations have at least one, and a subset of vertices is marked
+// output.
+type Graph struct {
+	preds    [][]VID
+	isInput  []bool
+	isOutput []bool
+	names    []string
+}
+
+// NewGraph returns an empty CDAG.
+func NewGraph() *Graph { return &Graph{} }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.preds) }
+
+// AddInput adds an input vertex (no predecessors).
+func (g *Graph) AddInput(name string) VID {
+	g.preds = append(g.preds, nil)
+	g.isInput = append(g.isInput, true)
+	g.isOutput = append(g.isOutput, false)
+	g.names = append(g.names, name)
+	return VID(len(g.preds) - 1)
+}
+
+// AddOp adds an operation vertex depending on the given predecessors.
+// Operations must have at least one predecessor (Definition A.1(4)).
+func (g *Graph) AddOp(name string, preds ...VID) VID {
+	if len(preds) == 0 {
+		panic(fmt.Sprintf("cdag: operation %q needs at least one predecessor", name))
+	}
+	for _, p := range preds {
+		if int(p) < 0 || int(p) >= len(g.preds) {
+			panic(fmt.Sprintf("cdag: predecessor %d of %q out of range", p, name))
+		}
+	}
+	ps := make([]VID, len(preds))
+	copy(ps, preds)
+	g.preds = append(g.preds, ps)
+	g.isInput = append(g.isInput, false)
+	g.isOutput = append(g.isOutput, false)
+	g.names = append(g.names, name)
+	return VID(len(g.preds) - 1)
+}
+
+// MarkOutput marks v as an output vertex.
+func (g *Graph) MarkOutput(v VID) { g.isOutput[v] = true }
+
+// IsInput reports whether v is an input.
+func (g *Graph) IsInput(v VID) bool { return g.isInput[v] }
+
+// IsOutput reports whether v is an output.
+func (g *Graph) IsOutput(v VID) bool { return g.isOutput[v] }
+
+// Preds returns v's predecessors (not to be mutated).
+func (g *Graph) Preds(v VID) []VID { return g.preds[v] }
+
+// Name returns v's debug name.
+func (g *Graph) Name(v VID) string { return g.names[v] }
+
+// Inputs returns all input vertices.
+func (g *Graph) Inputs() []VID {
+	var out []VID
+	for v := range g.preds {
+		if g.isInput[v] {
+			out = append(out, VID(v))
+		}
+	}
+	return out
+}
+
+// Outputs returns all output vertices.
+func (g *Graph) Outputs() []VID {
+	var out []VID
+	for v := range g.preds {
+		if g.isOutput[v] {
+			out = append(out, VID(v))
+		}
+	}
+	return out
+}
+
+// Succs computes the successor lists (the graph stores predecessors).
+func (g *Graph) Succs() [][]VID {
+	succ := make([][]VID, len(g.preds))
+	for v, ps := range g.preds {
+		for _, p := range ps {
+			succ[p] = append(succ[p], VID(v))
+		}
+	}
+	return succ
+}
+
+// MatMul holds the CDAG of C = A*B for n x n matrices together with
+// handles to the vertex grids. Each C[i,j] is a chain of n fused
+// multiply-add operations over k.
+type MatMul struct {
+	G *Graph
+	N int
+	A [][]VID // A[i][k]
+	B [][]VID // B[k][j]
+	C [][]VID // final vertex of each C[i,j] chain
+	// Partial[i][j][k] is the k-th fma of C[i,j]'s chain.
+	Partial [][][]VID
+}
+
+// BuildMatMul constructs the classical matmul CDAG.
+func BuildMatMul(n int) *MatMul {
+	return buildMatMulInto(NewGraph(), n, "", nil)
+}
+
+// buildMatMulInto adds a matmul to g. If aVerts is non-nil it supplies
+// the A operand vertices (for chaining); otherwise fresh inputs are made.
+func buildMatMulInto(g *Graph, n int, tag string, aVerts [][]VID) *MatMul {
+	m := &MatMul{G: g, N: n}
+	if aVerts != nil {
+		m.A = aVerts
+	} else {
+		m.A = grid2(g, n, n, tag+"A")
+	}
+	m.B = grid2(g, n, n, tag+"B")
+	m.C = make([][]VID, n)
+	m.Partial = make([][][]VID, n)
+	for i := 0; i < n; i++ {
+		m.C[i] = make([]VID, n)
+		m.Partial[i] = make([][]VID, n)
+		for j := 0; j < n; j++ {
+			m.Partial[i][j] = make([]VID, n)
+			var prev VID = -1
+			for k := 0; k < n; k++ {
+				name := fmt.Sprintf("%sC[%d,%d]k%d", tag, i, j, k)
+				var v VID
+				if prev < 0 {
+					v = g.AddOp(name, m.A[i][k], m.B[k][j])
+				} else {
+					v = g.AddOp(name, prev, m.A[i][k], m.B[k][j])
+				}
+				m.Partial[i][j][k] = v
+				prev = v
+			}
+			m.C[i][j] = prev
+			g.MarkOutput(prev)
+		}
+	}
+	return m
+}
+
+func grid2(g *Graph, r, c int, tag string) [][]VID {
+	out := make([][]VID, r)
+	for i := 0; i < r; i++ {
+		out[i] = make([]VID, c)
+		for j := 0; j < c; j++ {
+			out[i][j] = g.AddInput(fmt.Sprintf("%s[%d,%d]", tag, i, j))
+		}
+	}
+	return out
+}
+
+// MatMulChain is the CDAG of E = (A*B)*D: the Section 4 producer-consumer
+// pair, with the intermediate C = A*B feeding the second product.
+type MatMulChain struct {
+	G      *Graph
+	First  *MatMul // C = A*B; its C vertices are NOT outputs of the chain
+	Second *MatMul // E = C*D
+}
+
+// BuildMatMulChain constructs the chained CDAG. The intermediate C
+// vertices are unmarked as outputs (they are internal), matching the
+// fused CDAG of Lemma A.3 where output vertices of C1 merge with input
+// vertices of C2.
+func BuildMatMulChain(n int) *MatMulChain {
+	g := NewGraph()
+	first := buildMatMulInto(g, n, "1:", nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.isOutput[first.C[i][j]] = false
+		}
+	}
+	second := buildMatMulInto(g, n, "2:", first.C)
+	return &MatMulChain{G: g, First: first, Second: second}
+}

@@ -1,0 +1,147 @@
+package cdag
+
+import "fmt"
+
+// FourIndex is the CDAG of the complete four-contraction chain of
+// Equation 2 at extent n, without symmetry (the form used by the
+// Section 5-6 proofs). Tensors are stored row-major as flat vertex
+// slices indexed with Idx4.
+type FourIndex struct {
+	G          *Graph
+	N          int
+	A          []VID    // inputs, [i,j,k,l]
+	B          [4][]VID // inputs, B1..B4, [row,col] = [out,in]
+	O1, O2, O3 []VID
+	C          []VID // outputs, [a,b,g,d]
+}
+
+// Idx4 linearises a 4-tuple at extent n.
+func Idx4(n, a, b, c, d int) int { return ((a*n+b)*n+c)*n + d }
+
+// BuildFourIndex constructs the chain
+//
+//	O1[a,j,k,l] = sum_i A[i,j,k,l]  * B1[a,i]
+//	O2[a,b,k,l] = sum_j O1[a,j,k,l] * B2[b,j]
+//	O3[a,b,c,l] = sum_k O2[a,b,k,l] * B3[c,k]
+//	C [a,b,c,d] = sum_l O3[a,b,c,l] * B4[d,l]
+//
+// with each reduced element an n-long fused-multiply-add chain.
+func BuildFourIndex(n int) *FourIndex {
+	g := NewGraph()
+	f := &FourIndex{G: g, N: n}
+	f.A = make([]VID, n*n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l < n; l++ {
+					f.A[Idx4(n, i, j, k, l)] = g.AddInput(fmt.Sprintf("A[%d,%d,%d,%d]", i, j, k, l))
+				}
+			}
+		}
+	}
+	for m := 0; m < 4; m++ {
+		f.B[m] = make([]VID, n*n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				f.B[m][r*n+c] = g.AddInput(fmt.Sprintf("B%d[%d,%d]", m+1, r, c))
+			}
+		}
+	}
+	contract := func(src []VID, b []VID, tag string, pos int) []VID {
+		// dst[x0..x3] where the reduced index sits at position pos of
+		// src and the new index is dst's dimension pos... Contractions
+		// replace one index: O1 replaces i (pos 0) with a, O2 replaces
+		// j (pos 1) with b, O3 replaces k (pos 2) with c, C replaces l
+		// (pos 3) with d.
+		dst := make([]VID, n*n*n*n)
+		idx := [4]int{}
+		for x0 := 0; x0 < n; x0++ {
+			for x1 := 0; x1 < n; x1++ {
+				for x2 := 0; x2 < n; x2++ {
+					for x3 := 0; x3 < n; x3++ {
+						idx = [4]int{x0, x1, x2, x3}
+						newIdx := idx[pos] // the produced index value
+						var prev VID = -1
+						for r := 0; r < n; r++ { // reduction index
+							sidx := idx
+							sidx[pos] = r
+							srcV := src[Idx4(n, sidx[0], sidx[1], sidx[2], sidx[3])]
+							bV := b[newIdx*n+r]
+							name := fmt.Sprintf("%s[%d,%d,%d,%d]r%d", tag, x0, x1, x2, x3, r)
+							if prev < 0 {
+								prev = g.AddOp(name, srcV, bV)
+							} else {
+								prev = g.AddOp(name, prev, srcV, bV)
+							}
+						}
+						dst[Idx4(n, x0, x1, x2, x3)] = prev
+					}
+				}
+			}
+		}
+		return dst
+	}
+	f.O1 = contract(f.A, f.B[0], "O1", 0)
+	f.O2 = contract(f.O1, f.B[1], "O2", 1)
+	f.O3 = contract(f.O2, f.B[2], "O3", 2)
+	f.C = contract(f.O3, f.B[3], "C", 3)
+	for _, v := range f.C {
+		g.MarkOutput(v)
+	}
+	return f
+}
+
+// Contraction is the CDAG of ONE tensor contraction of the chain,
+// O1[a, j, k, l] = sum_i A[i, j, k, l] * B[a, i], with the O1 elements
+// as outputs — the object of the paper's Listing 5, whose schedule
+// achieves I/O exactly |A| + |B| + |O1| once S >= n^2 + n + 1.
+type Contraction struct {
+	G  *Graph
+	N  int
+	A  []VID // inputs, [i,j,k,l]
+	B  []VID // inputs, [a,i]
+	O1 []VID // outputs, [a,j,k,l] (chain finals)
+}
+
+// BuildContraction constructs the single-contraction CDAG at extent n.
+func BuildContraction(n int) *Contraction {
+	g := NewGraph()
+	c := &Contraction{G: g, N: n}
+	c.A = make([]VID, n*n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l < n; l++ {
+					c.A[Idx4(n, i, j, k, l)] = g.AddInput(fmt.Sprintf("A[%d,%d,%d,%d]", i, j, k, l))
+				}
+			}
+		}
+	}
+	c.B = make([]VID, n*n)
+	for a := 0; a < n; a++ {
+		for i := 0; i < n; i++ {
+			c.B[a*n+i] = g.AddInput(fmt.Sprintf("B[%d,%d]", a, i))
+		}
+	}
+	c.O1 = make([]VID, n*n*n*n)
+	for a := 0; a < n; a++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l < n; l++ {
+					var prev VID = -1
+					for i := 0; i < n; i++ {
+						name := fmt.Sprintf("O1[%d,%d,%d,%d]i%d", a, j, k, l, i)
+						if prev < 0 {
+							prev = g.AddOp(name, c.A[Idx4(n, i, j, k, l)], c.B[a*n+i])
+						} else {
+							prev = g.AddOp(name, prev, c.A[Idx4(n, i, j, k, l)], c.B[a*n+i])
+						}
+					}
+					c.O1[Idx4(n, a, j, k, l)] = prev
+					g.MarkOutput(prev)
+				}
+			}
+		}
+	}
+	return c
+}

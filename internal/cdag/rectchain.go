@@ -1,0 +1,96 @@
+package cdag
+
+import "fmt"
+
+// RectChain is the CDAG of Section 4's second producer-consumer example:
+// E = (A * B) * D with rectangular shapes A (N x K), B (K x N) and
+// D (N x K), N >> K. The intermediate C is a large N x N matrix produced
+// by short reduction chains (length K) — the regime where the Fusion
+// Lemma says fusion is very profitable, because the intermediate dwarfs
+// the inherent I/O of either product.
+type RectChain struct {
+	G    *Graph
+	N, K int
+	A    [][]VID // N x K inputs
+	B    [][]VID // K x N inputs
+	D    [][]VID // N x K inputs
+	// CPartial[i][j][k] is the k-th fma of C[i,j] (chain length K).
+	CPartial [][][]VID
+	C        [][]VID // N x N intermediate finals (not chain outputs)
+	// EPartial[i][j][r] is the r-th fma of E[i,j] (chain length N).
+	EPartial [][][]VID
+	E        [][]VID // N x K outputs
+}
+
+// BuildRectChain constructs the chain for given N and K (N >= K >= 1).
+func BuildRectChain(n, k int) *RectChain {
+	if n < k || k < 1 {
+		panic(fmt.Sprintf("cdag: BuildRectChain needs n >= k >= 1, got (%d,%d)", n, k))
+	}
+	g := NewGraph()
+	rc := &RectChain{G: g, N: n, K: k}
+	rc.A = inputGrid(g, n, k, "A")
+	rc.B = inputGrid(g, k, n, "B")
+	rc.D = inputGrid(g, n, k, "D")
+
+	// C[i,j] = sum_k A[i,k] B[k,j], chains of length K.
+	rc.C = make([][]VID, n)
+	rc.CPartial = make([][][]VID, n)
+	for i := 0; i < n; i++ {
+		rc.C[i] = make([]VID, n)
+		rc.CPartial[i] = make([][]VID, n)
+		for j := 0; j < n; j++ {
+			rc.CPartial[i][j] = make([]VID, k)
+			var prev VID = -1
+			for kk := 0; kk < k; kk++ {
+				name := fmt.Sprintf("C[%d,%d]k%d", i, j, kk)
+				var v VID
+				if prev < 0 {
+					v = g.AddOp(name, rc.A[i][kk], rc.B[kk][j])
+				} else {
+					v = g.AddOp(name, prev, rc.A[i][kk], rc.B[kk][j])
+				}
+				rc.CPartial[i][j][kk] = v
+				prev = v
+			}
+			rc.C[i][j] = prev
+		}
+	}
+
+	// E[i,j] = sum_r C[i,r] D[r,j], chains of length N.
+	rc.E = make([][]VID, n)
+	rc.EPartial = make([][][]VID, n)
+	for i := 0; i < n; i++ {
+		rc.E[i] = make([]VID, k)
+		rc.EPartial[i] = make([][]VID, k)
+		for j := 0; j < k; j++ {
+			rc.EPartial[i][j] = make([]VID, n)
+			var prev VID = -1
+			for r := 0; r < n; r++ {
+				name := fmt.Sprintf("E[%d,%d]r%d", i, j, r)
+				var v VID
+				if prev < 0 {
+					v = g.AddOp(name, rc.C[i][r], rc.D[r][j])
+				} else {
+					v = g.AddOp(name, prev, rc.C[i][r], rc.D[r][j])
+				}
+				rc.EPartial[i][j][r] = v
+				prev = v
+			}
+			rc.E[i][j] = prev
+			g.MarkOutput(prev)
+		}
+	}
+	return rc
+}
+
+func inputGrid(g *Graph, r, c int, tag string) [][]VID {
+	out := make([][]VID, r)
+	for i := 0; i < r; i++ {
+		out[i] = make([]VID, c)
+		for j := 0; j < c; j++ {
+			out[i][j] = g.AddInput(fmt.Sprintf("%s[%d,%d]", tag, i, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package chem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogOrbitalCounts(t *testing.T) {
+	want := map[string]int{
+		"Hyperpolar":  368,
+		"C60H20":      580,
+		"Uracil":      698,
+		"C40H56":      1023,
+		"Shell-Mixed": 1194,
+	}
+	if len(Catalog) != len(want) {
+		t.Fatalf("catalog has %d molecules, want %d", len(Catalog), len(want))
+	}
+	for name, orb := range want {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if m.Orbitals != orb {
+			t.Errorf("%s orbitals = %d, want %d", name, m.Orbitals, orb)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Unobtainium"); err == nil {
+		t.Error("ByName on unknown molecule should error")
+	}
+}
+
+// The paper (Section 8) quotes the unfused memory requirements of the
+// five benchmarks as at least 110 GB, 678 GB, 1.4 TB, 6.5 TB, 12.1 TB.
+func TestUnfusedMemoryMatchesPaper(t *testing.T) {
+	const gb = 1e9
+	want := map[string]float64{
+		"Hyperpolar":  110 * gb,
+		"C60H20":      678 * gb,
+		"Uracil":      1.4e3 * gb,
+		"C40H56":      6.5e3 * gb,
+		"Shell-Mixed": 12.1e3 * gb,
+	}
+	for name, w := range want {
+		m, _ := ByName(name)
+		got := float64(m.UnfusedMemoryBytes())
+		if math.Abs(got-w)/w > 0.05 {
+			t.Errorf("%s unfused memory = %.3g bytes, paper says %.3g (>5%% off)", name, got, w)
+		}
+	}
+}
+
+func TestNewSpecValidation(t *testing.T) {
+	if _, err := NewSpec(0, 1, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewSpec(4, 3, 0); err == nil {
+		t.Error("s=3 (not a power of two) should error")
+	}
+	if _, err := NewSpec(4, 0, 0); err == nil {
+		t.Error("s=0 should error")
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		if _, err := NewSpec(16, s, 1); err != nil {
+			t.Errorf("s=%d should be valid: %v", s, err)
+		}
+	}
+}
+
+func TestMustSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSpec with bad args did not panic")
+		}
+	}()
+	MustSpec(-1, 1, 0)
+}
+
+func TestComputeAPermutationSymmetry(t *testing.T) {
+	sp := MustSpec(12, 1, 42)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			for k := 0; k < 6; k++ {
+				for l := 0; l < 6; l++ {
+					v := sp.ComputeA(i, j, k, l)
+					if sp.ComputeA(j, i, k, l) != v || sp.ComputeA(i, j, l, k) != v || sp.ComputeA(j, i, l, k) != v {
+						t.Fatalf("A not symmetric at (%d,%d,%d,%d)", i, j, k, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestComputeADeterministicAndSeeded(t *testing.T) {
+	sp1 := MustSpec(10, 1, 7)
+	sp2 := MustSpec(10, 1, 7)
+	sp3 := MustSpec(10, 1, 8)
+	if sp1.ComputeA(1, 2, 3, 4) != sp2.ComputeA(1, 2, 3, 4) {
+		t.Error("same seed must give identical integrals")
+	}
+	if sp1.ComputeA(1, 2, 3, 4) == sp3.ComputeA(1, 2, 3, 4) {
+		t.Error("different seeds should give different integrals")
+	}
+}
+
+func TestComputeADecay(t *testing.T) {
+	sp := MustSpec(200, 1, 3)
+	// |A[i,j,..]| is bounded by exp(-0.08|i-j|) exp(-0.08|k-l|).
+	for _, c := range [][4]int{{0, 150, 0, 0}, {0, 0, 10, 180}, {5, 190, 3, 170}} {
+		bound := math.Exp(-0.08*math.Abs(float64(c[0]-c[1]))) * math.Exp(-0.08*math.Abs(float64(c[2]-c[3])))
+		if v := math.Abs(sp.ComputeA(c[0], c[1], c[2], c[3])); v > bound {
+			t.Errorf("A%v = %v exceeds decay bound %v", c, v, bound)
+		}
+	}
+}
+
+func TestComputeAOutOfRangePanics(t *testing.T) {
+	sp := MustSpec(4, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range ComputeA did not panic")
+		}
+	}()
+	sp.ComputeA(0, 0, 0, 4)
+}
+
+func TestSpatialSymmetryZeroesA(t *testing.T) {
+	sp := MustSpec(16, 4, 5)
+	nonzeroForbidden := 0
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			allowed := sp.Irrep(i)^sp.Irrep(j)^sp.Irrep(2)^sp.Irrep(3) == 0
+			v := sp.ComputeA(i, j, 2, 3)
+			if !allowed && v != 0 {
+				nonzeroForbidden++
+			}
+		}
+	}
+	if nonzeroForbidden > 0 {
+		t.Errorf("%d symmetry-forbidden elements are nonzero", nonzeroForbidden)
+	}
+}
+
+func TestComputeBSymmetryAdapted(t *testing.T) {
+	sp := MustSpec(16, 2, 5)
+	for a := 0; a < 16; a++ {
+		for i := 0; i < 16; i++ {
+			v := sp.ComputeB(a, i)
+			if sp.Irrep(a) != sp.Irrep(i) && v != 0 {
+				t.Fatalf("B[%d,%d] = %v should vanish across irreps", a, i, v)
+			}
+		}
+	}
+}
+
+func TestComputeBDiagonallyDominant(t *testing.T) {
+	sp := MustSpec(64, 1, 11)
+	for a := 0; a < 64; a++ {
+		diag := math.Abs(sp.ComputeB(a, a))
+		if diag < 0.8 {
+			t.Errorf("B[%d,%d] = %v, want near 1", a, a, diag)
+		}
+	}
+	off := math.Abs(sp.ComputeB(1, 2))
+	if off > 0.5 {
+		t.Errorf("off-diagonal B too large: %v", off)
+	}
+}
+
+func TestComputeBOutOfRangePanics(t *testing.T) {
+	sp := MustSpec(4, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range ComputeB did not panic")
+		}
+	}()
+	sp.ComputeB(4, 0)
+}
+
+func TestBMatrixAgreesWithComputeB(t *testing.T) {
+	sp := MustSpec(9, 2, 13)
+	b := sp.BMatrix()
+	for a := 0; a < 9; a++ {
+		for i := 0; i < 9; i++ {
+			if b[a*9+i] != sp.ComputeB(a, i) {
+				t.Fatalf("BMatrix[%d,%d] disagrees with ComputeB", a, i)
+			}
+		}
+	}
+}
+
+func TestOrbitalEnergiesMonotoneSign(t *testing.T) {
+	sp := MustSpec(100, 1, 1)
+	if sp.OrbitalEnergy(0) >= 0 {
+		t.Error("lowest orbital should be bound (negative energy)")
+	}
+	if sp.OrbitalEnergy(99) <= 0 {
+		t.Error("highest orbital should be virtual (positive energy)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range orbital energy did not panic")
+		}
+	}()
+	sp.OrbitalEnergy(100)
+}
+
+func TestAllowedCFraction(t *testing.T) {
+	if f := MustSpec(20, 1, 0).AllowedCFraction(); f != 1 {
+		t.Errorf("S=1 fraction = %v, want 1", f)
+	}
+	// For large N the allowed fraction approaches 1/S (Table 1: C is
+	// n^4/(4s)).
+	for _, s := range []int{2, 4, 8} {
+		f := MustSpec(256, s, 0).AllowedCFraction()
+		want := 1 / float64(s)
+		if math.Abs(f-want)/want > 0.1 {
+			t.Errorf("S=%d fraction = %v, want ~%v", s, f, want)
+		}
+	}
+}
+
+// Property: the Z2^k selection rule is consistent — if A[i,j,k,l] != 0
+// then the XOR of irreps is 0.
+func TestQuickSelectionRule(t *testing.T) {
+	sp := MustSpec(32, 4, 9)
+	f := func(i, j, k, l uint8) bool {
+		a, b, c, d := int(i)%32, int(j)%32, int(k)%32, int(l)%32
+		v := sp.ComputeA(a, b, c, d)
+		if v != 0 {
+			return sp.Irrep(a)^sp.Irrep(b)^sp.Irrep(c)^sp.Irrep(d) == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: values stay in a sane range (decay bound <= 1).
+func TestQuickValueRange(t *testing.T) {
+	sp := MustSpec(64, 1, 123)
+	f := func(i, j, k, l uint8) bool {
+		v := sp.ComputeA(int(i)%64, int(j)%64, int(k)%64, int(l)%64)
+		return v > -1 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithBOverride(t *testing.T) {
+	sp := MustSpec(4, 1, 3)
+	b := make([]float64, 16)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	sp2, err := sp.WithB(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp2.ComputeB(2, 3); got != 11 {
+		t.Errorf("override ComputeB(2,3) = %v, want 11", got)
+	}
+	// The original spec is untouched, and the override copied.
+	if sp.ComputeB(2, 3) == 11 {
+		t.Error("WithB mutated the original spec")
+	}
+	b[11] = 99
+	if sp2.ComputeB(2, 3) != 11 {
+		t.Error("WithB aliases the caller's slice")
+	}
+	// BMatrix reflects the override.
+	if sp2.BMatrix()[2*4+3] != 11 {
+		t.Error("BMatrix ignores the override")
+	}
+}
+
+func TestWithBValidation(t *testing.T) {
+	sp := MustSpec(4, 2, 3)
+	if _, err := sp.WithB(make([]float64, 16)); err == nil {
+		t.Error("WithB with spatial symmetry should error")
+	}
+	sp1 := MustSpec(4, 1, 3)
+	if _, err := sp1.WithB(make([]float64, 9)); err == nil {
+		t.Error("wrong-size matrix should error")
+	}
+}
+
+func TestCoreHamiltonianSymmetric(t *testing.T) {
+	sp := MustSpec(12, 1, 9)
+	h := sp.CoreHamiltonian()
+	for i := 0; i < 12; i++ {
+		if h[i*12+i] >= 0 {
+			t.Errorf("diagonal H[%d][%d] = %v, want negative (bound)", i, i, h[i*12+i])
+		}
+		for j := 0; j < 12; j++ {
+			if h[i*12+j] != h[j*12+i] {
+				t.Fatalf("Hcore not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Diagonal rises toward zero.
+	if h[0] >= h[11*12+11] {
+		t.Error("diagonal levels should ascend")
+	}
+}

@@ -1,0 +1,46 @@
+package chem
+
+import (
+	"fmt"
+
+	"fourindex/internal/sym"
+)
+
+// MP2Energy evaluates the closed-shell second-order Moller-Plesset
+// correlation energy from transformed molecular-orbital integrals — the
+// canonical consumer of the four-index transform:
+//
+//	E2 = - sum_{i,j in occ; a,b in virt} (ia|jb) [2 (ia|jb) - (ib|ja)]
+//	     / (e_a + e_b - e_i - e_j)
+//
+// c holds the packed-symmetric (pq|rs) integrals, energies the canonical
+// orbital energies, and nOcc the number of occupied orbitals (indices
+// [0, nOcc)). The denominator must be positive for every (i, j, a, b)
+// combination — guaranteed when occupied energies lie below virtual
+// ones, as OrbitalEnergy produces.
+func MP2Energy(c *sym.PackedC, energies []float64, nOcc int) (float64, error) {
+	n := c.N
+	if len(energies) != n {
+		return 0, fmt.Errorf("chem: %d orbital energies for extent %d", len(energies), n)
+	}
+	if nOcc <= 0 || nOcc >= n {
+		return 0, fmt.Errorf("chem: occupied count %d out of (0, %d)", nOcc, n)
+	}
+	var e2 float64
+	for i := 0; i < nOcc; i++ {
+		for j := 0; j < nOcc; j++ {
+			for a := nOcc; a < n; a++ {
+				for b := nOcc; b < n; b++ {
+					denom := energies[a] + energies[b] - energies[i] - energies[j]
+					if denom <= 0 {
+						return 0, fmt.Errorf("chem: non-positive MP2 denominator at (i=%d,j=%d,a=%d,b=%d)", i, j, a, b)
+					}
+					iajb := c.At(i, a, j, b)
+					ibja := c.At(i, b, j, a)
+					e2 += iajb * (2*iajb - ibja) / denom
+				}
+			}
+		}
+	}
+	return -e2, nil
+}

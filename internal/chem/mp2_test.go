@@ -1,0 +1,96 @@
+package chem
+
+import (
+	"math"
+	"testing"
+
+	"fourindex/internal/sym"
+)
+
+func mp2Fixture(t *testing.T, n int) (*sym.PackedC, []float64) {
+	t.Helper()
+	sp := MustSpec(n, 1, 5)
+	c := sym.NewPackedC(n)
+	// Symmetric deterministic integrals.
+	for a := 0; a < n; a++ {
+		for b := 0; b <= a; b++ {
+			for g := 0; g < n; g++ {
+				for d := 0; d <= g; d++ {
+					c.Add(sp.ComputeA(a, b, g, d), a, b, g, d)
+				}
+			}
+		}
+	}
+	e := make([]float64, n)
+	for p := 0; p < n; p++ {
+		e[p] = sp.OrbitalEnergy(p)
+	}
+	return c, e
+}
+
+// Brute-force re-evaluation with no packing shortcuts.
+func mp2Brute(c *sym.PackedC, e []float64, nOcc int) float64 {
+	n := c.N
+	var sum float64
+	for i := 0; i < nOcc; i++ {
+		for j := 0; j < nOcc; j++ {
+			for a := nOcc; a < n; a++ {
+				for b := nOcc; b < n; b++ {
+					iajb := c.At(i, a, j, b)
+					ibja := c.At(i, b, j, a)
+					sum += iajb * (2*iajb - ibja) / (e[a] + e[b] - e[i] - e[j])
+				}
+			}
+		}
+	}
+	return -sum
+}
+
+func TestMP2EnergyMatchesBruteForce(t *testing.T) {
+	c, e := mp2Fixture(t, 12)
+	got, err := MP2Energy(c, e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mp2Brute(c, e, 4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MP2Energy = %v, brute force = %v", got, want)
+	}
+	if got == 0 {
+		t.Error("energy unexpectedly zero")
+	}
+}
+
+func TestMP2EnergyNegativeForDominantDiagonal(t *testing.T) {
+	// With (ia|jb)^2 dominating the exchange term, E2 < 0 (the usual
+	// physical sign of a correlation energy).
+	c, e := mp2Fixture(t, 10)
+	got, err := MP2Energy(c, e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 0 {
+		t.Errorf("E2 = %v, expected negative", got)
+	}
+}
+
+func TestMP2EnergyValidation(t *testing.T) {
+	c, e := mp2Fixture(t, 8)
+	if _, err := MP2Energy(c, e[:5], 3); err == nil {
+		t.Error("energy-count mismatch should error")
+	}
+	if _, err := MP2Energy(c, e, 0); err == nil {
+		t.Error("nOcc = 0 should error")
+	}
+	if _, err := MP2Energy(c, e, 8); err == nil {
+		t.Error("nOcc = n should error")
+	}
+	// Inverted energies make the denominator non-positive.
+	bad := make([]float64, 8)
+	for i := range bad {
+		bad[i] = float64(8 - i)
+	}
+	if _, err := MP2Energy(c, bad, 3); err == nil {
+		t.Error("non-positive denominator should error")
+	}
+}

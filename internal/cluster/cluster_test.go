@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperSystems(t *testing.T) {
+	a, b, c := SystemA(), SystemB(), SystemC()
+	if a.MemPerNodeBytes != 24<<30 {
+		t.Errorf("System A memory/node = %d, want 24 GiB", a.MemPerNodeBytes)
+	}
+	if b.MemPerNodeBytes != 512<<30 || b.Nodes != 18 {
+		t.Errorf("System B = %+v, want 18 nodes x 512 GiB", b)
+	}
+	if c.MemPerNodeBytes != 128<<30 || c.Nodes != 1440 {
+		t.Errorf("System C = %+v, want 1440 nodes x 128 GiB", c)
+	}
+	if a.CoresPerNode != 8 || b.CoresPerNode != 28 || c.CoresPerNode != 16 {
+		t.Error("core counts do not match the paper's CPU descriptions")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"SystemA", "A", "a", "SystemB", "B", "SystemC", "c"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("SystemD"); err == nil {
+		t.Error("unknown system should error")
+	}
+}
+
+func TestAggregateMem(t *testing.T) {
+	b := SystemB()
+	// Paper Section 8: System B's 18 x 512 GB nodes hold < 9 TB but the
+	// Shell-Mixed unfused transform needs > 12 TB.
+	total := b.AggregateMemBytes(0)
+	if total != 18*512<<30 {
+		t.Errorf("aggregate = %d", total)
+	}
+	if float64(total) > 12.1e12 {
+		t.Errorf("System B aggregate %.3g B should be below the 12.1 TB unfused requirement", float64(total))
+	}
+	if got := b.AggregateMemBytes(5); got != 5*512<<30 {
+		t.Errorf("5-node aggregate = %d", got)
+	}
+	if got := b.AggregateMemBytes(99); got != total {
+		t.Error("node count above cluster size should clamp")
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	r, err := SystemB().Configure(140, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodesUsed != 5 || r.CoresPerRank != 1 {
+		t.Errorf("run = %+v, want 5 nodes, 1 core/rank", r)
+	}
+	// System C with 4 ranks/node: 512 ranks -> 128 nodes, 4 cores/rank.
+	rc, err := SystemC().Configure(512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.NodesUsed != 128 || rc.CoresPerRank != 4 {
+		t.Errorf("run = %+v, want 128 nodes, 4 cores/rank", rc)
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	if _, err := SystemB().Configure(0, 1); err == nil {
+		t.Error("zero ranks should error")
+	}
+	// System B has 18 nodes * 28 cores = 504 max ranks at 28/node.
+	if _, err := SystemB().Configure(505, 28); err == nil {
+		t.Error("rank count above cluster capacity should error")
+	}
+	// ranksPerNode above core count clamps to core count.
+	r, err := SystemB().Configure(28, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RanksPerNode != 28 {
+		t.Errorf("RanksPerNode = %d, want clamped 28", r.RanksPerNode)
+	}
+}
+
+func TestRates(t *testing.T) {
+	r, _ := SystemB().Configure(56, 28)
+	if r.FlopsPerSecPerRank() <= 0 || r.NetBytesPerSecPerRank() <= 0 || r.MemBytesPerSecPerRank() <= 0 {
+		t.Error("per-rank rates must be positive")
+	}
+	if r.MemBytesPerRank() != (512<<30)/28 {
+		t.Errorf("memory/rank = %d", r.MemBytesPerRank())
+	}
+	if r.AggregateMemBytes() != 2*512<<30 {
+		t.Errorf("aggregate for 2 nodes = %d", r.AggregateMemBytes())
+	}
+	if r.ComputeSeconds(0) != 0 {
+		t.Error("zero flops should take zero time")
+	}
+	t1 := r.ComputeSeconds(1e12)
+	t2 := r.ComputeSeconds(2e12)
+	if t2 <= t1 {
+		t.Error("compute time must grow with flops")
+	}
+	if r.RemoteSeconds(0) != r.Machine.NetLatencySec {
+		t.Error("empty remote message should cost exactly latency")
+	}
+	if r.LocalSeconds(1<<20) >= r.RemoteSeconds(1<<20) {
+		t.Error("local copies should be faster than remote transfers")
+	}
+	if !strings.Contains(r.String(), "SystemB") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestMoreCoresPerRankIsFaster(t *testing.T) {
+	dense, _ := SystemC().Configure(16, 16) // 1 core per rank
+	sparse, _ := SystemC().Configure(4, 4)  // 4 cores per rank
+	if sparse.FlopsPerSecPerRank() <= dense.FlopsPerSecPerRank() {
+		t.Error("ranks with more cores must have higher flop rates")
+	}
+}
+
+func TestDiskSeconds(t *testing.T) {
+	r, _ := SystemB().Configure(504, 28)
+	// Collective disk bandwidth is shared: more ranks, slower each.
+	r2, _ := SystemB().Configure(56, 28)
+	if r.DiskSeconds(1<<30) <= r2.DiskSeconds(1<<30) {
+		t.Error("per-rank disk time must grow with rank count")
+	}
+	// Disk is far slower than the network for the same bytes.
+	if r.DiskSeconds(1<<30) <= r.RemoteSeconds(1<<30) {
+		t.Error("disk should be slower than the network")
+	}
+}

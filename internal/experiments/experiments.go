@@ -1,0 +1,313 @@
+// Package experiments encodes and regenerates the paper's evaluation
+// (Section 8, Figure 2): five molecules on three clusters, comparing the
+// fuse/unfuse hybrid implementation against the best feasible
+// NWChem-style baseline.
+//
+// Reproduction methodology and caveats:
+//
+//   - Runs execute in ga.Cost mode: the real schedules run tile-by-tile
+//     over the simulated Global Arrays runtime with the machine models of
+//     package cluster; reported times are simulated wall clock.
+//
+//   - Bar heights in Figure 2 were extracted from the publicly available
+//     text with OCR and are approximate; the prose-stated outcomes
+//     (which side won, where results were equal, which configurations
+//     failed with out-of-memory) are authoritative and recorded as
+//     expectation flags.
+//
+//   - The usable aggregate memory of each configuration (Global Arrays
+//     heap configuration) is not published. Each point carries a
+//     UsableBytes derived from the paper's reported feasibility: where
+//     the paper says memory was insufficient for the unfused transform,
+//     UsableBytes is set just below its requirement; where results were
+//     equal (everything fit), comfortably above; where all NWChem
+//     implementations failed, below the fused12-34 requirement too. The
+//     headline Shell-Mixed point needs no calibration: the paper's
+//     "less than 9 TB" cluster genuinely cannot hold the >12 TB unfused
+//     or the ~8.9 TB fused12-34 footprints.
+//
+//   - "NWChem Best" is the faster feasible of the Unfused and
+//     NWChemFused schemes (Section 2.2's "most widely used and
+//     performant" implementations; NWChemFused carries Listing 2's
+//     memory profile without the Section 7.3 communication-avoiding
+//     mapping). The Recompute direct method is implemented and
+//     benchmarked separately but excluded here, matching the figure's
+//     "Failed" markers — with it in the set nothing ever fails, while
+//     its n^6-scaling runtime is prohibitive at the failed points.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/cluster"
+	"fourindex/internal/fourindex"
+	"fourindex/internal/ga"
+	"fourindex/internal/lb"
+)
+
+// SpatialSymmetry is the spatial-symmetry order assumed for all
+// benchmark molecules: the paper's memory formulas (Equations 7, 8)
+// carry an n^4/32 output term, i.e. s = 8 (D2h-like).
+const SpatialSymmetry = 8
+
+// Point is one bar group of Figure 2.
+type Point struct {
+	Fig          string // "2a".."2e"
+	Molecule     string
+	System       string // "A", "B", "C"
+	Cores        int
+	RanksPerNode int // 0: one rank per core
+
+	// UsableBytes is the calibrated usable aggregate memory (see the
+	// package comment).
+	UsableBytes int64
+
+	// Paper-reported results. Times are kiloseconds; 0 = not legible.
+	PaperHybridKs float64
+	PaperNWChemKs float64
+	// Authoritative prose-derived outcome flags.
+	PaperEqual        bool // both sides used the unfused schedule
+	PaperNWChemFailed bool // every NWChem implementation ran out of memory
+	PaperHybridNA     bool // hybrid not run (no machine allocation)
+}
+
+// unfusedBytes returns the unfused schedule's aggregate requirement for
+// a molecule (|O1| + |O2| at peak).
+func unfusedBytes(orbitals int) int64 {
+	return lb.MemoryUnfused(orbitals, SpatialSymmetry) * 8
+}
+
+// calibrated returns UsableBytes for a paper outcome: ample for equal
+// points, between the fused12-34 and unfused requirements where only
+// fusion was feasible, and below fused12-34 where NWChem failed
+// entirely.
+func calibrated(orbitals int, equal, nwchemFailed bool) int64 {
+	unf := float64(unfusedBytes(orbitals))
+	switch {
+	case equal:
+		return int64(2 * unf)
+	case nwchemFailed:
+		return int64(0.62 * unf) // below the ~0.69*unf fused12-34 peak
+	default:
+		return int64(0.80 * unf) // unfused fails, fused12-34 fits
+	}
+}
+
+// Figure2 returns every bar group of Figure 2 with calibrated memory.
+func Figure2() []Point {
+	type raw struct {
+		fig, mol, sys             string
+		cores, rpn                int
+		hybKs, nwKs               float64
+		equal, nwFailed, hybridNA bool
+		physicalCapBytes          int64 // 0: no cap beyond calibration
+	}
+	rows := []raw{
+		// (a) Hyperpolar, 368 orbitals (small).
+		{"2a", "Hyperpolar", "A", 32, 8, 2.27, 4.93, false, false, false, 0},
+		{"2a", "Hyperpolar", "A", 64, 8, 0.92, 1.53, false, false, false, 0},
+		{"2a", "Hyperpolar", "A", 128, 8, 0.35, 0.35, true, false, false, 0},
+		{"2a", "Hyperpolar", "B", 56, 28, 0.57, 1.58, false, false, false, 0},
+		{"2a", "Hyperpolar", "B", 140, 28, 0.18, 0.18, true, false, false, 0},
+		// (b) Uracil, 698 orbitals (large).
+		{"2b", "Uracil", "A", 512, 8, 5.02, 0, false, true, false, 0},
+		{"2b", "Uracil", "B", 140, 28, 2.56, 14.57, false, false, false, 0},
+		{"2b", "Uracil", "B", 252, 28, 1.29, 2.83, false, false, false, 0},
+		{"2b", "Uracil", "B", 504, 28, 0.39, 0.39, true, false, false, 0},
+		{"2b", "Uracil", "C", 512, 4, 1.62, 2.64, false, false, false, 0},
+		{"2b", "Uracil", "C", 1024, 4, 1.19, 2.47, false, false, false, 0},
+		// (c) C60H20, 580 orbitals (medium).
+		{"2c", "C60H20", "B", 140, 28, 1.69, 6.30, false, false, false, 0},
+		{"2c", "C60H20", "B", 252, 28, 1.01, 1.01, true, false, false, 0},
+		// (d) C40H56, 1023 orbitals (very large).
+		{"2d", "C40H56", "B", 504, 28, 5.26, 0, false, true, false, 0},
+		{"2d", "C40H56", "C", 1536, 4, 0, 19.71, false, false, true, 0},
+		// (e) Shell-Mixed, 1194 orbitals (very large). The B/504 point
+		// is the paper's headline: > 12 TB required unfused, run on a
+		// cluster with < 9 TB of collective memory. The calibrated
+		// value (0.62 x 12.2 TB = 7.6 TB) is consistent with the
+		// paper's own "< 9 TB" statement.
+		{"2e", "Shell-Mixed", "B", 504, 28, 15.09, 0, false, true, false, 0},
+		{"2e", "Shell-Mixed", "C", 4096, 4, 0, 77.92, false, false, true, 0},
+	}
+	pts := make([]Point, 0, len(rows))
+	for _, r := range rows {
+		mol, err := chem.ByName(r.mol)
+		if err != nil {
+			panic(err)
+		}
+		usable := calibrated(mol.Orbitals, r.equal, r.nwFailed)
+		if r.physicalCapBytes > 0 && usable > r.physicalCapBytes {
+			usable = r.physicalCapBytes
+		}
+		pts = append(pts, Point{
+			Fig: r.fig, Molecule: r.mol, System: r.sys,
+			Cores: r.cores, RanksPerNode: r.rpn,
+			UsableBytes:   usable,
+			PaperHybridKs: r.hybKs, PaperNWChemKs: r.nwKs,
+			PaperEqual: r.equal, PaperNWChemFailed: r.nwFailed,
+			PaperHybridNA: r.hybridNA,
+		})
+	}
+	return pts
+}
+
+// Outcome is the simulated result of one Figure 2 point.
+type Outcome struct {
+	Point
+	HybridKs     float64 // simulated hybrid time, kiloseconds
+	HybridScheme fourindex.Scheme
+	NWChemKs     float64 // simulated best NWChem time; 0 when failed
+	NWChemScheme fourindex.Scheme
+	NWChemFailed bool
+	Speedup      float64 // NWChemKs / HybridKs when both ran
+}
+
+// tiling picks cost-mode data-tile and fused-loop widths: ~24 tiles per
+// orbital dimension bounds simulation event counts while keeping slabs
+// thin relative to n.
+func tiling(n, procs int) (tileN, tileL, alphaPar int) {
+	tileN = max(1, (n+23)/24)
+	nt := (n + tileN - 1) / tileN
+	tileL = tileN
+	alphaPar = max(1, (procs+nt-1)/nt)
+	if alphaPar > nt {
+		alphaPar = nt
+	}
+	return tileN, tileL, alphaPar
+}
+
+// RunPoint simulates one Figure 2 point.
+func RunPoint(pt Point) (Outcome, error) {
+	mol, err := chem.ByName(pt.Molecule)
+	if err != nil {
+		return Outcome{}, err
+	}
+	machine, err := cluster.ByName(pt.System)
+	if err != nil {
+		return Outcome{}, err
+	}
+	run, err := machine.Configure(pt.Cores, pt.RanksPerNode)
+	if err != nil {
+		return Outcome{}, err
+	}
+	spec, err := chem.NewSpec(mol.Orbitals, SpatialSymmetry, 7)
+	if err != nil {
+		return Outcome{}, err
+	}
+	tileN, tileL, alphaPar := tiling(mol.Orbitals, pt.Cores)
+	base := fourindex.Options{
+		Spec:           spec,
+		Procs:          pt.Cores,
+		Mode:           ga.Cost,
+		Run:            &run,
+		GlobalMemBytes: pt.UsableBytes,
+		TileN:          tileN,
+		TileL:          tileL,
+		AlphaPar:       alphaPar,
+	}
+
+	out := Outcome{Point: pt}
+
+	hyb, err := fourindex.Run(fourindex.Hybrid, base)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: hybrid on %s/%s/%d: %w",
+			pt.Molecule, pt.System, pt.Cores, err)
+	}
+	out.HybridKs = hyb.ElapsedSeconds / 1000
+	out.HybridScheme = hyb.ChosenScheme
+
+	// NWChem Best: fastest feasible of the unfused transform and
+	// NWChem's production fused 12-34 variant (without the paper's
+	// communication-avoiding mapping).
+	out.NWChemFailed = true
+	for _, s := range []fourindex.Scheme{fourindex.Unfused, fourindex.NWChemFused} {
+		res, err := fourindex.Run(s, base)
+		if err != nil {
+			continue // out of memory: this variant failed
+		}
+		ks := res.ElapsedSeconds / 1000
+		if out.NWChemFailed || ks < out.NWChemKs {
+			out.NWChemKs = ks
+			out.NWChemScheme = s
+			out.NWChemFailed = false
+		}
+	}
+	if !out.NWChemFailed && out.HybridKs > 0 {
+		out.Speedup = out.NWChemKs / out.HybridKs
+	}
+	return out, nil
+}
+
+// RunFigure simulates every point of one sub-figure ("2a".."2e"), or all
+// of Figure 2 when fig is empty.
+func RunFigure(fig string) ([]Outcome, error) {
+	var outs []Outcome
+	for _, pt := range Figure2() {
+		if fig != "" && pt.Fig != fig {
+			continue
+		}
+		o, err := RunPoint(pt)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("experiments: no points for figure %q", fig)
+	}
+	return outs, nil
+}
+
+// CheckShape verifies an outcome against the paper's prose-derived
+// expectations and returns human-readable deviations (empty = conforms).
+func CheckShape(o Outcome) []string {
+	var bad []string
+	if o.PaperNWChemFailed && !o.NWChemFailed {
+		bad = append(bad, fmt.Sprintf("paper: NWChem failed; simulation: %v ran in %.2f ks", o.NWChemScheme, o.NWChemKs))
+	}
+	if !o.PaperNWChemFailed && !o.PaperHybridNA && o.NWChemFailed {
+		bad = append(bad, "paper: NWChem ran; simulation: all NWChem variants out of memory")
+	}
+	if o.PaperEqual {
+		if o.HybridScheme != fourindex.Unfused {
+			bad = append(bad, fmt.Sprintf("paper: equal (unfused fits); simulation hybrid chose %v", o.HybridScheme))
+		}
+		if !o.NWChemFailed && o.Speedup > 1.3 {
+			bad = append(bad, fmt.Sprintf("paper: equal; simulated speedup %.2fx", o.Speedup))
+		}
+	} else if !o.PaperNWChemFailed && !o.PaperHybridNA {
+		if o.HybridScheme == fourindex.Unfused {
+			bad = append(bad, "paper: memory-constrained (fused); simulation hybrid chose unfused")
+		}
+		if !o.NWChemFailed && o.Speedup < 1.0 {
+			bad = append(bad, fmt.Sprintf("hybrid slower than NWChem best: %.2fx", o.Speedup))
+		}
+	}
+	return bad
+}
+
+// PaperSpeedup returns the paper's reported speedup for a point when
+// both bars are legible, else 0.
+func (p Point) PaperSpeedup() float64 {
+	if p.PaperHybridKs > 0 && p.PaperNWChemKs > 0 {
+		return p.PaperNWChemKs / p.PaperHybridKs
+	}
+	return 0
+}
+
+// FormatKs renders a time-or-failure cell.
+func FormatKs(ks float64, failed bool) string {
+	if failed {
+		return "Failed"
+	}
+	if ks == 0 {
+		return "n/a"
+	}
+	if math.IsInf(ks, 0) || math.IsNaN(ks) {
+		return "?"
+	}
+	return fmt.Sprintf("%.2f", ks)
+}

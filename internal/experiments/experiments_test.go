@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/fourindex"
+	"fourindex/internal/lb"
+)
+
+func TestFigure2TableIntegrity(t *testing.T) {
+	pts := Figure2()
+	if len(pts) != 17 {
+		t.Fatalf("Figure 2 has %d points, want 17 bar groups", len(pts))
+	}
+	figs := map[string]int{}
+	for _, p := range pts {
+		figs[p.Fig]++
+		if _, err := chem.ByName(p.Molecule); err != nil {
+			t.Errorf("%s: %v", p.Fig, err)
+		}
+		if p.Cores <= 0 || p.UsableBytes <= 0 {
+			t.Errorf("%s %s/%d: bad cores or memory", p.Fig, p.System, p.Cores)
+		}
+		if p.PaperEqual && p.PaperNWChemFailed {
+			t.Errorf("%s: contradictory flags", p.Fig)
+		}
+	}
+	want := map[string]int{"2a": 5, "2b": 6, "2c": 2, "2d": 2, "2e": 2}
+	for f, n := range want {
+		if figs[f] != n {
+			t.Errorf("figure %s has %d points, want %d", f, figs[f], n)
+		}
+	}
+}
+
+// The calibrated memory must realise the paper's feasibility statements
+// against our own lb model: equal => unfused fits; otherwise unfused must
+// not fit; NWChem-failed => fused12-34 must not fit either.
+func TestCalibrationConsistentWithLB(t *testing.T) {
+	for _, p := range Figure2() {
+		mol, _ := chem.ByName(p.Molecule)
+		unf := unfusedBytes(mol.Orbitals)
+		pair := lb.MemoryFused12_34(mol.Orbitals, SpatialSymmetry) * 8
+		switch {
+		case p.PaperEqual:
+			if p.UsableBytes < unf {
+				t.Errorf("%s %s/%d: equal point but unfused does not fit", p.Fig, p.System, p.Cores)
+			}
+		case p.PaperNWChemFailed:
+			if p.UsableBytes >= pair {
+				t.Errorf("%s %s/%d: NWChem-failed point but fused12-34 fits (%d >= %d)",
+					p.Fig, p.System, p.Cores, p.UsableBytes, pair)
+			}
+		default:
+			if p.UsableBytes >= unf {
+				t.Errorf("%s %s/%d: constrained point but unfused fits", p.Fig, p.System, p.Cores)
+			}
+			if p.UsableBytes < pair {
+				t.Errorf("%s %s/%d: constrained point but fused12-34 does not fit", p.Fig, p.System, p.Cores)
+			}
+		}
+	}
+}
+
+// The headline point uses physical memory, not calibration: Shell-Mixed
+// needs > 12 TB unfused, System B holds < 9 TB usable.
+func TestHeadlinePointIsPhysical(t *testing.T) {
+	for _, p := range Figure2() {
+		if p.Fig == "2e" && p.System == "B" {
+			if p.UsableBytes > 9e12 {
+				t.Errorf("System B usable = %d B, paper says < 9 TB", p.UsableBytes)
+			}
+			mol, _ := chem.ByName(p.Molecule)
+			if unfusedBytes(mol.Orbitals) < 12e12 {
+				t.Error("Shell-Mixed unfused requirement should exceed 12 TB")
+			}
+			return
+		}
+	}
+	t.Fatal("headline point missing")
+}
+
+// Simulate the smallest point end to end: Hyperpolar on System A with 32
+// cores. The paper reports hybrid 2.27 ks vs NWChem 4.93 ks (2.2x).
+func TestRunPointHyperpolarA32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("molecule-scale simulation")
+	}
+	pts := Figure2()
+	o, err := RunPoint(pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.HybridScheme != fourindex.FullyFusedInner {
+		t.Errorf("hybrid chose %v, want fused (memory-constrained point)", o.HybridScheme)
+	}
+	if o.NWChemFailed {
+		t.Fatal("NWChem best should run at this point")
+	}
+	if o.Speedup < 1.0 {
+		t.Errorf("hybrid speedup = %.2f, want >= 1", o.Speedup)
+	}
+	if bad := CheckShape(o); len(bad) != 0 {
+		t.Errorf("shape deviations: %v", bad)
+	}
+	// Order-of-magnitude agreement with the paper's 2.27 ks.
+	if o.HybridKs < 0.1 || o.HybridKs > 30 {
+		t.Errorf("hybrid simulated %.2f ks, paper 2.27 ks — more than order-of-magnitude off", o.HybridKs)
+	}
+}
+
+// An "equal" point must pick unfused on both sides.
+func TestRunPointEqual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("molecule-scale simulation")
+	}
+	var pt Point
+	for _, p := range Figure2() {
+		if p.Fig == "2a" && p.PaperEqual {
+			pt = p
+			break
+		}
+	}
+	o, err := RunPoint(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.HybridScheme != fourindex.Unfused {
+		t.Errorf("hybrid chose %v, want unfused", o.HybridScheme)
+	}
+	if o.NWChemScheme != fourindex.Unfused {
+		t.Errorf("NWChem best = %v, want unfused", o.NWChemScheme)
+	}
+	if bad := CheckShape(o); len(bad) != 0 {
+		t.Errorf("shape deviations: %v", bad)
+	}
+	if o.Speedup < 0.85 || o.Speedup > 1.15 {
+		t.Errorf("equal point speedup = %.2f, want ~1", o.Speedup)
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := RunFigure("9z"); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestFormatKs(t *testing.T) {
+	if FormatKs(1.234, false) != "1.23" {
+		t.Error("FormatKs number wrong")
+	}
+	if FormatKs(0, true) != "Failed" {
+		t.Error("FormatKs failed wrong")
+	}
+	if FormatKs(0, false) != "n/a" {
+		t.Error("FormatKs n/a wrong")
+	}
+}
+
+func TestPaperSpeedup(t *testing.T) {
+	p := Point{PaperHybridKs: 2, PaperNWChemKs: 6}
+	if p.PaperSpeedup() != 3 {
+		t.Errorf("PaperSpeedup = %v", p.PaperSpeedup())
+	}
+	if (Point{}).PaperSpeedup() != 0 {
+		t.Error("unknown bars should give 0")
+	}
+}
+
+func TestTiling(t *testing.T) {
+	tn, tl, ap := tiling(1194, 504)
+	if tn != 50 {
+		t.Errorf("tileN = %d, want 50", tn)
+	}
+	if tl != tn {
+		t.Errorf("tileL = %d, want TileN (%d)", tl, tn)
+	}
+	nt := (1194 + tn - 1) / tn
+	if ap*nt < 504 {
+		t.Errorf("alphaPar %d x nt %d < 504 procs: not enough op12 parallelism", ap, nt)
+	}
+	// Tiny problems stay sane.
+	tn, tl, ap = tiling(5, 999)
+	if tn < 1 || tl < 1 || ap < 1 {
+		t.Error("tiling degenerate for tiny n")
+	}
+}

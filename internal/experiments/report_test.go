@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 2 simulation")
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"Table 1",
+		"Shell-Mixed",
+		"Figure 2",
+		"17 of 17 points conform",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fourindex/internal/chem"
+)
+
+// Scaling runs a strong-scaling sweep: one molecule on one system across
+// several core counts, hybrid vs NWChem Best at each. With constrained
+// memory (the interesting regime) the usable aggregate is pinned to 0.80
+// of the unfused requirement so the hybrid stays fused throughout;
+// otherwise memory is ample and both sides run unfused.
+func Scaling(molecule, system string, coreCounts []int, ranksPerNode int, constrained bool) ([]Outcome, error) {
+	mol, err := chem.ByName(molecule)
+	if err != nil {
+		return nil, err
+	}
+	if len(coreCounts) == 0 {
+		return nil, fmt.Errorf("experiments: no core counts given")
+	}
+	usable := calibrated(mol.Orbitals, !constrained, false)
+	var outs []Outcome
+	for _, cores := range coreCounts {
+		pt := Point{
+			Fig:          "scaling",
+			Molecule:     molecule,
+			System:       system,
+			Cores:        cores,
+			RanksPerNode: ranksPerNode,
+			UsableBytes:  usable,
+			PaperEqual:   !constrained,
+		}
+		o, err := RunPoint(pt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling at %d cores: %w", cores, err)
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// ParallelEfficiency returns the strong-scaling efficiency of a sweep's
+// hybrid times relative to its first point: t1*c1 / (tN*cN).
+func ParallelEfficiency(outs []Outcome) []float64 {
+	if len(outs) == 0 {
+		return nil
+	}
+	base := outs[0].HybridKs * float64(outs[0].Cores)
+	eff := make([]float64, len(outs))
+	for i, o := range outs {
+		if o.HybridKs > 0 {
+			eff[i] = base / (o.HybridKs * float64(o.Cores))
+		}
+	}
+	return eff
+}

@@ -1,0 +1,427 @@
+package fourindex
+
+import (
+	"fourindex/internal/blas"
+	"fourindex/internal/ga"
+	"fourindex/internal/tile"
+)
+
+// runFullyFused executes the paper's new parallel four-index transform:
+// loop l is fused across all four contractions with tile width TileL
+// (Section 7.1, Listing 8), so only O(n^3 * Tl) slabs of A and the
+// intermediates ever exist, plus the resident output C. By Theorem 6.2
+// this runs the largest possible problem for a given aggregate memory
+// without disk I/O or recomputation of O-intermediates.
+//
+// With inner = true the inner four-index transform additionally fuses
+// op12 and op34 (Section 7.2, Listing 10), eliminating the O1 and O3
+// slabs' global traffic and minimising communication volume; AlphaPar
+// splits each k work unit over alpha ranges (Section 7.3) at the price
+// of replicated A reads.
+func runFullyFused(opt Options, inner bool) (*Result, error) {
+	scheme := FullyFused
+	if inner {
+		scheme = FullyFusedInner
+	}
+	c, err := newRunCtx(opt)
+	if err != nil {
+		return nil, err
+	}
+	g4 := c.grids4()
+
+	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
+	if err != nil {
+		return nil, oomWrap(scheme, err)
+	}
+
+	alphaPar := opt.AlphaPar
+	if alphaPar > c.nt {
+		alphaPar = c.nt
+	}
+	lPar := opt.LPar
+	if !inner {
+		lPar = 1 // nested l tiling is implemented on the Listing 10 path
+	}
+	if lPar > c.gl.NumTiles() {
+		lPar = c.gl.NumTiles()
+	}
+
+	for tlo := 0; tlo < c.gl.NumTiles(); tlo += lPar {
+		batch := min(lPar, c.gl.NumTiles()-tlo)
+
+		// Fusing l breaks the (k, l) symmetry: the A slabs keep only
+		// the (i, j) pair symmetry and integrals are regenerated per
+		// slab (Section 7.4's symmetry-breaking cost). With lPar > 1
+		// several l slabs are in flight together — Section 7.3's
+		// "nested tiling of l" alternative — multiplying slab memory
+		// and parallelism alike.
+		aTs := make([]*ga.TiledArray, batch)
+		lOffs := make([]int, batch)
+		widths := make([]int, batch)
+		slabGridsAll := make([][]tile.Grid, batch)
+		c.rt.BeginPhase("generate-A-slab")
+		for i := 0; i < batch; i++ {
+			lOff, lHi := c.gl.Bounds(tlo + i)
+			lOffs[i] = lOff
+			widths[i] = lHi - lOff
+			slabGridsAll[i] = []tile.Grid{c.g, c.g, c.g, tile.NewGrid(widths[i], widths[i])}
+			aT, err := c.rt.CreateTiled("Al", slabGridsAll[i], [][2]int{{0, 1}}, opt.Policy)
+			if err != nil {
+				return nil, oomWrap(scheme, err)
+			}
+			aTs[i] = aT
+		}
+		if err := c.generateABatch(aTs, lOffs); err != nil {
+			return nil, err
+		}
+
+		if inner {
+			if err := c.innerSlabs(aTs, cT, slabGridsAll, widths, lOffs, alphaPar); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := c.plainSlab(aTs[0], cT, slabGridsAll[0], widths[0], lOffs[0]); err != nil {
+				return nil, err
+			}
+		}
+		for _, aT := range aTs {
+			c.rt.DestroyTiled(aT)
+		}
+	}
+
+	packed := c.extractC(cT)
+	c.rt.DestroyTiled(cT)
+	return c.result(scheme, scheme, packed), nil
+}
+
+// innerSlabs runs the Listing 10 inner transform for a batch of l slabs
+// processed concurrently: op12 fused (work units (slab, tk, alpha-chunk))
+// producing the O2 slabs, then op34 fused (work units (slab, ta, tb))
+// accumulating into C. A batch of one is the plain Listing 10 schedule.
+func (c *runCtx) innerSlabs(aTs []*ga.TiledArray, cT *ga.TiledArray, slabGridsAll [][]tile.Grid, widths, lOffs []int, alphaPar int) error {
+	batch := len(aTs)
+	c.rt.BeginPhase("op12-fused")
+	o2Ts := make([]*ga.TiledArray, batch)
+	for i := 0; i < batch; i++ {
+		o2T, err := c.rt.CreateTiled("O2l", slabGridsAll[i], [][2]int{{0, 1}}, c.opt.Policy)
+		if err != nil {
+			return oomWrap(FullyFusedInner, err)
+		}
+		o2Ts[i] = o2T
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for i := 0; i < batch; i++ {
+			for tk := 0; tk < c.nt; tk++ {
+				for chunk := 0; chunk < alphaPar; chunk++ {
+					ta0 := chunk * c.nt / alphaPar
+					ta1 := (chunk + 1) * c.nt / alphaPar
+					if ta0 >= ta1 {
+						continue
+					}
+					if workOwner(p.Procs(), 112, i, tk, chunk) != p.ID() {
+						continue
+					}
+					c.op12Unit(p, aTs[i], o2Ts[i], tk, 0, widths[i], ta0, ta1)
+				}
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	c.rt.BeginPhase("op34-fused")
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for i := 0; i < batch; i++ {
+			for ta := 0; ta < c.nt; ta++ {
+				for tb := 0; tb <= ta; tb++ {
+					if workOwner(p.Procs(), 134, i, ta, tb) != p.ID() {
+						continue
+					}
+					c.op34Unit(p, o2Ts[i], cT, ta, tb, widths[i], lOffs[i], true)
+				}
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	for _, o2T := range o2Ts {
+		c.rt.DestroyTiled(o2T)
+	}
+	return nil
+}
+
+// plainSlab runs the Listing 8 inner transform for one l slab: four
+// separate contractions over slab tensors, the last accumulating into C.
+func (c *runCtx) plainSlab(aT, cT *ga.TiledArray, slabGrids []tile.Grid, wl, lOff int) error {
+	// op1: O1[a, j, k, lslab] = sum_i A[ij, k, lslab] B[a, i].
+	c.rt.BeginPhase("op1")
+	o1T, err := c.rt.CreateTiled("O1l", slabGrids, nil, c.opt.Policy)
+	if err != nil {
+		return oomWrap(FullyFused, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for tj := 0; tj < c.nt; tj++ {
+			for tk := 0; tk < c.nt; tk++ {
+				if workOwner(p.Procs(), 81, tj, tk) != p.ID() {
+					continue
+				}
+				c.op1Slab(p, aT, o1T, tj, tk, wl)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+
+	// op2: O2[a>=b, k, lslab] = sum_j O1[a, j, k, lslab] B[b, j].
+	c.rt.BeginPhase("op2")
+	o2T, err := c.rt.CreateTiled("O2l", slabGrids, [][2]int{{0, 1}}, c.opt.Policy)
+	if err != nil {
+		return oomWrap(FullyFused, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for ta := 0; ta < c.nt; ta++ {
+			for tk := 0; tk < c.nt; tk++ {
+				if workOwner(p.Procs(), 82, ta, tk) != p.ID() {
+					continue
+				}
+				c.op2Slab(p, o1T, o2T, ta, tk, wl)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	c.rt.DestroyTiled(o1T)
+
+	// op3: O3[a>=b, c, lslab] = sum_k O2[ab, k, lslab] B[c, k].
+	c.rt.BeginPhase("op3")
+	o3T, err := c.rt.CreateTiled("O3l", slabGrids, [][2]int{{0, 1}}, c.opt.Policy)
+	if err != nil {
+		return oomWrap(FullyFused, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for ta := 0; ta < c.nt; ta++ {
+			for tb := 0; tb <= ta; tb++ {
+				if workOwner(p.Procs(), 83, ta, tb) != p.ID() {
+					continue
+				}
+				c.op3Slab(p, o2T, o3T, ta, tb, wl, 0)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	c.rt.DestroyTiled(o2T)
+
+	// op4: C[a>=b, c>=d] += O3[ab, c, lslab] B[d, lOff+l].
+	c.rt.BeginPhase("op4")
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for ta := 0; ta < c.nt; ta++ {
+			for tb := 0; tb <= ta; tb++ {
+				if workOwner(p.Procs(), 84, ta, tb) != p.ID() {
+					continue
+				}
+				c.op4Slab(p, o3T, cT, ta, tb, wl, lOff)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	c.rt.DestroyTiled(o3T)
+	return nil
+}
+
+// op1Slab mirrors op1Unit for a single-l-slab A tensor.
+func (c *runCtx) op1Slab(p *ga.Proc, aT, o1T *ga.TiledArray, tj, tk, wl int) {
+	wj, wk := c.g.Width(tj), c.g.Width(tk)
+	rest := wj * wk * wl
+
+	abig := c.alloc(p, int64(c.n)*int64(rest))
+	tmp := c.alloc(p, int64(c.g.T)*int64(rest))
+	row := 0
+	for ti := 0; ti < c.nt; ti++ {
+		wi := c.g.Width(ti)
+		if ti >= tj {
+			p.GetT(aT, tmp.Data, ti, tj, tk, 0)
+			if c.exec {
+				copy(abig.Data[row*rest:(row+wi)*rest], tmp.Data[:wi*rest])
+			}
+		} else {
+			p.GetT(aT, tmp.Data, tj, ti, tk, 0)
+			if c.exec {
+				wklw := wk * wl
+				for j := 0; j < wj; j++ {
+					for i := 0; i < wi; i++ {
+						src := tmp.Data[(j*wi+i)*wklw : (j*wi+i+1)*wklw]
+						dst := abig.Data[((row+i)*wj+j)*wklw : ((row+i)*wj+j+1)*wklw]
+						copy(dst, src)
+					}
+				}
+			}
+		}
+		row += wi
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(c.g.T)*int64(rest))
+	for ta := 0; ta < c.nt; ta++ {
+		wa := c.fillBRow(p, bbuf.Data, ta)
+		if c.exec {
+			zero(out.Data[:wa*rest])
+		}
+		c.gemm(p, false, false, wa, rest, c.n, bbuf.Data, c.n, abig.Data, rest, out.Data, rest)
+		p.PutT(o1T, out.Data, ta, tj, tk, 0)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(abig)
+}
+
+// op2Slab mirrors op2Unit for slab tensors.
+func (c *runCtx) op2Slab(p *ga.Proc, o1T, o2T *ga.TiledArray, ta, tk, wl int) {
+	wa, wk := c.g.Width(ta), c.g.Width(tk)
+	wkl := wk * wl
+
+	o1big := c.alloc(p, int64(wa)*int64(c.n)*int64(wkl))
+	tmp := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	col := 0
+	for tj := 0; tj < c.nt; tj++ {
+		wj := c.g.Width(tj)
+		p.GetT(o1T, tmp.Data, ta, tj, tk, 0)
+		if c.exec {
+			for a := 0; a < wa; a++ {
+				src := tmp.Data[a*wj*wkl : (a+1)*wj*wkl]
+				dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
+				copy(dst, src)
+			}
+		}
+		col += wj
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	for tb := 0; tb <= ta; tb++ {
+		wb := c.fillBRow(p, bbuf.Data, tb)
+		if c.exec {
+			zero(out.Data[:wa*wb*wkl])
+			for a := 0; a < wa; a++ {
+				c.gemm(p, false, false, wb, wkl, c.n,
+					bbuf.Data, c.n,
+					o1big.Data[a*c.n*wkl:], wkl,
+					out.Data[a*wb*wkl:], wkl)
+			}
+		} else {
+			p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
+		}
+		p.PutT(o2T, out.Data, ta, tb, tk, 0)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o1big)
+}
+
+// op3Slab computes O3[(ta,tb), c, lslab] from the O2 slab, writing the
+// result tiles at l coordinate lCoord of o3T (0 for slab tensors; the
+// outer l-tile index when o3T spans the full l range, as in op123/4).
+func (c *runCtx) op3Slab(p *ga.Proc, o2T, o3T *ga.TiledArray, ta, tb, wl, lCoord int) {
+	wa, wb := c.g.Width(ta), c.g.Width(tb)
+	wab := wa * wb
+
+	o2big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
+	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	row := 0
+	for tk := 0; tk < c.nt; tk++ {
+		wk := c.g.Width(tk)
+		p.GetT(o2T, tmp.Data, ta, tb, tk, 0)
+		if c.exec {
+			for ab := 0; ab < wab; ab++ {
+				src := tmp.Data[ab*wk*wl : (ab+1)*wk*wl]
+				dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
+				copy(dst, src)
+			}
+		}
+		row += wk
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	for tc := 0; tc < c.nt; tc++ {
+		wc := c.fillBRow(p, bbuf.Data, tc)
+		if c.exec {
+			zero(out.Data[:wab*wc*wl])
+			for ab := 0; ab < wab; ab++ {
+				c.gemm(p, false, false, wc, wl, c.n,
+					bbuf.Data, c.n,
+					o2big.Data[ab*c.n*wl:], wl,
+					out.Data[ab*wc*wl:], wl)
+			}
+		} else {
+			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wl, c.n), c.eff)
+		}
+		p.PutT(o3T, out.Data, ta, tb, tc, lCoord)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o2big)
+}
+
+// op4Slab accumulates this slab's contribution to C.
+func (c *runCtx) op4Slab(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb, wl, lOff int) {
+	wa, wb := c.g.Width(ta), c.g.Width(tb)
+	wab := wa * wb
+
+	o3big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
+	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	for tc := 0; tc < c.nt; tc++ {
+		c0, _ := c.g.Bounds(tc)
+		wc := c.g.Width(tc)
+		p.GetT(o3T, tmp.Data, ta, tb, tc, 0)
+		if c.exec {
+			for ab := 0; ab < wab; ab++ {
+				src := tmp.Data[ab*wc*wl : (ab+1)*wc*wl]
+				dst := o3big.Data[(ab*c.n+c0)*wl : (ab*c.n+c0+wc)*wl]
+				copy(dst, src)
+			}
+		}
+	}
+	p.FreeLocal(tmp)
+
+	ball := c.alloc(p, int64(c.n)*int64(wl))
+	p.Compute(int64(coeffFlops) * int64(c.n) * int64(wl))
+	if c.exec {
+		for d := 0; d < c.n; d++ {
+			for l := 0; l < wl; l++ {
+				ball.Data[d*wl+l] = c.opt.Spec.ComputeB(d, lOff+l)
+			}
+		}
+	}
+
+	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	for tc := 0; tc < c.nt; tc++ {
+		c0, _ := c.g.Bounds(tc)
+		wc := c.g.Width(tc)
+		for td := 0; td <= tc; td++ {
+			if !cT.Stored(ta, tb, tc, td) {
+				continue // spatial symmetry forbids this block
+			}
+			d0, _ := c.g.Bounds(td)
+			wd := c.g.Width(td)
+			if c.exec {
+				zero(out.Data[:wab*wc*wd])
+				for ab := 0; ab < wab; ab++ {
+					c.gemm(p, false, true, wc, wd, wl,
+						o3big.Data[(ab*c.n+c0)*wl:], wl,
+						ball.Data[d0*wl:], wl,
+						out.Data[ab*wc*wd:], wd)
+				}
+			} else {
+				p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, wl), c.eff)
+			}
+			p.AccT(cT, 1, out.Data, ta, tb, tc, td)
+		}
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(ball)
+	p.FreeLocal(o3big)
+}

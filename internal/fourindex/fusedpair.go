@@ -1,0 +1,288 @@
+package fourindex
+
+import (
+	"fourindex/internal/blas"
+	"fourindex/internal/ga"
+)
+
+// runFusedPair executes op12/34 at full problem size (Listings 2 and 9):
+// the first two contractions are fused over (k, l) — O1 lives only in a
+// process-local buffer — and the last two are fused over (a, b) — O3
+// lives only locally. Peak aggregate memory is |A| + |O2| ~ n^4/2, and
+// the global<->local traffic is the Theorem 5.2 optimal
+// |A| + 2|O2| + |C| (up to A's symmetric double reads).
+//
+// Following Section 7.3, work units are (tk, tl) tile pairs for op12 and
+// (ta, tb) for op34: all alpha/beta values for a given (k, l) are
+// computed by the same process, so O1 and O3 never touch global memory.
+func runFusedPair(opt Options) (*Result, error) {
+	c, err := newRunCtx(opt)
+	if err != nil {
+		return nil, err
+	}
+	g4 := c.grids4()
+
+	c.rt.BeginPhase("generate-A")
+	aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(Fused1234Pair, err)
+	}
+	if err := c.generateA(aT, 0); err != nil {
+		return nil, err
+	}
+
+	c.rt.BeginPhase("op12-fused")
+	o2T, err := c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(Fused1234Pair, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for tk := 0; tk < c.nt; tk++ {
+			for tl := 0; tl <= tk; tl++ {
+				if workOwner(p.Procs(), 12, tk, tl) != p.ID() {
+					continue
+				}
+				c.op12Unit(p, aT, o2T, tk, tl, c.g.Width(tl), 0, c.nt)
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	c.rt.DestroyTiled(aT)
+
+	c.rt.BeginPhase("op34-fused")
+	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
+	if err != nil {
+		return nil, oomWrap(Fused1234Pair, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) {
+		for ta := 0; ta < c.nt; ta++ {
+			for tb := 0; tb <= ta; tb++ {
+				if workOwner(p.Procs(), 34, ta, tb) != p.ID() {
+					continue
+				}
+				c.op34Unit(p, o2T, cT, ta, tb, c.n, 0, false)
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	c.rt.DestroyTiled(o2T)
+
+	packed := c.extractC(cT)
+	c.rt.DestroyTiled(cT)
+	return c.result(Fused1234Pair, Fused1234Pair, packed), nil
+}
+
+// op12Unit computes O2[ta, tb<=ta, tk, lCoord] for every pair with ta in
+// [ta0, ta1), fusing op1 and op2 through a process-local O1 buffer. It
+// serves both the full-size op12/34 schedule (lCoord is a tile of the
+// orbital grid, wl its width) and the Listing 10 inner fusion (aT and
+// o2T carry a single slab tile in the l dimension: lCoord = 0, wl = slab
+// width).
+//
+// aT is laid out (i, j, k, l) with symmetric (i, j). The alpha
+// restriction [ta0, ta1) implements Section 7.3's alpha-parallelisation:
+// splitting one (k, l) unit over several processes multiplies A reads
+// but shortens the critical path.
+func (c *runCtx) op12Unit(p *ga.Proc, aT, o2T *ga.TiledArray, tk, lCoord, wl, ta0, ta1 int) {
+	wk := c.g.Width(tk)
+	wkl := wk * wl
+
+	// Gather the full A[., ., k in tk, l window] column block once:
+	// each canonical (ti >= tj) tile is read a single time and
+	// mirrored locally, so A moves |A| elements per chunk (the
+	// Section 7.2 accounting), not 2|A|.
+	afull := c.alloc(p, int64(c.n)*int64(c.n)*int64(wkl))
+	tmp := c.alloc(p, int64(c.g.T)*int64(c.g.T)*int64(wkl))
+	for ti := 0; ti < c.nt; ti++ {
+		i0, _ := c.g.Bounds(ti)
+		wi := c.g.Width(ti)
+		for tj := 0; tj <= ti; tj++ {
+			j0, _ := c.g.Bounds(tj)
+			wj := c.g.Width(tj)
+			p.GetT(aT, tmp.Data, ti, tj, tk, lCoord)
+			if !c.exec {
+				continue
+			}
+			for i := 0; i < wi; i++ {
+				for j := 0; j < wj; j++ {
+					src := tmp.Data[(i*wj+j)*wkl : (i*wj+j+1)*wkl]
+					dst := afull.Data[((i0+i)*c.n+(j0+j))*wkl : ((i0+i)*c.n+(j0+j)+1)*wkl]
+					copy(dst, src)
+					if ti != tj {
+						mir := afull.Data[((j0+j)*c.n+(i0+i))*wkl : ((j0+j)*c.n+(i0+i)+1)*wkl]
+						copy(mir, src)
+					}
+				}
+			}
+		}
+	}
+	p.FreeLocal(tmp)
+
+	// op1: O1[a, j, kl] = B[a, i] . A[i, (j, kl)] — one GEMM over the
+	// whole (j, kl) column space per a tile.
+	a0, _ := c.g.Bounds(ta0)
+	_, a1 := c.g.Bounds(ta1 - 1)
+	na := a1 - a0
+	o1loc := c.alloc(p, int64(na)*int64(c.n)*int64(wkl))
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	rest := c.n * wkl
+	for ta := ta0; ta < ta1; ta++ {
+		wa := c.fillBRow(p, bbuf.Data, ta)
+		taOff, _ := c.g.Bounds(ta)
+		if c.exec {
+			c.gemm(p, false, false, wa, rest, c.n,
+				bbuf.Data, c.n,
+				afull.Data, rest,
+				o1loc.Data[(taOff-a0)*rest:], rest)
+		} else {
+			c.gemm(p, false, false, wa, rest, c.n, nil, c.n, nil, rest, nil, rest)
+		}
+	}
+	p.FreeLocal(afull)
+
+	// op2: O2[a>=b, kl] = sum_j O1[a, j, kl] B[b, j].
+	out := c.alloc(p, int64(c.g.T)*int64(c.g.T)*int64(wkl))
+	for ta := ta0; ta < ta1; ta++ {
+		wa := c.g.Width(ta)
+		taOff, _ := c.g.Bounds(ta)
+		for tb := 0; tb <= ta; tb++ {
+			wb := c.fillBRow(p, bbuf.Data, tb)
+			if c.exec {
+				zero(out.Data[:wa*wb*wkl])
+				for a := 0; a < wa; a++ {
+					c.gemm(p, false, false, wb, wkl, c.n,
+						bbuf.Data, c.n,
+						o1loc.Data[(taOff-a0+a)*c.n*wkl:], wkl,
+						out.Data[a*wb*wkl:], wkl)
+				}
+			} else {
+				p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
+			}
+			p.PutT(o2T, out.Data, ta, tb, tk, lCoord)
+		}
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o1loc)
+}
+
+// op34Unit computes the C[(ta, tb), c>=d] tiles from O2[(ta, tb), k, l],
+// fusing op3 and op4 through a process-local O3 buffer.
+//
+// When slab is false, o2T spans all canonical (k >= l) tiles, nl = n,
+// lOff = 0, and results overwrite C with PutT. When slab is true, o2T
+// carries a single l slab tile (coordinate 0) of width nl at absolute
+// offset lOff, and the partial contribution of this outer iteration is
+// accumulated into C with AccT.
+func (c *runCtx) op34Unit(p *ga.Proc, o2T, cT *ga.TiledArray, ta, tb, nl, lOff int, slab bool) {
+	wa, wb := c.g.Width(ta), c.g.Width(tb)
+	wab := wa * wb
+
+	// o2loc[(a,b)][k][l]: the full k x l window per (a, b).
+	o2loc := c.alloc(p, int64(wab)*int64(c.n)*int64(nl))
+	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(max(c.g.T, nl)))
+	if slab {
+		row := 0
+		for tk := 0; tk < c.nt; tk++ {
+			wk := c.g.Width(tk)
+			p.GetT(o2T, tmp.Data, ta, tb, tk, 0)
+			if c.exec { // tile (a, b, k, l-slab)
+				for ab := 0; ab < wab; ab++ {
+					src := tmp.Data[ab*wk*nl : (ab+1)*wk*nl]
+					dst := o2loc.Data[(ab*c.n+row)*nl : (ab*c.n+row+wk)*nl]
+					copy(dst, src)
+				}
+			}
+			row += wk
+		}
+	} else {
+		// Canonical (tk >= tl) tiles; fill (k,l) and mirror (l,k).
+		for tk := 0; tk < c.nt; tk++ {
+			k0, _ := c.g.Bounds(tk)
+			wk := c.g.Width(tk)
+			for tl := 0; tl <= tk; tl++ {
+				l0, _ := c.g.Bounds(tl)
+				wl := c.g.Width(tl)
+				p.GetT(o2T, tmp.Data, ta, tb, tk, tl)
+				if !c.exec {
+					continue
+				}
+				for ab := 0; ab < wab; ab++ {
+					base := ab * c.n * c.n
+					for k := 0; k < wk; k++ {
+						for l := 0; l < wl; l++ {
+							v := tmp.Data[(ab*wk+k)*wl+l]
+							o2loc.Data[base+(k0+k)*c.n+(l0+l)] = v
+							o2loc.Data[base+(l0+l)*c.n+(k0+k)] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	p.FreeLocal(tmp)
+
+	// op3: O3[(a,b), c, l] = B[c, k] . O2[(a,b), k, l].
+	o3loc := c.alloc(p, int64(wab)*int64(c.n)*int64(nl))
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	for tc := 0; tc < c.nt; tc++ {
+		wc := c.fillBRow(p, bbuf.Data, tc)
+		c0, _ := c.g.Bounds(tc)
+		if c.exec {
+			for ab := 0; ab < wab; ab++ {
+				c.gemm(p, false, false, wc, nl, c.n,
+					bbuf.Data, c.n,
+					o2loc.Data[ab*c.n*nl:], nl,
+					o3loc.Data[(ab*c.n+c0)*nl:], nl)
+			}
+		} else {
+			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, nl, c.n), c.eff)
+		}
+	}
+	p.FreeLocal(o2loc)
+
+	// op4: C[(a,b), c>=d] (+)= O3[(a,b), c, l] . B[d, lOff+l]^T.
+	ball := c.alloc(p, int64(c.n)*int64(nl))
+	p.Compute(int64(coeffFlops) * int64(c.n) * int64(nl))
+	if c.exec {
+		for d := 0; d < c.n; d++ {
+			for l := 0; l < nl; l++ {
+				ball.Data[d*nl+l] = c.opt.Spec.ComputeB(d, lOff+l)
+			}
+		}
+	}
+	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	for tc := 0; tc < c.nt; tc++ {
+		c0, _ := c.g.Bounds(tc)
+		wc := c.g.Width(tc)
+		for td := 0; td <= tc; td++ {
+			if !cT.Stored(ta, tb, tc, td) {
+				continue // spatial symmetry forbids this block
+			}
+			d0, _ := c.g.Bounds(td)
+			wd := c.g.Width(td)
+			if c.exec {
+				zero(out.Data[:wab*wc*wd])
+				for ab := 0; ab < wab; ab++ {
+					c.gemm(p, false, true, wc, wd, nl,
+						o3loc.Data[(ab*c.n+c0)*nl:], nl,
+						ball.Data[d0*nl:], nl,
+						out.Data[ab*wc*wd:], wd)
+				}
+			} else {
+				p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, nl), c.eff)
+			}
+			if slab {
+				p.AccT(cT, 1, out.Data, ta, tb, tc, td)
+			} else {
+				p.PutT(cT, out.Data, ta, tb, tc, td)
+			}
+		}
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(ball)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o3loc)
+}

@@ -1,0 +1,282 @@
+package fourindex
+
+import (
+	"fmt"
+
+	"fourindex/internal/blas"
+	"fourindex/internal/ga"
+	"fourindex/internal/sym"
+	"fourindex/internal/tile"
+)
+
+// runCtx carries the shared state of one transform run.
+type runCtx struct {
+	opt  Options
+	n    int
+	g    tile.Grid // orbital-dimension data-tile grid
+	nt   int       // tiles per orbital dimension
+	gl   tile.Grid // fused outer-loop grid over l
+	rt   *ga.Runtime
+	exec bool
+	// eff is the contraction-kernel efficiency used for simulated
+	// time (1.0 for this paper's batched-GEMM implementations; lower
+	// for the NWChem baseline whose Listing 4 structure issues one
+	// DGEMM per row).
+	eff float64
+}
+
+func newRunCtx(opt Options) (*runCtx, error) {
+	rt, err := ga.NewRuntime(ga.Config{
+		Procs:          opt.Procs,
+		Mode:           opt.Mode,
+		Run:            opt.Run,
+		GlobalMemBytes: opt.GlobalMemBytes,
+		LocalMemBytes:  opt.LocalMemBytes,
+		Strict:         opt.Strict,
+		AllowSpill:     opt.AllowSpill,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := tile.NewGrid(opt.Spec.N, opt.TileN)
+	return &runCtx{
+		opt:  opt,
+		n:    opt.Spec.N,
+		g:    g,
+		nt:   g.NumTiles(),
+		gl:   tile.NewGrid(opt.Spec.N, opt.TileL),
+		rt:   rt,
+		exec: opt.Mode == ga.Execute,
+		eff:  1,
+	}, nil
+}
+
+// grids4 returns four copies of the orbital grid.
+func (c *runCtx) grids4() []tile.Grid { return []tile.Grid{c.g, c.g, c.g, c.g} }
+
+// workOwner deterministically assigns a work unit identified by coords to
+// a process (FNV-1a over the coordinates).
+func workOwner(procs int, coords ...int) int {
+	h := uint64(1469598103934665603)
+	for _, c := range coords {
+		h ^= uint64(uint32(c))
+		h *= 1099511628211
+	}
+	return int(h % uint64(procs))
+}
+
+// alloc returns a local buffer of the given size, nil-backed in Cost
+// mode. FreeLocal must be called with the returned Buffer.
+func (c *runCtx) alloc(p *ga.Proc, words int64) ga.Buffer {
+	return p.MustAllocLocal(words)
+}
+
+// fillBRow fills buf (row-major wa x n) with B[a, i] for a in tile ta and
+// ALL i, charging generation flops.
+func (c *runCtx) fillBRow(p *ga.Proc, buf []float64, ta int) (wa int) {
+	a0, a1 := c.g.Bounds(ta)
+	wa = a1 - a0
+	p.Compute(int64(coeffFlops) * int64(wa) * int64(c.n))
+	if !c.exec {
+		return wa
+	}
+	for a := a0; a < a1; a++ {
+		for i := 0; i < c.n; i++ {
+			buf[(a-a0)*c.n+i] = c.opt.Spec.ComputeB(a, i)
+		}
+	}
+	return wa
+}
+
+// generateA fills a distributed A tensor (dims i,j,k,l; symmetric pairs
+// (0,1) and (2,3); the l dimension may be a slab grid) with on-the-fly
+// integrals: each process fills and Puts the tiles it owns. lOff shifts
+// the l tile indices into absolute orbital indices (used by per-slab A
+// tensors whose l grid covers [lOff, lOff+wl)).
+func (c *runCtx) generateA(aT *ga.TiledArray, lOff int) error {
+	return c.rt.Parallel(func(p *ga.Proc) {
+		var coordsCopy [4]int
+		aT.ForEachTile(func(coords []int) {
+			copy(coordsCopy[:], coords)
+			if aT.Owner(coordsCopy[:]...) != p.ID() {
+				return
+			}
+			words := int64(aT.TileWords(coordsCopy[:]))
+			buf := c.alloc(p, words)
+			p.Compute(integralFlops * words)
+			if c.exec {
+				c.fillATile(aT, buf.Data, coordsCopy[:], lOff)
+			}
+			p.PutT(aT, buf.Data, coordsCopy[:]...)
+			p.FreeLocal(buf)
+		})
+	})
+}
+
+// generateABatch fills several slab tensors in one parallel region so
+// that integral generation for concurrently processed l slabs overlaps.
+func (c *runCtx) generateABatch(aTs []*ga.TiledArray, lOffs []int) error {
+	return c.rt.Parallel(func(p *ga.Proc) {
+		var coordsCopy [4]int
+		for i, aT := range aTs {
+			lOff := lOffs[i]
+			aT.ForEachTile(func(coords []int) {
+				copy(coordsCopy[:], coords)
+				if aT.Owner(coordsCopy[:]...) != p.ID() {
+					return
+				}
+				words := int64(aT.TileWords(coordsCopy[:]))
+				buf := c.alloc(p, words)
+				p.Compute(integralFlops * words)
+				if c.exec {
+					c.fillATile(aT, buf.Data, coordsCopy[:], lOff)
+				}
+				p.PutT(aT, buf.Data, coordsCopy[:]...)
+				p.FreeLocal(buf)
+			})
+		}
+	})
+}
+
+// fillATile evaluates integrals for one tile (Execute mode).
+func (c *runCtx) fillATile(aT *ga.TiledArray, buf []float64, coords []int, lOff int) {
+	i0, i1 := aT.Grids[0].Bounds(coords[0])
+	j0, j1 := aT.Grids[1].Bounds(coords[1])
+	k0, k1 := aT.Grids[2].Bounds(coords[2])
+	l0, l1 := aT.Grids[3].Bounds(coords[3])
+	pos := 0
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			for k := k0; k < k1; k++ {
+				for l := l0; l < l1; l++ {
+					buf[pos] = c.opt.Spec.ComputeA(i, j, k, lOff+l)
+					pos++
+				}
+			}
+		}
+	}
+}
+
+// extractC reads a distributed C tensor (dims a,b,c,d with symmetric
+// pairs (0,1),(2,3)) into a packed container. Execute mode only.
+func (c *runCtx) extractC(cT *ga.TiledArray) *sym.PackedC {
+	if !c.exec {
+		return nil
+	}
+	out := sym.NewPackedC(c.n)
+	buf := make([]float64, c.g.T*c.g.T*c.g.T*c.g.T)
+	var cc [4]int
+	cT.ForEachTile(func(coords []int) {
+		copy(cc[:], coords)
+		cT.ReadTileInto(buf, cc[:]...)
+		a0, a1 := c.g.Bounds(cc[0])
+		b0, b1 := c.g.Bounds(cc[1])
+		g0, g1 := c.g.Bounds(cc[2])
+		d0, d1 := c.g.Bounds(cc[3])
+		wb, wg, wd := b1-b0, g1-g0, d1-d0
+		for a := a0; a < a1; a++ {
+			for b := b0; b < b1; b++ {
+				if b > a {
+					continue
+				}
+				for g := g0; g < g1; g++ {
+					for d := d0; d < d1; d++ {
+						if d > g {
+							continue
+						}
+						v := buf[(((a-a0)*wb+(b-b0))*wg+(g-g0))*wd+(d-d0)]
+						out.Add(v, a, b, g, d)
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// result assembles the Result from the runtime's counters.
+func (c *runCtx) result(scheme, chosen Scheme, packed *sym.PackedC) *Result {
+	return &Result{
+		Scheme:          scheme,
+		C:               packed,
+		ElapsedSeconds:  c.rt.Elapsed(),
+		Totals:          c.rt.Totals(),
+		CommVolume:      c.rt.CommVolume(),
+		IntraVolume:     c.rt.IntraVolume(),
+		DiskVolume:      c.rt.DiskVolume(),
+		PeakGlobalBytes: c.rt.PeakGlobalBytes(),
+		ChosenScheme:    chosen,
+		Phases:          c.rt.Phases(),
+		IdleFraction:    c.rt.IdleFraction(),
+	}
+}
+
+// cSparsity returns the spatial-symmetry tile filter for the output
+// tensor C, or nil when the spec carries no spatial symmetry. A tile is
+// stored iff some (a, b, c, d) combination of the irreps present in its
+// index ranges multiplies to the totally symmetric irrep (XOR zero in the
+// abelian Z2^k model). With irrep-blocked orbital ordering this drops a
+// fraction ~(1 - 1/s) of C's tiles (Table 1).
+func (c *runCtx) cSparsity() func(coords []int) bool {
+	sp := c.opt.Spec
+	if sp.S <= 1 {
+		return nil
+	}
+	// Irreps present in each orbital tile (blocked ordering makes
+	// these short contiguous runs).
+	irreps := make([][]int, c.nt)
+	for t := 0; t < c.nt; t++ {
+		lo, hi := c.g.Bounds(t)
+		var set []int
+		last := -1
+		for p := lo; p < hi; p++ {
+			if ir := sp.Irrep(p); ir != last {
+				set = append(set, ir)
+				last = ir
+			}
+		}
+		irreps[t] = set
+	}
+	return func(coords []int) bool {
+		for _, x := range irreps[coords[0]] {
+			for _, y := range irreps[coords[1]] {
+				for _, z := range irreps[coords[2]] {
+					for _, w := range irreps[coords[3]] {
+						if x^y^z^w == 0 {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	}
+}
+
+// sl offsets into a local buffer, tolerating the nil backing of Cost
+// mode (where only shapes matter).
+func sl(b ga.Buffer, off int) []float64 {
+	if b.Data == nil {
+		return nil
+	}
+	return b.Data[off:]
+}
+
+// gemmInto wraps blas.Dgemm for Execute mode and charges flops in both
+// modes: out(mxn) += a(mxk) . b(kxn), row-major with explicit strides.
+func (c *runCtx) gemm(p *ga.Proc, transA, transB bool, m, n, k int, a []float64, lda int, b []float64, ldb int, out []float64, ldc int) {
+	p.ComputeEff(blas.GemmFlops(m, n, k), c.eff)
+	if !c.exec {
+		return
+	}
+	blas.Dgemm(transA, transB, m, n, k, 1, a, lda, b, ldb, 1, out, ldc)
+}
+
+// checkOOM converts a global-memory allocation failure into a helpful
+// error mentioning the scheme.
+func oomWrap(scheme Scheme, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("fourindex: %v failed: %w", scheme, err)
+}

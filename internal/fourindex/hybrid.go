@@ -1,0 +1,76 @@
+package fourindex
+
+import (
+	"errors"
+	"fmt"
+
+	"fourindex/internal/ga"
+	"fourindex/internal/lb"
+)
+
+// runHybrid implements the Section 7.4 fuse/unfuse driver: when the
+// unfused intermediates fit in the configured aggregate memory it runs
+// the unfused schedule (about 1.5x less arithmetic and better load
+// balance); otherwise it runs the fully fused schedule with inner
+// op12/34 fusion (Listing 10), shrinking the fused-loop tile until the
+// footprint fits. With no memory cap it always runs unfused.
+//
+// The lb.Advise decision is made on exact packed sizes; block-triangular
+// tile storage carries a small overhead, so a scheme that was advised to
+// fit may still hit the capacity. The driver therefore falls back on
+// ErrGlobalOOM: unfused -> fused, fused -> halved TileL, down to 1.
+func runHybrid(opt Options) (*Result, error) {
+	chosen := Unfused
+	tileL := opt.TileL
+	if opt.GlobalMemBytes > 0 {
+		adv := lb.Advise(opt.Spec.N, opt.Spec.S, opt.GlobalMemBytes)
+		switch adv.Scheme {
+		case "unfused":
+			chosen = Unfused
+		case "fused":
+			chosen = FullyFusedInner
+			if adv.RequiredTileL > 0 && (tileL <= 0 || tileL > adv.RequiredTileL) {
+				tileL = adv.RequiredTileL
+			}
+		default:
+			return nil, fmt.Errorf("fourindex: hybrid: %s (n=%d, mem=%d B)",
+				adv.Reason, opt.Spec.N, opt.GlobalMemBytes)
+		}
+	}
+
+	for {
+		o := opt
+		o.TileL = tileL
+		var (
+			res *Result
+			err error
+		)
+		if chosen == Unfused {
+			res, err = runUnfused(o)
+		} else {
+			res, err = runFullyFused(o, true)
+		}
+		if err == nil {
+			res.Scheme = Hybrid
+			res.ChosenScheme = chosen
+			return res, nil
+		}
+		if !errors.Is(err, ga.ErrGlobalOOM) {
+			return nil, err
+		}
+		// Out of memory: tighten.
+		if chosen == Unfused {
+			chosen = FullyFusedInner
+			continue
+		}
+		cur := tileL
+		if cur <= 0 {
+			cur = opt.TileN
+		}
+		if cur <= 1 {
+			return nil, fmt.Errorf("fourindex: hybrid: no schedule fits in %d B (Theorem 6.2: S below |C| plus working slabs): %w",
+				opt.GlobalMemBytes, err)
+		}
+		tileL = cur / 2
+	}
+}

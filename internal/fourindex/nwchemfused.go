@@ -1,0 +1,343 @@
+package fourindex
+
+import (
+	"fourindex/internal/blas"
+	"fourindex/internal/ga"
+	"fourindex/internal/tile"
+)
+
+// runNWChemFused models NWChem's production fused 12-34 variant: the
+// memory profile of Listing 2 (peak |A| + |O2| ~ n^4/2) but with
+// Listing 4's mapping-agnostic owner-computes structure — the O1 and O3
+// chunks round-trip through global memory and work is distributed
+// without the Section 7.3 communication-avoiding mapping. It also
+// parallelises only within one (k, l) chunk at a time, which limits
+// parallelism exactly as Section 7.3 describes.
+//
+// This is the "NWChem Best" baseline of the evaluation whenever the
+// unfused transform does not fit: correct, memory-lean, but moving
+// ~2(|O1| + |O3|) more data than the op12/34 mapping of Listing 9 and
+// with poorer load balance at scale.
+// nwchemKernelEfficiency is the sustained fraction of tuned-GEMM
+// throughput attributed to the baseline's per-row DGEMM structure
+// (Listing 4: one DGEMM call per i inside the alpha loop).
+const nwchemKernelEfficiency = 0.35
+
+func runNWChemFused(opt Options) (*Result, error) {
+	c, err := newRunCtx(opt)
+	if err != nil {
+		return nil, err
+	}
+	c.eff = nwchemKernelEfficiency
+	g4 := c.grids4()
+
+	c.rt.BeginPhase("generate-A")
+	aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(NWChemFused, err)
+	}
+	if err := c.generateA(aT, 0); err != nil {
+		return nil, err
+	}
+
+	c.rt.BeginPhase("op12-chunks")
+	o2T, err := c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(NWChemFused, err)
+	}
+
+	// Fused op12: one (tk, tl) chunk at a time; the O1 chunk is a
+	// distributed array, written by op1 workers and read back by op2
+	// workers.
+	for tk := 0; tk < c.nt; tk++ {
+		for tl := 0; tl <= tk; tl++ {
+			wk, wl := c.g.Width(tk), c.g.Width(tl)
+			chunkGrids := []tile.Grid{c.g, c.g, tile.NewGrid(wk, wk), tile.NewGrid(wl, wl)}
+			o1chunk, err := c.rt.CreateTiled("O1chunk", chunkGrids, nil, opt.Policy)
+			if err != nil {
+				return nil, oomWrap(NWChemFused, err)
+			}
+			if err := c.rt.Parallel(func(p *ga.Proc) {
+				for tj := 0; tj < c.nt; tj++ {
+					if workOwner(p.Procs(), 201, tj, tk, tl) != p.ID() {
+						continue
+					}
+					c.op1Chunk(p, aT, o1chunk, tj, tk, tl)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			if err := c.rt.Parallel(func(p *ga.Proc) {
+				for ta := 0; ta < c.nt; ta++ {
+					if workOwner(p.Procs(), 202, ta, tk, tl) != p.ID() {
+						continue
+					}
+					c.op2Chunk(p, o1chunk, o2T, ta, tk, tl)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			c.rt.DestroyTiled(o1chunk)
+		}
+	}
+	c.rt.DestroyTiled(aT)
+
+	c.rt.BeginPhase("op34-chunks")
+	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
+	if err != nil {
+		return nil, oomWrap(NWChemFused, err)
+	}
+
+	// Fused op34: one (ta, tb) chunk at a time with a distributed O3
+	// chunk.
+	for ta := 0; ta < c.nt; ta++ {
+		for tb := 0; tb <= ta; tb++ {
+			wa, wb := c.g.Width(ta), c.g.Width(tb)
+			chunkGrids := []tile.Grid{tile.NewGrid(wa, wa), tile.NewGrid(wb, wb), c.g, c.g}
+			o3chunk, err := c.rt.CreateTiled("O3chunk", chunkGrids, nil, opt.Policy)
+			if err != nil {
+				return nil, oomWrap(NWChemFused, err)
+			}
+			if err := c.rt.Parallel(func(p *ga.Proc) {
+				for tl := 0; tl < c.nt; tl++ {
+					if workOwner(p.Procs(), 203, ta, tb, tl) != p.ID() {
+						continue
+					}
+					c.op3Chunk(p, o2T, o3chunk, ta, tb, tl)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			if err := c.rt.Parallel(func(p *ga.Proc) {
+				for tc := 0; tc < c.nt; tc++ {
+					if workOwner(p.Procs(), 204, ta, tb, tc) != p.ID() {
+						continue
+					}
+					c.op4Chunk(p, o3chunk, cT, ta, tb, tc)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			c.rt.DestroyTiled(o3chunk)
+		}
+	}
+	c.rt.DestroyTiled(o2T)
+
+	packed := c.extractC(cT)
+	c.rt.DestroyTiled(cT)
+	return c.result(NWChemFused, NWChemFused, packed), nil
+}
+
+// op1Chunk computes O1[all a, tj, chunk (tk, tl)] into the chunk array.
+func (c *runCtx) op1Chunk(p *ga.Proc, aT, o1chunk *ga.TiledArray, tj, tk, tl int) {
+	wj, wk, wl := c.g.Width(tj), c.g.Width(tk), c.g.Width(tl)
+	rest := wj * wk * wl
+
+	abig := c.alloc(p, int64(c.n)*int64(rest))
+	tmp := c.alloc(p, int64(c.g.T)*int64(rest))
+	row := 0
+	for ti := 0; ti < c.nt; ti++ {
+		wi := c.g.Width(ti)
+		if ti >= tj {
+			p.GetT(aT, tmp.Data, ti, tj, tk, tl)
+			if c.exec {
+				copy(abig.Data[row*rest:(row+wi)*rest], tmp.Data[:wi*rest])
+			}
+		} else {
+			p.GetT(aT, tmp.Data, tj, ti, tk, tl)
+			if c.exec {
+				wkl := wk * wl
+				for j := 0; j < wj; j++ {
+					for i := 0; i < wi; i++ {
+						src := tmp.Data[(j*wi+i)*wkl : (j*wi+i+1)*wkl]
+						dst := abig.Data[((row+i)*wj+j)*wkl : ((row+i)*wj+j+1)*wkl]
+						copy(dst, src)
+					}
+				}
+			}
+		}
+		row += wi
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(c.g.T)*int64(rest))
+	for ta := 0; ta < c.nt; ta++ {
+		wa := c.fillBRow(p, bbuf.Data, ta)
+		if c.exec {
+			zero(out.Data[:wa*rest])
+		}
+		c.gemm(p, false, false, wa, rest, c.n, bbuf.Data, c.n, abig.Data, rest, out.Data, rest)
+		p.PutT(o1chunk, out.Data, ta, tj, 0, 0)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(abig)
+}
+
+// op2Chunk reads the O1 chunk back from global memory and produces the
+// O2 tiles of this (tk, tl) chunk for one ta.
+func (c *runCtx) op2Chunk(p *ga.Proc, o1chunk, o2T *ga.TiledArray, ta, tk, tl int) {
+	wa, wk, wl := c.g.Width(ta), c.g.Width(tk), c.g.Width(tl)
+	wkl := wk * wl
+
+	o1big := c.alloc(p, int64(wa)*int64(c.n)*int64(wkl))
+	tmp := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	col := 0
+	for tj := 0; tj < c.nt; tj++ {
+		wj := c.g.Width(tj)
+		p.GetT(o1chunk, tmp.Data, ta, tj, 0, 0)
+		if c.exec {
+			for a := 0; a < wa; a++ {
+				src := tmp.Data[a*wj*wkl : (a+1)*wj*wkl]
+				dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
+				copy(dst, src)
+			}
+		}
+		col += wj
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	for tb := 0; tb <= ta; tb++ {
+		wb := c.fillBRow(p, bbuf.Data, tb)
+		if c.exec {
+			zero(out.Data[:wa*wb*wkl])
+			for a := 0; a < wa; a++ {
+				c.gemm(p, false, false, wb, wkl, c.n,
+					bbuf.Data, c.n,
+					o1big.Data[a*c.n*wkl:], wkl,
+					out.Data[a*wb*wkl:], wkl)
+			}
+		} else {
+			p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
+		}
+		p.PutT(o2T, out.Data, ta, tb, tk, tl)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o1big)
+}
+
+// op3Chunk computes O3[(ta,tb) chunk, all c, tl] into the chunk array.
+func (c *runCtx) op3Chunk(p *ga.Proc, o2T, o3chunk *ga.TiledArray, ta, tb, tl int) {
+	wa, wb, wl := c.g.Width(ta), c.g.Width(tb), c.g.Width(tl)
+	wab := wa * wb
+
+	o2big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
+	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	row := 0
+	for tk := 0; tk < c.nt; tk++ {
+		wk := c.g.Width(tk)
+		if tk >= tl {
+			p.GetT(o2T, tmp.Data, ta, tb, tk, tl)
+			if c.exec {
+				for ab := 0; ab < wab; ab++ {
+					src := tmp.Data[ab*wk*wl : (ab+1)*wk*wl]
+					dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
+					copy(dst, src)
+				}
+			}
+		} else {
+			p.GetT(o2T, tmp.Data, ta, tb, tl, tk)
+			if c.exec {
+				for ab := 0; ab < wab; ab++ {
+					for l := 0; l < wl; l++ {
+						for k := 0; k < wk; k++ {
+							o2big.Data[(ab*c.n+row+k)*wl+l] = tmp.Data[(ab*wl+l)*wk+k]
+						}
+					}
+				}
+			}
+		}
+		row += wk
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	for tc := 0; tc < c.nt; tc++ {
+		wc := c.fillBRow(p, bbuf.Data, tc)
+		if c.exec {
+			zero(out.Data[:wab*wc*wl])
+			for ab := 0; ab < wab; ab++ {
+				c.gemm(p, false, false, wc, wl, c.n,
+					bbuf.Data, c.n,
+					o2big.Data[ab*c.n*wl:], wl,
+					out.Data[ab*wc*wl:], wl)
+			}
+		} else {
+			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wl, c.n), c.eff)
+		}
+		// Chunk layout (a, b, c, l): one tile per (tc, tl).
+		if c.exec {
+			// Reorder (ab, c, l) -> (a, b, c, l) is identity here
+			// because ab is already (a, b) row-major.
+			p.PutT(o3chunk, out.Data, 0, 0, tc, tl)
+		} else {
+			p.PutT(o3chunk, nil, 0, 0, tc, tl)
+		}
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o2big)
+}
+
+// op4Chunk reads the O3 chunk back and produces C[(ta,tb), tc, td<=tc].
+func (c *runCtx) op4Chunk(p *ga.Proc, o3chunk, cT *ga.TiledArray, ta, tb, tc int) {
+	wa, wb, wc := c.g.Width(ta), c.g.Width(tb), c.g.Width(tc)
+	wab := wa * wb
+
+	// o3big[(a,b)][c in tc][l] over all l.
+	o3big := c.alloc(p, int64(wab)*int64(wc)*int64(c.n))
+	tmp := c.alloc(p, int64(wab)*int64(wc)*int64(c.g.T))
+	col := 0
+	for tl := 0; tl < c.nt; tl++ {
+		wl := c.g.Width(tl)
+		p.GetT(o3chunk, tmp.Data, 0, 0, tc, tl)
+		if c.exec { // chunk tile (a, b, c, l)
+			for abc := 0; abc < wab*wc; abc++ {
+				src := tmp.Data[abc*wl : (abc+1)*wl]
+				dst := o3big.Data[abc*c.n+col:]
+				copy(dst[:wl], src)
+			}
+		}
+		col += wl
+	}
+	p.FreeLocal(tmp)
+
+	ball := c.alloc(p, int64(c.n)*int64(c.n))
+	p.Compute(int64(coeffFlops) * int64(c.n) * int64(c.n))
+	if c.exec {
+		for d := 0; d < c.n; d++ {
+			for l := 0; l < c.n; l++ {
+				ball.Data[d*c.n+l] = c.opt.Spec.ComputeB(d, l)
+			}
+		}
+	}
+
+	out := c.alloc(p, int64(wab)*int64(wc)*int64(c.g.T))
+	for td := 0; td <= tc; td++ {
+		if !cT.Stored(ta, tb, tc, td) {
+			continue // spatial symmetry forbids this block
+		}
+		d0, _ := c.g.Bounds(td)
+		wd := c.g.Width(td)
+		if c.exec {
+			zero(out.Data[:wab*wc*wd])
+			for ab := 0; ab < wab; ab++ {
+				c.gemm(p, false, true, wc, wd, c.n,
+					o3big.Data[ab*wc*c.n:], c.n,
+					ball.Data[d0*c.n:], c.n,
+					out.Data[ab*wc*wd:], wd)
+			}
+		} else {
+			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, c.n), c.eff)
+		}
+		p.PutT(cT, out.Data, ta, tb, tc, td)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(ball)
+	p.FreeLocal(o3big)
+}

@@ -1,0 +1,131 @@
+package fourindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/ga"
+	"fourindex/internal/sym"
+	"fourindex/internal/tile"
+)
+
+// Property: every scheme matches the packed reference for random small
+// configurations (extent, spatial symmetry, process count, tilings,
+// distribution policy, alpha-parallelisation).
+func TestQuickSchemeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(7) // 4..10
+		sOpts := []int{1, 1, 2, 4}
+		s := sOpts[rng.Intn(len(sOpts))]
+		spec := chem.MustSpec(n, s, uint64(seed)+1)
+		want := ReferencePacked(spec)
+		opt := Options{
+			Spec:     spec,
+			Procs:    1 + rng.Intn(4),
+			Mode:     ga.Execute,
+			TileN:    1 + rng.Intn(n),
+			TileL:    1 + rng.Intn(n),
+			AlphaPar: 1 + rng.Intn(3),
+			Policy:   tile.Policy(rng.Intn(3)),
+		}
+		scheme := allSchemes[rng.Intn(len(allSchemes))]
+		res, err := Run(scheme, opt)
+		if err != nil {
+			t.Logf("seed %d: %v on %+v: %v", seed, scheme, opt, err)
+			return false
+		}
+		if d := sym.MaxAbsDiffC(res.C, want); d > 1e-9 {
+			t.Logf("seed %d: %v diff %v (n=%d s=%d tileN=%d tileL=%d procs=%d pol=%v)",
+				seed, scheme, d, n, s, opt.TileN, opt.TileL, opt.Procs, opt.Policy)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NWChemFused (not in allSchemes' hot path above dominates
+// runtime) matches the reference across random configurations too.
+func TestQuickNWChemFusedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		spec := chem.MustSpec(n, 1, uint64(seed)+7)
+		want := ReferencePacked(spec)
+		res, err := Run(NWChemFused, Options{
+			Spec:  spec,
+			Procs: 1 + rng.Intn(3),
+			Mode:  ga.Execute,
+			TileN: 1 + rng.Intn(n),
+		})
+		if err != nil {
+			return false
+		}
+		return sym.MaxAbsDiffC(res.C, want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost-mode accounting is invariant to the process count
+// (total flops and total data volume depend on the schedule, not on how
+// work is spread).
+func TestQuickAccountingProcInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		spec := chem.MustSpec(n, 1, 3)
+		scheme := allSchemes[rng.Intn(len(allSchemes))]
+		run := func(procs int) (int64, int64) {
+			res, err := Run(scheme, Options{
+				Spec: spec, Procs: procs, Mode: ga.Cost, TileN: 4, TileL: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Totals.Flops, res.CommVolume + res.IntraVolume
+		}
+		f1, v1 := run(1 + rng.Intn(3))
+		f2, v2 := run(4 + rng.Intn(4))
+		return f1 == f2 && v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: peak memory never exceeds a configured cap for the fused
+// schedule (the cap is what the hybrid's guarantee rests on).
+func TestQuickFusedRespectsCap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(12)
+		spec := chem.MustSpec(n, 1, 5)
+		// A cap that certainly admits the fused schedule.
+		cap := int64(n)*int64(n)*int64(n)*int64(n)*8 + 1<<20
+		res, err := Run(FullyFusedInner, Options{
+			Spec: spec, Procs: 2, Mode: ga.Cost,
+			TileN: 2 + rng.Intn(6), TileL: 1 + rng.Intn(4),
+			GlobalMemBytes: cap,
+		})
+		if err != nil {
+			return false
+		}
+		return res.PeakGlobalBytes <= cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package fourindex
+
+import (
+	"fourindex/internal/chem"
+	"fourindex/internal/sym"
+	"fourindex/internal/tensor"
+)
+
+// ReferenceNaive computes C by the direct O(n^8) quadruple transform of
+// Equation 1. Only viable for n <= ~8; it is the ground truth everything
+// else is verified against.
+func ReferenceNaive(sp chem.Spec) *sym.PackedC {
+	n := sp.N
+	b := sp.BMatrix()
+	c := sym.NewPackedC(n)
+	for a := 0; a < n; a++ {
+		for bb := 0; bb <= a; bb++ {
+			for g := 0; g < n; g++ {
+				for d := 0; d <= g; d++ {
+					var s float64
+					for i := 0; i < n; i++ {
+						bai := b[a*n+i]
+						if bai == 0 {
+							continue
+						}
+						for j := 0; j < n; j++ {
+							bbj := b[bb*n+j]
+							if bbj == 0 {
+								continue
+							}
+							for k := 0; k < n; k++ {
+								bgk := b[g*n+k]
+								if bgk == 0 {
+									continue
+								}
+								for l := 0; l < n; l++ {
+									s += sp.ComputeA(i, j, k, l) * bai * bbj * bgk * b[d*n+l]
+								}
+							}
+						}
+					}
+					c.Add(s, a, bb, g, d)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// ReferenceDense computes C by the O(n^5) four-contraction sequence on
+// fully expanded dense tensors (no symmetry exploitation). Viable for
+// n <= ~40; the second-tier reference.
+func ReferenceDense(sp chem.Spec) *sym.PackedC {
+	n := sp.N
+	b := sp.BMatrix()
+	a := tensor.New(n, n, n, n)
+	a.Fill(func(idx []int) float64 {
+		return sp.ComputeA(idx[0], idx[1], idx[2], idx[3])
+	})
+
+	// Each step contracts the leading index with B and rotates it to
+	// the back: T'[x1,x2,x3,out] = sum_r B[out,r] T[r,x1,x2,x3].
+	cur := a
+	for step := 0; step < 4; step++ {
+		next := tensor.New(n, n, n, n)
+		cd, nd := cur.Data(), next.Data()
+		n3 := n * n * n
+		for out := 0; out < n; out++ {
+			for r := 0; r < n; r++ {
+				w := b[out*n+r]
+				if w == 0 {
+					continue
+				}
+				src := cd[r*n3 : (r+1)*n3]
+				// next[x1,x2,x3,out] += w * cur[r,x1,x2,x3]
+				for x := 0; x < n3; x++ {
+					nd[x*n+out] += w * src[x]
+				}
+			}
+		}
+		cur = next
+	}
+	// After four rotations the layout is [a,b,g,d] again: step 1
+	// produced [j,k,l,a], step 2 [k,l,a,b], step 3 [l,a,b,g],
+	// step 4 [a,b,g,d].
+	return sym.PackC(cur)
+}
+
+// ReferencePacked computes C with the sequential packed-symmetric
+// algorithm of Listing 1 (element level, exploiting the Table 1
+// symmetries). Viable for n <= ~32 and used to validate that symmetry
+// handling preserves values.
+func ReferencePacked(sp chem.Spec) *sym.PackedC {
+	n := sp.N
+	m := sym.Pairs(n)
+	b := sp.BMatrix()
+
+	// A[ij, kl] packed.
+	a := sym.NewPackedA(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l <= k; l++ {
+					a.Set(sp.ComputeA(i, j, k, l), i, j, k, l)
+				}
+			}
+		}
+	}
+
+	// op1: O1[al, j, kl] = sum_i A[ij, kl] B[al, i].
+	o1 := sym.NewPackedO1(n)
+	o1d := o1.Data()
+	for al := 0; al < n; al++ {
+		for j := 0; j < n; j++ {
+			row := o1d[(al*n+j)*m : (al*n+j+1)*m]
+			for i := 0; i < n; i++ {
+				w := b[al*n+i]
+				if w == 0 {
+					continue
+				}
+				ar := a.Row(sym.CanonicalPairIndex(i, j))
+				for p := 0; p < m; p++ {
+					row[p] += w * ar[p]
+				}
+			}
+		}
+	}
+
+	// op2: O2[ab, kl] = sum_j O1[a, j, kl] B[b, j].
+	o2 := sym.NewPackedO2(n)
+	o2d := o2.Data()
+	for al := 0; al < n; al++ {
+		for be := 0; be <= al; be++ {
+			row := o2d[sym.PairIndex(al, be)*m : (sym.PairIndex(al, be)+1)*m]
+			for j := 0; j < n; j++ {
+				w := b[be*n+j]
+				if w == 0 {
+					continue
+				}
+				src := o1d[(al*n+j)*m : (al*n+j+1)*m]
+				for p := 0; p < m; p++ {
+					row[p] += w * src[p]
+				}
+			}
+		}
+	}
+
+	// op3: O3[ab, c, l] = sum_k O2[ab, kl] B[c, k].
+	o3 := sym.NewPackedO3(n)
+	o3d := o3.Data()
+	for ab := 0; ab < m; ab++ {
+		o2row := o2d[ab*m : (ab+1)*m]
+		base := ab * n * n
+		for c := 0; c < n; c++ {
+			for k := 0; k < n; k++ {
+				w := b[c*n+k]
+				if w == 0 {
+					continue
+				}
+				for l := 0; l < n; l++ {
+					o3d[base+c*n+l] += w * o2row[sym.CanonicalPairIndex(k, l)]
+				}
+			}
+		}
+	}
+
+	// op4: C[ab, cd] = sum_l O3[ab, c, l] B[d, l].
+	c := sym.NewPackedC(n)
+	cd := c.Data()
+	for ab := 0; ab < m; ab++ {
+		base := ab * n * n
+		crow := cd[ab*m : (ab+1)*m]
+		for g := 0; g < n; g++ {
+			for d := 0; d <= g; d++ {
+				var s float64
+				for l := 0; l < n; l++ {
+					s += o3d[base+g*n+l] * b[d*n+l]
+				}
+				crow[sym.PairIndex(g, d)] += s
+			}
+		}
+	}
+	return c
+}

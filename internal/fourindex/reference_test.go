@@ -1,0 +1,63 @@
+package fourindex
+
+import (
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/ga"
+	"fourindex/internal/sym"
+)
+
+func TestReferencesAgree(t *testing.T) {
+	for _, s := range []int{1, 2} {
+		sp := chem.MustSpec(6, s, 42)
+		naive := ReferenceNaive(sp)
+		dense := ReferenceDense(sp)
+		packed := ReferencePacked(sp)
+		if d := sym.MaxAbsDiffC(naive, dense); d > 1e-10 {
+			t.Errorf("s=%d: naive vs dense max diff %v", s, d)
+		}
+		if d := sym.MaxAbsDiffC(naive, packed); d > 1e-10 {
+			t.Errorf("s=%d: naive vs packed max diff %v", s, d)
+		}
+	}
+}
+
+func TestReferenceDenseLarger(t *testing.T) {
+	sp := chem.MustSpec(13, 1, 7)
+	dense := ReferenceDense(sp)
+	packed := ReferencePacked(sp)
+	if d := sym.MaxAbsDiffC(dense, packed); d > 1e-9 {
+		t.Errorf("dense vs packed max diff %v", d)
+	}
+}
+
+func TestUnfusedMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		n, s, procs, tileN int
+	}{
+		{6, 1, 1, 6},  // single tile, single proc
+		{6, 1, 2, 3},  // even tiling
+		{10, 1, 3, 4}, // ragged tiles
+		{8, 2, 2, 3},  // spatial symmetry
+		{7, 1, 4, 2},  // more procs than some tile counts
+	} {
+		sp := chem.MustSpec(tc.n, tc.s, 11)
+		want := ReferencePacked(sp)
+		res, err := Run(Unfused, Options{
+			Spec:  sp,
+			Procs: tc.procs,
+			Mode:  ga.Execute,
+			TileN: tc.tileN,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if res.C == nil {
+			t.Fatalf("%+v: execute mode must return C", tc)
+		}
+		if d := sym.MaxAbsDiffC(res.C, want); d > 1e-9 {
+			t.Errorf("%+v: unfused vs reference max diff %v", tc, d)
+		}
+	}
+}

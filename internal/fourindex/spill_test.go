@@ -1,0 +1,116 @@
+package fourindex
+
+import (
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/cluster"
+	"fourindex/internal/ga"
+	"fourindex/internal/lb"
+	"fourindex/internal/sym"
+)
+
+// With AllowSpill, a memory-capped unfused run completes out of core
+// instead of failing, producing correct results and nonzero disk
+// traffic.
+func TestSpillCorrectAndAccounted(t *testing.T) {
+	sp := chem.MustSpec(12, 1, 9)
+	cap := lb.MemoryUnfused(12, 1) * 8 / 2
+	res, err := Run(Unfused, Options{
+		Spec: sp, Procs: 2, Mode: ga.Execute, TileN: 4,
+		GlobalMemBytes: cap, AllowSpill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskVolume == 0 {
+		t.Error("capped spilling run should move data through disk")
+	}
+	if d := sym.MaxAbsDiffC(res.C, ReferencePacked(sp)); d > 1e-9 {
+		t.Errorf("out-of-core result wrong by %v", d)
+	}
+	if res.PeakGlobalBytes > cap {
+		t.Errorf("in-memory peak %d exceeds the cap %d", res.PeakGlobalBytes, cap)
+	}
+}
+
+// Without AllowSpill the same configuration fails; the flag is what
+// distinguishes "Failed" from out-of-core in the evaluation.
+func TestSpillFlagGatesOOM(t *testing.T) {
+	sp := chem.MustSpec(12, 1, 9)
+	cap := lb.MemoryUnfused(12, 1) * 8 / 2
+	if _, err := Run(Unfused, Options{
+		Spec: sp, Procs: 2, Mode: ga.Execute, TileN: 4, GlobalMemBytes: cap,
+	}); err == nil {
+		t.Error("capped run without AllowSpill should fail")
+	}
+}
+
+// The paper's Section 3 motivation quantified: on a memory-constrained
+// System A slice, the spilling unfused transform is far slower than the
+// zero-spill fully fused schedule, because the collective file-system
+// bandwidth is shared by every rank.
+func TestSpillSlowerThanZeroSpillFused(t *testing.T) {
+	run, err := cluster.SystemA().Configure(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := chem.MustSpec(64, 1, 9)
+	cap := lb.MemoryUnfused(64, 1) * 8 * 6 / 10
+	base := Options{
+		Spec: sp, Procs: 64, Mode: ga.Cost, Run: &run,
+		TileN: 8, TileL: 8, GlobalMemBytes: cap,
+	}
+
+	spillOpts := base
+	spillOpts.AllowSpill = true
+	spilled, err := Run(Unfused, spillOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled.DiskVolume == 0 {
+		t.Fatal("expected disk traffic in the spilling run")
+	}
+
+	fused, err := Run(FullyFusedInner, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.DiskVolume != 0 {
+		t.Error("zero-spill schedule must not touch disk")
+	}
+	if fused.ElapsedSeconds >= spilled.ElapsedSeconds {
+		t.Errorf("zero-spill fused (%.1f s) should beat spilling unfused (%.1f s)",
+			fused.ElapsedSeconds, spilled.ElapsedSeconds)
+	}
+	slowdown := spilled.ElapsedSeconds / fused.ElapsedSeconds
+	t.Logf("spilling unfused is %.1fx slower than zero-spill fused", slowdown)
+	if slowdown < 1.5 {
+		t.Errorf("spill slowdown %.2fx implausibly small for shared disk bandwidth", slowdown)
+	}
+}
+
+// Disk traffic must appear in the phase breakdown's totals too.
+func TestSpillPhases(t *testing.T) {
+	sp := chem.MustSpec(12, 1, 9)
+	cap := lb.MemoryUnfused(12, 1) * 8 / 2
+	res, err := Run(Unfused, Options{
+		Spec: sp, Procs: 2, Mode: ga.Cost, TileN: 4,
+		GlobalMemBytes: cap, AllowSpill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) == 0 {
+		t.Fatal("phase breakdown missing")
+	}
+	names := map[string]bool{}
+	for _, ph := range res.Phases {
+		names[ph.Name] = true
+	}
+	for _, want := range []string{"generate-A", "op1", "op2", "op3", "op4"} {
+		if !names[want] {
+			t.Errorf("phase %q missing from breakdown: %v", want, names)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package fourindex
+
+import (
+	"testing"
+
+	"fourindex/internal/cluster"
+)
+
+func mustRun(t *testing.T, procs int) cluster.Run {
+	t.Helper()
+	run, err := cluster.SystemB().Configure(procs, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}

@@ -1,0 +1,124 @@
+package fourindex
+
+import (
+	"fmt"
+	"sort"
+
+	"fourindex/internal/ga"
+)
+
+// TunePoint is one evaluated configuration of the tuning sweep.
+type TunePoint struct {
+	Scheme         Scheme
+	TileN, TileL   int
+	AlphaPar, LPar int
+	Seconds        float64 // simulated time; +Inf when infeasible
+	PeakBytes      int64
+	CommElements   int64
+	Err            string // nonempty when the configuration failed
+}
+
+// TuneSpace bounds the configuration sweep.
+type TuneSpace struct {
+	// Schemes to consider (default: Unfused and FullyFusedInner —
+	// the hybrid's two candidates).
+	Schemes []Scheme
+	// TileNs and TileLs are the candidate widths (defaults derived
+	// from n when empty).
+	TileNs []int
+	TileLs []int
+	// AlphaPars and LPars (defaults {1, 2, 4} and {1, 2}).
+	AlphaPars []int
+	LPars     []int
+}
+
+func (ts TuneSpace) withDefaults(n int) TuneSpace {
+	if len(ts.Schemes) == 0 {
+		ts.Schemes = []Scheme{Unfused, FullyFusedInner}
+	}
+	if len(ts.TileNs) == 0 {
+		ts.TileNs = []int{max(1, n/32), max(1, n/24), max(1, n/16)}
+	}
+	if len(ts.TileLs) == 0 {
+		ts.TileLs = []int{max(1, n/48), max(1, n/24), max(1, n/12)}
+	}
+	if len(ts.AlphaPars) == 0 {
+		ts.AlphaPars = []int{1, 2, 4}
+	}
+	if len(ts.LPars) == 0 {
+		ts.LPars = []int{1, 2}
+	}
+	return ts
+}
+
+// Tune sweeps schedule configurations in cost mode — the brute-force
+// alternative the paper's Section 1 says is prohibitive on real machines
+// ("auto tuning will require execution of thousands of configurations
+// for each problem size") but which the simulator makes cheap — and
+// returns every evaluated point sorted by simulated time, fastest first.
+// Infeasible configurations (out of memory) are kept with their error.
+//
+// opt supplies the problem, machine model and memory caps; its tiling
+// fields are ignored in favour of the sweep. A cost model (opt.Run) is
+// required, since "fastest" is meaningless without one.
+func Tune(opt Options, space TuneSpace) ([]TunePoint, error) {
+	if opt.Run == nil {
+		return nil, fmt.Errorf("fourindex: Tune needs a machine model (Options.Run)")
+	}
+	opt.Mode = ga.Cost
+	space = space.withDefaults(opt.Spec.N)
+
+	var points []TunePoint
+	seen := map[TunePoint]bool{}
+	for _, scheme := range space.Schemes {
+		fusedKnobs := scheme == FullyFused || scheme == FullyFusedInner
+		tileLs, alphaPars, lPars := space.TileLs, space.AlphaPars, space.LPars
+		if !fusedKnobs {
+			tileLs, alphaPars, lPars = []int{0}, []int{1}, []int{1}
+		}
+		for _, tn := range space.TileNs {
+			for _, tl := range tileLs {
+				for _, ap := range alphaPars {
+					for _, lp := range lPars {
+						key := TunePoint{Scheme: scheme, TileN: tn, TileL: tl, AlphaPar: ap, LPar: lp}
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						o := opt
+						o.TileN, o.TileL, o.AlphaPar, o.LPar = tn, tl, ap, lp
+						pt := key
+						res, err := Run(scheme, o)
+						if err != nil {
+							pt.Err = err.Error()
+						} else {
+							pt.Seconds = res.ElapsedSeconds
+							pt.PeakBytes = res.PeakGlobalBytes
+							pt.CommElements = res.CommVolume
+						}
+						points = append(points, pt)
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(points, func(i, j int) bool {
+		fi, fj := points[i].Err == "", points[j].Err == ""
+		if fi != fj {
+			return fi
+		}
+		return points[i].Seconds < points[j].Seconds
+	})
+	if len(points) == 0 || points[0].Err != "" {
+		return points, fmt.Errorf("fourindex: no feasible configuration in the tuning space")
+	}
+	return points, nil
+}
+
+// Best returns the fastest feasible point of a sorted sweep.
+func Best(points []TunePoint) (TunePoint, bool) {
+	if len(points) > 0 && points[0].Err == "" {
+		return points[0], true
+	}
+	return TunePoint{}, false
+}

@@ -1,0 +1,133 @@
+package fourindex
+
+import (
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/cluster"
+	"fourindex/internal/lb"
+)
+
+func tuneOpts(t *testing.T, n, s, procs int, memBytes int64) Options {
+	t.Helper()
+	run, err := cluster.SystemB().Configure(procs, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Spec:           chem.MustSpec(n, s, 3),
+		Procs:          procs,
+		Run:            &run,
+		GlobalMemBytes: memBytes,
+	}
+}
+
+func TestTuneRequiresModel(t *testing.T) {
+	if _, err := Tune(Options{Spec: chem.MustSpec(8, 1, 1)}, TuneSpace{}); err == nil {
+		t.Error("Tune without a machine model should error")
+	}
+}
+
+func TestTuneFindsFeasibleFastest(t *testing.T) {
+	opt := tuneOpts(t, 48, 1, 28, 0)
+	pts, err := Tune(opt, TuneSpace{
+		TileNs: []int{6, 12}, TileLs: []int{4, 12}, AlphaPars: []int{1}, LPars: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := Best(pts)
+	if !ok {
+		t.Fatal("no feasible best")
+	}
+	if best.Seconds <= 0 {
+		t.Error("best has no simulated time")
+	}
+	// Sorted ascending among feasible points.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Err == "" && pts[i-1].Err == "" && pts[i].Seconds < pts[i-1].Seconds {
+			t.Fatal("sweep not sorted by time")
+		}
+		if pts[i-1].Err != "" && pts[i].Err == "" {
+			t.Fatal("failed points must sort after feasible ones")
+		}
+	}
+	// With ample memory the unfused scheme (less arithmetic) wins —
+	// the Section 7.4 rule, recovered by brute force.
+	if best.Scheme != Unfused {
+		t.Errorf("ample-memory best = %v, want unfused", best.Scheme)
+	}
+}
+
+// The paper's thesis, demonstrated: under memory pressure the exhaustive
+// sweep lands on the same answer the lower-bound advisor gives instantly.
+func TestTuneAgreesWithAdvisor(t *testing.T) {
+	n, s := 48, 1
+	cap := lb.MemoryUnfused(n, s) * 8 * 7 / 10
+	opt := tuneOpts(t, n, s, 28, cap)
+	pts, err := Tune(opt, TuneSpace{
+		TileNs: []int{6, 12}, TileLs: []int{2, 6, 12}, AlphaPars: []int{1, 2}, LPars: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := Best(pts)
+	adv := lb.Advise(n, s, cap)
+	if adv.Scheme != "fused" {
+		t.Fatalf("advisor says %s, expected fused under pressure", adv.Scheme)
+	}
+	if best.Scheme != FullyFusedInner {
+		t.Errorf("tuner best = %v, advisor (instantly) says fused", best.Scheme)
+	}
+	// Unfused configurations must all have failed.
+	for _, p := range pts {
+		if p.Scheme == Unfused && p.Err == "" {
+			t.Error("unfused configuration should be infeasible under the cap")
+		}
+	}
+}
+
+func TestTuneAllInfeasible(t *testing.T) {
+	opt := tuneOpts(t, 48, 1, 28, 1024) // 1 KB: nothing fits
+	pts, err := Tune(opt, TuneSpace{TileNs: []int{12}, TileLs: []int{4}})
+	if err == nil {
+		t.Error("expected no-feasible-configuration error")
+	}
+	if _, ok := Best(pts); ok {
+		t.Error("Best should report no feasible point")
+	}
+	for _, p := range pts {
+		if p.Err == "" {
+			t.Error("every point should carry an error")
+		}
+	}
+}
+
+// Larger fused tiles trade memory for speed: within the sweep, the
+// fastest fused point should not use the smallest tile when memory is
+// ample.
+func TestTuneTileTradeoffVisible(t *testing.T) {
+	opt := tuneOpts(t, 48, 1, 28, 0)
+	pts, err := Tune(opt, TuneSpace{
+		Schemes: []Scheme{FullyFusedInner},
+		TileNs:  []int{12}, TileLs: []int{1, 24}, AlphaPars: []int{1}, LPars: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t24 TunePoint
+	for _, p := range pts {
+		switch p.TileL {
+		case 1:
+			t1 = p
+		case 24:
+			t24 = p
+		}
+	}
+	if t24.Seconds >= t1.Seconds {
+		t.Errorf("Tl=24 (%v s) should beat Tl=1 (%v s) with ample memory", t24.Seconds, t1.Seconds)
+	}
+	if t24.PeakBytes <= t1.PeakBytes {
+		t.Error("larger tiles must cost more memory")
+	}
+}

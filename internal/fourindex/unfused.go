@@ -1,0 +1,352 @@
+package fourindex
+
+import (
+	"fourindex/internal/blas"
+	"fourindex/internal/ga"
+)
+
+// runUnfused executes the Listing 1/4 baseline: four separate tiled
+// contractions with fully materialised intermediates. Peak aggregate
+// memory is max(|A|+|O1|, |O1|+|O2|, |O2|+|O3|, |O3|+|C|) ~ 3n^4/4.
+func runUnfused(opt Options) (*Result, error) {
+	c, err := newRunCtx(opt)
+	if err != nil {
+		return nil, err
+	}
+	g4 := c.grids4()
+
+	c.rt.BeginPhase("generate-A")
+	aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(Unfused, err)
+	}
+	if err := c.generateA(aT, 0); err != nil {
+		return nil, err
+	}
+
+	c.rt.BeginPhase("op1")
+	o1T, err := c.rt.CreateTiled("O1", g4, [][2]int{{2, 3}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(Unfused, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) { c.op1Unfused(p, aT, o1T) }); err != nil {
+		return nil, err
+	}
+	c.rt.DestroyTiled(aT)
+
+	c.rt.BeginPhase("op2")
+	o2T, err := c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(Unfused, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) { c.op2Unfused(p, o1T, o2T) }); err != nil {
+		return nil, err
+	}
+	c.rt.DestroyTiled(o1T)
+
+	c.rt.BeginPhase("op3")
+	o3T, err := c.rt.CreateTiled("O3", g4, [][2]int{{0, 1}}, opt.Policy)
+	if err != nil {
+		return nil, oomWrap(Unfused, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) { c.op3Unfused(p, o2T, o3T) }); err != nil {
+		return nil, err
+	}
+	c.rt.DestroyTiled(o2T)
+
+	c.rt.BeginPhase("op4")
+	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
+	if err != nil {
+		return nil, oomWrap(Unfused, err)
+	}
+	if err := c.rt.Parallel(func(p *ga.Proc) { c.op4Unfused(p, o3T, cT) }); err != nil {
+		return nil, err
+	}
+	c.rt.DestroyTiled(o3T)
+
+	packed := c.extractC(cT)
+	c.rt.DestroyTiled(cT)
+	return c.result(Unfused, Unfused, packed), nil
+}
+
+// op1Unfused computes O1[a, j, k>=l] = sum_i A[ij, kl] B[a, i]. Work
+// units are (tj, tk, tl); the owner produces all a tiles, reading A's
+// column block once per unit.
+func (c *runCtx) op1Unfused(p *ga.Proc, aT, o1T *ga.TiledArray) {
+	for tj := 0; tj < c.nt; tj++ {
+		for tk := 0; tk < c.nt; tk++ {
+			for tl := 0; tl <= tk; tl++ {
+				if workOwner(p.Procs(), 1, tj, tk, tl) != p.ID() {
+					continue
+				}
+				c.op1Unit(p, aT, o1T, tj, tk, tl)
+			}
+		}
+	}
+}
+
+func (c *runCtx) op1Unit(p *ga.Proc, aT, o1T *ga.TiledArray, tj, tk, tl int) {
+	wj, wk, wl := c.g.Width(tj), c.g.Width(tk), c.g.Width(tl)
+	rest := wj * wk * wl
+
+	abig := c.alloc(p, int64(c.n)*int64(rest))
+	tmp := c.alloc(p, int64(c.g.T)*int64(rest))
+	row := 0
+	for ti := 0; ti < c.nt; ti++ {
+		wi := c.g.Width(ti)
+		if ti >= tj {
+			p.GetT(aT, tmp.Data, ti, tj, tk, tl)
+			if c.exec { // tile laid out (i, j, k, l): rows i, cols rest
+				copy(abig.Data[row*rest:(row+wi)*rest], tmp.Data[:wi*rest])
+			}
+		} else {
+			p.GetT(aT, tmp.Data, tj, ti, tk, tl)
+			if c.exec { // tile laid out (j, i, k, l): transpose (i, j)
+				for j := 0; j < wj; j++ {
+					for i := 0; i < wi; i++ {
+						src := tmp.Data[(j*wi+i)*wk*wl : (j*wi+i+1)*wk*wl]
+						dst := abig.Data[((row+i)*wj+j)*wk*wl : ((row+i)*wj+j+1)*wk*wl]
+						copy(dst, src)
+					}
+				}
+			}
+		}
+		row += wi
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(c.g.T)*int64(rest))
+	for ta := 0; ta < c.nt; ta++ {
+		wa := c.fillBRow(p, bbuf.Data, ta)
+		if c.exec {
+			zero(out.Data[:wa*rest])
+		}
+		// O1[a, (j,k,l)] = B[a, i] . A[i, (j,k,l)]
+		c.gemm(p, false, false, wa, rest, c.n, bbuf.Data, c.n, abig.Data, rest, out.Data, rest)
+		p.PutT(o1T, out.Data, ta, tj, tk, tl)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(abig)
+}
+
+// op2Unfused computes O2[a>=b, k>=l] = sum_j O1[a, j, kl] B[b, j]. Work
+// units are (ta, tk, tl); the owner produces all b <= a tiles.
+func (c *runCtx) op2Unfused(p *ga.Proc, o1T, o2T *ga.TiledArray) {
+	for ta := 0; ta < c.nt; ta++ {
+		for tk := 0; tk < c.nt; tk++ {
+			for tl := 0; tl <= tk; tl++ {
+				if workOwner(p.Procs(), 2, ta, tk, tl) != p.ID() {
+					continue
+				}
+				c.op2Unit(p, o1T, o2T, ta, tk, tl)
+			}
+		}
+	}
+}
+
+func (c *runCtx) op2Unit(p *ga.Proc, o1T, o2T *ga.TiledArray, ta, tk, tl int) {
+	wa, wk, wl := c.g.Width(ta), c.g.Width(tk), c.g.Width(tl)
+	wkl := wk * wl
+
+	// o1big[a][j][kl] for all j.
+	o1big := c.alloc(p, int64(wa)*int64(c.n)*int64(wkl))
+	tmp := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	col := 0
+	for tj := 0; tj < c.nt; tj++ {
+		wj := c.g.Width(tj)
+		p.GetT(o1T, tmp.Data, ta, tj, tk, tl)
+		if c.exec { // tile (a, j, k, l)
+			for a := 0; a < wa; a++ {
+				src := tmp.Data[a*wj*wkl : (a+1)*wj*wkl]
+				dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
+				copy(dst, src)
+			}
+		}
+		col += wj
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	for tb := 0; tb <= ta; tb++ {
+		wb := c.fillBRow(p, bbuf.Data, tb)
+		if c.exec {
+			zero(out.Data[:wa*wb*wkl])
+			for a := 0; a < wa; a++ {
+				// O2[a, b, (k,l)] = B[b, j] . O1[a, j, (k,l)]
+				c.gemm(p, false, false, wb, wkl, c.n,
+					bbuf.Data, c.n,
+					sl(o1big, a*c.n*wkl), wkl,
+					sl(out, a*wb*wkl), wkl)
+			}
+		} else {
+			p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
+		}
+		p.PutT(o2T, out.Data, ta, tb, tk, tl)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o1big)
+}
+
+// op3Unfused computes O3[a>=b, c, l] = sum_k O2[ab, kl] B[c, k]. Work
+// units are (ta, tb, tl); the owner produces all c tiles.
+func (c *runCtx) op3Unfused(p *ga.Proc, o2T, o3T *ga.TiledArray) {
+	for ta := 0; ta < c.nt; ta++ {
+		for tb := 0; tb <= ta; tb++ {
+			for tl := 0; tl < c.nt; tl++ {
+				if workOwner(p.Procs(), 3, ta, tb, tl) != p.ID() {
+					continue
+				}
+				c.op3Unit(p, o2T, o3T, ta, tb, tl)
+			}
+		}
+	}
+}
+
+func (c *runCtx) op3Unit(p *ga.Proc, o2T, o3T *ga.TiledArray, ta, tb, tl int) {
+	wa, wb, wl := c.g.Width(ta), c.g.Width(tb), c.g.Width(tl)
+	wab := wa * wb
+
+	// o2big[(a,b)][k][l] for all k.
+	o2big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
+	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	row := 0
+	for tk := 0; tk < c.nt; tk++ {
+		wk := c.g.Width(tk)
+		if tk >= tl {
+			p.GetT(o2T, tmp.Data, ta, tb, tk, tl)
+			if c.exec { // tile (a, b, k, l)
+				for ab := 0; ab < wab; ab++ {
+					src := tmp.Data[ab*wk*wl : (ab+1)*wk*wl]
+					dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
+					copy(dst, src)
+				}
+			}
+		} else {
+			p.GetT(o2T, tmp.Data, ta, tb, tl, tk)
+			if c.exec { // tile (a, b, l, k): transpose (k, l)
+				for ab := 0; ab < wab; ab++ {
+					for l := 0; l < wl; l++ {
+						for k := 0; k < wk; k++ {
+							o2big.Data[(ab*c.n+row+k)*wl+l] = tmp.Data[(ab*wl+l)*wk+k]
+						}
+					}
+				}
+			}
+		}
+		row += wk
+	}
+	p.FreeLocal(tmp)
+
+	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
+	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	for tc := 0; tc < c.nt; tc++ {
+		wc := c.fillBRow(p, bbuf.Data, tc)
+		if c.exec {
+			zero(out.Data[:wab*wc*wl])
+			for ab := 0; ab < wab; ab++ {
+				// O3[ab, c, l] = B[c, k] . O2[ab, k, l]
+				c.gemm(p, false, false, wc, wl, c.n,
+					bbuf.Data, c.n,
+					sl(o2big, ab*c.n*wl), wl,
+					sl(out, ab*wc*wl), wl)
+			}
+		} else {
+			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wl, c.n), c.eff)
+		}
+		p.PutT(o3T, out.Data, ta, tb, tc, tl)
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(bbuf)
+	p.FreeLocal(o2big)
+}
+
+// op4Unfused computes C[a>=b, c>=d] = sum_l O3[ab, c, l] B[d, l]. Work
+// units are (ta, tb); the owner produces all c >= d tiles.
+func (c *runCtx) op4Unfused(p *ga.Proc, o3T, cT *ga.TiledArray) {
+	for ta := 0; ta < c.nt; ta++ {
+		for tb := 0; tb <= ta; tb++ {
+			if workOwner(p.Procs(), 4, ta, tb) != p.ID() {
+				continue
+			}
+			c.op4Unit(p, o3T, cT, ta, tb)
+		}
+	}
+}
+
+func (c *runCtx) op4Unit(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb int) {
+	wa, wb := c.g.Width(ta), c.g.Width(tb)
+	wab := wa * wb
+
+	// o3big[(a,b)][c][l] for all c, l.
+	o3big := c.alloc(p, int64(wab)*int64(c.n)*int64(c.n))
+	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	for tc := 0; tc < c.nt; tc++ {
+		c0, _ := c.g.Bounds(tc)
+		wc := c.g.Width(tc)
+		for tl := 0; tl < c.nt; tl++ {
+			l0, _ := c.g.Bounds(tl)
+			wl := c.g.Width(tl)
+			p.GetT(o3T, tmp.Data, ta, tb, tc, tl)
+			if c.exec { // tile (a, b, c, l)
+				for ab := 0; ab < wab; ab++ {
+					for cc := 0; cc < wc; cc++ {
+						src := tmp.Data[(ab*wc+cc)*wl : (ab*wc+cc+1)*wl]
+						dst := o3big.Data[(ab*c.n+c0+cc)*c.n+l0:]
+						copy(dst[:wl], src)
+					}
+				}
+			}
+		}
+	}
+	p.FreeLocal(tmp)
+
+	// Full coefficient matrix rows for the d index.
+	ball := c.alloc(p, int64(c.n)*int64(c.n))
+	for td := 0; td < c.nt; td++ {
+		d0, _ := c.g.Bounds(td)
+		if c.exec {
+			c.fillBRow(p, ball.Data[d0*c.n:], td)
+		} else {
+			c.fillBRow(p, nil, td)
+		}
+	}
+
+	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	for tc := 0; tc < c.nt; tc++ {
+		c0, _ := c.g.Bounds(tc)
+		wc := c.g.Width(tc)
+		for td := 0; td <= tc; td++ {
+			if !cT.Stored(ta, tb, tc, td) {
+				continue // spatial symmetry forbids this block
+			}
+			d0, _ := c.g.Bounds(td)
+			wd := c.g.Width(td)
+			if c.exec {
+				zero(out.Data[:wab*wc*wd])
+				for ab := 0; ab < wab; ab++ {
+					// C[ab, c, d] = O3[ab, c, l] . B[d, l]^T
+					c.gemm(p, false, true, wc, wd, c.n,
+						sl(o3big, (ab*c.n+c0)*c.n), c.n,
+						sl(ball, d0*c.n), c.n,
+						sl(out, ab*wc*wd), wd)
+				}
+			} else {
+				p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, c.n), c.eff)
+			}
+			p.PutT(cT, out.Data, ta, tb, tc, td)
+		}
+	}
+	p.FreeLocal(out)
+	p.FreeLocal(ball)
+	p.FreeLocal(o3big)
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}

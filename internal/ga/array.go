@@ -1,0 +1,250 @@
+package ga
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fourindex/internal/tile"
+)
+
+// Array is a two-dimensional distributed array blocked into data-tiles.
+// Rows and columns are tiled independently; the linearised tile index
+// (tr * colTiles + tc) is mapped to an owning process by a distribution
+// policy. In Execute mode each tile owns real row-major storage.
+type Array struct {
+	rt    *Runtime
+	Name  string
+	Rows  int
+	Cols  int
+	RGrid tile.Grid
+	CGrid tile.Grid
+	Dist  tile.Dist
+
+	data    [][]float64   // per-tile storage (Execute mode only)
+	locks   []sync.Mutex  // per-tile write locks (Execute mode only)
+	written []atomic.Bool // per-tile written flags (Strict mode only)
+
+	destroyed atomic.Bool
+}
+
+// Create allocates a distributed rows x cols array tiled into
+// tileRows x tileCols blocks, distributed with the given policy. It is a
+// collective operation performed in sequential (between-region) code and
+// charges the aggregate global-memory capacity; exceeding it returns an
+// error wrapping ErrGlobalOOM, which reproduces the paper's "Failed"
+// out-of-memory configurations.
+func (rt *Runtime) Create(name string, rows, cols, tileRows, tileCols int, pol tile.Policy) (*Array, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("ga: array %q has non-positive shape %dx%d", name, rows, cols)
+	}
+	bytes := int64(rows) * int64(cols) * 8
+	rt.mu.Lock()
+	if lim := rt.cfg.GlobalMemBytes; lim > 0 && rt.globalBytes+bytes > lim {
+		need := rt.globalBytes + bytes
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: array %q (%d x %d) needs %d B live (capacity %d B)",
+			ErrGlobalOOM, name, rows, cols, need, lim)
+	}
+	rt.globalBytes += bytes
+	if rt.globalBytes > rt.peakGlobal {
+		rt.peakGlobal = rt.globalBytes
+	}
+	rt.liveArrays++
+	rt.mu.Unlock()
+
+	rg := tile.NewGrid(rows, tileRows)
+	cg := tile.NewGrid(cols, tileCols)
+	nt := rg.NumTiles() * cg.NumTiles()
+	a := &Array{
+		rt:    rt,
+		Name:  name,
+		Rows:  rows,
+		Cols:  cols,
+		RGrid: rg,
+		CGrid: cg,
+		Dist:  tile.NewDist(nt, rt.cfg.Procs, pol, 1),
+	}
+	if rt.cfg.Mode == Execute {
+		a.data = make([][]float64, nt)
+		a.locks = make([]sync.Mutex, nt)
+		for tr := 0; tr < rg.NumTiles(); tr++ {
+			for tc := 0; tc < cg.NumTiles(); tc++ {
+				a.data[tr*cg.NumTiles()+tc] = make([]float64, rg.Width(tr)*cg.Width(tc))
+			}
+		}
+	}
+	if rt.cfg.Strict {
+		a.written = make([]atomic.Bool, nt)
+	}
+	return a, nil
+}
+
+// Destroy releases the array's global memory. Double destroy panics.
+func (rt *Runtime) Destroy(a *Array) {
+	if a.destroyed.Swap(true) {
+		panic(fmt.Sprintf("ga: array %q destroyed twice", a.Name))
+	}
+	rt.mu.Lock()
+	rt.globalBytes -= int64(a.Rows) * int64(a.Cols) * 8
+	rt.liveArrays--
+	rt.mu.Unlock()
+	a.data = nil
+}
+
+// Bytes returns the array's global-memory footprint.
+func (a *Array) Bytes() int64 { return int64(a.Rows) * int64(a.Cols) * 8 }
+
+// tileID linearises a (row-tile, col-tile) pair.
+func (a *Array) tileID(tr, tc int) int { return tr*a.CGrid.NumTiles() + tc }
+
+// TileOwner returns the process owning tile (tr, tc).
+func (a *Array) TileOwner(tr, tc int) int { return a.Dist.Owner(a.tileID(tr, tc)) }
+
+// OwnerOf returns the process owning the tile containing element (r, c).
+func (a *Array) OwnerOf(r, c int) int {
+	return a.TileOwner(a.RGrid.TileOf(r), a.CGrid.TileOf(c))
+}
+
+// checkPatch validates a patch and the caller's buffer.
+func (a *Array) checkPatch(op string, r0, r1, c0, c1 int, buf []float64, ld int) {
+	if a.destroyed.Load() {
+		panic(fmt.Sprintf("ga: %s on destroyed array %q", op, a.Name))
+	}
+	if r0 < 0 || c0 < 0 || r1 > a.Rows || c1 > a.Cols || r0 >= r1 || c0 >= c1 {
+		panic(fmt.Sprintf("ga: %s patch [%d:%d,%d:%d] invalid for %q (%dx%d)",
+			op, r0, r1, c0, c1, a.Name, a.Rows, a.Cols))
+	}
+	if a.rt.cfg.Mode == Execute {
+		w := c1 - c0
+		if ld < w {
+			panic(fmt.Sprintf("ga: %s buffer leading dimension %d < patch width %d", op, ld, w))
+		}
+		need := (r1-r0-1)*ld + w
+		if len(buf) < need {
+			panic(fmt.Sprintf("ga: %s buffer too small: %d < %d", op, len(buf), need))
+		}
+	}
+}
+
+// patchOp visits every tile overlapping the patch and invokes f with the
+// tile id and overlap rectangle (absolute coordinates).
+func (a *Array) patchOp(r0, r1, c0, c1 int, f func(id, pr0, pr1, pc0, pc1 int)) {
+	tr0, tr1 := a.RGrid.TileOf(r0), a.RGrid.TileOf(r1-1)
+	tc0, tc1 := a.CGrid.TileOf(c0), a.CGrid.TileOf(c1-1)
+	for tr := tr0; tr <= tr1; tr++ {
+		rlo, rhi := a.RGrid.Bounds(tr)
+		if rlo < r0 {
+			rlo = r0
+		}
+		if rhi > r1 {
+			rhi = r1
+		}
+		for tc := tc0; tc <= tc1; tc++ {
+			clo, chi := a.CGrid.Bounds(tc)
+			if clo < c0 {
+				clo = c0
+			}
+			if chi > c1 {
+				chi = c1
+			}
+			f(a.tileID(tr, tc), rlo, rhi, clo, chi)
+		}
+	}
+}
+
+// Get copies the patch [r0:r1, c0:c1) into buf (row-major, leading
+// dimension ld). Remote tile fragments are charged as inter-node
+// communication. In Cost mode only accounting happens and buf may be nil.
+func (p *Proc) Get(a *Array, r0, r1, c0, c1 int, buf []float64, ld int) {
+	a.checkPatch("Get", r0, r1, c0, c1, buf, ld)
+	exec := a.rt.cfg.Mode == Execute
+	a.patchOp(r0, r1, c0, c1, func(id, pr0, pr1, pc0, pc1 int) {
+		if a.written != nil && !a.written[id].Load() {
+			panic(fmt.Sprintf("ga: strict: Get of never-written tile %d of %q", id, a.Name))
+		}
+		elems := int64(pr1-pr0) * int64(pc1-pc0)
+		p.chargeTransfer(a.Dist.Owner(id) != p.id, elems, true)
+		if !exec {
+			return
+		}
+		a.locks[id].Lock()
+		tr, tc := id/a.CGrid.NumTiles(), id%a.CGrid.NumTiles()
+		rlo, _ := a.RGrid.Bounds(tr)
+		clo, _ := a.CGrid.Bounds(tc)
+		tw := a.CGrid.Width(tc)
+		td := a.data[id]
+		for r := pr0; r < pr1; r++ {
+			src := td[(r-rlo)*tw+(pc0-clo) : (r-rlo)*tw+(pc1-clo)]
+			dst := buf[(r-r0)*ld+(pc0-c0) : (r-r0)*ld+(pc1-c0)]
+			copy(dst, src)
+		}
+		a.locks[id].Unlock()
+	})
+}
+
+// Put writes buf into the patch, overwriting previous contents.
+func (p *Proc) Put(a *Array, r0, r1, c0, c1 int, buf []float64, ld int) {
+	p.update("Put", a, r0, r1, c0, c1, 0, buf, ld)
+}
+
+// Acc atomically accumulates alpha*buf into the patch (GA_Acc).
+func (p *Proc) Acc(a *Array, r0, r1, c0, c1 int, alpha float64, buf []float64, ld int) {
+	p.update("Acc", a, r0, r1, c0, c1, alpha, buf, ld)
+}
+
+// update implements Put (alpha == 0 sentinel => overwrite) and Acc.
+func (p *Proc) update(op string, a *Array, r0, r1, c0, c1 int, alpha float64, buf []float64, ld int) {
+	a.checkPatch(op, r0, r1, c0, c1, buf, ld)
+	exec := a.rt.cfg.Mode == Execute
+	acc := op == "Acc"
+	a.patchOp(r0, r1, c0, c1, func(id, pr0, pr1, pc0, pc1 int) {
+		elems := int64(pr1-pr0) * int64(pc1-pc0)
+		p.chargeTransfer(a.Dist.Owner(id) != p.id, elems, false)
+		if a.written != nil {
+			a.written[id].Store(true)
+		}
+		if !exec {
+			return
+		}
+		a.locks[id].Lock()
+		tr, tc := id/a.CGrid.NumTiles(), id%a.CGrid.NumTiles()
+		rlo, _ := a.RGrid.Bounds(tr)
+		clo, _ := a.CGrid.Bounds(tc)
+		tw := a.CGrid.Width(tc)
+		td := a.data[id]
+		for r := pr0; r < pr1; r++ {
+			src := buf[(r-r0)*ld+(pc0-c0) : (r-r0)*ld+(pc1-c0)]
+			dst := td[(r-rlo)*tw+(pc0-clo) : (r-rlo)*tw+(pc1-clo)]
+			if acc {
+				for i, v := range src {
+					dst[i] += alpha * v
+				}
+			} else {
+				copy(dst, src)
+			}
+		}
+		a.locks[id].Unlock()
+	})
+}
+
+// ReadAll copies the entire array into a dense row-major slice. Sequential
+// (between-region) helper for verification; free of accounting.
+func (a *Array) ReadAll() []float64 {
+	if a.rt.cfg.Mode != Execute {
+		panic("ga: ReadAll requires Execute mode")
+	}
+	out := make([]float64, a.Rows*a.Cols)
+	for tr := 0; tr < a.RGrid.NumTiles(); tr++ {
+		rlo, rhi := a.RGrid.Bounds(tr)
+		for tc := 0; tc < a.CGrid.NumTiles(); tc++ {
+			clo, chi := a.CGrid.Bounds(tc)
+			td := a.data[a.tileID(tr, tc)]
+			tw := chi - clo
+			for r := rlo; r < rhi; r++ {
+				copy(out[r*a.Cols+clo:r*a.Cols+chi], td[(r-rlo)*tw:(r-rlo)*tw+tw])
+			}
+		}
+	}
+	return out
+}

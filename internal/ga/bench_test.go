@@ -1,0 +1,41 @@
+package ga
+
+import (
+	"testing"
+
+	"fourindex/internal/tile"
+)
+
+func BenchmarkTiledGetPut(b *testing.B) {
+	rt, _ := NewRuntime(Config{Procs: 4, Mode: Execute})
+	a, _ := rt.CreateTiled("T", []tile.Grid{tile.NewGrid(64, 16), tile.NewGrid(64, 16)}, nil, tile.RoundRobin)
+	buf := make([]float64, 16*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Parallel(func(p *Proc) {
+			if p.ID() != 0 {
+				return
+			}
+			p.PutT(a, buf, i%4, (i+1)%4)
+			p.GetT(a, buf, i%4, (i+1)%4)
+		})
+	}
+}
+
+func BenchmarkTiledCostModeOps(b *testing.B) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Cost})
+	a, _ := rt.CreateTiled("T", []tile.Grid{tile.NewGrid(1024, 32), tile.NewGrid(1024, 32)}, nil, tile.RoundRobin)
+	b.ResetTimer()
+	_ = rt.Parallel(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.GetT(a, nil, i%32, (i*7)%32)
+		}
+	})
+}
+
+func BenchmarkParallelRegion(b *testing.B) {
+	rt, _ := NewRuntime(Config{Procs: 16, Mode: Cost})
+	for i := 0; i < b.N; i++ {
+		_ = rt.Parallel(func(p *Proc) { p.Compute(1) })
+	}
+}

@@ -1,0 +1,479 @@
+// Package ga implements a Global-Arrays-style partitioned global address
+// space (PGAS) runtime, the substrate the paper's schedules are written
+// against (Section 2.1, Listing 4).
+//
+// Tensors are blocked into data-tiles, linearised, and distributed over
+// processes. Any process can Get, Put, or atomically accumulate (Acc) an
+// arbitrary rectangular patch of a distributed array; transfers are
+// decomposed tile-by-tile and accounted as remote (inter-node
+// communication, the paper's global<->local I/O) or intra-node copies
+// depending on tile ownership.
+//
+// The runtime runs P processes as goroutines inside Parallel regions.
+// GA_Sync corresponds to the end of a Parallel region (or an explicit
+// Barrier). A region body panicking is converted to an error and the
+// barrier is poisoned so sibling processes cannot deadlock.
+//
+// Two execution modes share all control flow:
+//
+//   - Execute: tiles hold real float64 data; Get/Put/Acc copy elements.
+//     Used for correctness runs at small extents.
+//   - Cost: no element storage; all operations only account bytes,
+//     messages, memory, and simulated time. Used to replay the paper's
+//     molecule-scale experiments (terabytes of state) on one machine.
+//
+// Memory is enforced: creating a distributed array charges the global
+// (aggregate cluster) capacity, and local buffers charge per-process
+// capacity. Exceeding either yields ErrGlobalOOM / ErrLocalOOM, which is
+// how the evaluation reproduces the paper's "Failed" configurations.
+package ga
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fourindex/internal/cluster"
+	"fourindex/internal/metrics"
+)
+
+// Mode selects between real execution and cost-only simulation.
+type Mode int
+
+const (
+	// Execute stores and moves real data.
+	Execute Mode = iota
+	// Cost runs the same schedules but only accounts costs.
+	Cost
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Cost {
+		return "cost"
+	}
+	return "execute"
+}
+
+// ErrGlobalOOM reports that a distributed-array allocation exceeded the
+// aggregate physical memory of the simulated cluster.
+var ErrGlobalOOM = errors.New("ga: aggregate global memory exhausted")
+
+// ErrLocalOOM reports that a process-local buffer allocation exceeded the
+// per-process memory capacity.
+var ErrLocalOOM = errors.New("ga: process-local memory exhausted")
+
+// Config parametrises a runtime.
+type Config struct {
+	Procs int
+	Mode  Mode
+	// Run supplies the machine cost model; nil disables simulated time.
+	Run *cluster.Run
+	// GlobalMemBytes caps the sum of live distributed arrays
+	// (aggregate cluster memory). 0 means unlimited.
+	GlobalMemBytes int64
+	// LocalMemBytes caps per-process local buffer allocations.
+	// 0 means unlimited.
+	LocalMemBytes int64
+	// Strict panics when a Get touches a tile that was never written,
+	// catching missing-synchronisation bugs in schedules.
+	Strict bool
+	// AllowSpill turns aggregate-memory exhaustion into out-of-core
+	// execution instead of ErrGlobalOOM: a tensor that does not fit
+	// becomes disk-resident and all of its traffic is charged at the
+	// (collective, shared) file-system bandwidth. This models the
+	// disk-spilling alternative the paper's zero-spill schedules
+	// eliminate (Section 3).
+	AllowSpill bool
+}
+
+// Runtime is a PGAS runtime instance.
+type Runtime struct {
+	cfg      Config
+	counters []*metrics.Counters
+	clocks   []float64
+	barrier  *clockBarrier
+
+	mu          sync.Mutex
+	globalBytes int64
+	peakGlobal  int64
+	liveArrays  int
+
+	// idle accumulates per-process wait time at synchronisation
+	// points: the load-imbalance cost the paper's Section 7.3
+	// discusses for triangular work distributions.
+	idle []float64
+
+	phases *phaseTracker // sequential-section phase accounting
+}
+
+// NewRuntime validates the configuration and builds a runtime.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("ga: non-positive process count %d", cfg.Procs)
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		counters: make([]*metrics.Counters, cfg.Procs),
+		clocks:   make([]float64, cfg.Procs),
+		idle:     make([]float64, cfg.Procs),
+		barrier:  newClockBarrier(cfg.Procs),
+	}
+	for i := range rt.counters {
+		rt.counters[i] = &metrics.Counters{}
+	}
+	return rt, nil
+}
+
+// Procs returns the process count (GA_Nnodes).
+func (rt *Runtime) Procs() int { return rt.cfg.Procs }
+
+// Mode returns the execution mode.
+func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
+
+// GlobalBytes returns the bytes currently held by live distributed arrays.
+func (rt *Runtime) GlobalBytes() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.globalBytes
+}
+
+// PeakGlobalBytes returns the high-water mark of distributed-array bytes,
+// i.e. the aggregate-memory footprint of the executed schedule.
+func (rt *Runtime) PeakGlobalBytes() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.peakGlobal
+}
+
+// LiveArrays returns the number of distributed arrays not yet destroyed.
+func (rt *Runtime) LiveArrays() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.liveArrays
+}
+
+// Elapsed returns the simulated wall time: the maximum process clock.
+// Zero when no cost model is configured.
+func (rt *Runtime) Elapsed() float64 {
+	var m float64
+	for _, c := range rt.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// ProcCounters returns the metrics of process p.
+func (rt *Runtime) ProcCounters(p int) *metrics.Counters { return rt.counters[p] }
+
+// Totals aggregates the per-process counters.
+func (rt *Runtime) Totals() metrics.Snapshot {
+	var t metrics.Snapshot
+	for _, c := range rt.counters {
+		s := c.Snapshot()
+		t.Flops += s.Flops
+		t.DiskTraffic += s.DiskTraffic
+		t.CommTraffic += s.CommTraffic
+		t.DiskMessages += s.DiskMessages
+		t.CommMessages += s.CommMessages
+		if s.PeakElements > t.PeakElements {
+			t.PeakElements = s.PeakElements
+		}
+	}
+	return t
+}
+
+// CommVolume returns total inter-node elements moved (both directions).
+func (rt *Runtime) CommVolume() int64 {
+	var v int64
+	for _, c := range rt.counters {
+		v += c.Traffic(metrics.LevelGlobal)
+	}
+	return v
+}
+
+// IntraVolume returns total same-node get/put elements moved.
+func (rt *Runtime) IntraVolume() int64 {
+	var v int64
+	for _, c := range rt.counters {
+		v += c.Traffic(metrics.LevelIntra)
+	}
+	return v
+}
+
+// DiskVolume returns total elements moved to or from disk-resident
+// tensors (zero unless AllowSpill let a tensor overflow to disk).
+func (rt *Runtime) DiskVolume() int64 {
+	var v int64
+	for _, c := range rt.counters {
+		v += c.Traffic(metrics.LevelDisk)
+	}
+	return v
+}
+
+// regionPanic wraps a panic value recovered from a Parallel body.
+type regionPanic struct {
+	proc int
+	val  any
+}
+
+// Parallel runs body concurrently on every process and waits for all of
+// them (the boundary acts as GA_Sync). If any body panics, the panic is
+// captured, sibling barriers are poisoned, and an error is returned.
+// Clocks are synchronised to the maximum at exit.
+func (rt *Runtime) Parallel(body func(p *Proc)) error {
+	var wg sync.WaitGroup
+	panics := make(chan regionPanic, rt.cfg.Procs)
+	for i := 0; i < rt.cfg.Procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					if _, poisoned := v.(barrierBroken); !poisoned {
+						panics <- regionPanic{proc: id, val: v}
+					}
+					rt.barrier.poison()
+				}
+			}()
+			body(&Proc{rt: rt, id: id})
+		}(i)
+	}
+	wg.Wait()
+	close(panics)
+	if rp, ok := <-panics; ok {
+		rt.barrier.reset(rt.cfg.Procs)
+		if err, isErr := rp.val.(error); isErr {
+			return fmt.Errorf("ga: process %d failed: %w", rp.proc, err)
+		}
+		return fmt.Errorf("ga: process %d panicked: %v", rp.proc, rp.val)
+	}
+	// Region boundary is a synchronisation point: all clocks advance
+	// to the maximum; the gaps are idle (load-imbalance) time.
+	var m float64
+	for _, c := range rt.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	for i := range rt.clocks {
+		rt.idle[i] += m - rt.clocks[i]
+		rt.clocks[i] = m
+	}
+	return nil
+}
+
+// IdleFraction returns the fraction of total process-time spent waiting
+// at synchronisation points — 0 for perfect balance, approaching 1 when
+// one process serialises the run. Zero when no cost model is configured.
+func (rt *Runtime) IdleFraction() float64 {
+	elapsed := rt.Elapsed()
+	if elapsed <= 0 {
+		return 0
+	}
+	var idle float64
+	for _, v := range rt.idle {
+		idle += v
+	}
+	return idle / (elapsed * float64(rt.cfg.Procs))
+}
+
+// Proc is the per-process handle passed to Parallel bodies.
+type Proc struct {
+	rt *Runtime
+	id int
+}
+
+// ID returns the process rank (GA_Nodeid).
+func (p *Proc) ID() int { return p.id }
+
+// Procs returns the total process count.
+func (p *Proc) Procs() int { return p.rt.cfg.Procs }
+
+// Counters returns this process's metrics.
+func (p *Proc) Counters() *metrics.Counters { return p.rt.counters[p.id] }
+
+// Clock returns this process's simulated time in seconds.
+func (p *Proc) Clock() float64 { return p.rt.clocks[p.id] }
+
+// Compute accounts flops floating-point operations and advances the
+// simulated clock by the machine model's compute time.
+func (p *Proc) Compute(flops int64) {
+	p.ComputeEff(flops, 1)
+}
+
+// ComputeEff accounts flops with a kernel-efficiency factor in (0, 1]:
+// the full operation count is recorded, but simulated time is
+// flops / (rate * eff). Used to model implementations whose kernel
+// shapes (e.g. the per-row DGEMM calls of the paper's Listing 4) sustain
+// only a fraction of tuned-GEMM throughput.
+func (p *Proc) ComputeEff(flops int64, eff float64) {
+	if eff <= 0 || eff > 1 {
+		panic(fmt.Sprintf("ga: kernel efficiency %v out of (0, 1]", eff))
+	}
+	p.Counters().AddFlops(flops)
+	if r := p.rt.cfg.Run; r != nil {
+		p.rt.clocks[p.id] += r.ComputeSeconds(flops) / eff
+	}
+}
+
+// Barrier synchronises all processes inside a Parallel region (GA_Sync)
+// and aligns their clocks to the maximum.
+func (p *Proc) Barrier() {
+	before := p.rt.clocks[p.id]
+	after := p.rt.barrier.await(before)
+	p.rt.idle[p.id] += after - before
+	p.rt.clocks[p.id] = after
+}
+
+// Buffer is a process-local allocation. Data is nil in Cost mode.
+type Buffer struct {
+	Data  []float64
+	words int64
+}
+
+// Words returns the element capacity of the buffer.
+func (b Buffer) Words() int64 { return b.words }
+
+// AllocLocal reserves words elements of process-local memory, enforcing
+// the per-process capacity. In Execute mode the returned buffer carries
+// real zeroed storage.
+func (p *Proc) AllocLocal(words int64) (Buffer, error) {
+	if words < 0 {
+		return Buffer{}, fmt.Errorf("ga: negative local allocation %d", words)
+	}
+	c := p.Counters()
+	if lim := p.rt.cfg.LocalMemBytes; lim > 0 && (c.Current()+words)*8 > lim {
+		return Buffer{}, fmt.Errorf("%w: process %d needs %d B, capacity %d B (already using %d B)",
+			ErrLocalOOM, p.id, words*8, lim, c.Current()*8)
+	}
+	c.Alloc(words)
+	b := Buffer{words: words}
+	if p.rt.cfg.Mode == Execute {
+		b.Data = make([]float64, words)
+	}
+	return b, nil
+}
+
+// MustAllocLocal is AllocLocal that panics on failure (the panic is
+// converted to an error by Parallel).
+func (p *Proc) MustAllocLocal(words int64) Buffer {
+	b, err := p.AllocLocal(words)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FreeLocal releases a local buffer.
+func (p *Proc) FreeLocal(b Buffer) {
+	p.Counters().Free(b.words)
+}
+
+// chargeTransfer accounts one tile-fragment transfer of elems elements.
+func (p *Proc) chargeTransfer(remote bool, elems int64, isLoad bool) {
+	c := p.Counters()
+	lvl := metrics.LevelIntra
+	if remote {
+		lvl = metrics.LevelGlobal
+	}
+	if isLoad {
+		c.AddLoad(lvl, elems)
+	} else {
+		c.AddStore(lvl, elems)
+	}
+	if r := p.rt.cfg.Run; r != nil {
+		if remote {
+			p.rt.clocks[p.id] += r.RemoteSeconds(elems * 8)
+		} else {
+			p.rt.clocks[p.id] += r.LocalSeconds(elems * 8)
+		}
+	}
+}
+
+// chargeDisk accounts one transfer against a disk-resident tensor.
+func (p *Proc) chargeDisk(elems int64, isLoad bool) {
+	c := p.Counters()
+	if isLoad {
+		c.AddLoad(metrics.LevelDisk, elems)
+	} else {
+		c.AddStore(metrics.LevelDisk, elems)
+	}
+	if r := p.rt.cfg.Run; r != nil {
+		p.rt.clocks[p.id] += r.DiskSeconds(elems * 8)
+	}
+}
+
+// barrierBroken is the panic value used to unwind processes waiting on a
+// poisoned barrier.
+type barrierBroken struct{}
+
+// clockBarrier is a reusable rendezvous that also propagates the maximum
+// simulated clock to all participants.
+type clockBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	max     float64
+	results [2]float64
+	broken  atomic.Bool
+}
+
+func newClockBarrier(n int) *clockBarrier {
+	b := &clockBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants arrive, then returns the maximum
+// clock among them. Panics with barrierBroken if the barrier is poisoned.
+func (b *clockBarrier) await(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken.Load() {
+		panic(barrierBroken{})
+	}
+	if clock > b.max {
+		b.max = clock
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.results[gen%2] = b.max
+		b.max = 0
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.results[gen%2]
+	}
+	for gen == b.gen && !b.broken.Load() {
+		b.cond.Wait()
+	}
+	if b.broken.Load() {
+		panic(barrierBroken{})
+	}
+	return b.results[gen%2]
+}
+
+// poison releases all waiters with a panic and marks the barrier broken.
+func (b *clockBarrier) poison() {
+	b.mu.Lock()
+	b.broken.Store(true)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset re-arms a poisoned barrier for subsequent regions.
+func (b *clockBarrier) reset(n int) {
+	b.mu.Lock()
+	b.n = n
+	b.arrived = 0
+	b.max = 0
+	b.broken.Store(false)
+	b.mu.Unlock()
+}

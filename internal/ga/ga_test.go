@@ -1,0 +1,431 @@
+package ga
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"fourindex/internal/cluster"
+	"fourindex/internal/metrics"
+	"fourindex/internal/tile"
+)
+
+func newExec(t *testing.T, procs int) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(Config{Procs: procs, Mode: Execute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	if _, err := NewRuntime(Config{Procs: 0}); err == nil {
+		t.Error("zero procs should error")
+	}
+	rt := newExec(t, 4)
+	if rt.Procs() != 4 || rt.Mode() != Execute {
+		t.Error("runtime config not reflected")
+	}
+	if Execute.String() != "execute" || Cost.String() != "cost" {
+		t.Error("Mode.String() wrong")
+	}
+}
+
+func TestCreatePutGetRoundTrip(t *testing.T) {
+	rt := newExec(t, 3)
+	a, err := rt.Create("A", 10, 12, 4, 5, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Parallel(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		buf := make([]float64, 6)
+		for i := range buf {
+			buf[i] = float64(i + 1)
+		}
+		// Patch crossing tile boundaries: rows 2..4, cols 3..6.
+		p.Put(a, 2, 4, 3, 6, buf, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Parallel(func(p *Proc) {
+		if p.ID() != 2 {
+			return
+		}
+		got := make([]float64, 6)
+		p.Get(a, 2, 4, 3, 6, got, 3)
+		for i := range got {
+			if got[i] != float64(i+1) {
+				t.Errorf("got[%d] = %v, want %d", i, got[i], i+1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Destroy(a)
+}
+
+func TestGetWithLargerLeadingDimension(t *testing.T) {
+	rt := newExec(t, 1)
+	a, _ := rt.Create("A", 4, 4, 2, 2, tile.RoundRobin)
+	_ = rt.Parallel(func(p *Proc) {
+		buf := []float64{1, 2, 3, 4}
+		p.Put(a, 0, 2, 0, 2, buf, 2)
+		out := make([]float64, 2*5)
+		p.Get(a, 0, 2, 0, 2, out, 5)
+		if out[0] != 1 || out[1] != 2 || out[5] != 3 || out[6] != 4 {
+			t.Errorf("strided get wrong: %v", out)
+		}
+	})
+}
+
+func TestAccAccumulatesConcurrently(t *testing.T) {
+	rt := newExec(t, 8)
+	a, _ := rt.Create("C", 6, 6, 3, 3, tile.RoundRobin)
+	err := rt.Parallel(func(p *Proc) {
+		buf := make([]float64, 36)
+		for i := range buf {
+			buf[i] = 1
+		}
+		p.Acc(a, 0, 6, 0, 6, 1, buf, 6)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := a.ReadAll()
+	for i, v := range all {
+		if v != 8 {
+			t.Fatalf("element %d = %v, want 8 (one per process)", i, v)
+		}
+	}
+}
+
+func TestAccAlpha(t *testing.T) {
+	rt := newExec(t, 1)
+	a, _ := rt.Create("C", 2, 2, 2, 2, tile.RoundRobin)
+	_ = rt.Parallel(func(p *Proc) {
+		buf := []float64{1, 2, 3, 4}
+		p.Acc(a, 0, 2, 0, 2, 2.5, buf, 2)
+	})
+	want := []float64{2.5, 5, 7.5, 10}
+	for i, v := range a.ReadAll() {
+		if v != want[i] {
+			t.Errorf("elem %d = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestRemoteVsIntraAccounting(t *testing.T) {
+	rt := newExec(t, 2)
+	// 2 row tiles, round robin: tile row 0 -> proc 0, tile row 1 -> proc 1.
+	a, _ := rt.Create("A", 4, 2, 2, 2, tile.RoundRobin)
+	err := rt.Parallel(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		buf := make([]float64, 8)
+		p.Put(a, 0, 4, 0, 2, buf, 2) // rows 0-1 local, rows 2-3 remote
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := rt.ProcCounters(0)
+	if got := c0.Stores(metrics.LevelIntra); got != 4 {
+		t.Errorf("intra stores = %d, want 4", got)
+	}
+	if got := c0.Stores(metrics.LevelGlobal); got != 4 {
+		t.Errorf("remote stores = %d, want 4", got)
+	}
+	if rt.CommVolume() != 4 || rt.IntraVolume() != 4 {
+		t.Errorf("volumes comm=%d intra=%d", rt.CommVolume(), rt.IntraVolume())
+	}
+}
+
+func TestOwnershipHelpers(t *testing.T) {
+	rt := newExec(t, 3)
+	a, _ := rt.Create("A", 9, 9, 3, 3, tile.RoundRobin)
+	// 3x3 tiles; linear id = tr*3+tc; owner = id % 3.
+	if a.TileOwner(0, 0) != 0 || a.TileOwner(0, 1) != 1 || a.TileOwner(1, 0) != 0 {
+		t.Error("TileOwner mismatch")
+	}
+	if a.OwnerOf(4, 7) != a.TileOwner(1, 2) {
+		t.Error("OwnerOf disagrees with TileOwner")
+	}
+	if a.Bytes() != 9*9*8 {
+		t.Errorf("Bytes = %d", a.Bytes())
+	}
+}
+
+func TestGlobalMemoryEnforcement(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Execute, GlobalMemBytes: 1000})
+	a, err := rt.Create("A", 10, 10, 5, 5, tile.RoundRobin) // 800 B
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Create("B", 10, 10, 5, 5, tile.RoundRobin); !errors.Is(err, ErrGlobalOOM) {
+		t.Errorf("expected ErrGlobalOOM, got %v", err)
+	}
+	rt.Destroy(a)
+	// After destroy the capacity is free again.
+	b, err := rt.Create("B", 10, 10, 5, 5, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Destroy(b)
+	if rt.GlobalBytes() != 0 || rt.LiveArrays() != 0 {
+		t.Error("memory not released")
+	}
+	if rt.PeakGlobalBytes() != 800 {
+		t.Errorf("peak = %d, want 800", rt.PeakGlobalBytes())
+	}
+}
+
+func TestLocalMemoryEnforcement(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Execute, LocalMemBytes: 80})
+	err := rt.Parallel(func(p *Proc) {
+		b1 := p.MustAllocLocal(5) // 40 B
+		if b1.Data == nil || b1.Words() != 5 {
+			t.Error("execute-mode buffer missing data")
+		}
+		if _, err := p.AllocLocal(6); !errors.Is(err, ErrLocalOOM) {
+			t.Errorf("expected ErrLocalOOM, got %v", err)
+		}
+		p.FreeLocal(b1)
+		b2 := p.MustAllocLocal(10) // exactly 80 B
+		p.FreeLocal(b2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.ProcCounters(0).Peak(); got != 10 {
+		t.Errorf("local peak = %d elements, want 10", got)
+	}
+}
+
+func TestMustAllocLocalPanicsToError(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 2, Mode: Execute, LocalMemBytes: 8})
+	err := rt.Parallel(func(p *Proc) {
+		p.MustAllocLocal(100)
+	})
+	if !errors.Is(err, ErrLocalOOM) {
+		t.Errorf("Parallel should surface MustAllocLocal failure, got %v", err)
+	}
+}
+
+func TestParallelPanicPoisonsBarrier(t *testing.T) {
+	rt := newExec(t, 3)
+	err := rt.Parallel(func(p *Proc) {
+		if p.ID() == 1 {
+			panic("boom")
+		}
+		p.Barrier() // would deadlock without poisoning
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+	// Runtime remains usable after a failed region.
+	if err := rt.Parallel(func(p *Proc) { p.Barrier() }); err != nil {
+		t.Fatalf("runtime unusable after failure: %v", err)
+	}
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	run, err := cluster.SystemB().Configure(4, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := NewRuntime(Config{Procs: 4, Mode: Cost, Run: &run})
+	err = rt.Parallel(func(p *Proc) {
+		p.Compute(int64(p.ID()) * 1e9) // unequal work
+		p.Barrier()
+		c := p.Clock()
+		want := run.ComputeSeconds(3e9)
+		if math.Abs(c-want) > 1e-12 {
+			t.Errorf("proc %d clock = %v, want max %v", p.ID(), c, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Elapsed() <= 0 {
+		t.Error("Elapsed should be positive")
+	}
+}
+
+func TestCostModeAccountsWithoutData(t *testing.T) {
+	run, _ := cluster.SystemA().Configure(2, 8)
+	rt, _ := NewRuntime(Config{Procs: 2, Mode: Cost, Run: &run})
+	// A deliberately huge array: must not allocate element storage.
+	a, err := rt.Create("big", 1_000_000, 1_000_000, 10_000, 10_000, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Put(a, 0, 20000, 0, 5, nil, 0)
+			p.Get(a, 0, 100, 0, 100, nil, 0)
+		}
+		p.Compute(12345)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := rt.Totals()
+	if tot.Flops != 2*12345 {
+		t.Errorf("flops = %d", tot.Flops)
+	}
+	moved := rt.CommVolume() + rt.IntraVolume()
+	if moved != 20000*5+100*100 {
+		t.Errorf("moved = %d elements", moved)
+	}
+	if rt.Elapsed() <= 0 {
+		t.Error("cost mode should advance simulated time")
+	}
+	rt.Destroy(a)
+}
+
+func TestStrictReadBeforeWrite(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Execute, Strict: true})
+	a, _ := rt.Create("A", 4, 4, 2, 2, tile.RoundRobin)
+	err := rt.Parallel(func(p *Proc) {
+		buf := make([]float64, 4)
+		p.Get(a, 0, 2, 0, 2, buf, 2)
+	})
+	if err == nil {
+		t.Fatal("strict mode should reject Get of never-written tile")
+	}
+	err = rt.Parallel(func(p *Proc) {
+		buf := []float64{1, 2, 3, 4}
+		p.Put(a, 0, 2, 0, 2, buf, 2)
+		p.Get(a, 0, 2, 0, 2, buf, 2)
+	})
+	if err != nil {
+		t.Fatalf("Get after Put should pass strict mode: %v", err)
+	}
+}
+
+func TestDoubleDestroyPanics(t *testing.T) {
+	rt := newExec(t, 1)
+	a, _ := rt.Create("A", 2, 2, 2, 2, tile.RoundRobin)
+	rt.Destroy(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double destroy did not panic")
+		}
+	}()
+	rt.Destroy(a)
+}
+
+func TestUseAfterDestroyPanics(t *testing.T) {
+	rt := newExec(t, 1)
+	a, _ := rt.Create("A", 2, 2, 2, 2, tile.RoundRobin)
+	rt.Destroy(a)
+	err := rt.Parallel(func(p *Proc) {
+		p.Get(a, 0, 1, 0, 1, make([]float64, 1), 1)
+	})
+	if err == nil {
+		t.Error("Get after destroy should fail")
+	}
+}
+
+func TestInvalidPatchPanics(t *testing.T) {
+	rt := newExec(t, 1)
+	a, _ := rt.Create("A", 4, 4, 2, 2, tile.RoundRobin)
+	cases := [][4]int{{0, 5, 0, 4}, {2, 2, 0, 4}, {-1, 1, 0, 4}, {0, 4, 3, 2}}
+	for _, c := range cases {
+		err := rt.Parallel(func(p *Proc) {
+			p.Get(a, c[0], c[1], c[2], c[3], make([]float64, 100), 10)
+		})
+		if err == nil {
+			t.Errorf("patch %v should fail", c)
+		}
+	}
+}
+
+func TestCreateInvalidShape(t *testing.T) {
+	rt := newExec(t, 1)
+	if _, err := rt.Create("A", 0, 4, 2, 2, tile.RoundRobin); err == nil {
+		t.Error("zero rows should error")
+	}
+}
+
+func TestParallelRunsAllProcs(t *testing.T) {
+	rt := newExec(t, 7)
+	var n atomic.Int32
+	if err := rt.Parallel(func(p *Proc) { n.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 7 {
+		t.Errorf("ran %d procs, want 7", n.Load())
+	}
+}
+
+func TestReadAllMatchesPuts(t *testing.T) {
+	rt := newExec(t, 4)
+	a, _ := rt.Create("A", 5, 7, 2, 3, tile.RoundRobin)
+	err := rt.Parallel(func(p *Proc) {
+		// Each proc writes its own rows r where r % procs == id.
+		for r := p.ID(); r < 5; r += p.Procs() {
+			row := make([]float64, 7)
+			for c := range row {
+				row[c] = float64(r*10 + c)
+			}
+			p.Put(a, r, r+1, 0, 7, row, 7)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := a.ReadAll()
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 7; c++ {
+			if all[r*7+c] != float64(r*10+c) {
+				t.Fatalf("(%d,%d) = %v", r, c, all[r*7+c])
+			}
+		}
+	}
+}
+
+// Fault injection: a panic deep inside one work unit of a large parallel
+// region must surface as a single error, leave the runtime reusable, and
+// leak no arrays.
+func TestFaultInjectionMidSchedule(t *testing.T) {
+	rt := newExec(t, 8)
+	a, _ := rt.CreateTiled("T", grids(16, 4, 2), nil, tile.RoundRobin)
+	err := rt.Parallel(func(p *Proc) {
+		for ti := 0; ti < 4; ti++ {
+			for tj := 0; tj < 4; tj++ {
+				if a.Owner(ti, tj) != p.ID() {
+					continue
+				}
+				if ti == 2 && tj == 3 {
+					panic("injected fault")
+				}
+				buf := make([]float64, a.TileWords([]int{ti, tj}))
+				p.PutT(a, buf, ti, tj)
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("injected fault not surfaced")
+	}
+	rt.DestroyTiled(a)
+	if rt.LiveArrays() != 0 {
+		t.Errorf("leaked arrays: %d", rt.LiveArrays())
+	}
+	// Runtime still functional.
+	b, err := rt.CreateTiled("U", grids(4, 2, 2), nil, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Parallel(func(p *Proc) { p.Barrier() }); err != nil {
+		t.Fatalf("runtime unusable after fault: %v", err)
+	}
+	rt.DestroyTiled(b)
+}

@@ -1,0 +1,94 @@
+package ga
+
+import "fourindex/internal/metrics"
+
+// PhaseStat aggregates the resources one named schedule phase consumed.
+// Phases with the same name (e.g. the per-slab contractions of a fused
+// schedule) accumulate into a single row.
+type PhaseStat struct {
+	Name          string
+	Seconds       float64 // simulated wall time attributed to the phase
+	Flops         int64
+	CommElements  int64 // inter-node traffic
+	IntraElements int64 // same-node copies
+	Messages      int64
+}
+
+// phaseTracker accumulates per-phase deltas between sequential-section
+// markers.
+type phaseTracker struct {
+	current string
+	mark    phaseMark
+	order   []string
+	stats   map[string]*PhaseStat
+}
+
+type phaseMark struct {
+	clock float64
+	flops int64
+	comm  int64
+	intra int64
+	msgs  int64
+}
+
+// BeginPhase marks the start of a named schedule phase. It must be
+// called from sequential (between-region) code; the previous phase, if
+// any, is closed and its resource deltas accumulated. Repeated names
+// accumulate into one row.
+func (rt *Runtime) BeginPhase(name string) {
+	rt.closePhase()
+	if rt.phases == nil {
+		rt.phases = &phaseTracker{stats: make(map[string]*PhaseStat)}
+	}
+	rt.phases.current = name
+	rt.phases.mark = rt.phaseMarkNow()
+}
+
+// EndPhase closes the open phase without starting another.
+func (rt *Runtime) EndPhase() { rt.closePhase() }
+
+func (rt *Runtime) phaseMarkNow() phaseMark {
+	var m phaseMark
+	m.clock = rt.Elapsed()
+	for _, c := range rt.counters {
+		m.flops += c.Flops()
+		m.comm += c.Traffic(metrics.LevelGlobal)
+		m.intra += c.Traffic(metrics.LevelIntra)
+		m.msgs += c.Messages(metrics.LevelGlobal) + c.Messages(metrics.LevelIntra)
+	}
+	return m
+}
+
+func (rt *Runtime) closePhase() {
+	pt := rt.phases
+	if pt == nil || pt.current == "" {
+		return
+	}
+	now := rt.phaseMarkNow()
+	st, ok := pt.stats[pt.current]
+	if !ok {
+		st = &PhaseStat{Name: pt.current}
+		pt.stats[pt.current] = st
+		pt.order = append(pt.order, pt.current)
+	}
+	st.Seconds += now.clock - pt.mark.clock
+	st.Flops += now.flops - pt.mark.flops
+	st.CommElements += now.comm - pt.mark.comm
+	st.IntraElements += now.intra - pt.mark.intra
+	st.Messages += now.msgs - pt.mark.msgs
+	pt.current = ""
+}
+
+// Phases returns the accumulated per-phase statistics in first-seen
+// order, closing any open phase.
+func (rt *Runtime) Phases() []PhaseStat {
+	rt.closePhase()
+	if rt.phases == nil {
+		return nil
+	}
+	out := make([]PhaseStat, 0, len(rt.phases.order))
+	for _, name := range rt.phases.order {
+		out = append(out, *rt.phases.stats[name])
+	}
+	return out
+}

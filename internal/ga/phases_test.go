@@ -1,0 +1,167 @@
+package ga
+
+import (
+	"testing"
+
+	"fourindex/internal/cluster"
+	"fourindex/internal/tile"
+)
+
+func TestPhasesAccumulateByName(t *testing.T) {
+	run, err := cluster.SystemB().Configure(2, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := NewRuntime(Config{Procs: 2, Mode: Cost, Run: &run})
+
+	rt.BeginPhase("compute")
+	_ = rt.Parallel(func(p *Proc) { p.Compute(1e9) })
+	rt.BeginPhase("move")
+	a, _ := rt.CreateTiled("x", []tile.Grid{tile.NewGrid(100, 10)}, nil, tile.RoundRobin)
+	_ = rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.PutT(a, nil, 3)
+		}
+	})
+	rt.BeginPhase("compute") // accumulates into the first row
+	_ = rt.Parallel(func(p *Proc) { p.Compute(1e9) })
+
+	phases := rt.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (accumulated by name): %+v", len(phases), phases)
+	}
+	if phases[0].Name != "compute" || phases[1].Name != "move" {
+		t.Errorf("phase order wrong: %+v", phases)
+	}
+	if phases[0].Flops != 4e9 { // 2 procs x 1e9, twice
+		t.Errorf("compute flops = %d, want 4e9", phases[0].Flops)
+	}
+	if phases[0].Seconds <= 0 {
+		t.Error("compute phase has no time")
+	}
+	if phases[1].IntraElements+phases[1].CommElements != 10 {
+		t.Errorf("move phase traffic = %d+%d, want 10",
+			phases[1].IntraElements, phases[1].CommElements)
+	}
+	if phases[1].Flops != 0 {
+		t.Errorf("move phase flops = %d, want 0", phases[1].Flops)
+	}
+}
+
+func TestPhasesEndPhase(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Cost})
+	rt.BeginPhase("a")
+	_ = rt.Parallel(func(p *Proc) { p.Compute(10) })
+	rt.EndPhase()
+	// Work after EndPhase belongs to no phase.
+	_ = rt.Parallel(func(p *Proc) { p.Compute(5) })
+	phases := rt.Phases()
+	if len(phases) != 1 || phases[0].Flops != 10 {
+		t.Errorf("phases = %+v", phases)
+	}
+}
+
+func TestPhasesEmpty(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Cost})
+	if got := rt.Phases(); got != nil {
+		t.Errorf("no phases expected, got %+v", got)
+	}
+}
+
+func TestComputeEffValidation(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Cost})
+	err := rt.Parallel(func(p *Proc) { p.ComputeEff(10, 0) })
+	if err == nil {
+		t.Error("eff = 0 should fail")
+	}
+	err = rt.Parallel(func(p *Proc) { p.ComputeEff(10, 1.5) })
+	if err == nil {
+		t.Error("eff > 1 should fail")
+	}
+}
+
+func TestComputeEffSlowsClockNotFlops(t *testing.T) {
+	run, _ := cluster.SystemB().Configure(1, 28)
+	rtFast, _ := NewRuntime(Config{Procs: 1, Mode: Cost, Run: &run})
+	rtSlow, _ := NewRuntime(Config{Procs: 1, Mode: Cost, Run: &run})
+	_ = rtFast.Parallel(func(p *Proc) { p.ComputeEff(1e9, 1) })
+	_ = rtSlow.Parallel(func(p *Proc) { p.ComputeEff(1e9, 0.25) })
+	if rtFast.Totals().Flops != rtSlow.Totals().Flops {
+		t.Error("flop counts must not depend on efficiency")
+	}
+	ratio := rtSlow.Elapsed() / rtFast.Elapsed()
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("eff=0.25 should be 4x slower, got %vx", ratio)
+	}
+}
+
+func TestSpillTensorChargesDisk(t *testing.T) {
+	run, _ := cluster.SystemA().Configure(2, 8)
+	rt, _ := NewRuntime(Config{
+		Procs: 2, Mode: Cost, Run: &run,
+		GlobalMemBytes: 100, AllowSpill: true,
+	})
+	a, err := rt.CreateTiled("big", []tile.Grid{tile.NewGrid(1000, 100)}, nil, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OnDisk() {
+		t.Fatal("oversized tensor should be disk-resident")
+	}
+	if rt.GlobalBytes() != 0 {
+		t.Error("disk tensor must not charge aggregate memory")
+	}
+	_ = rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.PutT(a, nil, 2)
+			p.GetT(a, nil, 2)
+		}
+	})
+	if rt.DiskVolume() != 200 {
+		t.Errorf("disk volume = %d, want 200", rt.DiskVolume())
+	}
+	if rt.CommVolume() != 0 {
+		t.Error("disk traffic must not count as network communication")
+	}
+	if rt.Elapsed() <= 0 {
+		t.Error("disk transfers should advance the clock")
+	}
+	rt.DestroyTiled(a)
+	if rt.LiveArrays() != 0 {
+		t.Error("disk tensor not released")
+	}
+}
+
+func TestSpillDisabledStillOOMs(t *testing.T) {
+	rt, _ := NewRuntime(Config{Procs: 1, Mode: Cost, GlobalMemBytes: 100})
+	if _, err := rt.CreateTiled("big", []tile.Grid{tile.NewGrid(1000, 100)}, nil, tile.RoundRobin); err == nil {
+		t.Error("expected OOM without AllowSpill")
+	}
+}
+
+func TestIdleFraction(t *testing.T) {
+	run, _ := cluster.SystemB().Configure(4, 28)
+	rt, _ := NewRuntime(Config{Procs: 4, Mode: Cost, Run: &run})
+	// One proc does all the work: 3/4 of process-time is idle.
+	_ = rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Compute(4e9)
+		}
+	})
+	got := rt.IdleFraction()
+	if got < 0.74 || got > 0.76 {
+		t.Errorf("IdleFraction = %v, want 0.75", got)
+	}
+	// Balanced work adds no idle.
+	rt2, _ := NewRuntime(Config{Procs: 4, Mode: Cost, Run: &run})
+	_ = rt2.Parallel(func(p *Proc) { p.Compute(1e9) })
+	if f := rt2.IdleFraction(); f != 0 {
+		t.Errorf("balanced IdleFraction = %v, want 0", f)
+	}
+	// No cost model: zero.
+	rt3, _ := NewRuntime(Config{Procs: 2, Mode: Cost})
+	_ = rt3.Parallel(func(p *Proc) {})
+	if rt3.IdleFraction() != 0 {
+		t.Error("IdleFraction without model should be 0")
+	}
+}

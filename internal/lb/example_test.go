@@ -1,0 +1,44 @@
+package lb_test
+
+import (
+	"fmt"
+
+	"fourindex/internal/lb"
+	"fourindex/internal/sym"
+)
+
+// The Section 5.3 analysis at a glance: rank all eight fusion
+// configurations for a molecule-sized transform.
+func ExampleRankConfigs() {
+	ranked := lb.RankConfigs(sym.ExactSizes(698, 8))
+	for _, rc := range ranked[:3] {
+		fmt.Println(rc.Config)
+	}
+	// Output:
+	// op1234
+	// op12/34
+	// op1/234
+}
+
+// The fuse/unfuse hybrid decision of Section 7.4.
+func ExampleAdvise() {
+	need := lb.MemoryUnfused(1194, 8) * 8
+	fmt.Println(lb.Advise(1194, 8, need*2).Scheme)
+	fmt.Println(lb.Advise(1194, 8, need/2).Scheme)
+	fmt.Println(lb.Advise(1194, 8, 1<<20).Scheme)
+	// Output:
+	// unfused
+	// fused
+	// infeasible
+}
+
+// The two-level construction of Section 3: op1234 against the disk,
+// op12/34 against the network.
+func ExamplePlanHierarchy() {
+	p := lb.PlanHierarchy(698, 8, 2.5e12, 4e9)
+	fmt.Println(p.Outer.Config)
+	fmt.Println(p.Inner.Config)
+	// Output:
+	// op1234
+	// op12/34
+}

@@ -1,0 +1,143 @@
+package lb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fourindex/internal/sym"
+)
+
+// FusionConfig is a partition of the four-contraction chain into
+// contiguous fused groups, e.g. {{1,2},{3,4}} is op12/34.
+type FusionConfig struct {
+	Groups [][]int
+}
+
+// String renders the paper's notation: op12/34, op1/2/3/4, op1234, ...
+func (c FusionConfig) String() string {
+	parts := make([]string, len(c.Groups))
+	for i, g := range c.Groups {
+		var b strings.Builder
+		for _, op := range g {
+			fmt.Fprintf(&b, "%d", op)
+		}
+		parts[i] = b.String()
+	}
+	return "op" + strings.Join(parts, "/")
+}
+
+// AllFusionConfigs enumerates every contiguous grouping of the four
+// contractions: the 2^3 = 8 compositions of 4.
+func AllFusionConfigs() []FusionConfig {
+	var out []FusionConfig
+	// Each of the 3 boundaries (after op1, op2, op3) is cut or fused.
+	for mask := 0; mask < 8; mask++ {
+		var groups [][]int
+		cur := []int{1}
+		for op := 2; op <= 4; op++ {
+			if mask&(1<<(op-2)) != 0 { // boundary cut
+				groups = append(groups, cur)
+				cur = []int{op}
+			} else {
+				cur = append(cur, op)
+			}
+		}
+		groups = append(groups, cur)
+		out = append(out, FusionConfig{Groups: groups})
+	}
+	return out
+}
+
+// ConfigByName finds a fusion configuration from its op-notation string.
+func ConfigByName(name string) (FusionConfig, error) {
+	for _, c := range AllFusionConfigs() {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return FusionConfig{}, fmt.Errorf("lb: unknown fusion config %q", name)
+}
+
+// tensorSize returns the size of the tensor flowing between op i and
+// op i+1 (0 = A, 4 = C) from the symmetric size table.
+func tensorSize(sz sym.Sizes, boundary int) int64 {
+	switch boundary {
+	case 0:
+		return sz.A
+	case 1:
+		return sz.O1
+	case 2:
+		return sz.O2
+	case 3:
+		return sz.O3
+	case 4:
+		return sz.C
+	default:
+		panic(fmt.Sprintf("lb: bad tensor boundary %d", boundary))
+	}
+}
+
+// ConfigIO returns the Section 5.3 I/O lower bound for a fusion
+// configuration with the symmetric tensor sizes of Table 1: the sum over
+// fused groups of (group input size + group output size). For groups of
+// one or two contractions this bound is tight (Listings 5 and 6); for
+// three or more it is a valid lower bound.
+func ConfigIO(c FusionConfig, sz sym.Sizes) int64 {
+	var total int64
+	for _, g := range c.Groups {
+		first, last := g[0], g[len(g)-1]
+		total += tensorSize(sz, first-1) + tensorSize(sz, last)
+	}
+	return total
+}
+
+// ConfigTight reports whether ConfigIO is a tight bound for the
+// configuration: every group has at most two contractions, or the group
+// is the full op1234 chain (tight by Listing 7 when S >= |C|).
+func ConfigTight(c FusionConfig) bool {
+	for _, g := range c.Groups {
+		if len(g) > 2 && len(g) != 4 {
+			return false
+		}
+	}
+	return true
+}
+
+// RankedConfig pairs a configuration with its I/O bound.
+type RankedConfig struct {
+	Config FusionConfig
+	IO     int64
+	Tight  bool
+}
+
+// RankConfigs orders all eight fusion configurations by their I/O bound,
+// ascending; ties break toward fewer fused groups (more fusion). The
+// result realises Theorem 5.2's total order:
+//
+//	IO(op1234) <= IO(op12/34) < IO(op123/4)
+func RankConfigs(sz sym.Sizes) []RankedConfig {
+	cfgs := AllFusionConfigs()
+	out := make([]RankedConfig, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = RankedConfig{Config: c, IO: ConfigIO(c, sz), Tight: ConfigTight(c)}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].IO != out[j].IO {
+			return out[i].IO < out[j].IO
+		}
+		return len(out[i].Config.Groups) < len(out[j].Config.Groups)
+	})
+	return out
+}
+
+// BestConfig returns the minimum-I/O configuration for the given sizes
+// and fast-memory capacity: op1234 when full reuse is possible
+// (S >= |C|, Theorem 6.2), otherwise op12/34 (Theorem 5.2 shows no other
+// partial fusion beats it).
+func BestConfig(sz sym.Sizes, s int64) FusionConfig {
+	if FullReusePossible(s, sz.C) {
+		return FusionConfig{Groups: [][]int{{1, 2, 3, 4}}}
+	}
+	return FusionConfig{Groups: [][]int{{1, 2}, {3, 4}}}
+}

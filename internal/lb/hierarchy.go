@@ -1,0 +1,91 @@
+package lb
+
+import (
+	"fmt"
+
+	"fourindex/internal/sym"
+)
+
+// LevelPlan is the fusion decision at one level of the two-level memory
+// abstraction of Section 3.
+type LevelPlan struct {
+	// Level names the slow<->fast boundary.
+	Level string
+	// FastBytes is the fast memory capacity at this level.
+	FastBytes int64
+	// FullReuse reports whether S >= |C| holds (Theorem 6.2), enabling
+	// the op1234 full fusion with I/O = |A| + |C|.
+	FullReuse bool
+	// Config is the chosen fusion configuration.
+	Config FusionConfig
+	// IOBoundElements is the configuration's I/O lower bound.
+	IOBoundElements int64
+	// Note explains the decision in the paper's terms.
+	Note string
+}
+
+// HierarchyPlan is the full Section 3 construction: the outer level
+// (disk as slow memory, aggregate global memory as fast) decides whether
+// the whole transform can run without disk I/O via op1234; the inner
+// level (global memory as slow, process-local memory as fast) decides
+// the fusion of the inner per-slab transform, yielding Listing 10's
+// outer-1234 / inner-12-34 nesting.
+type HierarchyPlan struct {
+	N, S         int
+	Outer, Inner LevelPlan
+	// TileL is the largest fused-loop tile width whose slabs fit the
+	// aggregate memory (0 when the outer level cannot run disk-free).
+	TileL int
+}
+
+// PlanHierarchy applies the paper's analysis at both levels of the
+// memory hierarchy for extent n with spatial symmetry s on a machine
+// with the given aggregate and per-process memories.
+func PlanHierarchy(n, s int, globalBytes, localBytes int64) HierarchyPlan {
+	sz := sym.ExactSizes(n, s)
+	plan := HierarchyPlan{N: n, S: s}
+
+	// Outer level: disk <-> aggregate global memory.
+	globalWords := globalBytes / 8
+	outer := LevelPlan{Level: "disk<->global", FastBytes: globalBytes}
+	if FullReusePossible(globalWords, sz.C) {
+		outer.FullReuse = true
+		outer.Config = FusionConfig{Groups: [][]int{{1, 2, 3, 4}}}
+		outer.IOBoundElements = sz.A + sz.C
+		outer.Note = "S >= |C| (Theorem 6.2): op1234 runs disk-free; with on-the-fly integrals the actual disk I/O is zero (Section 7.1)"
+		for tl := n; tl >= 1; tl-- {
+			if MemoryFused1234Inner(n, s, tl)*8 <= globalBytes {
+				plan.TileL = tl
+				break
+			}
+		}
+	} else {
+		outer.Config = FusionConfig{Groups: [][]int{{1, 2}, {3, 4}}}
+		outer.IOBoundElements = ConfigIO(outer.Config, sz)
+		outer.Note = "S < |C|: no schedule avoids disk I/O (Theorem 6.2 necessity); op12/34 minimises it (Theorem 5.2)"
+	}
+	plan.Outer = outer
+
+	// Inner level: global <-> process-local memory, for the per-slab
+	// inner transform whose output is still the full C.
+	localWords := localBytes / 8
+	inner := LevelPlan{Level: "global<->local", FastBytes: localBytes}
+	if FullReusePossible(localWords, sz.C) {
+		inner.FullReuse = true
+		inner.Config = FusionConfig{Groups: [][]int{{1, 2, 3, 4}}}
+		inner.IOBoundElements = sz.A + sz.C
+		inner.Note = "local memory holds C: the inner transform needs no communication beyond |A|+|C|"
+	} else {
+		inner.Config = FusionConfig{Groups: [][]int{{1, 2}, {3, 4}}}
+		inner.IOBoundElements = ConfigIO(inner.Config, sz)
+		inner.Note = "local memory below |C| (the usual case, Section 7.2): op12/34 minimises communication volume"
+	}
+	plan.Inner = inner
+	return plan
+}
+
+// String renders the plan compactly.
+func (p HierarchyPlan) String() string {
+	return fmt.Sprintf("outer %s -> %s; inner %s -> %s (Tl=%d)",
+		p.Outer.Level, p.Outer.Config, p.Inner.Level, p.Inner.Config, p.TileL)
+}

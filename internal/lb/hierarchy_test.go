@@ -1,0 +1,86 @@
+package lb
+
+import (
+	"strings"
+	"testing"
+
+	"fourindex/internal/sym"
+)
+
+// The canonical Listing 10 situation: aggregate memory holds C, local
+// memory does not — outer op1234, inner op12/34.
+func TestPlanHierarchyListing10(t *testing.T) {
+	n, s := 698, 8
+	sz := sym.ExactSizes(n, s)
+	globalBytes := sz.C*8 + 1<<36 // C plus slack
+	localBytes := int64(4 << 30)  // 4 GB per process, far below |C|
+
+	p := PlanHierarchy(n, s, globalBytes, localBytes)
+	if !p.Outer.FullReuse || p.Outer.Config.String() != "op1234" {
+		t.Errorf("outer = %+v, want op1234 full reuse", p.Outer)
+	}
+	if p.Outer.IOBoundElements != sz.A+sz.C {
+		t.Errorf("outer I/O bound = %d, want |A|+|C| = %d", p.Outer.IOBoundElements, sz.A+sz.C)
+	}
+	if p.Inner.FullReuse || p.Inner.Config.String() != "op12/34" {
+		t.Errorf("inner = %+v, want op12/34", p.Inner)
+	}
+	if p.Inner.IOBoundElements != sz.A+2*sz.O2+sz.C {
+		t.Errorf("inner I/O bound = %d, want |A|+2|O2|+|C|", p.Inner.IOBoundElements)
+	}
+	if p.TileL < 1 || p.TileL > n {
+		t.Errorf("TileL = %d out of range", p.TileL)
+	}
+	// The chosen tile is maximal.
+	if p.TileL < n && MemoryFused1234Inner(n, s, p.TileL+1)*8 <= globalBytes {
+		t.Error("TileL not maximal")
+	}
+	if !strings.Contains(p.String(), "op12/34") {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+// Tiny problem, huge local memory: both levels fully reuse.
+func TestPlanHierarchyAllLocal(t *testing.T) {
+	p := PlanHierarchy(32, 1, 1<<40, 1<<40)
+	if !p.Outer.FullReuse || !p.Inner.FullReuse {
+		t.Errorf("both levels should fully reuse: %+v", p)
+	}
+	if p.Inner.Config.String() != "op1234" {
+		t.Errorf("inner config = %s", p.Inner.Config)
+	}
+}
+
+// Aggregate memory below |C|: disk I/O unavoidable, op12/34 at the outer
+// level.
+func TestPlanHierarchyDiskBound(t *testing.T) {
+	n, s := 698, 8
+	sz := sym.ExactSizes(n, s)
+	p := PlanHierarchy(n, s, sz.C*8/2, 1<<30)
+	if p.Outer.FullReuse {
+		t.Error("outer full reuse claimed below |C|")
+	}
+	if p.Outer.Config.String() != "op12/34" {
+		t.Errorf("outer config = %s", p.Outer.Config)
+	}
+	if p.TileL != 0 {
+		t.Errorf("TileL = %d, want 0 (no disk-free schedule)", p.TileL)
+	}
+	if !strings.Contains(p.Outer.Note, "Theorem 6.2") {
+		t.Errorf("note should cite Theorem 6.2: %q", p.Outer.Note)
+	}
+}
+
+// The threshold is exactly |C| at the outer level.
+func TestPlanHierarchyThresholdExact(t *testing.T) {
+	n, s := 64, 1
+	sz := sym.ExactSizes(n, s)
+	at := PlanHierarchy(n, s, sz.C*8, 1<<20)
+	below := PlanHierarchy(n, s, sz.C*8-8, 1<<20)
+	if !at.Outer.FullReuse {
+		t.Error("S = |C| should permit full reuse")
+	}
+	if below.Outer.FullReuse {
+		t.Error("S = |C| - 1 word must not permit full reuse")
+	}
+}

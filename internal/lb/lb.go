@@ -1,0 +1,123 @@
+// Package lb implements the paper's data-movement lower-bound analysis
+// (Sections 4-6): published matrix-multiplication I/O lower bounds, the
+// Fusion Lemma, per-contraction tight bounds, the enumeration and
+// ordering of fusion configurations for the four-index transform, the
+// necessary/sufficient conditions for full intermediate reuse, and the
+// memory/flop formulas behind the fuse/unfuse hybrid driver (Section 7.4).
+//
+// All bounds are in elements (words) unless named *Bytes.
+package lb
+
+import (
+	"fmt"
+	"math"
+)
+
+// HongKungMatmulLB returns the Hong & Kung asymptotic I/O lower bound for
+// multiplying two n x n matrices with fast memory S: Omega(n^3 / sqrt S).
+// The returned value uses unit constant (the original paper's bound is
+// asymptotic).
+func HongKungMatmulLB(n, s int64) float64 {
+	checkS(s)
+	return float64(n) * float64(n) * float64(n) / math.Sqrt(float64(s))
+}
+
+// IronyMatmulLB returns the Irony/Toledo/Tiskin constant-factor bound for
+// an (ni x nj) by (nj x nk) product: ni*nj*nk / (2*sqrt(2*S)).
+func IronyMatmulLB(ni, nj, nk, s int64) float64 {
+	checkS(s)
+	return float64(ni) * float64(nj) * float64(nk) / (2 * math.Sqrt(2*float64(s)))
+}
+
+// DongarraMatmulLB returns the tighter Dongarra et al. bound used
+// throughout the paper: 1.73 * ni*nj*nk / sqrt(S).
+func DongarraMatmulLB(ni, nj, nk, s int64) float64 {
+	checkS(s)
+	return 1.73 * float64(ni) * float64(nj) * float64(nk) / math.Sqrt(float64(s))
+}
+
+func checkS(s int64) {
+	if s <= 0 {
+		panic(fmt.Sprintf("lb: non-positive fast memory size %d", s))
+	}
+}
+
+// TiledMatmulIO returns the data movement achieved by a T-tiled classical
+// matmul of two n x n matrices (Section 2.3): ~2n^3/T for the dominant
+// A/B traffic. Valid for T <= sqrt(S/3).
+func TiledMatmulIO(n, t int64) float64 {
+	if t <= 0 {
+		panic(fmt.Sprintf("lb: non-positive tile size %d", t))
+	}
+	return 2 * float64(n) * float64(n) * float64(n) / float64(t)
+}
+
+// UntiledMatmulIO returns the data movement of the untiled i-j-k matmul
+// when B does not fit in fast memory: the entire B is re-read for every i
+// (Section 2.3), i.e. n^3 ignoring A and C traffic.
+func UntiledMatmulIO(n int64) float64 {
+	return float64(n) * float64(n) * float64(n)
+}
+
+// FusionLemma is Lemma 4.2: given I/O lower bounds for producer C1 and
+// consumer C2 and the size of the intermediate O1 flowing between them,
+// any fused schedule has I/O at least lb1 + lb2 - 2*|O1|.
+func FusionLemma(lb1, lb2 float64, sizeO1 int64) float64 {
+	return lb1 + lb2 - 2*float64(sizeO1)
+}
+
+// MaxFusionSaving bounds the I/O reduction fusion can deliver: unfused
+// tight I/O minus the Fusion-Lemma bound, never negative. When this is a
+// small fraction of unfusedIO, fusion is futile (Section 4).
+func MaxFusionSaving(unfusedIO, fusedLB float64) float64 {
+	if s := unfusedIO - fusedLB; s > 0 {
+		return s
+	}
+	return 0
+}
+
+// ContractionLB returns the I/O lower bound for one tensor contraction of
+// the transform viewed as an (n^3 x n) x (n x n) matrix product with
+// input size in and output size out (Section 5.1):
+//
+//	max( Dongarra(n^3, n, n, S), in + out )
+//
+// For S >= n^2 + n + 1 the sum of input and output sizes is tight
+// (Listing 5 achieves it).
+func ContractionLB(n, s, in, out int64) float64 {
+	d := DongarraMatmulLB(n*n*n, n, n, s)
+	io := float64(in + out)
+	if d > io {
+		return d
+	}
+	return io
+}
+
+// SingleTightThreshold returns the fast-memory size above which one
+// contraction's I/O bound |in|+|out| is achievable: n^2 + n + 1
+// (Listing 5: B plus one A-row plus a scalar).
+func SingleTightThreshold(n int64) int64 { return n*n + n + 1 }
+
+// PairFusionThreshold returns the fast-memory size above which fusing two
+// consecutive contractions achieves I/O = |in|+|out| (Theorem 5.1,
+// Listing 6): 3n^2 + n + 1.
+func PairFusionThreshold(n int64) int64 { return 3*n*n + n + 1 }
+
+// PairFusionUseful reports whether the Fusion Lemma permits useful fusion
+// of a consecutive contraction pair (Section 5.1): below ~3n^2 of fast
+// memory the fused bound 3.46 n^5/sqrt(S) exceeds the unfused cost, so
+// fusion cannot help.
+func PairFusionUseful(n, s int64) bool {
+	return s >= 3*n*n
+}
+
+// FullReusePossible is Theorem 6.2's necessary (and, by Listing 7,
+// sufficient) condition: full reuse of all intermediates — I/O = |A|+|C|
+// — is achievable iff the fast memory holds the output tensor.
+func FullReusePossible(s, sizeC int64) bool { return s >= sizeC }
+
+// FullReuseSufficientS returns the fast-memory size at which Listing 7
+// concretely achieves I/O = |A|+|C|: |C| + 2n^3 working space.
+func FullReuseSufficientS(n int64, sizeC int64) int64 {
+	return sizeC + 2*n*n*n
+}

@@ -1,0 +1,193 @@
+package lb
+
+import (
+	"fmt"
+
+	"fourindex/internal/sym"
+)
+
+// MemoryUnfused returns the peak live elements of the fully unfused
+// schedule (Listing 1): the largest simultaneously live producer/consumer
+// pair, |O1| + |O2| = 3n^4/4 to leading order (Section 2.2 quotes this as
+// the memory that makes large problems infeasible).
+func MemoryUnfused(n, s int) int64 {
+	sz := sym.ExactSizes(n, s)
+	peak := sz.A + sz.O1 // during op1
+	if v := sz.O1 + sz.O2; v > peak {
+		peak = v
+	}
+	if v := sz.O2 + sz.O3; v > peak {
+		peak = v
+	}
+	if v := sz.O3 + sz.C; v > peak {
+		peak = v
+	}
+	return peak
+}
+
+// MemoryFused1234 is Equation 7: the global memory of the fully fused
+// parallel schedule (Listing 8) with fused-loop tile width tl:
+//
+//	Ni*Nj*Nk*Tl/2  +  Na*Nb*Nk*Tl/2  +  |C|
+//
+// (A slab, largest intermediate slab, and the resident output; the paper
+// writes the |C| term as n^4/32 for its s = 8 benchmark systems).
+func MemoryFused1234(n, s, tl int) int64 {
+	if tl <= 0 || tl > n {
+		panic(fmt.Sprintf("lb: fused tile width %d out of range (0,%d]", tl, n))
+	}
+	n64, t64 := int64(n), int64(tl)
+	slabA := n64 * n64 * n64 * t64 / 2 // A[(i>j), k, l-tile]
+	slabO := n64 * n64 * n64 * t64 / 2 // O1/O2/O3 slabs are n^3*Tl or n^3*Tl/2
+	c := sym.ExactSizes(n, s).C
+	return slabA + slabO + c
+}
+
+// MemoryFused1234Inner is Equation 8: the fully fused schedule with the
+// additional inner op12/34 fusion (Listing 10):
+//
+//	Ni*Nj*Nk*Tl/2 + Na*Nj*Nk*Tl + Na*Nb*Nk*Tl/2 + Na*Nb*Ng*Tl/2 + |C|
+func MemoryFused1234Inner(n, s, tl int) int64 {
+	if tl <= 0 || tl > n {
+		panic(fmt.Sprintf("lb: fused tile width %d out of range (0,%d]", tl, n))
+	}
+	n64, t64 := int64(n), int64(tl)
+	n3t := n64 * n64 * n64 * t64
+	c := sym.ExactSizes(n, s).C
+	return n3t/2 + n3t + n3t/2 + n3t/2 + c
+}
+
+// MemoryFused12_34 returns the peak live elements of the op12/34 schedule
+// executed at full problem scale (Listing 2): A and O2 coexist during the
+// first fused pair — n^4/2 to leading order.
+func MemoryFused12_34(n, s int) int64 {
+	sz := sym.ExactSizes(n, s)
+	peak := sz.A + sz.O2 // first fused pair: O1 is only an n^2 buffer
+	if v := sz.O2 + sz.C; v > peak {
+		peak = v
+	}
+	return peak
+}
+
+// FlopsUnfused returns the arithmetic operations (multiply+add counted
+// separately) of the unfused symmetric schedule (Listing 1):
+//
+//	op1: 2 * n^3 * M      (a, i, j, k>=l)
+//	op2: 2 * M * n * M    (a>=b, j, k>=l)
+//	op3: 2 * M * n * n^2  (a>=b, c, k, l)
+//	op4: 2 * M * M * n    (a>=b, c>=d, l)
+//
+// with M = n(n+1)/2, roughly 3n^5 in total.
+func FlopsUnfused(n int) int64 {
+	n64 := int64(n)
+	m := int64(sym.Pairs(n))
+	return 2*n64*n64*n64*m + 2*m*n64*m + 2*m*n64*n64*n64 + 2*m*m*n64
+}
+
+// FlopsFused1234 returns the arithmetic operations of the fully fused
+// schedule (Listing 7/8). Fusing loop l breaks the (k,l) symmetry, so the
+// first two contractions run over all k for every l — doubling their
+// work (Section 7.4):
+//
+//	op1: 2 * n^4 per l            (a, i, j, k)     -> 2n^5 total
+//	op2: 2 * M * n * n per l      (a>=b, j, k)     ->  n^5 total
+//	op3: 2 * M * n * n per l      (a>=b, c, k)     ->  n^5 total
+//	op4: 2 * M * M per l          (a>=b, c>=d)     ->  n^5/2 total
+//
+// The ratio to FlopsUnfused approaches 1.5 for large n.
+func FlopsFused1234(n int) int64 {
+	n64 := int64(n)
+	m := int64(sym.Pairs(n))
+	// Per iteration of l: op1 sums over the full (i, j) space — the
+	// (k,l) symmetry is broken and the i-sum cannot exploit the (i,j)
+	// packing — giving 2*n^4; op2 over (a>=b, j, k) = 2*M*n*n; op3
+	// over (a>=b, c, k) = 2*M*n*n; op4 over (a>=b, c>=d) = 2*M*M.
+	perL := 2*n64*n64*n64*n64 + 2*m*n64*n64 + 2*m*n64*n64 + 2*m*m
+	return n64 * perL
+}
+
+// FusedFlopOverhead returns FlopsFused1234 / FlopsUnfused, which the
+// paper quotes as approximately 1.5x (Section 7.4).
+func FusedFlopOverhead(n int) float64 {
+	return float64(FlopsFused1234(n)) / float64(FlopsUnfused(n))
+}
+
+// CommVolumeFused returns the analytic inter-memory traffic (elements) of
+// the Listing 10 schedule — outer l fusion with inner op12/34 — at full
+// problem scale: per outer l iteration the inner transform moves
+// |A_slab| + 2|O2_slab| + |C| (Section 7.2), and the A term grows by the
+// alpha-parallelisation replication factor alphaRep (Section 7.3).
+func CommVolumeFused(n, s, tl, alphaRep int) int64 {
+	if alphaRep < 1 {
+		alphaRep = 1
+	}
+	n64, t64 := int64(n), int64(tl)
+	outer := (n64 + t64 - 1) / t64
+	m := int64(sym.Pairs(n))
+	slabA := m * n64 * t64  // A[(i>=j), k, l-tile]
+	slabO2 := m * n64 * t64 // O2[(a>=b), k, l-tile]
+	c := sym.ExactSizes(n, s).C
+	return outer * (slabA*int64(alphaRep) + 2*slabO2 + c)
+}
+
+// Advice is the fuse/unfuse hybrid decision (Section 7.4).
+type Advice struct {
+	Scheme        string // "unfused", "fused", or "infeasible"
+	Config        FusionConfig
+	Reason        string
+	MemoryBytes   int64 // aggregate memory the chosen scheme needs
+	RequiredTileL int   // fused-loop tile width chosen (fused only)
+}
+
+// Advise picks between the unfused and fully fused implementations for a
+// problem of extent n with spatial symmetry s on a cluster with
+// globalBytes of aggregate physical memory: unfused when the
+// intermediates fit (it does ~1.5x less work and balances load better),
+// fused when only the fused schedule fits, infeasible when even tl = 1
+// exceeds memory (by Theorem 6.2, no disk-free schedule exists once
+// |C| + working slabs exceed memory).
+func Advise(n, s int, globalBytes int64) Advice {
+	unfusedBytes := MemoryUnfused(n, s) * 8
+	if unfusedBytes <= globalBytes {
+		return Advice{
+			Scheme:      "unfused",
+			Config:      FusionConfig{Groups: [][]int{{1}, {2}, {3}, {4}}},
+			Reason:      "intermediates fit in aggregate memory; unfused does ~1.5x less work",
+			MemoryBytes: unfusedBytes,
+		}
+	}
+	// Pick the largest tile width whose fused footprint fits.
+	for tl := n; tl >= 1; tl-- {
+		if b := MemoryFused1234Inner(n, s, tl) * 8; b <= globalBytes {
+			return Advice{
+				Scheme:        "fused",
+				Config:        FusionConfig{Groups: [][]int{{1, 2, 3, 4}}},
+				Reason:        "intermediates overflow memory; fully fused op1234 with inner op12/34 fits",
+				MemoryBytes:   b,
+				RequiredTileL: tl,
+			}
+		}
+	}
+	return Advice{
+		Scheme: "infeasible",
+		Reason: "even the tl=1 fused schedule exceeds aggregate memory (S < |C| + slabs; Theorem 6.2 forbids disk-free execution)",
+	}
+}
+
+// CommVolumeUnfused returns the analytic inter-memory traffic (elements)
+// of the unfused tiled schedule: each intermediate makes one write + one
+// read round trip, A is read twice (its (i,j)-symmetric tiles serve two
+// column gathers), O2 is read twice (op3's (k,l)-symmetric reads), and C
+// is written once.
+func CommVolumeUnfused(n, s int) int64 {
+	sz := sym.ExactSizes(n, s)
+	return 2*sz.A + 2*sz.O1 + 3*sz.O2 + 2*sz.O3 + sz.C
+}
+
+// CommVolumeFusedPair returns the analytic traffic of the op12/34
+// schedule (Listing 9): A read once per canonical tile (the fused gather
+// mirrors symmetric tiles locally), O2's round trip, and C written once.
+func CommVolumeFusedPair(n, s int) int64 {
+	sz := sym.ExactSizes(n, s)
+	return sz.A + 2*sz.O2 + sz.C
+}

@@ -1,0 +1,210 @@
+package lb
+
+import (
+	"math"
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/sym"
+)
+
+func TestMemoryUnfusedLeadingOrder(t *testing.T) {
+	// Section 2.2: the unfused transform needs more than 3n^4/4 words.
+	n := 200
+	got := float64(MemoryUnfused(n, 1))
+	want := 0.75 * math.Pow(float64(n), 4)
+	if got < want {
+		t.Errorf("unfused memory %v below 3n^4/4 = %v", got, want)
+	}
+	if got > want*1.05 {
+		t.Errorf("unfused memory %v too far above 3n^4/4 = %v", got, want)
+	}
+}
+
+func TestMemoryUnfusedMatchesPaperBenchmarks(t *testing.T) {
+	// The molecule catalog's published requirements come from the same
+	// formula; consistency check across packages.
+	for _, m := range chem.Catalog {
+		lbBytes := MemoryUnfused(m.Orbitals, 1) * 8
+		paper := m.UnfusedMemoryBytes()
+		ratio := float64(lbBytes) / float64(paper)
+		if ratio < 1.0 || ratio > 1.05 {
+			t.Errorf("%s: exact %d vs paper formula %d (ratio %v)", m.Name, lbBytes, paper, ratio)
+		}
+	}
+}
+
+func TestMemoryFused12_34(t *testing.T) {
+	// Listing 2 needs ~n^4/2: A and O2 live together.
+	n := 100
+	got := float64(MemoryFused12_34(n, 1))
+	want := 0.5 * math.Pow(float64(n), 4)
+	if got < want || got > want*1.05 {
+		t.Errorf("fused 12/34 memory = %v, want ~%v", got, want)
+	}
+	// And it is about 2/3 of the unfused requirement.
+	if r := got / float64(MemoryUnfused(n, 1)); math.Abs(r-2.0/3.0) > 0.05 {
+		t.Errorf("fused/unfused memory ratio = %v, want ~0.67", r)
+	}
+}
+
+func TestMemoryFused1234Equation7(t *testing.T) {
+	n, s, tl := 64, 8, 4
+	n64, t64 := int64(n), int64(tl)
+	want := n64*n64*n64*t64/2 + n64*n64*n64*t64/2 + sym.ExactSizes(n, s).C
+	if got := MemoryFused1234(n, s, tl); got != want {
+		t.Errorf("Eq7 memory = %d, want %d", got, want)
+	}
+	// Monotone in tile width.
+	if MemoryFused1234(n, s, 8) <= MemoryFused1234(n, s, 2) {
+		t.Error("memory must grow with fused tile width")
+	}
+}
+
+func TestMemoryFused1234InnerEquation8(t *testing.T) {
+	n, s, tl := 64, 8, 4
+	n3t := int64(n) * int64(n) * int64(n) * int64(tl)
+	want := n3t/2 + n3t + n3t/2 + n3t/2 + sym.ExactSizes(n, s).C
+	if got := MemoryFused1234Inner(n, s, tl); got != want {
+		t.Errorf("Eq8 memory = %d, want %d", got, want)
+	}
+	// Inner fusion keeps an extra O1 slab: more memory than Eq7.
+	if MemoryFused1234Inner(n, s, tl) <= MemoryFused1234(n, s, tl) {
+		t.Error("Eq8 footprint must exceed Eq7")
+	}
+}
+
+func TestFusedMemoryFarBelowUnfused(t *testing.T) {
+	// The whole point: for realistic n, the fused footprint with small
+	// tl is a tiny fraction of the unfused one.
+	n := 500
+	fused := MemoryFused1234Inner(n, 8, 1)
+	unfused := MemoryUnfused(n, 8)
+	if frac := float64(fused) / float64(unfused); frac > 0.15 {
+		t.Errorf("fused/unfused memory fraction = %v, want well below 0.15", frac)
+	}
+}
+
+func TestMemoryTilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MemoryFused1234(10, 1, 0) },
+		func() { MemoryFused1234(10, 1, 11) },
+		func() { MemoryFused1234Inner(10, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad tile width did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFlopFormulas(t *testing.T) {
+	n := 40
+	n5 := math.Pow(float64(n), 5)
+	unf := float64(FlopsUnfused(n))
+	// Unfused with symmetry: ~3n^5 (op1 n^5, op2 n^5/2, op3 n^5, op4 n^5/2).
+	if unf < 2.8*n5 || unf > 3.3*n5 {
+		t.Errorf("unfused flops = %v, want ~3n^5 = %v", unf, 3*n5)
+	}
+	fus := float64(FlopsFused1234(n))
+	if fus < 4.2*n5 || fus > 4.9*n5 {
+		t.Errorf("fused flops = %v, want ~4.5n^5 = %v", fus, 4.5*n5)
+	}
+}
+
+// Section 7.4: "our fused implementation performs approximately 1.5x
+// more computation than the unfused schedule."
+func TestFusedFlopOverheadApproaches1p5(t *testing.T) {
+	for _, n := range []int{100, 400, 1194} {
+		r := FusedFlopOverhead(n)
+		if math.Abs(r-1.5) > 0.08 {
+			t.Errorf("n=%d: fused/unfused flops = %v, want ~1.5", n, r)
+		}
+	}
+}
+
+func TestCommVolumeFused(t *testing.T) {
+	n, s, tl := 64, 1, 4
+	vol := CommVolumeFused(n, s, tl, 1)
+	if vol <= 0 {
+		t.Fatal("volume must be positive")
+	}
+	// alpha replication only inflates the A term.
+	vol2 := CommVolumeFused(n, s, tl, 2)
+	extraA := int64(n/tl) * int64(sym.Pairs(n)) * int64(n) * int64(tl)
+	if vol2-vol != extraA {
+		t.Errorf("alphaRep=2 adds %d, want one extra A slab volume %d", vol2-vol, extraA)
+	}
+	// Larger tiles amortise the per-iteration C accumulation.
+	if CommVolumeFused(n, s, 16, 1) >= CommVolumeFused(n, s, 2, 1) {
+		t.Error("larger fused tiles must reduce communication volume")
+	}
+	// alphaRep < 1 clamps.
+	if CommVolumeFused(n, s, tl, 0) != vol {
+		t.Error("alphaRep 0 should clamp to 1")
+	}
+}
+
+func TestAdviseUnfusedWhenItFits(t *testing.T) {
+	n := 64
+	bytes := MemoryUnfused(n, 1)*8 + 1000
+	a := Advise(n, 1, bytes)
+	if a.Scheme != "unfused" {
+		t.Errorf("scheme = %s, want unfused", a.Scheme)
+	}
+	if a.Config.String() != "op1/2/3/4" {
+		t.Errorf("config = %s", a.Config)
+	}
+}
+
+func TestAdviseFusedWhenIntermediatesOverflow(t *testing.T) {
+	n := 64
+	bytes := MemoryUnfused(n, 1) * 8 / 2 // half of what unfused needs
+	a := Advise(n, 1, bytes)
+	if a.Scheme != "fused" {
+		t.Fatalf("scheme = %s, want fused (reason %s)", a.Scheme, a.Reason)
+	}
+	if a.RequiredTileL < 1 || a.RequiredTileL > n {
+		t.Errorf("tile width = %d", a.RequiredTileL)
+	}
+	if a.MemoryBytes > bytes {
+		t.Error("advice must fit in the given memory")
+	}
+	// Advise maximises the tile width: tl+1 must not fit.
+	if a.RequiredTileL < n {
+		if MemoryFused1234Inner(n, 1, a.RequiredTileL+1)*8 <= bytes {
+			t.Error("a larger tile width would also fit; advice is not maximal")
+		}
+	}
+}
+
+func TestAdviseInfeasibleWhenOutputOverflows(t *testing.T) {
+	a := Advise(64, 1, 1024) // 1 KB cannot hold C
+	if a.Scheme != "infeasible" {
+		t.Errorf("scheme = %s, want infeasible", a.Scheme)
+	}
+}
+
+// The paper's headline (Sections 1, 8): Shell-Mixed needs > 12 TB
+// unfused but runs fused on System B's < 9 TB aggregate.
+func TestAdviseShellMixedOnSystemB(t *testing.T) {
+	m, err := chem.ByName("Shell-Mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregate := int64(18) * (512 << 30) // 18 x 512 GiB = 9 TiB
+	if m.UnfusedMemoryBytes() < 12e12 {
+		t.Fatalf("Shell-Mixed unfused = %d B, paper says > 12 TB", m.UnfusedMemoryBytes())
+	}
+	a := Advise(m.Orbitals, 8, aggregate)
+	if a.Scheme != "fused" {
+		t.Errorf("Shell-Mixed on System B should be fused, got %s (%s)", a.Scheme, a.Reason)
+	}
+	if a.MemoryBytes > aggregate {
+		t.Error("fused footprint exceeds System B memory")
+	}
+}

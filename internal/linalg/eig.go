@@ -1,0 +1,136 @@
+// Package linalg provides the dense symmetric eigensolver the SCF
+// substrate needs: a cyclic Jacobi diagonalisation, pure Go, adequate
+// for the O(n^3)-per-sweep sizes the self-consistent-field loop
+// produces (n up to a few hundred).
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigSym diagonalises the symmetric n x n row-major matrix a (which is
+// not modified): it returns the eigenvalues in ascending order and the
+// corresponding orthonormal eigenvectors as the COLUMNS of the returned
+// row-major matrix v, i.e. a . v[:,k] = vals[k] v[:,k].
+func EigSym(a []float64, n int) (vals []float64, v []float64, err error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("linalg: non-positive order %d", n)
+	}
+	if len(a) < n*n {
+		return nil, nil, fmt.Errorf("linalg: matrix slice %d < %d", len(a), n*n)
+	}
+	const (
+		maxSweeps = 64
+		tol       = 1e-13
+	)
+	// Working copy and accumulated rotations.
+	w := make([]float64, n*n)
+	copy(w, a[:n*n])
+	// Symmetrise defensively (average off-diagonal pairs).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m := 0.5 * (w[i*n+j] + w[j*n+i])
+			w[i*n+j], w[j*n+i] = m, m
+		}
+	}
+	v = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	offNorm := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w[i*n+j] * w[i*n+j]
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+	scale := 0.0
+	for i := 0; i < n*n; i++ {
+		if x := math.Abs(w[i]); x > scale {
+			scale = x
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offNorm() <= tol*scale*float64(n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w[p*n+q]
+				if math.Abs(apq) <= tol*scale {
+					continue
+				}
+				app, aqq := w[p*n+p], w[q*n+q]
+				// Rotation angle.
+				theta := 0.5 * (aqq - app) / apq
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := w[k*n+p], w[k*n+q]
+					w[k*n+p] = c*akp - s*akq
+					w[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w[p*n+k], w[q*n+k]
+					w[p*n+k] = c*apk - s*aqk
+					w[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors (columns).
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if offNorm() > 1e-8*scale*float64(n) {
+		return nil, nil, fmt.Errorf("linalg: Jacobi did not converge (off-norm %g)", offNorm())
+	}
+
+	// Extract, sort ascending, and permute the eigenvector columns.
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w[i*n+i]
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return vals[perm[i]] < vals[perm[j]] })
+	sortedVals := make([]float64, n)
+	sortedV := make([]float64, n*n)
+	for newCol, oldCol := range perm {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedV[r*n+newCol] = v[r*n+oldCol]
+		}
+	}
+	return sortedVals, sortedV, nil
+}
+
+// MatVec computes y = A x for a row-major n x n matrix.
+func MatVec(a []float64, x []float64, n int) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		row := a[i*n : (i+1)*n]
+		for j, v := range x {
+			s += row[j] * v
+		}
+		y[i] = s
+	}
+	return y
+}

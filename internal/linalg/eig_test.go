@@ -1,0 +1,205 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigSymDiagonal(t *testing.T) {
+	a := []float64{
+		3, 0, 0,
+		0, 1, 0,
+		0, 0, 2,
+	}
+	vals, v, err := EigSym(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	// Eigenvectors are permuted unit vectors.
+	for col := 0; col < 3; col++ {
+		var norm float64
+		for r := 0; r < 3; r++ {
+			norm += v[r*3+col] * v[r*3+col]
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Errorf("column %d not unit norm: %v", col, norm)
+		}
+	}
+}
+
+func TestEigSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	vals, _, err := EigSym([]float64{2, 1, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Errorf("vals = %v, want [1 3]", vals)
+	}
+}
+
+func checkEig(t *testing.T, a []float64, n int) {
+	t.Helper()
+	vals, v, err := EigSym(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending order.
+	for i := 1; i < n; i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatalf("eigenvalues not ascending: %v", vals)
+		}
+	}
+	// Residuals A v_k = lambda_k v_k and orthonormality.
+	for k := 0; k < n; k++ {
+		x := make([]float64, n)
+		for r := 0; r < n; r++ {
+			x[r] = v[r*n+k]
+		}
+		ax := MatVec(a, x, n)
+		for r := 0; r < n; r++ {
+			if math.Abs(ax[r]-vals[k]*x[r]) > 1e-8 {
+				t.Fatalf("residual %v at (%d,%d)", ax[r]-vals[k]*x[r], r, k)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for l := k; l < n; l++ {
+			var dot float64
+			for r := 0; r < n; r++ {
+				dot += v[r*n+k] * v[r*n+l]
+			}
+			want := 0.0
+			if k == l {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("columns %d,%d not orthonormal: %v", k, l, dot)
+			}
+		}
+	}
+}
+
+func TestEigSymRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				x := rng.NormFloat64()
+				a[i*n+j], a[j*n+i] = x, x
+			}
+		}
+		checkEig(t, a, n)
+	}
+}
+
+func TestEigSymTraceInvariant(t *testing.T) {
+	// Sum of eigenvalues equals the trace.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := make([]float64, n*n)
+		var trace float64
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				x := rng.NormFloat64()
+				a[i*n+j], a[j*n+i] = x, x
+			}
+			trace += a[i*n+i]
+		}
+		vals, _, err := EigSym(a, n)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return math.Abs(sum-trace) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigSymErrors(t *testing.T) {
+	if _, _, err := EigSym(nil, 0); err == nil {
+		t.Error("n = 0 should error")
+	}
+	if _, _, err := EigSym([]float64{1}, 2); err == nil {
+		t.Error("short slice should error")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	y := MatVec(a, []float64{1, 1}, 2)
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MatVec = %v", y)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+	x, err := SolveLinear([]float64{2, 1, 1, -1}, []float64{5, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("solution = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	x, err := SolveLinear([]float64{0, 1, 1, 0}, []float64{3, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Errorf("solution = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	if _, err := SolveLinear([]float64{1, 2, 2, 4}, []float64{1, 2}, 2); err == nil {
+		t.Error("singular system should error")
+	}
+	if _, err := SolveLinear(nil, nil, 0); err == nil {
+		t.Error("order 0 should error")
+	}
+}
+
+func TestSolveLinearRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		a := make([]float64, n*n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLinear(a, b, n)
+		if err != nil {
+			continue // unlucky singular draw
+		}
+		ax := MatVec(a, x, n)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				t.Fatalf("residual %v", ax[i]-b[i])
+			}
+		}
+	}
+}

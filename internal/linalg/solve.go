@@ -1,0 +1,61 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveLinear solves the n x n system a x = b by Gaussian elimination
+// with partial pivoting. a and b are not modified.
+func SolveLinear(a []float64, b []float64, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("linalg: non-positive order %d", n)
+	}
+	if len(a) < n*n || len(b) < n {
+		return nil, fmt.Errorf("linalg: short operands (%d, %d) for order %d", len(a), len(b), n)
+	}
+	m := make([]float64, n*n)
+	copy(m, a[:n*n])
+	x := make([]float64, n)
+	copy(x, b[:n])
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, best := col, math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("linalg: singular system at column %d", col)
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				m[col*n+c], m[piv*n+c] = m[piv*n+c], m[col*n+c]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		// Eliminate below.
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r*n+c] -= f * m[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r*n+c] * x[c]
+		}
+		x[r] = s / m[r*n+r]
+	}
+	return x, nil
+}

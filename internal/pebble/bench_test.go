@@ -1,0 +1,31 @@
+package pebble
+
+import (
+	"testing"
+
+	"fourindex/internal/cdag"
+)
+
+func BenchmarkSimulateMatmul(b *testing.B) {
+	m := cdag.BuildMatMul(10)
+	order := OrderMatMulTiled(m, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(m.G, 60, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateFourIndexFused(b *testing.B) {
+	f := cdag.BuildFourIndex(3)
+	order := OrderFourIndexFullyFused(f)
+	n4 := 81
+	s := n4 + 3*27 + 4*9 + 14
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(f.G, s, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package pebble
+
+import (
+	"fmt"
+
+	"fourindex/internal/cdag"
+)
+
+// MoveKind enumerates the red-blue pebble game rules R1-R4.
+type MoveKind int
+
+const (
+	// MoveLoad is rule R1.
+	MoveLoad MoveKind = iota
+	// MoveStore is rule R2.
+	MoveStore
+	// MoveCompute is rule R3.
+	MoveCompute
+	// MoveDelete is rule R4.
+	MoveDelete
+)
+
+// String names the move kind.
+func (k MoveKind) String() string {
+	switch k {
+	case MoveLoad:
+		return "load"
+	case MoveStore:
+		return "store"
+	case MoveCompute:
+		return "compute"
+	case MoveDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("MoveKind(%d)", int(k))
+	}
+}
+
+// Move is one step of a complete calculation.
+type Move struct {
+	Kind MoveKind
+	V    cdag.VID
+}
+
+// SimulateTrace is Simulate with full move recording: it returns the
+// schedule's complete calculation as a move sequence, suitable for the
+// Appendix A schedule-splitting construction.
+func SimulateTrace(g *cdag.Graph, s int, order []cdag.VID) (Result, []Move, error) {
+	rec := &recorder{}
+	res, err := simulate(g, s, order, rec)
+	return res, rec.moves, err
+}
+
+// recorder captures moves during simulation.
+type recorder struct{ moves []Move }
+
+func (r *recorder) add(k MoveKind, v cdag.VID) {
+	if r != nil {
+		r.moves = append(r.moves, Move{Kind: k, V: v})
+	}
+}
+
+// Replay validates a move sequence as a complete calculation on g with
+// s red pebbles (Definition A.2) and returns its I/O. Any rule violation
+// or incompleteness is an error.
+func Replay(g *cdag.Graph, s int, moves []Move) (Result, error) {
+	gm := NewGame(g, s)
+	peak := 0
+	for i, m := range moves {
+		var err error
+		switch m.Kind {
+		case MoveLoad:
+			err = gm.Load(m.V)
+		case MoveStore:
+			err = gm.Store(m.V)
+		case MoveCompute:
+			err = gm.Compute(m.V)
+		case MoveDelete:
+			err = gm.Delete(m.V)
+		default:
+			err = fmt.Errorf("pebble: unknown move kind %v", m.Kind)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("pebble: move %d (%v %q): %w", i, m.Kind, g.Name(m.V), err)
+		}
+		if gm.RedCount() > peak {
+			peak = gm.RedCount()
+		}
+	}
+	if !gm.Complete() {
+		return Result{}, fmt.Errorf("pebble: replay did not blue-pebble all outputs")
+	}
+	return Result{Loads: gm.Loads(), Stores: gm.Stores(), PeakRed: peak}, nil
+}
+
+// LemmaSplit is the result of the Appendix A construction: the augmented
+// schedule S12+ and the two extracted schedules S1 (producer) and S2
+// (consumer), with their verified I/O counts.
+type LemmaSplit struct {
+	IOFused     int // IO(S12), the original fused schedule
+	IOAugmented int // IO(S12+) = IO(S12) + 2|O1|
+	IOProducer  int // IO(S1), valid for the producer sub-CDAG
+	IOConsumer  int // IO(S2), valid for the consumer sub-CDAG
+	Interface   int // |O1|, the merged producer-output/consumer-input set
+}
+
+// Identity reports whether the Fusion Lemma bookkeeping holds exactly:
+// IO(S1) + IO(S2) == IO(S12) + 2|O1|.
+func (ls LemmaSplit) Identity() bool {
+	return ls.IOProducer+ls.IOConsumer == ls.IOFused+2*ls.Interface
+}
+
+// SplitFusedSchedule performs the constructive proof of the Fusion Lemma
+// (Lemma A.3) on a concrete fused schedule for a producer-consumer CDAG:
+//
+//  1. From the fused move sequence S12, build the augmented S12+ by
+//     inserting a Store immediately after each interface vertex's
+//     Compute, and a Delete+Load immediately before its first consumer
+//     use.
+//  2. Tag the producer's moves (operations on producer-only vertices,
+//     plus interface Computes and the inserted Stores) as S1; everything
+//     else, minus the inserted Deletes, forms S2.
+//  3. Replay S1 against the producer sub-CDAG (interface vertices as
+//     outputs) and S2 against the consumer sub-CDAG (interface vertices
+//     as inputs), validating every rule.
+//
+// producerVerts must contain every vertex of the producer computation;
+// interfaceVerts are the producer outputs consumed by the consumer. The
+// fused schedule must not itself Load or Store interface vertices (a
+// genuinely fused schedule keeps the intermediate in fast memory; run
+// with sufficient S to guarantee this).
+func SplitFusedSchedule(g *cdag.Graph, s int, moves []Move, producerVerts, interfaceVerts map[cdag.VID]bool) (LemmaSplit, error) {
+	for _, m := range moves {
+		if interfaceVerts[m.V] && (m.Kind == MoveLoad || m.Kind == MoveStore) {
+			return LemmaSplit{}, fmt.Errorf("pebble: fused schedule spills interface vertex %q; increase S", g.Name(m.V))
+		}
+	}
+
+	// First consumer use of each interface vertex: the first Compute of
+	// a non-producer vertex having it as a predecessor.
+	firstUse := map[cdag.VID]int{}
+	for i, m := range moves {
+		if m.Kind != MoveCompute || producerVerts[m.V] {
+			continue
+		}
+		for _, p := range g.Preds(m.V) {
+			if interfaceVerts[p] {
+				if _, seen := firstUse[p]; !seen {
+					firstUse[p] = i
+				}
+			}
+		}
+	}
+
+	// Build S12+ with tags. Inserted Stores are tagged producer;
+	// inserted Delete+Load pairs are marked for later removal from S2.
+	type tagged struct {
+		m          Move
+		producer   bool
+		insertedDL bool // inserted Delete or Load before first use
+	}
+	var aug []tagged
+	ioFused := 0
+	for i, m := range moves {
+		// Inserted Delete+Load immediately before the first use.
+		for v, fu := range firstUse {
+			if fu == i {
+				aug = append(aug,
+					tagged{m: Move{Kind: MoveDelete, V: v}, insertedDL: true},
+					tagged{m: Move{Kind: MoveLoad, V: v}, insertedDL: true})
+			}
+		}
+		isProducerOp := producerVerts[m.V]
+		if interfaceVerts[m.V] && m.Kind != MoveCompute {
+			// Deletes of interface values after their last use belong
+			// to the consumer side (the producer already stored them).
+			isProducerOp = false
+		}
+		aug = append(aug, tagged{m: m, producer: isProducerOp})
+		if m.Kind == MoveLoad || m.Kind == MoveStore {
+			ioFused++
+		}
+		// Inserted Store immediately after an interface Compute.
+		if m.Kind == MoveCompute && interfaceVerts[m.V] {
+			aug = append(aug, tagged{m: Move{Kind: MoveStore, V: m.V}, producer: true})
+		}
+	}
+
+	// Extract S1 and S2.
+	var s1, s2 []Move
+	ioAug := 0
+	for _, t := range aug {
+		if t.m.Kind == MoveLoad || t.m.Kind == MoveStore {
+			ioAug++
+		}
+		switch {
+		case t.producer:
+			s1 = append(s1, t.m)
+		case t.insertedDL && t.m.Kind == MoveDelete:
+			// Removed in constructing S2 (the value is an input there,
+			// never computed, so the Delete has nothing to free).
+		default:
+			s2 = append(s2, t.m)
+		}
+	}
+	// S1 must end with the interface values deleted or not — either way
+	// its outputs are blue via the inserted Stores. S2's inserted Loads
+	// read the interface values as inputs (blue from the start in the
+	// consumer sub-CDAG).
+
+	prodG, prodMap := subgraph(g, producerVerts, interfaceVerts, nil)
+	consG, consMap := subgraph(g, complement(g, producerVerts, interfaceVerts), nil, interfaceVerts)
+
+	r1, err := Replay(prodG, s, remap(s1, prodMap))
+	if err != nil {
+		return LemmaSplit{}, fmt.Errorf("pebble: producer schedule invalid: %w", err)
+	}
+	r2, err := Replay(consG, s, remap(s2, consMap))
+	if err != nil {
+		return LemmaSplit{}, fmt.Errorf("pebble: consumer schedule invalid: %w", err)
+	}
+
+	return LemmaSplit{
+		IOFused:     ioFused,
+		IOAugmented: ioAug,
+		IOProducer:  r1.IO(),
+		IOConsumer:  r2.IO(),
+		Interface:   len(interfaceVerts),
+	}, nil
+}
+
+// complement returns the consumer vertex set: everything outside the
+// producer, plus the interface (which the consumer sees as inputs).
+func complement(g *cdag.Graph, producer, iface map[cdag.VID]bool) map[cdag.VID]bool {
+	out := map[cdag.VID]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		if !producer[cdag.VID(v)] || iface[cdag.VID(v)] {
+			out[cdag.VID(v)] = true
+		}
+	}
+	return out
+}
+
+// subgraph builds the sub-CDAG induced by keep. Vertices in forceOutputs
+// become outputs; vertices in forceInputs become inputs (their
+// predecessors are dropped). Returns the graph and the old->new id map.
+func subgraph(g *cdag.Graph, keep, forceOutputs, forceInputs map[cdag.VID]bool) (*cdag.Graph, map[cdag.VID]cdag.VID) {
+	ng := cdag.NewGraph()
+	idx := map[cdag.VID]cdag.VID{}
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := cdag.VID(v)
+		if !keep[vid] {
+			continue
+		}
+		if g.IsInput(vid) || forceInputs[vid] {
+			idx[vid] = ng.AddInput(g.Name(vid))
+			continue
+		}
+		var preds []cdag.VID
+		for _, p := range g.Preds(vid) {
+			np, ok := idx[p]
+			if !ok {
+				panic(fmt.Sprintf("pebble: subgraph predecessor %q outside kept set", g.Name(p)))
+			}
+			preds = append(preds, np)
+		}
+		idx[vid] = ng.AddOp(g.Name(vid), preds...)
+	}
+	for v, nv := range idx {
+		if forceOutputs[v] || (g.IsOutput(v) && keep[v]) {
+			ng.MarkOutput(nv)
+		}
+	}
+	return ng, idx
+}
+
+// remap translates a move sequence into sub-CDAG vertex ids, dropping
+// moves on vertices outside the map.
+func remap(moves []Move, idx map[cdag.VID]cdag.VID) []Move {
+	out := make([]Move, 0, len(moves))
+	for _, m := range moves {
+		if nv, ok := idx[m.V]; ok {
+			out = append(out, Move{Kind: m.Kind, V: nv})
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package pebble
+
+import (
+	"testing"
+
+	"fourindex/internal/cdag"
+)
+
+// chainSets returns the producer/interface vertex sets of a two-matmul
+// chain: the producer is C = A*B (all its inputs and partials), the
+// interface is the C result vertices.
+func chainSets(ch *cdag.MatMulChain) (producer, iface map[cdag.VID]bool) {
+	producer = map[cdag.VID]bool{}
+	iface = map[cdag.VID]bool{}
+	n := ch.First.N
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			producer[ch.First.A[i][k]] = true
+			producer[ch.First.B[i][k]] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				producer[ch.First.Partial[i][j][k]] = true
+			}
+			iface[ch.First.C[i][j]] = true
+		}
+	}
+	return producer, iface
+}
+
+// The Appendix A construction, executed: record a fused schedule, build
+// S12+, split into S1/S2, replay both against their sub-CDAGs, and check
+// the exact bookkeeping identity IO(S1)+IO(S2) = IO(S12) + 2|O1|.
+func TestFusionLemmaConstructionOnChain(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		ch := cdag.BuildMatMulChain(n)
+		s := 3*n*n + 2*n + 6 // ample: the interface is never spilled
+		res, moves, err := SimulateTrace(ch.G, s, OrderChainFused(ch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		producer, iface := chainSets(ch)
+		split, err := SplitFusedSchedule(ch.G, s, moves, producer, iface)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if split.IOFused != res.IO() {
+			t.Errorf("n=%d: traced I/O %d != simulated %d", n, split.IOFused, res.IO())
+		}
+		if split.Interface != n*n {
+			t.Errorf("n=%d: interface size %d, want %d", n, split.Interface, n*n)
+		}
+		if split.IOAugmented != split.IOFused+2*split.Interface {
+			t.Errorf("n=%d: IO(S12+) = %d, want IO(S12)+2|O1| = %d",
+				n, split.IOAugmented, split.IOFused+2*split.Interface)
+		}
+		if !split.Identity() {
+			t.Errorf("n=%d: lemma identity violated: IO(S1)=%d IO(S2)=%d IO(S12)=%d |O1|=%d",
+				n, split.IOProducer, split.IOConsumer, split.IOFused, split.Interface)
+		}
+		// And therefore IO(S12) >= LB(C1) + LB(C2) - 2|O1| for the
+		// trivial per-matmul bounds (3n^2 each: inputs once, outputs
+		// once).
+		trivial := 3 * n * n
+		if split.IOProducer < trivial || split.IOConsumer < trivial {
+			t.Errorf("n=%d: split schedules beat the trivial lower bound: %d, %d < %d",
+				n, split.IOProducer, split.IOConsumer, trivial)
+		}
+	}
+}
+
+// The same construction on an unfused schedule order: the lemma identity
+// holds for ANY valid S12, fused or not, as long as the interface is not
+// spilled (with ample S the unfused order keeps C resident too).
+func TestFusionLemmaConstructionUnfusedOrder(t *testing.T) {
+	n := 4
+	ch := cdag.BuildMatMulChain(n)
+	s := 4 * n * n // holds A/B plus all of C at once
+	_, moves, err := SimulateTrace(ch.G, s, OrderChainUnfused(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, iface := chainSets(ch)
+	split, err := SplitFusedSchedule(ch.G, s, moves, producer, iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split.Identity() {
+		t.Errorf("lemma identity violated on unfused order: %+v", split)
+	}
+}
+
+// A schedule that spills the interface is rejected: the construction
+// requires a genuinely fused schedule.
+func TestFusionLemmaRejectsSpilledInterface(t *testing.T) {
+	n := 6
+	ch := cdag.BuildMatMulChain(n)
+	// Tight memory with the unfused order forces C through blue pebbles.
+	s := n*n + 3*n + 6
+	_, moves, err := SimulateTrace(ch.G, s, OrderChainUnfused(ch))
+	if err != nil {
+		t.Skip("order infeasible at this S; not the point of this test")
+	}
+	producer, iface := chainSets(ch)
+	if _, err := SplitFusedSchedule(ch.G, s, moves, producer, iface); err == nil {
+		t.Error("spilled-interface schedule should be rejected")
+	}
+}
+
+func TestReplayValidatesRules(t *testing.T) {
+	g := cdag.NewGraph()
+	a := g.AddInput("a")
+	op := g.AddOp("op", a)
+	g.MarkOutput(op)
+	good := []Move{{MoveLoad, a}, {MoveCompute, op}, {MoveStore, op}}
+	res, err := Replay(g, 3, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO() != 2 {
+		t.Errorf("replay I/O = %d, want 2", res.IO())
+	}
+	// Compute before load: invalid.
+	if _, err := Replay(g, 3, []Move{{MoveCompute, op}}); err == nil {
+		t.Error("invalid replay accepted")
+	}
+	// Missing final store: incomplete.
+	if _, err := Replay(g, 3, []Move{{MoveLoad, a}, {MoveCompute, op}}); err == nil {
+		t.Error("incomplete replay accepted")
+	}
+}
+
+func TestSimulateTraceMatchesSimulate(t *testing.T) {
+	m := cdag.BuildMatMul(5)
+	order := OrderMatMulTiled(m, 2)
+	s := 30
+	plain, err := Simulate(m.G, s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, moves, err := SimulateTrace(m.G, s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Errorf("traced result %+v != plain %+v", traced, plain)
+	}
+	// The trace replays to the identical I/O.
+	rep, err := Replay(m.G, s, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loads != plain.Loads || rep.Stores != plain.Stores {
+		t.Errorf("replay I/O %d/%d != %d/%d", rep.Loads, rep.Stores, plain.Loads, plain.Stores)
+	}
+	if MoveLoad.String() != "load" || MoveKind(9).String() == "" {
+		t.Error("MoveKind.String broken")
+	}
+}
+
+// Section 4's second example, measured: with N >> K the fused schedule
+// avoids the N x N intermediate's round trip entirely, a saving far
+// beyond the ~27% cap of the square case.
+func TestRectChainFusionProfitable(t *testing.T) {
+	n, k := 16, 2
+	rc := cdag.BuildRectChain(n, k)
+	s := 2*n*k + n + k + 6 // B and D resident + a C row + chains
+	unfused, err := Simulate(rc.G, s, OrderRectChainUnfused(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Simulate(rc.G, s, OrderRectChainFused(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.IO() >= unfused.IO() {
+		t.Fatalf("fused %d should beat unfused %d", fused.IO(), unfused.IO())
+	}
+	// The saving is most of the intermediate's round trip (Belady keeps
+	// a slice of C cached, so slightly under 2N^2).
+	saving := unfused.IO() - fused.IO()
+	if saving < n*n {
+		t.Errorf("saving %d, want at least N^2 = %d", saving, n*n)
+	}
+	// Fused I/O approaches the inputs+outputs floor.
+	floor := 2*n*k + k*n + n*k // A, B, D inputs + E outputs
+	if fused.IO() > floor+n {
+		t.Errorf("fused I/O %d far above the floor %d", fused.IO(), floor)
+	}
+	t.Logf("unfused=%d fused=%d saving=%.0f%%", unfused.IO(), fused.IO(),
+		100*float64(saving)/float64(unfused.IO()))
+}
+
+// The Fusion Lemma bookkeeping holds on the rectangular chain too.
+func TestFusionLemmaConstructionRectChain(t *testing.T) {
+	n, k := 8, 2
+	rc := cdag.BuildRectChain(n, k)
+	s := n*n + 2*n*k + n + 8 // ample: no interface spills
+	_, moves, err := SimulateTrace(rc.G, s, OrderRectChainFused(rc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := map[cdag.VID]bool{}
+	iface := map[cdag.VID]bool{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			producer[rc.A[i][j]] = true
+			producer[rc.B[j][i]] = true
+		}
+		for j := 0; j < n; j++ {
+			for kk := 0; kk < k; kk++ {
+				producer[rc.CPartial[i][j][kk]] = true
+			}
+			iface[rc.C[i][j]] = true
+		}
+	}
+	split, err := SplitFusedSchedule(rc.G, s, moves, producer, iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split.Identity() {
+		t.Errorf("lemma identity violated: %+v", split)
+	}
+	if split.Interface != n*n {
+		t.Errorf("interface = %d, want %d", split.Interface, n*n)
+	}
+}
+
+// Listing 5's exact claim, verified to the element: "Does I/O equal to
+// |C|+|A|+|B| if S >= n^2 + n + 1". (The pebble game needs one extra
+// pebble for the in-flight chain transition.)
+func TestListing5ExactIO(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		c := cdag.BuildContraction(n)
+		n4 := n * n * n * n
+		s := n*n + n + 2
+		res, err := Simulate(c.G, s, OrderListing5(c))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := n4 + n*n + n4 // |A| + |B| + |O1|
+		if res.IO() != want {
+			t.Errorf("n=%d: I/O = %d, want exactly |A|+|B|+|O1| = %d", n, res.IO(), want)
+		}
+		// One pebble less and the bound is no longer achievable.
+		res2, err := Simulate(c.G, s-n, OrderListing5(c))
+		if err == nil && res2.IO() <= want {
+			t.Errorf("n=%d: S below threshold still achieved the bound (%d)", n, res2.IO())
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package pebble
+
+import "fourindex/internal/cdag"
+
+// OrderMatMulUntiled returns the compute order of the untiled i-j-k
+// matmul loop nest of Figure 1 (left): for each (i, j), the whole k
+// reduction chain.
+func OrderMatMulUntiled(m *cdag.MatMul) []cdag.VID {
+	var order []cdag.VID
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			for k := 0; k < m.N; k++ {
+				order = append(order, m.Partial[i][j][k])
+			}
+		}
+	}
+	return order
+}
+
+// OrderMatMulTiled returns the compute order of the T-tiled matmul loop
+// nest of Figure 1 (right).
+func OrderMatMulTiled(m *cdag.MatMul, t int) []cdag.VID {
+	var order []cdag.VID
+	n := m.N
+	for ti := 0; ti < n; ti += t {
+		for tj := 0; tj < n; tj += t {
+			for tk := 0; tk < n; tk += t {
+				for i := ti; i < min(ti+t, n); i++ {
+					for j := tj; j < min(tj+t, n); j++ {
+						for k := tk; k < min(tk+t, n); k++ {
+							order = append(order, m.Partial[i][j][k])
+						}
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// OrderChainUnfused computes the first product entirely, then the second
+// (Definition 4.1's non-fused schedule).
+func OrderChainUnfused(ch *cdag.MatMulChain) []cdag.VID {
+	return append(OrderMatMulUntiled(ch.First), OrderMatMulUntiled(ch.Second)...)
+}
+
+// OrderChainFused interleaves the two products row-wise: row i of the
+// intermediate C is computed and immediately consumed by row i of E,
+// so C never needs to be stored (a fused schedule per Definition 4.1).
+func OrderChainFused(ch *cdag.MatMulChain) []cdag.VID {
+	var order []cdag.VID
+	n := ch.First.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				order = append(order, ch.First.Partial[i][j][k])
+			}
+		}
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				order = append(order, ch.Second.Partial[i][j][k])
+			}
+		}
+	}
+	return order
+}
+
+// contractionOrder emits one contraction of the four-index chain in the
+// I/O-optimal Listing 5 order: for each macro-column (the three
+// non-contracted source indices), all produced elements' reduction
+// chains. pos is the replaced index position as in cdag.BuildFourIndex.
+func contractionOrder(f *cdag.FourIndex, dst []cdag.VID, pos int) []cdag.VID {
+	// Reconstructing chain vertices: dst holds only final vertices;
+	// chains are contiguous VIDs ending at the final vertex (each
+	// reduction chain is built consecutively), so chain vertex r is
+	// final - (n-1) + r.
+	n := f.N
+	var order []cdag.VID
+	emit := func(a, b, c, d int) {
+		final := dst[cdag.Idx4(n, a, b, c, d)]
+		for r := 0; r < n; r++ {
+			order = append(order, final-cdag.VID(n-1)+cdag.VID(r))
+		}
+	}
+	idx := [4]int{}
+	// Loop the three fixed indices outermost, the produced index next.
+	fixed := make([]int, 0, 3)
+	for p := 0; p < 4; p++ {
+		if p != pos {
+			fixed = append(fixed, p)
+		}
+	}
+	for x0 := 0; x0 < n; x0++ {
+		for x1 := 0; x1 < n; x1++ {
+			for x2 := 0; x2 < n; x2++ {
+				for out := 0; out < n; out++ {
+					idx[fixed[0]], idx[fixed[1]], idx[fixed[2]] = x0, x1, x2
+					idx[pos] = out
+					emit(idx[0], idx[1], idx[2], idx[3])
+				}
+			}
+		}
+	}
+	return order
+}
+
+// OrderFourIndexUnfused runs the four contractions one after another
+// (Listing 1), each in its Listing 5 internal order. Intermediates are
+// spilled between contractions when S is small.
+func OrderFourIndexUnfused(f *cdag.FourIndex) []cdag.VID {
+	var order []cdag.VID
+	order = append(order, contractionOrder(f, f.O1, 0)...)
+	order = append(order, contractionOrder(f, f.O2, 1)...)
+	order = append(order, contractionOrder(f, f.O3, 2)...)
+	order = append(order, contractionOrder(f, f.C, 3)...)
+	return order
+}
+
+// OrderFourIndexFusedPair fuses the first two contractions (the fused
+// pair of Theorem 5.1 / Listing 6) and then the last two: for each
+// (k, l), the O1 slice O1[*,*,k,l] is produced and immediately consumed
+// into O2[*,*,k,l]; afterwards, for each (a, b), O3[a,b,*,*] feeds
+// C[a,b,*,*] (Listing 9's op12/34 schedule).
+func OrderFourIndexFusedPair(f *cdag.FourIndex) []cdag.VID {
+	n := f.N
+	var order []cdag.VID
+	chain := func(final cdag.VID) {
+		for r := 0; r < n; r++ {
+			order = append(order, final-cdag.VID(n-1)+cdag.VID(r))
+		}
+	}
+	for k := 0; k < n; k++ {
+		for l := 0; l < n; l++ {
+			for j := 0; j < n; j++ {
+				for a := 0; a < n; a++ {
+					chain(f.O1[cdag.Idx4(n, a, j, k, l)])
+				}
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					chain(f.O2[cdag.Idx4(n, a, b, k, l)])
+				}
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			// O3[a,b,*,*] is produced and immediately consumed into
+			// C[a,b,*,*], so it never leaves fast memory.
+			for c := 0; c < n; c++ {
+				for l := 0; l < n; l++ {
+					chain(f.O3[cdag.Idx4(n, a, b, c, l)])
+				}
+			}
+			for c := 0; c < n; c++ {
+				for d := 0; d < n; d++ {
+					chain(f.C[cdag.Idx4(n, a, b, c, d)])
+				}
+			}
+		}
+	}
+	return order
+}
+
+// OrderFourIndexFullyFused is the Listing 7 schedule: loop l outermost;
+// for each l produce the O1, O2, O3 slices for that l and accumulate the
+// l-th layer of every C reduction chain. C's partials stay in fast
+// memory across l iterations, which is why S >= |C| is required.
+func OrderFourIndexFullyFused(f *cdag.FourIndex) []cdag.VID {
+	n := f.N
+	var order []cdag.VID
+	chain := func(final cdag.VID) {
+		for r := 0; r < n; r++ {
+			order = append(order, final-cdag.VID(n-1)+cdag.VID(r))
+		}
+	}
+	for l := 0; l < n; l++ {
+		// O1[a,j,k,l] for all a,j,k.
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for a := 0; a < n; a++ {
+					chain(f.O1[cdag.Idx4(n, a, j, k, l)])
+				}
+			}
+		}
+		// O2[a,b,k,l].
+		for k := 0; k < n; k++ {
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					chain(f.O2[cdag.Idx4(n, a, b, k, l)])
+				}
+			}
+		}
+		// O3[a,b,c,l].
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					chain(f.O3[cdag.Idx4(n, a, b, c, l)])
+				}
+			}
+		}
+		// C partial layer r = l for every output element.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					for d := 0; d < n; d++ {
+						final := f.C[cdag.Idx4(n, a, b, c, d)]
+						order = append(order, final-cdag.VID(n-1)+cdag.VID(l))
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// OrderRectChainUnfused computes the full intermediate C, then E
+// (Definition 4.1's non-fused schedule for the Section 4 tall-skinny
+// example).
+func OrderRectChainUnfused(rc *cdag.RectChain) []cdag.VID {
+	var order []cdag.VID
+	for i := 0; i < rc.N; i++ {
+		for j := 0; j < rc.N; j++ {
+			order = append(order, rc.CPartial[i][j]...)
+		}
+	}
+	for i := 0; i < rc.N; i++ {
+		for j := 0; j < rc.K; j++ {
+			order = append(order, rc.EPartial[i][j]...)
+		}
+	}
+	return order
+}
+
+// OrderRectChainFused interleaves per row: row i of the intermediate is
+// produced and immediately consumed by row i of E, so the N x N
+// intermediate never leaves fast memory — the profitable fusion of
+// Section 4's second example.
+func OrderRectChainFused(rc *cdag.RectChain) []cdag.VID {
+	var order []cdag.VID
+	for i := 0; i < rc.N; i++ {
+		for j := 0; j < rc.N; j++ {
+			order = append(order, rc.CPartial[i][j]...)
+		}
+		for j := 0; j < rc.K; j++ {
+			order = append(order, rc.EPartial[i][j]...)
+		}
+	}
+	return order
+}
+
+// OrderListing5 is the paper's Listing 5 schedule for a single
+// contraction: load B once (it stays resident), then for each macro
+// column (j, k, l) stream the n values of A[*, j, k, l] and produce all
+// n outputs O1[*, j, k, l]. With S >= n^2 + n + 2 its I/O is exactly
+// |A| + |B| + |O1|.
+func OrderListing5(c *cdag.Contraction) []cdag.VID {
+	n := c.N
+	var order []cdag.VID
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			for l := 0; l < n; l++ {
+				for a := 0; a < n; a++ {
+					final := c.O1[cdag.Idx4(n, a, j, k, l)]
+					for i := 0; i < n; i++ {
+						order = append(order, final-cdag.VID(n-1)+cdag.VID(i))
+					}
+				}
+			}
+		}
+	}
+	return order
+}

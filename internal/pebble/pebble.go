@@ -1,0 +1,138 @@
+// Package pebble implements the red-blue pebble game of Hong & Kung
+// (Definition A.2 of the paper, no recomputation): S red pebbles model
+// fast memory, unbounded blue pebbles model slow memory, and the I/O cost
+// of a complete calculation is the number of Load (R1) and Store (R2)
+// moves.
+//
+// Besides the raw game (move-by-move with full rule validation), the
+// package provides a schedule simulator: given a topological compute
+// order for a CDAG, it plays the game with Belady (furthest-next-use)
+// eviction, spilling still-needed values to blue pebbles when red
+// capacity runs out. The measured I/O of concrete schedules — untiled
+// vs tiled matmul (Section 2.3), unfused vs fused contraction chains
+// (Sections 5-6) — is what the tests compare against the analytic lower
+// bounds of package lb.
+package pebble
+
+import (
+	"fmt"
+
+	"fourindex/internal/cdag"
+)
+
+// Game is a raw red-blue pebble game with rule checking.
+type Game struct {
+	g        *cdag.Graph
+	s        int
+	red      []bool
+	blue     []bool
+	computed []bool
+	redCount int
+	loads    int
+	stores   int
+}
+
+// NewGame starts a game on g with S red pebbles; blue pebbles sit on all
+// inputs (Definition A.2).
+func NewGame(g *cdag.Graph, s int) *Game {
+	if s <= 0 {
+		panic(fmt.Sprintf("pebble: non-positive red pebble count %d", s))
+	}
+	n := g.NumVertices()
+	gm := &Game{
+		g:        g,
+		s:        s,
+		red:      make([]bool, n),
+		blue:     make([]bool, n),
+		computed: make([]bool, n),
+	}
+	for _, v := range g.Inputs() {
+		gm.blue[v] = true
+		gm.computed[v] = true // inputs carry their value from the start
+	}
+	return gm
+}
+
+// Load is rule R1: place a red pebble on a vertex holding a blue pebble.
+func (gm *Game) Load(v cdag.VID) error {
+	if !gm.blue[v] {
+		return fmt.Errorf("pebble: R1 on %q without a blue pebble", gm.g.Name(v))
+	}
+	if gm.red[v] {
+		return fmt.Errorf("pebble: R1 on %q which is already red", gm.g.Name(v))
+	}
+	if gm.redCount >= gm.s {
+		return fmt.Errorf("pebble: R1 on %q exceeds %d red pebbles", gm.g.Name(v), gm.s)
+	}
+	gm.red[v] = true
+	gm.redCount++
+	gm.loads++
+	return nil
+}
+
+// Store is rule R2: place a blue pebble on a vertex holding a red pebble.
+func (gm *Game) Store(v cdag.VID) error {
+	if !gm.red[v] {
+		return fmt.Errorf("pebble: R2 on %q without a red pebble", gm.g.Name(v))
+	}
+	if !gm.blue[v] {
+		gm.blue[v] = true
+	}
+	gm.stores++
+	return nil
+}
+
+// Compute is rule R3: place a red pebble on an operation whose
+// predecessors are all red. Recomputation is disallowed.
+func (gm *Game) Compute(v cdag.VID) error {
+	if gm.g.IsInput(v) {
+		return fmt.Errorf("pebble: R3 on input %q", gm.g.Name(v))
+	}
+	if gm.computed[v] {
+		return fmt.Errorf("pebble: R3 recomputation of %q", gm.g.Name(v))
+	}
+	for _, p := range gm.g.Preds(v) {
+		if !gm.red[p] {
+			return fmt.Errorf("pebble: R3 on %q with non-red predecessor %q", gm.g.Name(v), gm.g.Name(p))
+		}
+	}
+	if gm.redCount >= gm.s {
+		return fmt.Errorf("pebble: R3 on %q exceeds %d red pebbles", gm.g.Name(v), gm.s)
+	}
+	gm.red[v] = true
+	gm.redCount++
+	gm.computed[v] = true
+	return nil
+}
+
+// Delete is rule R4: remove a red pebble.
+func (gm *Game) Delete(v cdag.VID) error {
+	if !gm.red[v] {
+		return fmt.Errorf("pebble: R4 on %q without a red pebble", gm.g.Name(v))
+	}
+	gm.red[v] = false
+	gm.redCount--
+	return nil
+}
+
+// IO returns loads + stores so far.
+func (gm *Game) IO() int { return gm.loads + gm.stores }
+
+// Loads returns the R1 count.
+func (gm *Game) Loads() int { return gm.loads }
+
+// Stores returns the R2 count.
+func (gm *Game) Stores() int { return gm.stores }
+
+// RedCount returns the number of red pebbles in use.
+func (gm *Game) RedCount() int { return gm.redCount }
+
+// Complete reports whether every output holds a blue pebble.
+func (gm *Game) Complete() bool {
+	for _, v := range gm.g.Outputs() {
+		if !gm.blue[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fourindex/internal/cdag"
+)
+
+// randomTopoOrder produces a random valid topological compute order of
+// all operation vertices of g.
+func randomTopoOrder(g *cdag.Graph, rng *rand.Rand) []cdag.VID {
+	n := g.NumVertices()
+	indeg := make([]int, n)
+	succs := g.Succs()
+	var ready []cdag.VID
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.Preds(cdag.VID(v)))
+		if indeg[v] == 0 && !g.IsInput(cdag.VID(v)) {
+			ready = append(ready, cdag.VID(v))
+		}
+	}
+	// Inputs are immediately available.
+	for _, in := range g.Inputs() {
+		for _, s := range succs[in] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	var order []cdag.VID
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		v := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}
+
+// Property: any random valid schedule completes under ample S with I/O
+// at least the trivial bound |inputs| + |outputs|, and never below any
+// more refined measured optimum.
+func TestQuickRandomOrdersDominateTrivialBound(t *testing.T) {
+	m := cdag.BuildMatMul(5)
+	trivial := len(m.G.Inputs()) + len(m.G.Outputs())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := randomTopoOrder(m.G, rng)
+		res, err := Simulate(m.G, m.G.NumVertices(), order)
+		if err != nil {
+			return false
+		}
+		return res.IO() >= trivial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shrinking S never reduces a schedule's measured I/O
+// (monotonicity of the memory-I/O trade-off).
+func TestQuickIOMonotoneInS(t *testing.T) {
+	m := cdag.BuildMatMul(4)
+	order := OrderMatMulUntiled(m)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := 8 + rng.Intn(40)
+		s2 := s1 + 1 + rng.Intn(40)
+		r1, err1 := Simulate(m.G, s1, order)
+		r2, err2 := Simulate(m.G, s2, order)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 == nil || err1 != nil && err2 != nil // smaller S may fail
+		}
+		return r1.IO() >= r2.IO()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Belady simulator's loads never exceed what a
+// load-everything-per-use schedule would do (each use = one load), and
+// stores never exceed computes + outputs.
+func TestQuickResourceSanity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		m := cdag.BuildMatMul(n)
+		order := randomTopoOrder(m.G, rng)
+		s := 3*n + 4 + rng.Intn(n*n)
+		res, err := Simulate(m.G, s, order)
+		if err != nil {
+			return true // S too small for some op is acceptable
+		}
+		uses := 0
+		for _, v := range order {
+			uses += len(m.G.Preds(v))
+		}
+		if res.Loads > uses {
+			return false
+		}
+		maxStores := len(order) + len(m.G.Outputs())
+		return res.Stores <= maxStores
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with S large enough to hold everything, I/O equals exactly
+// inputs + outputs for any valid order (no spills possible).
+func TestQuickAmpleSGivesMinimalIO(t *testing.T) {
+	m := cdag.BuildMatMul(4)
+	want := len(m.G.Inputs()) + len(m.G.Outputs())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := randomTopoOrder(m.G, rng)
+		res, err := Simulate(m.G, m.G.NumVertices()+1, order)
+		if err != nil {
+			return false
+		}
+		return res.IO() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

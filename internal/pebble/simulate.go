@@ -1,0 +1,227 @@
+package pebble
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fourindex/internal/cdag"
+)
+
+// Result summarises a simulated schedule.
+type Result struct {
+	Loads   int
+	Stores  int
+	PeakRed int
+}
+
+// IO returns the total data movement of the schedule.
+func (r Result) IO() int { return r.Loads + r.Stores }
+
+const never = int(^uint(0) >> 1) // sentinel next-use for dead values
+
+// evictEntry is a lazy max-heap entry ordered by next use position.
+type evictEntry struct {
+	v       cdag.VID
+	nextUse int
+}
+
+type evictHeap []evictEntry
+
+func (h evictHeap) Len() int           { return len(h) }
+func (h evictHeap) Less(i, j int) bool { return h[i].nextUse > h[j].nextUse }
+func (h evictHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *evictHeap) Push(x any)        { *h = append(*h, x.(evictEntry)) }
+func (h *evictHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Simulate plays the red-blue pebble game on g with S red pebbles,
+// computing operations in the given topological order. Operand loads are
+// inserted on demand; eviction is Belady (furthest next use), spilling
+// (Store before Delete) any victim whose value is still needed or is an
+// unsaved output. It returns the schedule's I/O or an error when S is too
+// small to compute some operation at all.
+//
+// The compute order fully determines the schedule's data movement (up to
+// the eviction policy), which is exactly how the paper compares fusion
+// and tiling choices.
+func Simulate(g *cdag.Graph, s int, order []cdag.VID) (Result, error) {
+	return simulate(g, s, order, nil)
+}
+
+// simulate is Simulate with an optional move recorder.
+func simulate(g *cdag.Graph, s int, order []cdag.VID, rec *recorder) (Result, error) {
+	gm := NewGame(g, s)
+
+	// Validate the order covers each non-input exactly once.
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	ops := 0
+	for _, v := range order {
+		if g.IsInput(v) {
+			return Result{}, fmt.Errorf("pebble: order contains input %q", g.Name(v))
+		}
+		if seen[v] {
+			return Result{}, fmt.Errorf("pebble: order computes %q twice", g.Name(v))
+		}
+		seen[v] = true
+		ops++
+	}
+	for v := 0; v < n; v++ {
+		if !g.IsInput(cdag.VID(v)) && !seen[v] {
+			return Result{}, fmt.Errorf("pebble: order misses operation %q", g.Name(cdag.VID(v)))
+		}
+	}
+
+	// useQueue[v] holds the order positions at which v is consumed,
+	// ascending. Position of computing v itself is not a use.
+	useQueue := make([][]int, n)
+	for t, v := range order {
+		for _, p := range g.Preds(v) {
+			useQueue[p] = append(useQueue[p], t)
+		}
+	}
+	nextUse := func(v cdag.VID) int {
+		if q := useQueue[v]; len(q) > 0 {
+			return q[0]
+		}
+		return never
+	}
+	popUse := func(v cdag.VID) {
+		useQueue[v] = useQueue[v][1:]
+	}
+
+	h := &evictHeap{}
+	inRed := make([]bool, n) // tracks our view of red set for lazy heap
+	peak := 0
+
+	push := func(v cdag.VID) {
+		inRed[v] = true
+		heap.Push(h, evictEntry{v: v, nextUse: nextUse(v)})
+		if gm.RedCount() > peak {
+			peak = gm.RedCount()
+		}
+	}
+
+	// makeRoom evicts victims until a red pebble is free, never touching
+	// pinned vertices (operands of the in-flight operation).
+	makeRoom := func(pinned map[cdag.VID]bool) error {
+		for gm.RedCount() >= s {
+			// Pop until a live, unpinned, current entry surfaces.
+			var victim cdag.VID = -1
+			var stash []evictEntry
+			for h.Len() > 0 {
+				e := heap.Pop(h).(evictEntry)
+				if !inRed[e.v] || e.nextUse != nextUse(e.v) {
+					continue // stale
+				}
+				if pinned[e.v] {
+					stash = append(stash, e)
+					continue
+				}
+				victim = e.v
+				break
+			}
+			for _, e := range stash {
+				heap.Push(h, e)
+			}
+			if victim < 0 {
+				return fmt.Errorf("pebble: S=%d too small: all %d red pebbles pinned", s, gm.RedCount())
+			}
+			// Spill if the value is still needed, or is an output
+			// not yet saved.
+			if (nextUse(victim) != never || g.IsOutput(victim)) && !gm.blue[victim] {
+				if err := gm.Store(victim); err != nil {
+					return err
+				}
+				rec.add(MoveStore, victim)
+			}
+			if err := gm.Delete(victim); err != nil {
+				return err
+			}
+			rec.add(MoveDelete, victim)
+			inRed[victim] = false
+		}
+		return nil
+	}
+
+	pinned := make(map[cdag.VID]bool, 4)
+	for _, v := range order {
+		// Pin and materialise operands.
+		clear(pinned)
+		for _, p := range g.Preds(v) {
+			pinned[p] = true
+		}
+		for _, p := range g.Preds(v) {
+			if inRed[p] {
+				continue
+			}
+			if !gm.blue[p] {
+				return Result{}, fmt.Errorf("pebble: operand %q of %q lost (evicted without store?)", g.Name(p), g.Name(v))
+			}
+			if err := makeRoom(pinned); err != nil {
+				return Result{}, err
+			}
+			if err := gm.Load(p); err != nil {
+				return Result{}, err
+			}
+			rec.add(MoveLoad, p)
+			push(p)
+		}
+		if err := makeRoom(pinned); err != nil {
+			return Result{}, err
+		}
+		if err := gm.Compute(v); err != nil {
+			return Result{}, err
+		}
+		rec.add(MoveCompute, v)
+		push(v)
+
+		// Consume this use of each operand; drop dead values.
+		for _, p := range g.Preds(v) {
+			popUse(p)
+			if nextUse(p) == never && inRed[p] {
+				if g.IsOutput(p) && !gm.blue[p] {
+					if err := gm.Store(p); err != nil {
+						return Result{}, err
+					}
+					rec.add(MoveStore, p)
+				}
+				if err := gm.Delete(p); err != nil {
+					return Result{}, err
+				}
+				rec.add(MoveDelete, p)
+				inRed[p] = false
+			} else if inRed[p] {
+				heap.Push(h, evictEntry{v: p, nextUse: nextUse(p)})
+			}
+		}
+		// The freshly computed value may itself be dead (an output
+		// with no consumers): save and release it eagerly.
+		if nextUse(v) == never {
+			if g.IsOutput(v) && !gm.blue[v] {
+				if err := gm.Store(v); err != nil {
+					return Result{}, err
+				}
+				rec.add(MoveStore, v)
+			}
+			if err := gm.Delete(v); err != nil {
+				return Result{}, err
+			}
+			rec.add(MoveDelete, v)
+			inRed[v] = false
+		}
+	}
+
+	// Save any outputs still only in red.
+	for _, v := range g.Outputs() {
+		if inRed[v] && !gm.blue[v] {
+			if err := gm.Store(v); err != nil {
+				return Result{}, err
+			}
+			rec.add(MoveStore, v)
+		}
+	}
+	if !gm.Complete() {
+		return Result{}, fmt.Errorf("pebble: schedule did not blue-pebble all outputs")
+	}
+	return Result{Loads: gm.Loads(), Stores: gm.Stores(), PeakRed: peak}, nil
+}

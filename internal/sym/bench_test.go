@@ -1,0 +1,29 @@
+package sym
+
+import "testing"
+
+func BenchmarkPairIndex(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += CanonicalPairIndex(i%1000, (i*7)%1000)
+	}
+	_ = sink
+}
+
+func BenchmarkUnpairIndex(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		x, y := UnpairIndex(i % 500000)
+		sink += x + y
+	}
+	_ = sink
+}
+
+func BenchmarkPackedAAccess(b *testing.B) {
+	a := NewPackedA(64)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += a.At(i%64, (i*3)%64, (i*5)%64, (i*7)%64)
+	}
+	_ = sink
+}

@@ -1,0 +1,59 @@
+package sym
+
+// Sizes holds element counts for the five tensors of the four-index
+// transform (Table 1 of the paper).
+type Sizes struct {
+	A, O1, O2, O3, C int64
+}
+
+// ExactSizes returns the exact packed element counts for extent n with a
+// spatial-symmetry reduction factor s >= 1 applied to the output tensor C
+// only (Section 2.1: spatial symmetry zeroes blocks of C and reduces no
+// other tensor). With M = n(n+1)/2:
+//
+//	|A| = M^2, |O1| = n^2 M, |O2| = M^2, |O3| = M n^2, |C| = M^2 / s
+func ExactSizes(n, s int) Sizes {
+	if s < 1 {
+		s = 1
+	}
+	m := int64(Pairs(n))
+	nn := int64(n) * int64(n)
+	return Sizes{
+		A:  m * m,
+		O1: nn * m,
+		O2: m * m,
+		O3: m * nn,
+		C:  m * m / int64(s),
+	}
+}
+
+// PaperSizes returns the leading-order sizes quoted in Table 1:
+// n^4/4, n^4/2, n^4/4, n^4/2, n^4/(4s).
+func PaperSizes(n, s int) Sizes {
+	if s < 1 {
+		s = 1
+	}
+	n4 := int64(n) * int64(n) * int64(n) * int64(n)
+	return Sizes{
+		A:  n4 / 4,
+		O1: n4 / 2,
+		O2: n4 / 4,
+		O3: n4 / 2,
+		C:  n4 / (4 * int64(s)),
+	}
+}
+
+// Total returns the sum of all five tensor sizes.
+func (s Sizes) Total() int64 { return s.A + s.O1 + s.O2 + s.O3 + s.C }
+
+// MaxIntermediate returns the size of the largest intermediate (O1..O3).
+func (s Sizes) MaxIntermediate() int64 {
+	m := s.O1
+	if s.O2 > m {
+		m = s.O2
+	}
+	if s.O3 > m {
+		m = s.O3
+	}
+	return m
+}

@@ -1,0 +1,340 @@
+// Package sym implements the permutation-symmetry machinery of the
+// four-index transform (Section 2.1 of the paper).
+//
+// A tensor is symmetric with respect to a subset of its indices when
+// permuting indices within the subset leaves the value unchanged. Such a
+// symmetry group of d indices needs only the canonically ordered
+// (i1 >= i2 >= ... >= id) elements stored, a factor ~d! reduction.
+//
+// The tensors of the transform carry the following symmetry structure
+// (Table 1):
+//
+//	A [ij, kl]      two pair groups          n^4/4 elements
+//	O1[a, j, kl]    one pair group           n^4/2 elements
+//	O2[ab, kl]      two pair groups          n^4/4 elements
+//	O3[ab, c, l]    one pair group           n^4/2 elements
+//	C [ab, cd]      two pair groups (+ spatial symmetry) n^4/(4s)
+//
+// This package provides the triangular pair index bijection and packed
+// container types for each of the five tensors, along with conversions to
+// and from fully expanded dense tensors for correctness checking.
+package sym
+
+import (
+	"fmt"
+
+	"fourindex/internal/tensor"
+)
+
+// Pairs returns the number of canonically ordered pairs (i >= j) drawn
+// from [0, n), i.e. n(n+1)/2.
+func Pairs(n int) int { return n * (n + 1) / 2 }
+
+// PairIndex maps a canonical pair i >= j (both in [0, n)) to its packed
+// index in [0, Pairs(n)). The layout is row-by-row lower triangular:
+// (0,0) -> 0, (1,0) -> 1, (1,1) -> 2, (2,0) -> 3, ...
+func PairIndex(i, j int) int {
+	if j > i {
+		panic(fmt.Sprintf("sym: PairIndex requires i >= j, got (%d,%d)", i, j))
+	}
+	return i*(i+1)/2 + j
+}
+
+// CanonicalPairIndex maps an arbitrary pair to the packed index of its
+// canonical ordering.
+func CanonicalPairIndex(i, j int) int {
+	if j > i {
+		i, j = j, i
+	}
+	return PairIndex(i, j)
+}
+
+// UnpairIndex inverts PairIndex: it returns the canonical (i, j) with
+// i >= j for a packed index p >= 0.
+func UnpairIndex(p int) (i, j int) {
+	if p < 0 {
+		panic(fmt.Sprintf("sym: negative pair index %d", p))
+	}
+	// i is the largest integer with i(i+1)/2 <= p. Start from the
+	// floating-point estimate and correct, which is exact for all p
+	// within int range.
+	i = int((isqrt(8*uint64(p)+1) - 1) / 2)
+	for i*(i+1)/2 > p {
+		i--
+	}
+	for (i+1)*(i+2)/2 <= p {
+		i++
+	}
+	return i, p - i*(i+1)/2
+}
+
+// isqrt returns floor(sqrt(x)) computed exactly in integers.
+func isqrt(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	r := uint64(1) << ((bits64(x) + 1) / 2)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			return r
+		}
+		r = nr
+	}
+}
+
+func bits64(x uint64) uint {
+	var n uint
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// PackedA stores A[ij, kl]: symmetric in (i,j) and in (k,l), packed as a
+// Pairs(n) x Pairs(n) matrix.
+type PackedA struct {
+	N    int
+	data []float64
+}
+
+// NewPackedA allocates a zeroed packed A for extent n.
+func NewPackedA(n int) *PackedA {
+	m := Pairs(n)
+	return &PackedA{N: n, data: make([]float64, m*m)}
+}
+
+// Size returns the number of stored elements, Pairs(n)^2.
+func (a *PackedA) Size() int { return len(a.data) }
+
+// Data exposes the backing slice: row index = packed (ij), column index =
+// packed (kl).
+func (a *PackedA) Data() []float64 { return a.data }
+
+// At returns A[i,j,k,l] for arbitrary index order.
+func (a *PackedA) At(i, j, k, l int) float64 {
+	m := Pairs(a.N)
+	return a.data[CanonicalPairIndex(i, j)*m+CanonicalPairIndex(k, l)]
+}
+
+// Set assigns the canonical element underlying A[i,j,k,l].
+func (a *PackedA) Set(v float64, i, j, k, l int) {
+	m := Pairs(a.N)
+	a.data[CanonicalPairIndex(i, j)*m+CanonicalPairIndex(k, l)] = v
+}
+
+// Row returns the packed row A[ij, *] for canonical pair index ij.
+func (a *PackedA) Row(ij int) []float64 {
+	m := Pairs(a.N)
+	return a.data[ij*m : (ij+1)*m]
+}
+
+// ToDense expands to the full n^4 tensor, applying the symmetry.
+func (a *PackedA) ToDense() *tensor.Dense {
+	n := a.N
+	d := tensor.New(n, n, n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l < n; l++ {
+					d.Set(a.At(i, j, k, l), i, j, k, l)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// PackA packs a full dense tensor that is (assumed) symmetric in (i,j)
+// and (k,l). Only canonical elements are read.
+func PackA(d *tensor.Dense) *PackedA {
+	n := d.Dim(0)
+	a := NewPackedA(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l <= k; l++ {
+					a.Set(d.At(i, j, k, l), i, j, k, l)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// PackedO1 stores O1[a, j, kl]: symmetric in (k,l) only.
+// Layout: [a][j][kl] row-major with kl fastest.
+type PackedO1 struct {
+	N    int // extent of every tensor dimension
+	data []float64
+}
+
+// NewPackedO1 allocates a zeroed packed O1 for extent n.
+func NewPackedO1(n int) *PackedO1 {
+	return &PackedO1{N: n, data: make([]float64, n*n*Pairs(n))}
+}
+
+// Size returns the number of stored elements, n^2 * Pairs(n).
+func (o *PackedO1) Size() int { return len(o.data) }
+
+// Data exposes the backing slice.
+func (o *PackedO1) Data() []float64 { return o.data }
+
+// At returns O1[a, j, k, l].
+func (o *PackedO1) At(a, j, k, l int) float64 {
+	m := Pairs(o.N)
+	return o.data[(a*o.N+j)*m+CanonicalPairIndex(k, l)]
+}
+
+// Add accumulates into O1[a, j, k, l] (canonical element).
+func (o *PackedO1) Add(v float64, a, j, k, l int) {
+	m := Pairs(o.N)
+	o.data[(a*o.N+j)*m+CanonicalPairIndex(k, l)] += v
+}
+
+// PackedO2 stores O2[ab, kl]: symmetric in (a,b) and (k,l).
+type PackedO2 struct {
+	N    int
+	data []float64
+}
+
+// NewPackedO2 allocates a zeroed packed O2 for extent n.
+func NewPackedO2(n int) *PackedO2 {
+	m := Pairs(n)
+	return &PackedO2{N: n, data: make([]float64, m*m)}
+}
+
+// Size returns the number of stored elements, Pairs(n)^2.
+func (o *PackedO2) Size() int { return len(o.data) }
+
+// Data exposes the backing slice: row = packed (ab), col = packed (kl).
+func (o *PackedO2) Data() []float64 { return o.data }
+
+// At returns O2[a, b, k, l].
+func (o *PackedO2) At(a, b, k, l int) float64 {
+	m := Pairs(o.N)
+	return o.data[CanonicalPairIndex(a, b)*m+CanonicalPairIndex(k, l)]
+}
+
+// Add accumulates into the canonical element of O2[a, b, k, l].
+func (o *PackedO2) Add(v float64, a, b, k, l int) {
+	m := Pairs(o.N)
+	o.data[CanonicalPairIndex(a, b)*m+CanonicalPairIndex(k, l)] += v
+}
+
+// Row returns the packed row O2[ab, *].
+func (o *PackedO2) Row(ab int) []float64 {
+	m := Pairs(o.N)
+	return o.data[ab*m : (ab+1)*m]
+}
+
+// PackedO3 stores O3[ab, c, l]: symmetric in (a,b) only.
+// Layout: [ab][c][l] row-major with l fastest.
+type PackedO3 struct {
+	N    int
+	data []float64
+}
+
+// NewPackedO3 allocates a zeroed packed O3 for extent n.
+func NewPackedO3(n int) *PackedO3 {
+	return &PackedO3{N: n, data: make([]float64, Pairs(n)*n*n)}
+}
+
+// Size returns the number of stored elements, Pairs(n) * n^2.
+func (o *PackedO3) Size() int { return len(o.data) }
+
+// Data exposes the backing slice.
+func (o *PackedO3) Data() []float64 { return o.data }
+
+// At returns O3[a, b, c, l].
+func (o *PackedO3) At(a, b, c, l int) float64 {
+	return o.data[(CanonicalPairIndex(a, b)*o.N+c)*o.N+l]
+}
+
+// Add accumulates into the canonical element of O3[a, b, c, l].
+func (o *PackedO3) Add(v float64, a, b, c, l int) {
+	o.data[(CanonicalPairIndex(a, b)*o.N+c)*o.N+l] += v
+}
+
+// PackedC stores C[ab, cd]: symmetric in (a,b) and (c,d).
+type PackedC struct {
+	N    int
+	data []float64
+}
+
+// NewPackedC allocates a zeroed packed C for extent n.
+func NewPackedC(n int) *PackedC {
+	m := Pairs(n)
+	return &PackedC{N: n, data: make([]float64, m*m)}
+}
+
+// Size returns the number of stored elements, Pairs(n)^2.
+func (c *PackedC) Size() int { return len(c.data) }
+
+// Data exposes the backing slice: row = packed (ab), col = packed (cd).
+func (c *PackedC) Data() []float64 { return c.data }
+
+// At returns C[a, b, cc, d].
+func (c *PackedC) At(a, b, cc, d int) float64 {
+	m := Pairs(c.N)
+	return c.data[CanonicalPairIndex(a, b)*m+CanonicalPairIndex(cc, d)]
+}
+
+// Add accumulates into the canonical element of C[a, b, cc, d].
+func (c *PackedC) Add(v float64, a, b, cc, d int) {
+	m := Pairs(c.N)
+	c.data[CanonicalPairIndex(a, b)*m+CanonicalPairIndex(cc, d)] += v
+}
+
+// ToDense expands to the full n^4 tensor, applying the symmetry.
+func (c *PackedC) ToDense() *tensor.Dense {
+	n := c.N
+	d := tensor.New(n, n, n, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for g := 0; g < n; g++ {
+				for e := 0; e < n; e++ {
+					d.Set(c.At(a, b, g, e), a, b, g, e)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// PackC packs a full dense tensor assumed symmetric in (a,b) and (c,d).
+func PackC(d *tensor.Dense) *PackedC {
+	n := d.Dim(0)
+	c := NewPackedC(n)
+	for a := 0; a < n; a++ {
+		for b := 0; b <= a; b++ {
+			for g := 0; g < n; g++ {
+				for e := 0; e <= g; e++ {
+					m := Pairs(n)
+					c.data[PairIndex(a, b)*m+PairIndex(g, e)] = d.At(a, b, g, e)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// MaxAbsDiffC returns the largest absolute difference between two packed
+// C tensors of the same extent.
+func MaxAbsDiffC(x, y *PackedC) float64 {
+	if x.N != y.N {
+		panic(fmt.Sprintf("sym: extent mismatch %d vs %d", x.N, y.N))
+	}
+	var m float64
+	for i := range x.data {
+		d := x.data[i] - y.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,292 @@
+package sym
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fourindex/internal/tensor"
+)
+
+func TestPairs(t *testing.T) {
+	cases := []struct{ n, want int }{{0, 0}, {1, 1}, {2, 3}, {3, 6}, {10, 55}, {100, 5050}}
+	for _, c := range cases {
+		if got := Pairs(c.n); got != c.want {
+			t.Errorf("Pairs(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPairIndexLayout(t *testing.T) {
+	// Row-by-row lower triangular enumeration.
+	want := map[[2]int]int{
+		{0, 0}: 0, {1, 0}: 1, {1, 1}: 2, {2, 0}: 3, {2, 1}: 4, {2, 2}: 5,
+	}
+	for p, idx := range want {
+		if got := PairIndex(p[0], p[1]); got != idx {
+			t.Errorf("PairIndex(%d,%d) = %d, want %d", p[0], p[1], got, idx)
+		}
+	}
+}
+
+func TestPairIndexRequiresCanonical(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PairIndex(0,1) did not panic")
+		}
+	}()
+	PairIndex(0, 1)
+}
+
+func TestCanonicalPairIndexSymmetric(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if CanonicalPairIndex(i, j) != CanonicalPairIndex(j, i) {
+				t.Fatalf("CanonicalPairIndex not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPairUnpairBijection(t *testing.T) {
+	n := 50
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			p := PairIndex(i, j)
+			if p < 0 || p >= Pairs(n) {
+				t.Fatalf("PairIndex(%d,%d) = %d out of range [0,%d)", i, j, p, Pairs(n))
+			}
+			if seen[p] {
+				t.Fatalf("PairIndex(%d,%d) = %d is a duplicate", i, j, p)
+			}
+			seen[p] = true
+			gi, gj := UnpairIndex(p)
+			if gi != i || gj != j {
+				t.Fatalf("UnpairIndex(%d) = (%d,%d), want (%d,%d)", p, gi, gj, i, j)
+			}
+		}
+	}
+	if len(seen) != Pairs(n) {
+		t.Fatalf("covered %d pair indices, want %d", len(seen), Pairs(n))
+	}
+}
+
+func TestUnpairLargeValues(t *testing.T) {
+	// Exercise the integer-sqrt path well beyond float32 precision.
+	for _, p := range []int{0, 1, 2, 1 << 20, 1<<30 + 12345, 1 << 40} {
+		i, j := UnpairIndex(p)
+		if j < 0 || j > i {
+			t.Fatalf("UnpairIndex(%d) = (%d,%d) not canonical", p, i, j)
+		}
+		if got := PairIndex(i, j); got != p {
+			t.Fatalf("PairIndex(UnpairIndex(%d)) = %d", p, got)
+		}
+	}
+}
+
+func TestUnpairNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UnpairIndex(-1) did not panic")
+		}
+	}()
+	UnpairIndex(-1)
+}
+
+func TestQuickPairRoundTrip(t *testing.T) {
+	f := func(p uint32) bool {
+		i, j := UnpairIndex(int(p))
+		return j >= 0 && j <= i && PairIndex(i, j) == int(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedASymmetryAndRoundTrip(t *testing.T) {
+	n := 5
+	a := NewPackedA(n)
+	if a.Size() != Pairs(n)*Pairs(n) {
+		t.Fatalf("Size = %d, want %d", a.Size(), Pairs(n)*Pairs(n))
+	}
+	a.Set(3.5, 1, 3, 0, 2) // stored as (3,1),(2,0)
+	for _, idx := range [][4]int{{1, 3, 0, 2}, {3, 1, 0, 2}, {1, 3, 2, 0}, {3, 1, 2, 0}} {
+		if got := a.At(idx[0], idx[1], idx[2], idx[3]); got != 3.5 {
+			t.Errorf("At(%v) = %v, want 3.5", idx, got)
+		}
+	}
+	d := a.ToDense()
+	if d.At(3, 1, 2, 0) != 3.5 || d.At(1, 3, 0, 2) != 3.5 {
+		t.Error("ToDense did not apply symmetry")
+	}
+	back := PackA(d)
+	if back.At(1, 3, 0, 2) != 3.5 {
+		t.Error("PackA(ToDense()) round trip failed")
+	}
+}
+
+func TestPackARandomRoundTrip(t *testing.T) {
+	n := 6
+	rng := rand.New(rand.NewSource(7))
+	full := tensor.New(n, n, n, n)
+	// Fill with an (i,j)- and (k,l)-symmetric pattern.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l <= k; l++ {
+					v := rng.NormFloat64()
+					full.Set(v, i, j, k, l)
+					full.Set(v, j, i, k, l)
+					full.Set(v, i, j, l, k)
+					full.Set(v, j, i, l, k)
+				}
+			}
+		}
+	}
+	packed := PackA(full)
+	if got := tensor.MaxAbsDiff(packed.ToDense(), full); got != 0 {
+		t.Errorf("round-trip max diff = %v, want 0", got)
+	}
+}
+
+func TestPackedO1(t *testing.T) {
+	n := 4
+	o := NewPackedO1(n)
+	if o.Size() != n*n*Pairs(n) {
+		t.Fatalf("Size = %d, want %d", o.Size(), n*n*Pairs(n))
+	}
+	o.Add(2, 1, 2, 0, 3) // kl canonicalised to (3,0)
+	o.Add(3, 1, 2, 3, 0)
+	if got := o.At(1, 2, 0, 3); got != 5 {
+		t.Errorf("At = %v, want 5 (accumulated across kl orderings)", got)
+	}
+	// (a, j) is NOT a symmetry group.
+	if got := o.At(2, 1, 0, 3); got != 0 {
+		t.Errorf("At(2,1,..) = %v, want 0", got)
+	}
+}
+
+func TestPackedO2(t *testing.T) {
+	n := 4
+	o := NewPackedO2(n)
+	if o.Size() != Pairs(n)*Pairs(n) {
+		t.Fatalf("Size = %d", o.Size())
+	}
+	o.Add(1.5, 2, 3, 1, 0)
+	if got := o.At(3, 2, 0, 1); got != 1.5 {
+		t.Errorf("symmetric At = %v, want 1.5", got)
+	}
+	row := o.Row(PairIndex(3, 2))
+	if row[PairIndex(1, 0)] != 1.5 {
+		t.Error("Row view does not expose stored element")
+	}
+}
+
+func TestPackedO3(t *testing.T) {
+	n := 4
+	o := NewPackedO3(n)
+	if o.Size() != Pairs(n)*n*n {
+		t.Fatalf("Size = %d", o.Size())
+	}
+	o.Add(2.5, 3, 1, 2, 0)
+	if got := o.At(1, 3, 2, 0); got != 2.5 {
+		t.Errorf("At with swapped ab = %v, want 2.5", got)
+	}
+	if got := o.At(3, 1, 0, 2); got != 0 {
+		t.Errorf("(c,l) must not be symmetric; At = %v, want 0", got)
+	}
+}
+
+func TestPackedCRoundTrip(t *testing.T) {
+	n := 5
+	c := NewPackedC(n)
+	c.Add(4.5, 4, 2, 3, 3)
+	for _, idx := range [][4]int{{4, 2, 3, 3}, {2, 4, 3, 3}} {
+		if got := c.At(idx[0], idx[1], idx[2], idx[3]); got != 4.5 {
+			t.Errorf("At(%v) = %v, want 4.5", idx, got)
+		}
+	}
+	d := c.ToDense()
+	back := PackC(d)
+	if MaxAbsDiffC(c, back) != 0 {
+		t.Error("PackC(ToDense()) round trip failed")
+	}
+}
+
+func TestMaxAbsDiffC(t *testing.T) {
+	a, b := NewPackedC(3), NewPackedC(3)
+	a.Add(1, 2, 1, 0, 0)
+	b.Add(3, 2, 1, 0, 0)
+	if got := MaxAbsDiffC(a, b); got != 2 {
+		t.Errorf("MaxAbsDiffC = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("extent mismatch did not panic")
+		}
+	}()
+	MaxAbsDiffC(a, NewPackedC(4))
+}
+
+func TestExactSizesMatchContainers(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		s := ExactSizes(n, 1)
+		if int64(NewPackedA(n).Size()) != s.A {
+			t.Errorf("n=%d: |A| container %d != formula %d", n, NewPackedA(n).Size(), s.A)
+		}
+		if int64(NewPackedO1(n).Size()) != s.O1 {
+			t.Errorf("n=%d: |O1| container %d != formula %d", n, NewPackedO1(n).Size(), s.O1)
+		}
+		if int64(NewPackedO2(n).Size()) != s.O2 {
+			t.Errorf("n=%d: |O2| mismatch", n)
+		}
+		if int64(NewPackedO3(n).Size()) != s.O3 {
+			t.Errorf("n=%d: |O3| mismatch", n)
+		}
+		if int64(NewPackedC(n).Size()) != s.C {
+			t.Errorf("n=%d: |C| mismatch", n)
+		}
+	}
+}
+
+func TestPaperSizesTable1(t *testing.T) {
+	// Table 1: A=n^4/4, O1=n^4/2, O2=n^4/4, O3=n^4/2, C=n^4/(4s).
+	s := PaperSizes(100, 1)
+	n4 := int64(100 * 100 * 100 * 100)
+	if s.A != n4/4 || s.O1 != n4/2 || s.O2 != n4/4 || s.O3 != n4/2 || s.C != n4/4 {
+		t.Errorf("PaperSizes = %+v", s)
+	}
+	sp := PaperSizes(100, 4)
+	if sp.C != n4/16 {
+		t.Errorf("spatial C = %d, want %d", sp.C, n4/16)
+	}
+	if sp.A != s.A || sp.O1 != s.O1 {
+		t.Error("spatial symmetry must only shrink C")
+	}
+}
+
+func TestExactApproachesPaperSizes(t *testing.T) {
+	// For large n, exact packed sizes approach the Table 1 asymptotics.
+	n := 500
+	e, p := ExactSizes(n, 1), PaperSizes(n, 1)
+	ratio := float64(e.A) / float64(p.A)
+	if ratio < 1.0 || ratio > 1.01 {
+		t.Errorf("|A| exact/paper = %v, want within [1, 1.01]", ratio)
+	}
+	if e.MaxIntermediate() != e.O1 && e.MaxIntermediate() != e.O3 {
+		t.Error("largest intermediate should be O1 or O3")
+	}
+	if e.Total() <= 0 {
+		t.Error("Total() must be positive")
+	}
+}
+
+func TestSizesSpatialFactorSanitised(t *testing.T) {
+	if got := ExactSizes(4, 0).C; got != ExactSizes(4, 1).C {
+		t.Errorf("s=0 should clamp to 1, got C=%d", got)
+	}
+	if got := PaperSizes(4, -3).C; got != PaperSizes(4, 1).C {
+		t.Errorf("negative s should clamp to 1, got C=%d", got)
+	}
+}

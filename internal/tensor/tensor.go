@@ -1,0 +1,205 @@
+// Package tensor implements dense row-major multidimensional arrays of
+// float64 together with the small set of manipulation utilities the
+// four-index transform needs: element access, fixing indices to obtain
+// views, filling, and numeric comparison.
+//
+// The package intentionally stays away from any symmetry handling; packed
+// symmetric storage lives in package sym, and tiled/distributed storage in
+// packages tile and ga. A Dense tensor is the "fully expanded" reference
+// representation used for correctness checks.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major tensor. The last index varies fastest.
+type Dense struct {
+	shape  []int
+	stride []int
+	data   []float64
+}
+
+// New allocates a zeroed dense tensor with the given shape. Every extent
+// must be positive.
+func New(shape ...int) *Dense {
+	t, err := tryNew(shape)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func tryNew(shape []int) (*Dense, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("tensor: empty shape")
+	}
+	size := 1
+	for _, s := range shape {
+		if s <= 0 {
+			return nil, fmt.Errorf("tensor: non-positive extent %d in shape %v", s, shape)
+		}
+		if size > (1<<62)/s {
+			return nil, fmt.Errorf("tensor: shape %v overflows", shape)
+		}
+		size *= s
+	}
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Dense{shape: sh, stride: strides(sh), data: make([]float64, size)}, nil
+}
+
+// FromSlice wraps an existing backing slice as a tensor of the given
+// shape. The slice length must match the shape's size exactly. The tensor
+// aliases the slice; mutations are visible both ways.
+func FromSlice(data []float64, shape ...int) *Dense {
+	size := 1
+	for _, s := range shape {
+		size *= s
+	}
+	if size != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (size %d)", len(data), shape, size))
+	}
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Dense{shape: sh, stride: strides(sh), data: data}
+}
+
+func strides(shape []int) []int {
+	st := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= shape[i]
+	}
+	return st
+}
+
+// Rank returns the number of dimensions.
+func (t *Dense) Rank() int { return len(t.shape) }
+
+// Shape returns the extents. The returned slice must not be mutated.
+func (t *Dense) Shape() []int { return t.shape }
+
+// Dim returns the extent of dimension d.
+func (t *Dense) Dim(d int) int { return t.shape[d] }
+
+// Size returns the total number of elements.
+func (t *Dense) Size() int { return len(t.data) }
+
+// Data returns the backing slice in row-major order.
+func (t *Dense) Data() []float64 { return t.data }
+
+// offset computes the linear offset for a full index tuple.
+func (t *Dense) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= t.shape[d] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", i, t.shape[d], d))
+		}
+		off += i * t.stride[d]
+	}
+	return off
+}
+
+// At returns the element at the given index tuple.
+func (t *Dense) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given index tuple.
+func (t *Dense) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Add accumulates v into the element at the given index tuple.
+func (t *Dense) Add(v float64, idx ...int) { t.data[t.offset(idx)] += v }
+
+// Zero resets every element to 0.
+func (t *Dense) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to f(index...).
+func (t *Dense) Fill(f func(idx []int) float64) {
+	idx := make([]int, len(t.shape))
+	for off := range t.data {
+		t.data[off] = f(idx)
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < t.shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Dense) Clone() *Dense {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// SubLeading returns a view with the first dimension fixed to i. The view
+// aliases the parent's storage.
+func (t *Dense) SubLeading(i int) *Dense {
+	if t.Rank() < 2 {
+		panic("tensor: SubLeading requires rank >= 2")
+	}
+	if i < 0 || i >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: SubLeading index %d out of range [0,%d)", i, t.shape[0]))
+	}
+	block := t.stride[0]
+	return &Dense{
+		shape:  t.shape[1:],
+		stride: t.stride[1:],
+		data:   t.data[i*block : (i+1)*block],
+	}
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two same-shaped tensors.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if !sameShape(a.shape, b.shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	var m float64
+	for i := range a.data {
+		if d := math.Abs(a.data[i] - b.data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxAbs returns the largest absolute element.
+func (t *Dense) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// EqualApprox reports whether the tensors agree elementwise within tol.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	return sameShape(a.shape, b.shape) && MaxAbsDiff(a, b) <= tol
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	d := New(2, 3, 4)
+	if d.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", d.Rank())
+	}
+	if d.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", d.Size())
+	}
+	if d.Dim(1) != 3 {
+		t.Fatalf("Dim(1) = %d, want 3", d.Dim(1))
+	}
+}
+
+func TestNewInvalidShapePanics(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestAtSetRowMajorOrder(t *testing.T) {
+	d := New(2, 3)
+	d.Set(1.5, 1, 2)
+	if got := d.At(1, 2); got != 1.5 {
+		t.Errorf("At(1,2) = %v, want 1.5", got)
+	}
+	// Row-major: element (1,2) is at linear offset 1*3+2 = 5.
+	if got := d.Data()[5]; got != 1.5 {
+		t.Errorf("Data()[5] = %v, want 1.5", got)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	d := New(2, 2)
+	d.Add(1, 0, 1)
+	d.Add(2.5, 0, 1)
+	if got := d.At(0, 1); got != 3.5 {
+		t.Errorf("At = %v, want 3.5", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := New(2, 2)
+	cases := [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}}
+	for _, idx := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", idx)
+				}
+			}()
+			d.At(idx...)
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	backing := []float64{1, 2, 3, 4, 5, 6}
+	d := FromSlice(backing, 2, 3)
+	if d.At(1, 0) != 4 {
+		t.Errorf("At(1,0) = %v, want 4", d.At(1, 0))
+	}
+	d.Set(9, 0, 0)
+	if backing[0] != 9 {
+		t.Error("FromSlice does not alias the backing slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with wrong size did not panic")
+		}
+	}()
+	FromSlice(backing, 2, 2)
+}
+
+func TestFillVisitsEveryIndexOnce(t *testing.T) {
+	d := New(3, 4, 2)
+	count := 0
+	d.Fill(func(idx []int) float64 {
+		count++
+		return float64(idx[0]*100 + idx[1]*10 + idx[2])
+	})
+	if count != d.Size() {
+		t.Fatalf("Fill visited %d indices, want %d", count, d.Size())
+	}
+	if got := d.At(2, 3, 1); got != 231 {
+		t.Errorf("At(2,3,1) = %v, want 231", got)
+	}
+	if got := d.At(0, 0, 0); got != 0 {
+		t.Errorf("At(0,0,0) = %v, want 0", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := New(2, 2)
+	d.Set(1, 0, 0)
+	c := d.Clone()
+	c.Set(5, 0, 0)
+	if d.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSubLeadingViewAliases(t *testing.T) {
+	d := New(3, 2, 2)
+	d.Set(7, 1, 0, 1)
+	v := d.SubLeading(1)
+	if v.Rank() != 2 || v.Dim(0) != 2 {
+		t.Fatalf("view shape = %v", v.Shape())
+	}
+	if got := v.At(0, 1); got != 7 {
+		t.Errorf("view At(0,1) = %v, want 7", got)
+	}
+	v.Set(8, 1, 1)
+	if d.At(1, 1, 1) != 8 {
+		t.Error("view does not alias parent")
+	}
+}
+
+func TestSubLeadingBounds(t *testing.T) {
+	d := New(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("SubLeading(3) did not panic")
+		}
+	}()
+	d.SubLeading(3)
+}
+
+func TestZero(t *testing.T) {
+	d := New(2, 2)
+	d.Set(3, 1, 1)
+	d.Zero()
+	if d.MaxAbs() != 0 {
+		t.Error("Zero left nonzero elements")
+	}
+}
+
+func TestMaxAbsDiffAndEqualApprox(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	a.Set(1.0, 0, 1)
+	b.Set(1.1, 0, 1)
+	if d := MaxAbsDiff(a, b); d < 0.0999 || d > 0.1001 {
+		t.Errorf("MaxAbsDiff = %v, want ~0.1", d)
+	}
+	if !EqualApprox(a, b, 0.2) {
+		t.Error("EqualApprox(tol=0.2) = false")
+	}
+	if EqualApprox(a, b, 0.05) {
+		t.Error("EqualApprox(tol=0.05) = true")
+	}
+	c := New(2, 3)
+	if EqualApprox(a, c, 1e9) {
+		t.Error("EqualApprox across shapes = true")
+	}
+}
+
+func TestMaxAbsDiffShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxAbsDiff with shape mismatch did not panic")
+		}
+	}()
+	MaxAbsDiff(New(2, 2), New(2, 3))
+}
+
+// Property: At(Set) round trip for random shapes/indices.
+func TestQuickSetAtRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rank := 1 + r.Intn(4)
+		shape := make([]int, rank)
+		idx := make([]int, rank)
+		for d := range shape {
+			shape[d] = 1 + r.Intn(5)
+			idx[d] = r.Intn(shape[d])
+		}
+		tt := New(shape...)
+		v := r.NormFloat64()
+		tt.Set(v, idx...)
+		return tt.At(idx...) == v
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linear offsets of distinct indices are distinct (bijectivity
+// of the row-major layout).
+func TestQuickLayoutBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shape := []int{1 + r.Intn(4), 1 + r.Intn(4), 1 + r.Intn(4)}
+		tt := New(shape...)
+		seen := make(map[int]bool)
+		n := 0
+		tt.Fill(func(idx []int) float64 {
+			n++
+			return float64(n)
+		})
+		for _, v := range tt.Data() {
+			o := int(v)
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		return len(seen) == tt.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

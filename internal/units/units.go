@@ -1,0 +1,55 @@
+// Package units parses and formats human-friendly byte quantities for
+// the command-line tools ("512MB", "1.4TB", ...). Decimal SI multipliers
+// are used, matching the paper's terabyte figures.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+var suffixes = []struct {
+	name string
+	mul  float64
+}{
+	{"PB", 1e15}, {"TB", 1e12}, {"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+}
+
+// ParseBytes converts strings like "24GB", "1.4 TB", or "1048576" (plain
+// bytes) to a byte count.
+func ParseBytes(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1.0
+	for _, sfx := range suffixes {
+		if strings.HasSuffix(u, sfx.name) {
+			u = strings.TrimSuffix(u, sfx.name)
+			mult = sfx.mul
+			break
+		}
+	}
+	u = strings.TrimSpace(u)
+	if u == "" {
+		return 0, fmt.Errorf("units: empty size %q", s)
+	}
+	v, err := strconv.ParseFloat(u, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	return int64(v * mult), nil
+}
+
+// FormatBytes renders a byte count with the largest suffix that keeps
+// the mantissa >= 1, e.g. 12190000000000 -> "12.19TB".
+func FormatBytes(b int64) string {
+	f := float64(b)
+	for _, sfx := range suffixes {
+		if f >= sfx.mul {
+			return fmt.Sprintf("%.4g%s", f/sfx.mul, sfx.name)
+		}
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,79 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"123", 123},
+		{"1KB", 1000},
+		{"1.5KB", 1500},
+		{"24GB", 24e9},
+		{"1.4TB", 1.4e12},
+		{"  9 TB ", 9e12},
+		{"512mb", 512e6},
+		{"2PB", 2e15},
+		{"100B", 100},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "GB", "x12", "-5GB", "1.2.3MB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) should error", in)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{999, "999B"},
+		{1000, "1KB"},
+		{24_000_000_000, "24GB"},
+		{12_190_000_000_000, "12.19TB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Format then Parse round-trips within formatting precision.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		b := int64(v) * 1000
+		parsed, err := ParseBytes(FormatBytes(b))
+		if err != nil {
+			return false
+		}
+		if b == 0 {
+			return parsed == 0
+		}
+		ratio := float64(parsed) / float64(b)
+		return ratio > 0.999 && ratio < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package fourindex
+
+import (
+	"math"
+	"testing"
+
+	"fourindex/internal/sym"
+)
+
+// The complete quantum-chemistry pipeline as an integration test:
+// SCF -> four-index transform (every schedule) -> MP2. All schedules
+// must deliver the identical correlation energy from genuinely
+// orthogonal SCF coefficients.
+func TestPipelineSCFTransformMP2(t *testing.T) {
+	const (
+		n    = 12
+		nOcc = 4
+	)
+	spec, err := NewSpec(n, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := RHF(spec, nOcc, SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hf.Converged {
+		t.Fatalf("SCF did not converge (%d iterations)", hf.Iterations)
+	}
+	moSpec, err := spec.WithB(hf.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first float64
+	for i, scheme := range []Scheme{Unfused, Fused1234Pair, FullyFused, FullyFusedInner, NWChemFused, Recompute, Fused123} {
+		res, err := Transform(scheme, Options{
+			Spec: moSpec, Procs: 3, Mode: ModeExecute, TileN: 4, TileL: 3,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		e2, err := MP2Energy(res.C, hf.OrbitalEnergies, nOcc)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if i == 0 {
+			first = e2
+			if e2 >= 0 {
+				t.Errorf("E2 = %v, expected negative", e2)
+			}
+			continue
+		}
+		if math.Abs(e2-first) > 1e-9 {
+			t.Errorf("%v: E2 = %.12f differs from unfused %.12f", scheme, e2, first)
+		}
+	}
+}
+
+// With orthogonal SCF coefficients the transform is a true basis change:
+// transforming with B and then with B^T (its inverse) restores the
+// original integral tensor.
+func TestPipelineBasisChangeRoundTrip(t *testing.T) {
+	const n = 8
+	spec, err := NewSpec(n, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := RHF(spec, 2, SCFOptions{})
+	if err != nil || !hf.Converged {
+		t.Fatalf("SCF: %v (converged=%v)", err, hf.Converged)
+	}
+
+	// Forward transform with B.
+	moSpec, err := spec.WithB(hf.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := Transform(Unfused, Options{Spec: moSpec, Procs: 2, Mode: ModeExecute, TileN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The AO tensor, packed, is what the round trip must restore.
+	orig := sym.NewPackedA(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l <= k; l++ {
+					orig.Set(spec.ComputeA(i, j, k, l), i, j, k, l)
+				}
+			}
+		}
+	}
+
+	// Inverse transform: treat the MO tensor as the new "A" via a spec
+	// whose integrals read from fwd.C, with B^T as the coefficient
+	// matrix. We can't inject a tensor into a Spec, so apply the
+	// inverse directly: back[i,j,k,l] = sum B[a,i] B[b,j] B[c,k] B[d,l]
+	// C[a,b,c,d] — O(n^8) but tiny at n = 8.
+	b := hf.B
+	var maxDiff float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k < n; k++ {
+				for l := 0; l <= k; l++ {
+					var v float64
+					for a := 0; a < n; a++ {
+						bai := b[a*n+i]
+						if bai == 0 {
+							continue
+						}
+						for bb := 0; bb < n; bb++ {
+							w2 := bai * b[bb*n+j]
+							for c := 0; c < n; c++ {
+								w3 := w2 * b[c*n+k]
+								if w3 == 0 {
+									continue
+								}
+								for d := 0; d < n; d++ {
+									v += w3 * b[d*n+l] * fwd.C.At(a, bb, c, d)
+								}
+							}
+						}
+					}
+					if d := math.Abs(v - orig.At(i, j, k, l)); d > maxDiff {
+						maxDiff = d
+					}
+				}
+			}
+		}
+	}
+	if maxDiff > 1e-8 {
+		t.Errorf("basis-change round trip error %v", maxDiff)
+	}
+}
