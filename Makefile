@@ -1,0 +1,30 @@
+# Local developer workflow, mirrored exactly by .github/workflows/ci.yml
+# so "it passed make" and "it passed CI" mean the same thing.
+
+GO ?= go
+
+.PHONY: all build test race lint vet ci
+
+all: build test vet lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the tier-1 race gate: the full ga + fourindex suites under
+# the race detector, plus the concurrency stress tests repeated to give
+# interleavings a chance to differ.
+race:
+	$(GO) test -race ./internal/ga/... ./internal/fourindex/...
+	$(GO) test -race -count=5 -run 'TestStress' ./internal/ga/
+
+# lint runs the project's own analyzer suite (see internal/analysis).
+lint:
+	$(GO) run ./cmd/fouridxlint ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build test vet lint race

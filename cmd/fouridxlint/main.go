@@ -1,0 +1,115 @@
+// Command fouridxlint is the multichecker for the repository's custom
+// static analyzers. It enforces the code-level disciplines the paper's
+// data-movement accounting depends on — ga resource pairing, packed
+// triangular indexing through internal/sym, metrics accessor hygiene,
+// and runtime error propagation (see internal/analysis for the full
+// rationale of each check).
+//
+// Usage:
+//
+//	go run ./cmd/fouridxlint ./...         # lint the whole module
+//	go run ./cmd/fouridxlint -list         # describe the analyzers
+//	go run ./cmd/fouridxlint -only symindex ./internal/fourindex
+//	go vet -vettool=$(which fouridxlint) ./...   # as a vet tool
+//
+// Exit status is 0 when no findings are reported, 1 on findings, and 2
+// on usage or load errors. Test files are not analyzed (patterns follow
+// `go list` GoFiles semantics).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fourindex/internal/analysis"
+	"fourindex/internal/analysis/errflow"
+	"fourindex/internal/analysis/gadiscipline"
+	"fourindex/internal/analysis/metricsdiscipline"
+	"fourindex/internal/analysis/symindex"
+)
+
+// analyzers is the full suite, in reporting-name order.
+var analyzers = []*analysis.Analyzer{
+	errflow.Analyzer,
+	gadiscipline.Analyzer,
+	metricsdiscipline.Analyzer,
+	symindex.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fouridxlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	vetVersion := fs.String("V", "", "vet tool protocol: print version (-V=full)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: fouridxlint [-list] [-only names] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// cmd/go asks vet tools which extra flags they accept.
+		fmt.Println("[]")
+		return 0
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *vetVersion != "" {
+		// cmd/go probes vet tools with -V=full and caches on the output.
+		fmt.Printf("fouridxlint version devel buildID=fouridxlint\n")
+		return 0
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	suite := analyzers
+	if *only != "" {
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := byName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "fouridxlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		// Invoked by `go vet -vettool=` with a unit-check config.
+		return runVetUnit(suite, patterns[0])
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analysis.Run("", suite, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fouridxlint: %v\n", err)
+		return 2
+	}
+	if analysis.Print(os.Stdout, diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// byName resolves an analyzer by its reporting name.
+func byName(name string) *analysis.Analyzer {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

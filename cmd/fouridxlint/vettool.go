@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"fourindex/internal/analysis"
+)
+
+// modulePath is the import-path prefix of packages the suite applies to.
+const modulePath = "fourindex"
+
+// vetConfig is the subset of cmd/go's vet unit-check configuration file
+// (the JSON handed to -vettool binaries) that fouridxlint needs. The
+// build system has already resolved file lists and compiled export data
+// for every dependency, so this mode typechecks one package against
+// export data instead of re-loading the world — the same protocol
+// x/tools' unitchecker implements.
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes the single package described by cfgPath and
+// reports findings in the format go vet expects.
+func runVetUnit(suite []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fouridxlint: reading vet config: %v\n", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fouridxlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 3
+	}
+
+	// go vet visits every package in the build graph, standard library
+	// included. The suite's invariants are specific to this module, so
+	// anything else is vacuously clean.
+	if cfg.ImportPath != modulePath && !strings.HasPrefix(cfg.ImportPath, modulePath+"/") {
+		return writeVetx(cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg)
+			}
+			fmt.Fprintf(os.Stderr, "fouridxlint: %v\n", err)
+			return 3
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: &vetImporter{
+			gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+				file, ok := cfg.PackageFile[path]
+				if !ok {
+					return nil, fmt.Errorf("no export data for %q", path)
+				}
+				return os.Open(file)
+			}),
+			importMap: cfg.ImportMap,
+		},
+		Sizes: types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		fmt.Fprintf(os.Stderr, "fouridxlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 3
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := analysis.RunPackage(suite, pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fouridxlint: %v\n", err)
+		return 3
+	}
+	if code := writeVetx(cfg); code != 0 {
+		return code
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
+		return 2
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) facts file cmd/go requires for caching.
+func writeVetx(cfg vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "fouridxlint: writing %s: %v\n", cfg.VetxOutput, err)
+		return 3
+	}
+	return 0
+}
+
+// vetImporter applies the build system's import map before delegating to
+// the export-data importer.
+type vetImporter struct {
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := v.importMap[path]; ok {
+		path = mapped
+	}
+	return v.gc.Import(path)
+}

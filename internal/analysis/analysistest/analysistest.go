@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against expectations
+// written in the fixture source, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which is unavailable in
+// this offline build).
+//
+// An expectation is a trailing comment of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each quoted regexp must match the message of exactly one diagnostic
+// reported on that line, and every diagnostic must be matched by an
+// expectation. Lines without a want comment assert the absence of
+// diagnostics, so fixtures naturally express clean cases too.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"fourindex/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture package at dir (an absolute or test-relative
+// path to one package directory), applies the analyzer, and reports any
+// mismatch between expectations and diagnostics as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load("", dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage([]*analysis.Analyzer{a}, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+// expectation is one "want" regexp at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos.String(), m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches the message.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// splitQuoted parses a sequence of Go-quoted strings, in either
+// interpreted ("a\\.b") or raw (backtick) form.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < len(s); {
+		q := s[i]
+		if q != '"' && q != '`' {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(s) && (s[j] != q || (q == '"' && s[j-1] == '\\')) {
+			j++
+		}
+		if j >= len(s) {
+			t.Fatalf("%s: unterminated want pattern in %q", pos, s)
+		}
+		unq, err := strconv.Unquote(s[i : j+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[i:j+1], err)
+		}
+		out = append(out, unq)
+		i = j + 1
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no quoted patterns: %q", pos, s)
+	}
+	return out
+}

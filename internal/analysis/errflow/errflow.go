@@ -1,0 +1,117 @@
+// Package errflow flags discarded errors from the runtime packages (ga,
+// tensor, lb). The evaluation reproduces the paper's "Failed"
+// configurations by observing ErrGlobalOOM / ErrLocalOOM from exactly
+// these APIs: a swallowed error does not just hide a bug, it silently
+// converts a "Failed" data point into a bogus success. Errors must be
+// bound to a variable (the compiler's unused-variable check then takes
+// over) — dropping a call's results on the floor, assigning the error
+// position to the blank identifier, or launching the call with go/defer
+// all lose the signal.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fourindex/internal/analysis"
+)
+
+// Analyzer is the errflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc:  "errors from ga/tensor/lb APIs (notably ErrGlobalOOM/ErrLocalOOM) must not be discarded",
+	Run:  run,
+}
+
+// watchedPackages names the packages whose errors carry the paper's
+// failure semantics.
+var watchedPackages = map[string]bool{
+	"ga":     true,
+	"tensor": true,
+	"lb":     true,
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+					if name, watched := watchedErrorCall(pass.TypesInfo, call); watched {
+						pass.Reportf(call.Pos(), "error from %s is discarded; ErrGlobalOOM/ErrLocalOOM signal the paper's \"Failed\" configurations and must be handled", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, watched := watchedErrorCall(pass.TypesInfo, stmt.Call); watched {
+					pass.Reportf(stmt.Call.Pos(), "error from %s is lost in a go statement", name)
+				}
+			case *ast.DeferStmt:
+				if name, watched := watchedErrorCall(pass.TypesInfo, stmt.Call); watched {
+					pass.Reportf(stmt.Call.Pos(), "error from %s is lost in a defer statement", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags x, _ := watched() where the blank slot is the error.
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, watched := watchedErrorCall(pass.TypesInfo, call)
+	if !watched {
+		return
+	}
+	idx := errorResultIndex(pass.TypesInfo, call)
+	if idx < 0 || idx >= len(stmt.Lhs) {
+		return
+	}
+	if id, isIdent := ast.Unparen(stmt.Lhs[idx]).(*ast.Ident); isIdent && id.Name == "_" {
+		pass.Reportf(stmt.Lhs[idx].Pos(), "error from %s is assigned to the blank identifier; ErrGlobalOOM/ErrLocalOOM signal the paper's \"Failed\" configurations and must be handled", name)
+	}
+}
+
+// watchedErrorCall reports whether call invokes a function from a
+// watched runtime package whose results include an error, returning a
+// printable name for diagnostics.
+func watchedErrorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !watchedPackages[fn.Pkg().Name()] {
+		return "", false
+	}
+	if errorResultIndex(info, call) < 0 {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// errorResultIndex returns the index of the (last) error result of the
+// call's signature, or -1.
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if types.Implements(res.At(i).Type(), errorType) {
+			return i
+		}
+	}
+	return -1
+}

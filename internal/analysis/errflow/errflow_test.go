@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, errflow.Analyzer, "./testdata/src/drop")
+}

@@ -1,0 +1,61 @@
+// Package drop is an errflow fixture built against the real ga runtime:
+// every way of losing an OOM error, next to the handled forms that must
+// stay clean.
+package drop
+
+import (
+	"fmt"
+
+	"fourindex/internal/ga"
+	"fourindex/internal/tile"
+)
+
+// dropExprStmt discards both results of an error-returning collective.
+func dropExprStmt(rt *ga.Runtime) {
+	rt.Create("a", 4, 4, 2, 2, tile.RoundRobin) // want `error from ga\.Create is discarded`
+}
+
+// dropBlank keeps the handle but blanks the error.
+func dropBlank(rt *ga.Runtime) *ga.Array {
+	a, _ := rt.Create("a", 4, 4, 2, 2, tile.RoundRobin) // want `error from ga\.Create is assigned to the blank identifier`
+	return a
+}
+
+// dropParallel ignores a poisoned region.
+func dropParallel(rt *ga.Runtime) {
+	rt.Parallel(func(p *ga.Proc) {}) // want `error from ga\.Parallel is discarded`
+}
+
+// dropGo loses the region error in a goroutine.
+func dropGo(rt *ga.Runtime) {
+	go rt.Parallel(func(p *ga.Proc) {}) // want `error from ga\.Parallel is lost in a go statement`
+}
+
+// dropAllocLocal blanks the local-OOM signal.
+func dropAllocLocal(p *ga.Proc) ga.Buffer {
+	b, _ := p.AllocLocal(8) // want `error from ga\.AllocLocal is assigned to the blank identifier`
+	return b
+}
+
+// cleanHandled checks and propagates.
+func cleanHandled(rt *ga.Runtime) error {
+	a, err := rt.Create("a", 4, 4, 2, 2, tile.RoundRobin)
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	rt.Destroy(a)
+	return nil
+}
+
+// cleanErrorOnly binds a single error result.
+func cleanErrorOnly(rt *ga.Runtime) {
+	err := rt.Parallel(func(p *ga.Proc) {})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// cleanNoError calls ga APIs without error results; nothing to check.
+func cleanNoError(rt *ga.Runtime, a *ga.Array) {
+	rt.Destroy(a)
+}

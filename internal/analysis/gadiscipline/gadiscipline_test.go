@@ -1,0 +1,12 @@
+package gadiscipline_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/gadiscipline"
+)
+
+func TestGADiscipline(t *testing.T) {
+	analysistest.Run(t, gadiscipline.Analyzer, "./testdata/src/buf")
+}

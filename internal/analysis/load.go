@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// packages pulled in only as dependencies).
+	Target bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool (run in dir, "" for the
+// current directory), parses and typechecks the matched packages and
+// their dependencies from source, and returns the matched packages.
+// It is a deliberately small stand-in for golang.org/x/tools/go/packages
+// that works without network access: `go list -deps` emits packages in
+// dependency order, so a single pass with a map-backed importer
+// typechecks everything.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=Dir,ImportPath,Name,Standard,DepOnly,GoFiles,Imports,ImportMap,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	byPath := make(map[string]*Package, len(listed))
+	var targets []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = &Package{ImportPath: "unsafe", Pkg: types.Unsafe}
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typecheck(fset, lp, byPath)
+		if err != nil {
+			return nil, err
+		}
+		byPath[lp.ImportPath] = pkg
+		if !lp.DepOnly {
+			pkg.Target = true
+			targets = append(targets, pkg)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %v", patterns)
+	}
+	return targets, nil
+}
+
+// typecheck parses and typechecks one listed package against the
+// already-loaded dependency map.
+func typecheck(fset *token.FileSet, lp *listedPackage, byPath map[string]*Package) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: &mapImporter{byPath: byPath, importMap: lp.ImportMap},
+		Sizes:    types.SizesFor("gc", "amd64"),
+		Error:    func(error) {}, // collect the first hard error below instead
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// mapImporter resolves imports from the packages typechecked so far,
+// applying the package's vendor import map first. Because `go list
+// -deps` is topologically ordered, every import of a package appears in
+// the map before the package itself is checked. The source fallback
+// importer is only consulted for oddities like implicit runtime deps.
+type mapImporter struct {
+	byPath    map[string]*Package
+	importMap map[string]string
+	fallback  types.Importer
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := m.byPath[path]; ok {
+		return p.Pkg, nil
+	}
+	if m.fallback == nil {
+		m.fallback = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	pkg, err := m.fallback.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("package %q not in dependency set: %v", path, err)
+	}
+	return pkg, nil
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestLoadTypechecksModulePackage exercises the go-list-backed loader on
+// a real runtime package, including its stdlib dependency closure.
+func TestLoadTypechecksModulePackage(t *testing.T) {
+	pkgs, err := Load("", "fourindex/internal/sym")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Pkg.Name() != "sym" {
+		t.Errorf("package name = %q, want sym", p.Pkg.Name())
+	}
+	if !p.Target {
+		t.Errorf("matched package not marked Target")
+	}
+	if p.Pkg.Scope().Lookup("PairIndex") == nil {
+		t.Errorf("type info missing PairIndex")
+	}
+}
+
+// TestRunReportsSortedDiagnostics checks the driver plumbing with a
+// trivial analyzer that flags every file's package clause.
+func TestRunReportsSortedDiagnostics(t *testing.T) {
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports every file",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Name.Pos(), "package %s", f.Name.Name)
+			}
+			return nil
+		},
+	}
+	diags, err := Run("", []*Analyzer{probe}, "fourindex/internal/units")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("probe analyzer reported nothing")
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Filename < diags[i-1].Pos.Filename {
+			t.Errorf("diagnostics not sorted: %v before %v", diags[i-1].Pos, diags[i].Pos)
+		}
+	}
+	if diags[0].Pos == (token.Position{}) {
+		t.Errorf("diagnostic missing position")
+	}
+}

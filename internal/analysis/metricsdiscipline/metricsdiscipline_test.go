@@ -1,0 +1,16 @@
+package metricsdiscipline_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/metricsdiscipline"
+)
+
+func TestCountersAndClockDiscipline(t *testing.T) {
+	analysistest.Run(t, metricsdiscipline.Analyzer, "./testdata/src/metrics")
+}
+
+func TestPackageMainMayUseWallClock(t *testing.T) {
+	analysistest.Run(t, metricsdiscipline.Analyzer, "./testdata/src/clockmain")
+}

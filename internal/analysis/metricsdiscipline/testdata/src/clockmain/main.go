@@ -1,0 +1,14 @@
+// Package main is a metricsdiscipline fixture: driver binaries may read
+// the wall clock (report timestamps, progress logging), so nothing in
+// this package is flagged.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

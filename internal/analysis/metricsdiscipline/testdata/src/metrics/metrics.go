@@ -1,0 +1,72 @@
+// Package metrics is a metricsdiscipline fixture: a miniature of the
+// real counters package, with in-package code that both respects and
+// violates the accessor discipline. The analyzer matches the type by
+// (package name, type name), so this self-contained stub exercises the
+// same code paths as the real fourindex/internal/metrics.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is the fixture twin of the real metrics.Counters.
+type Counters struct {
+	flops atomic.Int64
+
+	mu      sync.Mutex
+	current int64
+	peak    int64
+}
+
+// AddFlops is a proper accessor: methods may touch fields.
+func (c *Counters) AddFlops(n int64) { c.flops.Add(n) }
+
+// Alloc is a proper mutex-guarded accessor.
+func (c *Counters) Alloc(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.current += n
+	if c.current > c.peak {
+		c.peak = c.current
+	}
+}
+
+// sneakyRead bypasses the accessors from a plain function.
+func sneakyRead(c *Counters) int64 {
+	return c.current // want `direct access to metrics\.Counters field "current"`
+}
+
+// sneakyReset pokes the atomic field without the accessor.
+func sneakyReset(c *Counters) {
+	c.flops.Store(0) // want `direct access to metrics\.Counters field "flops"`
+}
+
+// aggregator is a different type whose method also must not reach in.
+type aggregator struct{ c *Counters }
+
+func (a *aggregator) peakOf() int64 {
+	return a.c.peak // want `direct access to metrics\.Counters field "peak"`
+}
+
+// cleanUse goes through accessors only.
+func cleanUse(c *Counters) {
+	c.AddFlops(1)
+	c.Alloc(2)
+}
+
+// stamp reads the wall clock from simulated-time code.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now in simulated-time code`
+}
+
+// nap schedules against the real clock.
+func nap() {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in simulated-time code`
+}
+
+// cleanDuration manipulates time values without reading the clock.
+func cleanDuration(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Run loads the packages matched by patterns (resolved relative to dir)
+// and applies every analyzer to every matched package. Diagnostics come
+// back sorted by file, line, and column.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one loaded package.
+func RunPackage(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return diags, nil
+}
+
+// Print writes diagnostics one per line and returns how many there were.
+func Print(w io.Writer, diags []Diagnostic) int {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+	return len(diags)
+}

@@ -1,0 +1,104 @@
+// Package symindex flags hand-rolled triangular pair-index arithmetic
+// outside internal/sym. The packed-symmetric layouts of Table 1 are the
+// reason the transform moves |in| + |out| = n^4/4 + ... words rather
+// than multiples of n^4; every schedule and bound computation must agree
+// on one pair-index bijection for that accounting to hold. A literal
+// i*(i+1)/2 + j scattered through a schedule silently diverges from
+// sym.PairIndex the moment the canonical ordering changes (and the
+// strict-triangle variant i*(i-1)/2 is a classic off-by-one).
+//
+// Flagged forms (modulo parentheses and operand order, with E any
+// non-constant expression):
+//
+//	E*(E+1)/2    E*(E-1)/2    (E*E+E)/2    (E*E-E)/2
+//
+// The analyzer skips the sym package itself, the single place the
+// bijection is allowed to live.
+package symindex
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fourindex/internal/analysis"
+)
+
+// Analyzer is the symindex analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "symindex",
+	Doc:  "triangular pair-index arithmetic must go through internal/sym (sym.PairIndex, sym.Pairs)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "sym" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			div, ok := n.(*ast.BinaryExpr)
+			if !ok || div.Op != token.QUO || !isIntLiteral(div.Y, "2") {
+				return true
+			}
+			num := ast.Unparen(div.X)
+			if matchTriangular(pass.TypesInfo, num) {
+				pass.Reportf(div.Pos(), "hand-rolled triangular pair-index arithmetic %q; use sym.PairIndex / sym.Pairs so packed-size accounting has one source of truth",
+					types.ExprString(div))
+				return false // do not re-flag sub-expressions
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// matchTriangular recognises E*(E±1) and E*E±E for non-constant E.
+func matchTriangular(info *types.Info, e ast.Expr) bool {
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.MUL:
+		// E*(E±1) or (E±1)*E
+		x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+		return mulMatches(info, x, y) || mulMatches(info, y, x)
+	case token.ADD, token.SUB:
+		// E*E ± E
+		x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+		if mul, ok := x.(*ast.BinaryExpr); ok && mul.Op == token.MUL {
+			return !isConst(info, y) && sameExpr(ast.Unparen(mul.X), y) && sameExpr(ast.Unparen(mul.Y), y)
+		}
+	}
+	return false
+}
+
+// mulMatches reports whether the pair (e, offset) forms E*(E±1).
+func mulMatches(info *types.Info, e, offset ast.Expr) bool {
+	off, ok := offset.(*ast.BinaryExpr)
+	if !ok || (off.Op != token.ADD && off.Op != token.SUB) || !isIntLiteral(off.Y, "1") {
+		return false
+	}
+	return !isConst(info, e) && sameExpr(e, ast.Unparen(off.X))
+}
+
+// sameExpr compares two expressions by their printed form, which is
+// exact for the identifier/selector/index shapes pair indices use.
+func sameExpr(a, b ast.Expr) bool {
+	return types.ExprString(a) == types.ExprString(b)
+}
+
+// isConst reports whether e is a compile-time constant: constant
+// triangular numbers (sizes, test fixtures) are arithmetic, not index
+// bijections.
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isIntLiteral reports whether e is the basic literal lit.
+func isIntLiteral(e ast.Expr, lit string) bool {
+	b, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && b.Kind == token.INT && b.Value == lit
+}

@@ -1,0 +1,12 @@
+package symindex_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/symindex"
+)
+
+func TestSymIndex(t *testing.T) {
+	analysistest.Run(t, symindex.Analyzer, "./testdata/src/tri")
+}

@@ -1,0 +1,50 @@
+// Package tri is a symindex fixture: hand-rolled triangular index
+// arithmetic in its common spellings, plus arithmetic that must not be
+// flagged.
+package tri
+
+// pairIndex is the canonical offender.
+func pairIndex(i, j int) int {
+	return i*(i+1)/2 + j // want `hand-rolled triangular pair-index arithmetic`
+}
+
+// strictTriangle is the off-by-one variant.
+func strictTriangle(i int) int {
+	return i * (i - 1) / 2 // want `hand-rolled triangular pair-index arithmetic`
+}
+
+// expanded spells the product out.
+func expanded(k int) int {
+	return (k*k + k) / 2 // want `hand-rolled triangular pair-index arithmetic`
+}
+
+// reversed puts the increment first.
+func reversed(n int) int {
+	return (n + 1) * n / 2 // want `hand-rolled triangular pair-index arithmetic`
+}
+
+// selectorOperand uses a field expression as the index.
+type grid struct{ n int }
+
+func selectorOperand(g grid) int {
+	return g.n * (g.n + 1) / 2 // want `hand-rolled triangular pair-index arithmetic`
+}
+
+// cleanHalving is ordinary arithmetic, not a pair index.
+func cleanHalving(total int) int {
+	return total / 2
+}
+
+// cleanMixed multiplies two different variables.
+func cleanMixed(i, j int) int {
+	return i * (j + 1) / 2
+}
+
+// cleanConst is compile-time arithmetic: a constant triangular number
+// is a size, not an index bijection.
+const cleanConst = 4 * (4 + 1) / 2
+
+// cleanAverage divides a sum by two.
+func cleanAverage(a, b int) int {
+	return (a + b) / 2
+}

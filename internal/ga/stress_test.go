@@ -1,0 +1,151 @@
+package ga
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fourindex/internal/tile"
+)
+
+// TestStressConcurrentAccSingleTile hammers atomic accumulation from
+// every process into one shared tile, interleaved with barriers, and
+// checks the result is the exact deterministic sum. Run under
+// `go test -race -count=5` in CI, this exercises the per-tile write
+// locks, the counter atomics, and the clock barrier together — the
+// machinery the runtime's cost/execute equivalence rests on.
+func TestStressConcurrentAccSingleTile(t *testing.T) {
+	const (
+		procs  = 8
+		rounds = 50
+		dim    = 6
+	)
+	rt, err := NewRuntime(Config{Procs: procs, Mode: Execute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One dim x dim tile: every Acc from every process contends for the
+	// same tile lock.
+	a, err := rt.Create("hot", dim, dim, dim, dim, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Destroy(a)
+
+	zero := make([]float64, dim*dim)
+	if err := rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Put(a, 0, dim, 0, dim, zero, dim)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rt.Parallel(func(p *Proc) {
+		buf := p.MustAllocLocal(dim * dim)
+		for i := range buf.Data {
+			buf.Data[i] = 1
+		}
+		for r := 0; r < rounds; r++ {
+			p.Acc(a, 0, dim, 0, dim, float64(p.ID()+1), buf.Data, dim)
+			if r%10 == 0 {
+				p.Barrier()
+			}
+		}
+		p.FreeLocal(buf)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sum over processes of rounds * (id+1): deterministic regardless
+	// of interleaving.
+	want := 0.0
+	for id := 1; id <= procs; id++ {
+		want += float64(rounds * id)
+	}
+	for i, v := range a.ReadAll() {
+		if v != want {
+			t.Fatalf("element %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+// TestStressBarrierPoisonUnderLoad panics one process while the others
+// are looping through barriers and accumulations, then reuses the
+// runtime. The poisoned barrier must release every sibling (no
+// deadlock), surface exactly the original panic value, and re-arm for
+// the next region.
+func TestStressBarrierPoisonUnderLoad(t *testing.T) {
+	const procs = 8
+	rt, err := NewRuntime(Config{Procs: procs, Mode: Execute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rt.Create("poison", 4, 4, 2, 2, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Destroy(a)
+
+	for trial := 0; trial < 3; trial++ {
+		var released atomic.Int64
+		err := rt.Parallel(func(p *Proc) {
+			defer released.Add(1)
+			buf := p.MustAllocLocal(4)
+			defer p.FreeLocal(buf)
+			for r := 0; ; r++ {
+				p.Acc(a, 0, 2, 0, 2, 1, buf.Data, 2)
+				if p.ID() == trial && r == 2 {
+					panic(fmt.Errorf("proc %d gives up", p.ID()))
+				}
+				p.Barrier()
+			}
+		})
+		if err == nil {
+			t.Fatalf("trial %d: Parallel returned nil, want poisoned-region error", trial)
+		}
+		if !strings.Contains(err.Error(), "gives up") {
+			t.Fatalf("trial %d: error %v does not carry the panic value", trial, err)
+		}
+		if got := released.Load(); got != procs {
+			t.Fatalf("trial %d: %d of %d processes released from poisoned barrier", trial, got, procs)
+		}
+
+		// The barrier must be re-armed: a full region with barriers
+		// runs to completion afterwards.
+		if err := rt.Parallel(func(p *Proc) {
+			p.Barrier()
+			p.Barrier()
+		}); err != nil {
+			t.Fatalf("trial %d: region after poison failed: %v", trial, err)
+		}
+	}
+}
+
+// TestStressLocalLedgerBalanced checks that the concurrent stress
+// leaves every per-process local-memory ledger at zero — the invariant
+// gadiscipline enforces statically and the runtime tracks dynamically.
+func TestStressLocalLedgerBalanced(t *testing.T) {
+	const procs = 6
+	rt, err := NewRuntime(Config{Procs: procs, Mode: Execute, LocalMemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Parallel(func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			b, err := p.AllocLocal(128)
+			if err != nil {
+				panic(err) // 128 words fit well under the 1 MiB cap
+			}
+			p.FreeLocal(b)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < procs; pid++ {
+		if cur := rt.ProcCounters(pid).Current(); cur != 0 {
+			t.Errorf("process %d local ledger = %d elements, want 0", pid, cur)
+		}
+	}
+}
