@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet ci
+.PHONY: all build test race lint vet golden ci
 
 all: build test vet lint
 
@@ -27,4 +27,10 @@ lint:
 vet:
 	$(GO) vet ./...
 
-ci: build test vet lint race
+# golden pins the Chrome trace export byte-for-byte; regenerate with
+# `go test ./internal/trace -update` after an intentional schedule or
+# cost-model change.
+golden:
+	$(GO) test -count=1 -run 'TestChromeTraceGolden' ./internal/trace/
+
+ci: build test vet lint golden race

@@ -8,6 +8,11 @@
 //	fouridx -n 24 -scheme hybrid -procs 8
 //	fouridx -molecule Uracil -scheme fullyfused-inner -system B -cores 140 -cost
 //	fouridx -n 16 -scheme unfused -mem 4GB
+//
+// The trace subcommand additionally records an execution trace and
+// prints the bound-vs-actual audit (see README "Tracing & profiling"):
+//
+//	fouridx trace -n 24 -scheme fullyfused-inner -system A -cores 8 -o trace.json
 package main
 
 import (
@@ -21,6 +26,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	var (
 		n        = flag.Int("n", 16, "orbital count (ignored when -molecule is set)")
 		molecule = flag.String("molecule", "", "benchmark molecule (Hyperpolar, C60H20, Uracil, C40H56, Shell-Mixed)")

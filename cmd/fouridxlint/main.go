@@ -1,9 +1,10 @@
 // Command fouridxlint is the multichecker for the repository's custom
 // static analyzers. It enforces the code-level disciplines the paper's
 // data-movement accounting depends on — ga resource pairing, packed
-// triangular indexing through internal/sym, metrics accessor hygiene,
-// and runtime error propagation (see internal/analysis for the full
-// rationale of each check).
+// triangular indexing through internal/sym, metrics and tracer accessor
+// hygiene, runtime error propagation, and doc-comment coverage of the
+// internal packages (see internal/analysis for the full rationale of
+// each check).
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"fourindex/internal/analysis"
+	"fourindex/internal/analysis/docstring"
 	"fourindex/internal/analysis/errflow"
 	"fourindex/internal/analysis/gadiscipline"
 	"fourindex/internal/analysis/metricsdiscipline"
@@ -32,6 +34,7 @@ import (
 
 // analyzers is the full suite, in reporting-name order.
 var analyzers = []*analysis.Analyzer{
+	docstring.Analyzer,
 	errflow.Analyzer,
 	gadiscipline.Analyzer,
 	metricsdiscipline.Analyzer,

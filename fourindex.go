@@ -29,6 +29,8 @@
 package fourindex
 
 import (
+	"io"
+
 	"fourindex/internal/chem"
 	"fourindex/internal/cluster"
 	"fourindex/internal/experiments"
@@ -37,6 +39,7 @@ import (
 	"fourindex/internal/lb"
 	"fourindex/internal/scf"
 	"fourindex/internal/sym"
+	"fourindex/internal/trace"
 )
 
 // Scheme selects a transform schedule.
@@ -187,6 +190,33 @@ func RunFigure2Point(pt Figure2Point) (Figure2Outcome, error) { return experimen
 // RunFigure2 simulates one sub-figure ("2a".."2e") or, with "", all of
 // Figure 2.
 func RunFigure2(fig string) ([]Figure2Outcome, error) { return experiments.RunFigure(fig) }
+
+// Tracer records a transform run as phase spans and per-operation
+// events (see internal/trace). Attach one via Options.Trace, then
+// export with its WriteChromeTrace (Chrome/Perfetto trace_event JSON)
+// or join phases against the paper's lower bounds with Audit. A nil
+// *Tracer disables tracing at zero cost.
+type Tracer = trace.Tracer
+
+// NewTracer builds an enabled execution tracer whose event ring holds
+// capacity events (<= 0 selects a default of 32768).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// TraceAuditRow is one line of the bound-vs-actual audit: a schedule
+// phase joined against its lower-bound prediction with the attained
+// fraction.
+type TraceAuditRow = trace.AuditRow
+
+// WriteTraceAuditTable renders audit rows as an aligned text table.
+func WriteTraceAuditTable(w io.Writer, rows []TraceAuditRow) error {
+	return trace.WriteAuditTable(w, rows)
+}
+
+// RunFigure2PointTraced simulates one evaluation point with an
+// execution tracer attached to the hybrid run.
+func RunFigure2PointTraced(pt Figure2Point, tr *Tracer) (Figure2Outcome, error) {
+	return experiments.RunPointTraced(pt, tr)
+}
 
 // ReferencePacked computes C with the sequential packed algorithm —
 // the ground truth for verification at small extents.

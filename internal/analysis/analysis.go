@@ -13,12 +13,15 @@
 //     the S >= n^2 + n + 1 capacity analysis of Section 5.
 //   - symindex: packed triangular indexing must go through internal/sym,
 //     so the |in| + |out| accounting has a single source of truth.
-//   - metricsdiscipline: metrics.Counters state must be touched only
-//     through its accessor methods, and simulated-time code must not
-//     read wall clocks.
+//   - metricsdiscipline: metrics.Counters and trace.Tracer state must
+//     be touched only through their accessor methods, and
+//     simulated-time code must not read wall clocks.
 //   - errflow: errors from the runtime (notably ErrGlobalOOM and
 //     ErrLocalOOM, which reproduce the paper's "Failed" configurations)
 //     must not be silently discarded.
+//   - docstring: packages under internal/ and the root package must
+//     carry package comments and documented exports, keeping formulas
+//     and schedules tied to the paper sections they reproduce.
 package analysis
 
 import (

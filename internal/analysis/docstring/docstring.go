@@ -1,0 +1,179 @@
+// Package docstring enforces the documentation contract of the module:
+// every package under internal/ (and the root fourindex package) must
+// carry a package comment, and every exported package-level identifier
+// in those packages must carry a doc comment.
+//
+// The repository reproduces a paper, so the documentation is not an
+// optional nicety: each package comment states which section, listing,
+// or figure the code models, and the exported-identifier comments are
+// where formulas (packed sizes, lower bounds, cost-model parameters)
+// are tied back to their source. An undocumented export breaks that
+// chain of provenance.
+//
+// Scope and exemptions:
+//
+//   - Only packages under an internal/ directory and the module root
+//     are checked; commands (package main) document themselves through
+//     their usage text and are skipped.
+//   - A doc comment on a grouped const/var/type declaration covers
+//     every spec in the group, as does a per-spec doc comment. Trailing
+//     line comments do not count (go/doc ignores them). An undocumented
+//     group is reported once, at its first exported name.
+//   - Methods are checked only when the receiver type is itself
+//     exported: an exported method on an unexported type is not
+//     reachable from outside the package.
+//   - Test files and external test packages are skipped: TestXxx
+//     functions are exported by convention, not API surface. The
+//     standalone runner never sees them (go list GoFiles), but the
+//     `go vet -vettool` path analyzes test files too.
+package docstring
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"fourindex/internal/analysis"
+)
+
+// Analyzer is the docstring analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "docstring",
+	Doc:  "packages under internal/ and the root must have package comments and documented exports",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" || strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil
+	}
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "/internal/") && strings.Contains(path, "/") {
+		return nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	if !hasPackageDoc(files) {
+		pass.Reportf(files[0].Name.Pos(),
+			"package %s has no package comment; say what it models and where it sits in the paper's pipeline", pass.Pkg.Name())
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGenDecl(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// hasPackageDoc reports whether any file of the package carries a
+// package comment.
+func hasPackageDoc(files []*ast.File) bool {
+	for _, f := range files {
+		if f.Doc != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc flags exported functions, and exported methods on exported
+// receivers, that lack a doc comment.
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if d.Doc != nil || !d.Name.IsExported() {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		if !exportedReceiver(d.Recv) {
+			return
+		}
+		kind = "method"
+	}
+	pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+}
+
+// exportedReceiver reports whether the method receiver names an
+// exported type, unwrapping pointers, parens, and generic instantiation.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	expr := recv.List[0].Type
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// checkGenDecl flags undocumented exported types, consts, and vars. A
+// doc comment on the declaration group covers all its specs; an
+// undocumented group is reported once.
+func checkGenDecl(pass *analysis.Pass, d *ast.GenDecl) {
+	if d.Doc != nil || d.Tok == token.IMPORT {
+		return
+	}
+	grouped := d.Lparen.IsValid()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() || s.Doc != nil {
+				continue
+			}
+			pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			if grouped {
+				return
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil {
+				continue
+			}
+			name := firstExported(s.Names)
+			if name == nil {
+				continue
+			}
+			what := "var"
+			if d.Tok == token.CONST {
+				what = "const"
+			}
+			if grouped {
+				pass.Reportf(name.Pos(), "exported %s %s has no doc comment (a comment on the group also counts)", what, name.Name)
+				return
+			}
+			pass.Reportf(name.Pos(), "exported %s %s has no doc comment", what, name.Name)
+		}
+	}
+}
+
+// firstExported returns the first exported identifier, or nil.
+func firstExported(names []*ast.Ident) *ast.Ident {
+	for _, id := range names {
+		if id.IsExported() {
+			return id
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package docstring_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/docstring"
+)
+
+func TestExportedIdentifiers(t *testing.T) {
+	analysistest.Run(t, docstring.Analyzer, "./testdata/src/docs")
+}
+
+func TestMissingPackageComment(t *testing.T) {
+	analysistest.Run(t, docstring.Analyzer, "./testdata/src/nodoc")
+}
+
+func TestPackageMainExempt(t *testing.T) {
+	analysistest.Run(t, docstring.Analyzer, "./testdata/src/docmain")
+}

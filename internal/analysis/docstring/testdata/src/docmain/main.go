@@ -1,0 +1,8 @@
+package main
+
+// Commands are exempt: no package comment and an undocumented export,
+// yet nothing is flagged.
+
+func Undocumented() {}
+
+func main() { Undocumented() }

@@ -1,0 +1,62 @@
+// Package docs is a docstring fixture: a package comment is present, so
+// only the undocumented exported identifiers below are flagged.
+package docs
+
+import "time"
+
+// Documented is a properly commented type.
+type Documented struct{}
+
+type Naked struct{} // want `exported type Naked has no doc comment`
+
+type hidden struct{}
+
+// Size has a doc comment.
+const Size = 8
+
+const Bare = 1 // want `exported const Bare has no doc comment`
+
+const internalOnly = 2
+
+// Grouped constants covered by this group comment.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const (
+	LooseA = iota // want `exported const LooseA has no doc comment \(a comment on the group also counts\)`
+	LooseB        // only the first name of an undocumented group is reported
+)
+
+const (
+	// PerSpecA carries its own comment.
+	PerSpecA = iota
+	perSpecHidden
+	PerSpecC // want `exported const PerSpecC has no doc comment \(a comment on the group also counts\)`
+)
+
+// Timeout is a documented var.
+var Timeout = time.Second
+
+var Limit = 4 // want `exported var Limit has no doc comment`
+
+// Do is a documented function.
+func Do() {}
+
+func Undone() {} // want `exported function Undone has no doc comment`
+
+func helper() {}
+
+// Reset is a documented method.
+func (*Documented) Reset() {}
+
+func (d *Documented) Flush() {} // want `exported method Flush has no doc comment`
+
+// Exported methods on unexported receivers are out of reach and skipped.
+func (hidden) Touch() {}
+
+// generic receivers unwrap to their base identifier.
+type Box[T any] struct{ v T }
+
+func (b *Box[T]) Get() T { return b.v } // want `exported method Get has no doc comment`

@@ -1,0 +1,5 @@
+package nodoc // want `package nodoc has no package comment`
+
+// Value is documented, so the only finding is the missing package
+// comment above.
+const Value = 1

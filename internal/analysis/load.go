@@ -148,6 +148,9 @@ type mapImporter struct {
 	fallback  types.Importer
 }
 
+// Import resolves path through the vendor import map and the
+// already-typechecked package set, falling back to the source importer
+// for packages outside the dependency closure.
 func (m *mapImporter) Import(path string) (*types.Package, error) {
 	if mapped, ok := m.importMap[path]; ok {
 		path = mapped

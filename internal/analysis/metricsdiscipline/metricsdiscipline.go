@@ -1,11 +1,14 @@
 // Package metricsdiscipline enforces the accounting discipline of the
 // metrics package and the cost model.
 //
-// Check 1: fields of metrics.Counters may be touched only by methods of
-// Counters itself. The counters mix atomics and a mutex-guarded ledger;
-// any access outside the accessor methods either races or reads a torn
-// view, and cost-mode/execute-mode runs then stop reporting identical
-// data-movement numbers (the property the whole evaluation rests on).
+// Check 1: fields of the guarded accounting types — metrics.Counters
+// and trace.Tracer — may be touched only by methods of the type itself.
+// The counters mix atomics and a mutex-guarded ledger; the tracer's
+// ring buffer, span stack, and per-process sequence counters are all
+// protected by its mutex. Any access outside the accessor methods
+// either races or reads a torn view, and cost-mode/execute-mode runs
+// then stop reporting identical data-movement numbers (the property
+// the whole evaluation rests on).
 //
 // Check 2: simulated-time code must not consult the wall clock. All
 // timing inside the runtime and the schedules comes from the machine
@@ -26,8 +29,17 @@ import (
 // Analyzer is the metricsdiscipline analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "metricsdiscipline",
-	Doc:  "metrics.Counters state only via accessor methods; no wall-clock reads in simulated-time code",
+	Doc:  "metrics.Counters and trace.Tracer state only via accessor methods; no wall-clock reads in simulated-time code",
 	Run:  run,
+}
+
+// guardedTypes lists the (package name, type name) pairs whose fields
+// are off limits outside their own methods. Matching is by package name
+// (see analysis.IsMethodCall) so the self-contained test fixtures
+// exercise the same paths as the real packages.
+var guardedTypes = [...][2]string{
+	{"metrics", "Counters"},
+	{"trace", "Tracer"},
 }
 
 // wallClock lists the time-package functions that read or schedule
@@ -49,15 +61,12 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkCounterFields flags selector accesses to Counters fields from
-// anywhere but a Counters method.
+// checkCounterFields flags selector accesses to guarded-type fields
+// from anywhere but a method of that same type.
 func checkCounterFields(pass *analysis.Pass, file *ast.File) {
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || fn.Body == nil {
-			continue
-		}
-		if isCountersMethod(pass.TypesInfo, fn) {
 			continue
 		}
 		ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -69,22 +78,24 @@ func checkCounterFields(pass *analysis.Pass, file *ast.File) {
 			if s == nil || s.Kind() != types.FieldVal {
 				return true
 			}
-			if analysis.NamedTypeIs(s.Recv(), "metrics", "Counters") {
-				pass.Reportf(sel.Pos(), "direct access to metrics.Counters field %q bypasses its atomic accessors; cost-mode and execute-mode accounting diverge under races", sel.Sel.Name)
+			for _, gt := range guardedTypes {
+				if analysis.NamedTypeIs(s.Recv(), gt[0], gt[1]) && !isMethodOf(pass.TypesInfo, fn, gt[0], gt[1]) {
+					pass.Reportf(sel.Pos(), "direct access to %s.%s field %q bypasses its mutex/atomic accessors; cost-mode and execute-mode accounting diverge under races", gt[0], gt[1], sel.Sel.Name)
+				}
 			}
 			return true
 		})
 	}
 }
 
-// isCountersMethod reports whether fn is declared with a Counters (or
-// *Counters) receiver.
-func isCountersMethod(info *types.Info, fn *ast.FuncDecl) bool {
+// isMethodOf reports whether fn is declared with a pkgName.typeName (or
+// pointer-to) receiver.
+func isMethodOf(info *types.Info, fn *ast.FuncDecl, pkgName, typeName string) bool {
 	if fn.Recv == nil || len(fn.Recv.List) != 1 {
 		return false
 	}
 	t := info.Types[fn.Recv.List[0].Type].Type
-	return t != nil && analysis.NamedTypeIs(t, "metrics", "Counters")
+	return t != nil && analysis.NamedTypeIs(t, pkgName, typeName)
 }
 
 // checkWallClock flags uses of real-clock functions from package time.

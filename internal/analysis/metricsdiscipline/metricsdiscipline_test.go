@@ -11,6 +11,10 @@ func TestCountersAndClockDiscipline(t *testing.T) {
 	analysistest.Run(t, metricsdiscipline.Analyzer, "./testdata/src/metrics")
 }
 
+func TestTracerFieldsGuarded(t *testing.T) {
+	analysistest.Run(t, metricsdiscipline.Analyzer, "./testdata/src/trace")
+}
+
 func TestPackageMainMayUseWallClock(t *testing.T) {
 	analysistest.Run(t, metricsdiscipline.Analyzer, "./testdata/src/clockmain")
 }

@@ -1,0 +1,52 @@
+// Package trace is a metricsdiscipline fixture: a miniature of the real
+// execution tracer, with in-package code that both respects and violates
+// the accessor discipline. The analyzer matches guarded types by
+// (package name, type name), so this self-contained stub exercises the
+// same code paths as the real fourindex/internal/trace.
+package trace
+
+import "sync"
+
+// Tracer is the fixture twin of the real trace.Tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []int64
+	dropped int64
+}
+
+// Emit is a proper accessor: methods may touch fields under the lock.
+func (t *Tracer) Emit(elems int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == cap(t.ring) {
+		t.dropped++
+		return
+	}
+	t.ring = append(t.ring, elems)
+}
+
+// Dropped is the mutex-guarded read accessor.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// sneakyDrops reads tracer state without the mutex.
+func sneakyDrops(t *Tracer) int64 {
+	return t.dropped // want `direct access to trace\.Tracer field "dropped"`
+}
+
+// sink holds a tracer; its methods also must not reach in.
+type sink struct{ t *Tracer }
+
+func (s *sink) flush() []int64 {
+	buf := s.t.ring // want `direct access to trace\.Tracer field "ring"`
+	return buf
+}
+
+// cleanUse goes through accessors only.
+func cleanUse(t *Tracer) int64 {
+	t.Emit(8)
+	return t.Dropped()
+}

@@ -45,6 +45,7 @@ import (
 	"fourindex/internal/fourindex"
 	"fourindex/internal/ga"
 	"fourindex/internal/lb"
+	"fourindex/internal/trace"
 )
 
 // SpatialSymmetry is the spatial-symmetry order assumed for all
@@ -179,26 +180,27 @@ func tiling(n, procs int) (tileN, tileL, alphaPar int) {
 	return tileN, tileL, alphaPar
 }
 
-// RunPoint simulates one Figure 2 point.
-func RunPoint(pt Point) (Outcome, error) {
+// PointOptions builds the fourindex.Options a Figure 2 point runs with
+// (cost mode, calibrated memory, the point's machine model and tiling).
+func PointOptions(pt Point) (fourindex.Options, error) {
 	mol, err := chem.ByName(pt.Molecule)
 	if err != nil {
-		return Outcome{}, err
+		return fourindex.Options{}, err
 	}
 	machine, err := cluster.ByName(pt.System)
 	if err != nil {
-		return Outcome{}, err
+		return fourindex.Options{}, err
 	}
 	run, err := machine.Configure(pt.Cores, pt.RanksPerNode)
 	if err != nil {
-		return Outcome{}, err
+		return fourindex.Options{}, err
 	}
 	spec, err := chem.NewSpec(mol.Orbitals, SpatialSymmetry, 7)
 	if err != nil {
-		return Outcome{}, err
+		return fourindex.Options{}, err
 	}
 	tileN, tileL, alphaPar := tiling(mol.Orbitals, pt.Cores)
-	base := fourindex.Options{
+	return fourindex.Options{
 		Spec:           spec,
 		Procs:          pt.Cores,
 		Mode:           ga.Cost,
@@ -207,9 +209,31 @@ func RunPoint(pt Point) (Outcome, error) {
 		TileN:          tileN,
 		TileL:          tileL,
 		AlphaPar:       alphaPar,
+	}, nil
+}
+
+// RunPoint simulates one Figure 2 point.
+func RunPoint(pt Point) (Outcome, error) {
+	return runPoint(pt, nil)
+}
+
+// RunPointTraced is RunPoint with an execution tracer attached to the
+// hybrid run (the Figure 2 bar the paper contributes): the tracer
+// records the hybrid's spans, events and any fuse/unfuse fallback notes,
+// ready for tr.Audit / tr.WriteChromeTrace. The NWChem baselines run
+// untraced so the trace's final run is always the hybrid's last attempt.
+func RunPointTraced(pt Point, tr *trace.Tracer) (Outcome, error) {
+	return runPoint(pt, tr)
+}
+
+func runPoint(pt Point, tr *trace.Tracer) (Outcome, error) {
+	base, err := PointOptions(pt)
+	if err != nil {
+		return Outcome{}, err
 	}
 
 	out := Outcome{Point: pt}
+	base.Trace = tr
 
 	hyb, err := fourindex.Run(fourindex.Hybrid, base)
 	if err != nil {
@@ -218,6 +242,7 @@ func RunPoint(pt Point) (Outcome, error) {
 	}
 	out.HybridKs = hyb.ElapsedSeconds / 1000
 	out.HybridScheme = hyb.ChosenScheme
+	base.Trace = nil
 
 	// NWChem Best: fastest feasible of the unfused transform and
 	// NWChem's production fused 12-34 variant (without the paper's

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"fourindex/internal/fourindex"
+	"fourindex/internal/trace"
+)
+
+// TestPointOptions checks the options builder the traced and untraced
+// runners share.
+func TestPointOptions(t *testing.T) {
+	pts := Figure2()
+	opt, err := PointOptions(pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Spec.N == 0 || opt.Procs != pts[0].Cores || opt.Run == nil {
+		t.Errorf("incomplete options: n=%d procs=%d run=%v", opt.Spec.N, opt.Procs, opt.Run)
+	}
+	if opt.GlobalMemBytes != pts[0].UsableBytes {
+		t.Errorf("GlobalMemBytes = %d, want calibrated %d", opt.GlobalMemBytes, pts[0].UsableBytes)
+	}
+	if opt.Trace != nil {
+		t.Error("options builder must not attach a tracer")
+	}
+	if _, err := PointOptions(Point{Molecule: "no-such", System: "A", Cores: 1}); err == nil {
+		t.Error("unknown molecule should error")
+	}
+}
+
+// TestRunPointTraced simulates the smallest Figure 2 point with a tracer
+// attached and checks the recording covers the hybrid run: a root span
+// per attempt, bounded contraction phases that respect their lower
+// bounds, and no spans from the untraced NWChem baselines.
+func TestRunPointTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("molecule-scale simulation")
+	}
+	pts := Figure2()
+	tr := trace.New(1 << 12)
+	o, err := RunPointTraced(pts[0], tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.HybridScheme != fourindex.FullyFusedInner {
+		t.Fatalf("hybrid chose %v, want fused (memory-constrained point)", o.HybridScheme)
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+	sawRoot := false
+	for _, sp := range spans {
+		if sp.Depth == 0 && sp.Name == o.HybridScheme.String() {
+			sawRoot = true
+		}
+		// The baselines run after the hybrid; had they been traced they
+		// would carry higher run ids than the hybrid's spans.
+		if sp.Name == "nwchem-fused12-34" {
+			t.Error("NWChem baseline leaked into the trace")
+		}
+	}
+	if !sawRoot {
+		t.Errorf("no root span named %q", o.HybridScheme)
+	}
+	mol := mustOrbitals(t, pts[0].Molecule)
+	rows := tr.Audit(mol, SpatialSymmetry, pts[0].UsableBytes/8/int64(pts[0].Cores))
+	if len(rows) == 0 {
+		t.Fatal("empty audit")
+	}
+	bounded := 0
+	for _, r := range rows {
+		if r.BoundElems == 0 {
+			continue
+		}
+		bounded++
+		if float64(r.ActualElems) < r.BoundElems {
+			t.Errorf("%s: actual %d below bound %.6g", r.Phase, r.ActualElems, r.BoundElems)
+		}
+	}
+	if bounded == 0 {
+		t.Error("no bounded contraction phases in the audit")
+	}
+}
+
+func mustOrbitals(t *testing.T, name string) int {
+	t.Helper()
+	opt, err := PointOptions(Point{Molecule: name, System: "A", Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt.Spec.N
+}

@@ -44,6 +44,7 @@ import (
 	"fourindex/internal/metrics"
 	"fourindex/internal/sym"
 	"fourindex/internal/tile"
+	"fourindex/internal/trace"
 )
 
 // Scheme selects one of the implemented schedules.
@@ -142,6 +143,11 @@ type Options struct {
 	// file-system bandwidth (the spilling alternative the paper's
 	// zero-spill schedules avoid, Section 3).
 	AllowSpill bool
+	// Trace, when non-nil, records the run as spans and events (see
+	// internal/trace): a root span per schedule attempt, one span per
+	// phase, and per-operation Get/Put/Acc/Barrier events. Nil disables
+	// tracing at zero cost.
+	Trace *trace.Tracer
 }
 
 // withDefaults validates and fills defaults.

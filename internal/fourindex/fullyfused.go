@@ -1,6 +1,8 @@
 package fourindex
 
 import (
+	"fmt"
+
 	"fourindex/internal/blas"
 	"fourindex/internal/ga"
 	"fourindex/internal/tile"
@@ -27,6 +29,7 @@ func runFullyFused(opt Options, inner bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.beginRoot(scheme)()
 	g4 := c.grids4()
 
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
@@ -48,6 +51,10 @@ func runFullyFused(opt Options, inner bool) (*Result, error) {
 
 	for tlo := 0; tlo < c.gl.NumTiles(); tlo += lPar {
 		batch := min(lPar, c.gl.NumTiles()-tlo)
+		if c.rt.Tracing() {
+			// Guarded so the disabled path never pays the Sprintf.
+			c.rt.TraceMark(fmt.Sprintf("l-slab %d/%d", tlo, c.gl.NumTiles()))
+		}
 
 		// Fusing l breaks the (k, l) symmetry: the A slabs keep only
 		// the (i, j) pair symmetry and integrals are regenerated per

@@ -1,6 +1,8 @@
 package fourindex
 
 import (
+	"fmt"
+
 	"fourindex/internal/ga"
 	"fourindex/internal/tile"
 )
@@ -22,6 +24,7 @@ func runFused123(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.beginRoot(Fused123)()
 	g4 := c.grids4()
 
 	// Full O3[a>=b, c, l], written slab-by-slab.
@@ -34,6 +37,10 @@ func runFused123(opt Options) (*Result, error) {
 		lOff, lHi := c.g.Bounds(tlo)
 		wl := lHi - lOff
 		slabGrids := []tile.Grid{c.g, c.g, c.g, tile.NewGrid(wl, wl)}
+		if c.rt.Tracing() {
+			// Guarded so the disabled path never pays the Sprintf.
+			c.rt.TraceMark(fmt.Sprintf("l-slab %d/%d", tlo, c.nt))
+		}
 
 		c.rt.BeginPhase("generate-A-slab")
 		aT, err := c.rt.CreateTiled("Al", slabGrids, [][2]int{{0, 1}}, opt.Policy)

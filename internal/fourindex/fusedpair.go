@@ -20,6 +20,7 @@ func runFusedPair(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.beginRoot(Fused1234Pair)()
 	g4 := c.grids4()
 
 	c.rt.BeginPhase("generate-A")

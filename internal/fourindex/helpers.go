@@ -34,6 +34,7 @@ func newRunCtx(opt Options) (*runCtx, error) {
 		LocalMemBytes:  opt.LocalMemBytes,
 		Strict:         opt.Strict,
 		AllowSpill:     opt.AllowSpill,
+		Tracer:         opt.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -53,6 +54,19 @@ func newRunCtx(opt Options) (*runCtx, error) {
 
 // grids4 returns four copies of the orbital grid.
 func (c *runCtx) grids4() []tile.Grid { return []tile.Grid{c.g, c.g, c.g, c.g} }
+
+// beginRoot opens the schedule's root trace span (depth 0, named after
+// the scheme) and returns the closer, meant to be deferred: it first
+// closes any phase span still open (error paths return mid-phase), then
+// the root span, so the tracer's span stack stays balanced even when a
+// hybrid driver runs several schedules against one tracer.
+func (c *runCtx) beginRoot(scheme Scheme) func() {
+	c.rt.TraceSpan(scheme.String())
+	return func() {
+		c.rt.EndPhase()
+		c.rt.TraceSpanEnd()
+	}
+}
 
 // workOwner deterministically assigns a work unit identified by coords to
 // a process (FNV-1a over the coordinates).

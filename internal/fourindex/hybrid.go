@@ -36,6 +36,10 @@ func runHybrid(opt Options) (*Result, error) {
 			return nil, fmt.Errorf("fourindex: hybrid: %s (n=%d, mem=%d B)",
 				adv.Reason, opt.Spec.N, opt.GlobalMemBytes)
 		}
+		if opt.Trace.Enabled() {
+			opt.Trace.Note(fmt.Sprintf("hybrid: lb.Advise -> %s (tileL=%d): %s",
+				adv.Scheme, tileL, adv.Reason))
+		}
 	}
 
 	for {
@@ -61,6 +65,9 @@ func runHybrid(opt Options) (*Result, error) {
 		// Out of memory: tighten.
 		if chosen == Unfused {
 			chosen = FullyFusedInner
+			if opt.Trace.Enabled() {
+				opt.Trace.Note("hybrid: unfused hit ErrGlobalOOM, falling back to fullyfused-inner")
+			}
 			continue
 		}
 		cur := tileL
@@ -72,5 +79,8 @@ func runHybrid(opt Options) (*Result, error) {
 				opt.GlobalMemBytes, err)
 		}
 		tileL = cur / 2
+		if opt.Trace.Enabled() {
+			opt.Trace.Note(fmt.Sprintf("hybrid: fused hit ErrGlobalOOM, halving TileL to %d", tileL))
+		}
 	}
 }

@@ -28,6 +28,7 @@ func runNWChemFused(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.beginRoot(NWChemFused)()
 	c.eff = nwchemKernelEfficiency
 	g4 := c.grids4()
 

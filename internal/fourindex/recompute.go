@@ -17,6 +17,7 @@ func runRecompute(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.beginRoot(Recompute)()
 	c.rt.BeginPhase("recompute-blocks")
 	cT, err := c.rt.CreateTiledSparse("C", c.grids4(), [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
 	if err != nil {

@@ -13,6 +13,7 @@ func runUnfused(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.beginRoot(Unfused)()
 	g4 := c.grids4()
 
 	c.rt.BeginPhase("generate-A")

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"fourindex/internal/tile"
+	"fourindex/internal/trace"
 )
 
 // Array is a two-dimensional distributed array blocked into data-tiles.
@@ -77,6 +78,7 @@ func (rt *Runtime) Create(name string, rows, cols, tileRows, tileCols int, pol t
 	if rt.cfg.Strict {
 		a.written = make([]atomic.Bool, nt)
 	}
+	rt.traceEmit(trace.KindCreate, trace.SeqProc, rt.Elapsed(), 0, name, int64(rows)*int64(cols), false)
 	return a, nil
 }
 
@@ -90,6 +92,7 @@ func (rt *Runtime) Destroy(a *Array) {
 	rt.liveArrays--
 	rt.mu.Unlock()
 	a.data = nil
+	rt.traceEmit(trace.KindDestroy, trace.SeqProc, rt.Elapsed(), 0, a.Name, int64(a.Rows)*int64(a.Cols), false)
 }
 
 // Bytes returns the array's global-memory footprint.
@@ -159,12 +162,18 @@ func (a *Array) patchOp(r0, r1, c0, c1 int, f func(id, pr0, pr1, pc0, pc1 int)) 
 func (p *Proc) Get(a *Array, r0, r1, c0, c1 int, buf []float64, ld int) {
 	a.checkPatch("Get", r0, r1, c0, c1, buf, ld)
 	exec := a.rt.cfg.Mode == Execute
+	start := p.Clock()
+	var total int64
+	anyRemote := false
 	a.patchOp(r0, r1, c0, c1, func(id, pr0, pr1, pc0, pc1 int) {
 		if a.written != nil && !a.written[id].Load() {
 			panic(fmt.Sprintf("ga: strict: Get of never-written tile %d of %q", id, a.Name))
 		}
 		elems := int64(pr1-pr0) * int64(pc1-pc0)
-		p.chargeTransfer(a.Dist.Owner(id) != p.id, elems, true)
+		remote := a.Dist.Owner(id) != p.id
+		p.chargeTransfer(remote, elems, true)
+		total += elems
+		anyRemote = anyRemote || remote
 		if !exec {
 			return
 		}
@@ -181,6 +190,7 @@ func (p *Proc) Get(a *Array, r0, r1, c0, c1 int, buf []float64, ld int) {
 		}
 		a.locks[id].Unlock()
 	})
+	p.rt.traceEmit(trace.KindGet, p.id, start, p.Clock()-start, a.Name, total, anyRemote)
 }
 
 // Put writes buf into the patch, overwriting previous contents.
@@ -198,9 +208,15 @@ func (p *Proc) update(op string, a *Array, r0, r1, c0, c1 int, alpha float64, bu
 	a.checkPatch(op, r0, r1, c0, c1, buf, ld)
 	exec := a.rt.cfg.Mode == Execute
 	acc := op == "Acc"
+	start := p.Clock()
+	var total int64
+	anyRemote := false
 	a.patchOp(r0, r1, c0, c1, func(id, pr0, pr1, pc0, pc1 int) {
 		elems := int64(pr1-pr0) * int64(pc1-pc0)
-		p.chargeTransfer(a.Dist.Owner(id) != p.id, elems, false)
+		remote := a.Dist.Owner(id) != p.id
+		p.chargeTransfer(remote, elems, false)
+		total += elems
+		anyRemote = anyRemote || remote
 		if a.written != nil {
 			a.written[id].Store(true)
 		}
@@ -226,6 +242,11 @@ func (p *Proc) update(op string, a *Array, r0, r1, c0, c1 int, alpha float64, bu
 		}
 		a.locks[id].Unlock()
 	})
+	kind := trace.KindPut
+	if acc {
+		kind = trace.KindAcc
+	}
+	p.rt.traceEmit(kind, p.id, start, p.Clock()-start, a.Name, total, anyRemote)
 }
 
 // ReadAll copies the entire array into a dense row-major slice. Sequential

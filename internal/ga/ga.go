@@ -36,6 +36,7 @@ import (
 
 	"fourindex/internal/cluster"
 	"fourindex/internal/metrics"
+	"fourindex/internal/trace"
 )
 
 // Mode selects between real execution and cost-only simulation.
@@ -86,6 +87,9 @@ type Config struct {
 	// disk-spilling alternative the paper's zero-spill schedules
 	// eliminate (Section 3).
 	AllowSpill bool
+	// Tracer, when non-nil, receives per-operation events and phase
+	// spans (see internal/trace). Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Runtime is a PGAS runtime instance.
@@ -106,6 +110,10 @@ type Runtime struct {
 	idle []float64
 
 	phases *phaseTracker // sequential-section phase accounting
+
+	// runID identifies this runtime instance in the attached tracer (a
+	// hybrid driver runs several runtimes against one tracer).
+	runID int32
 }
 
 // NewRuntime validates the configuration and builds a runtime.
@@ -123,6 +131,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	for i := range rt.counters {
 		rt.counters[i] = &metrics.Counters{}
 	}
+	rt.runID = cfg.Tracer.RegisterRun()
 	return rt, nil
 }
 
@@ -327,6 +336,7 @@ func (p *Proc) Barrier() {
 	after := p.rt.barrier.await(before)
 	p.rt.idle[p.id] += after - before
 	p.rt.clocks[p.id] = after
+	p.rt.traceEmit(trace.KindBarrier, p.id, before, after-before, "barrier", 0, false)
 }
 
 // Buffer is a process-local allocation. Data is nil in Cost mode.

@@ -34,7 +34,9 @@ type phaseMark struct {
 // BeginPhase marks the start of a named schedule phase. It must be
 // called from sequential (between-region) code; the previous phase, if
 // any, is closed and its resource deltas accumulated. Repeated names
-// accumulate into one row.
+// accumulate into one row. When a tracer is attached, each phase also
+// becomes a trace span (repeated names become separate spans there, so
+// per-slab iterations of a fused schedule stay distinguishable).
 func (rt *Runtime) BeginPhase(name string) {
 	rt.closePhase()
 	if rt.phases == nil {
@@ -42,6 +44,7 @@ func (rt *Runtime) BeginPhase(name string) {
 	}
 	rt.phases.current = name
 	rt.phases.mark = rt.phaseMarkNow()
+	rt.TraceSpan(name)
 }
 
 // EndPhase closes the open phase without starting another.
@@ -77,6 +80,7 @@ func (rt *Runtime) closePhase() {
 	st.IntraElements += now.intra - pt.mark.intra
 	st.Messages += now.msgs - pt.mark.msgs
 	pt.current = ""
+	rt.TraceSpanEnd()
 }
 
 // Phases returns the accumulated per-phase statistics in first-seen

@@ -7,6 +7,7 @@ import (
 
 	"fourindex/internal/sym"
 	"fourindex/internal/tile"
+	"fourindex/internal/trace"
 )
 
 // TiledArray is an N-dimensional distributed tensor stored as whole
@@ -132,6 +133,7 @@ func (rt *Runtime) CreateTiledSparse(name string, grids []tile.Grid, symPairs []
 	if rt.cfg.Strict {
 		a.written = make([]atomic.Bool, total)
 	}
+	rt.traceEmit(trace.KindCreate, trace.SeqProc, rt.Elapsed(), 0, name, words, false)
 	return a, nil
 }
 
@@ -270,6 +272,7 @@ func (rt *Runtime) DestroyTiled(a *TiledArray) {
 	rt.liveArrays--
 	rt.mu.Unlock()
 	a.data = nil
+	rt.traceEmit(trace.KindDestroy, trace.SeqProc, rt.Elapsed(), 0, a.Name, a.bytes/8, false)
 }
 
 func (a *TiledArray) checkAlive(op string) {
@@ -324,11 +327,15 @@ func (p *Proc) GetT(a *TiledArray, buf []float64, coords ...int) int {
 	if a.written != nil && !a.written[id].Load() {
 		panic(fmt.Sprintf("ga: strict: GetT of never-written tile %v of %q", coords, a.Name))
 	}
+	start := p.Clock()
+	remote := false
 	if a.onDisk {
 		p.chargeDisk(int64(words), true)
 	} else {
-		p.chargeTransfer(a.Dist.Owner(id) != p.id, int64(words), true)
+		remote = a.Dist.Owner(id) != p.id
+		p.chargeTransfer(remote, int64(words), true)
 	}
+	p.rt.traceEmit(trace.KindGet, p.id, start, p.Clock()-start, a.Name, int64(words), remote)
 	if a.rt.cfg.Mode == Execute {
 		if len(buf) < words {
 			panic(fmt.Sprintf("ga: GetT buffer %d < tile words %d", len(buf), words))
@@ -363,11 +370,19 @@ func (p *Proc) updateT(op string, a *TiledArray, alpha float64, acc bool, buf []
 	if a.stored != nil && !a.stored[id] {
 		return // symmetry-forbidden block: writes are no-ops
 	}
+	start := p.Clock()
+	remote := false
 	if a.onDisk {
 		p.chargeDisk(int64(words), false)
 	} else {
-		p.chargeTransfer(a.Dist.Owner(id) != p.id, int64(words), false)
+		remote = a.Dist.Owner(id) != p.id
+		p.chargeTransfer(remote, int64(words), false)
 	}
+	kind := trace.KindPut
+	if acc {
+		kind = trace.KindAcc
+	}
+	p.rt.traceEmit(kind, p.id, start, p.Clock()-start, a.Name, int64(words), remote)
 	if a.written != nil {
 		a.written[id].Store(true)
 	}

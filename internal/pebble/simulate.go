@@ -25,13 +25,26 @@ type evictEntry struct {
 	nextUse int
 }
 
+// evictHeap implements heap.Interface over evictEntry values. Less
+// orders by *descending* next use, so the heap root is always Belady's
+// victim: the resident value referenced furthest in the future.
 type evictHeap []evictEntry
 
-func (h evictHeap) Len() int           { return len(h) }
+// Len reports the number of resident candidates.
+func (h evictHeap) Len() int { return len(h) }
+
+// Less ranks later next use as higher priority (a max-heap on nextUse).
 func (h evictHeap) Less(i, j int) bool { return h[i].nextUse > h[j].nextUse }
-func (h evictHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *evictHeap) Push(x any)        { *h = append(*h, x.(evictEntry)) }
-func (h *evictHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Swap exchanges two entries; required by heap.Interface.
+func (h evictHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push appends an entry; called only through heap.Push.
+func (h *evictHeap) Push(x any) { *h = append(*h, x.(evictEntry)) }
+
+// Pop removes and returns the last entry; called only through heap.Pop,
+// which has already moved the victim there.
+func (h *evictHeap) Pop() any { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // Simulate plays the red-blue pebble game on g with S red pebbles,
 // computing operations in the given topological order. Operand loads are

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"fourindex/internal/lb"
+	"fourindex/internal/sym"
+)
+
+// AuditRow is one line of the bound-vs-actual table: a named schedule
+// phase joined against its internal/lb prediction.
+type AuditRow struct {
+	// Phase is the span name ("op1", "op12-fused", ...).
+	Phase string
+	// BoundElems is the lb prediction for the phase in elements; zero
+	// when the phase has no contraction bound (generate-A, slab setup).
+	BoundElems float64
+	// ActualElems is the measured two-level-model movement of the phase:
+	// inter-node + intra-node + disk elements.
+	ActualElems int64
+	// Flops is the arithmetic performed inside the phase.
+	Flops int64
+	// Seconds is the phase's simulated duration.
+	Seconds float64
+	// Attained is BoundElems/ActualElems — the fraction of the lower
+	// bound the schedule attains (1.0 = bound-optimal, smaller = more
+	// movement than necessary). Zero when no bound applies.
+	Attained float64
+}
+
+// auditSpec maps one phase name to the (input, output) tensors of the
+// contraction(s) it performs, selected from sym.ExactSizes.
+type auditSpec struct {
+	in  func(z sym.Sizes) int64
+	out func(z sym.Sizes) int64
+}
+
+// phaseBounds maps the phase names emitted by the schedules (Listings 1,
+// 8, 9, 10) to their contraction bounds. Fused regions take the fused
+// region's input and output (Fusion Lemma end-members): op12 moves A in
+// and O2 out, op34 moves O2 in and C out.
+var phaseBounds = map[string]auditSpec{
+	"op1":         {in: func(z sym.Sizes) int64 { return z.A }, out: func(z sym.Sizes) int64 { return z.O1 }},
+	"op2":         {in: func(z sym.Sizes) int64 { return z.O1 }, out: func(z sym.Sizes) int64 { return z.O2 }},
+	"op3":         {in: func(z sym.Sizes) int64 { return z.O2 }, out: func(z sym.Sizes) int64 { return z.O3 }},
+	"op4":         {in: func(z sym.Sizes) int64 { return z.O3 }, out: func(z sym.Sizes) int64 { return z.C }},
+	"op12-fused":  {in: func(z sym.Sizes) int64 { return z.A }, out: func(z sym.Sizes) int64 { return z.O2 }},
+	"op34-fused":  {in: func(z sym.Sizes) int64 { return z.O2 }, out: func(z sym.Sizes) int64 { return z.C }},
+	"op12-chunks": {in: func(z sym.Sizes) int64 { return z.A }, out: func(z sym.Sizes) int64 { return z.O2 }},
+	"op34-chunks": {in: func(z sym.Sizes) int64 { return z.O2 }, out: func(z sym.Sizes) int64 { return z.C }},
+}
+
+// Audit aggregates the tracer's closed phase spans from its final run
+// (a hybrid driver may record aborted attempts under earlier run ids)
+// and joins each against its lb.ContractionLB prediction for extent n,
+// symmetry factor s and per-process fast memory fastWords (elements).
+// Rows appear in first-span order. When fastWords <= 0 the bound falls
+// back to the memory-independent floor |in|+|out|.
+func (t *Tracer) Audit(n, symFactor int, fastWords int64) []AuditRow {
+	if t == nil {
+		return nil
+	}
+	sizes := sym.ExactSizes(n, symFactor)
+	run := t.LastRun()
+	spans := t.Spans()
+
+	var order []string
+	agg := make(map[string]*AuditRow)
+	for _, sp := range spans {
+		if sp.Run != run || !sp.Done || sp.Depth == 0 {
+			continue
+		}
+		row, ok := agg[sp.Name]
+		if !ok {
+			row = &AuditRow{Phase: sp.Name}
+			agg[sp.Name] = row
+			order = append(order, sp.Name)
+		}
+		row.ActualElems += sp.Totals.MovedElements()
+		row.Flops += sp.Totals.Flops
+		row.Seconds += sp.Seconds()
+	}
+
+	rows := make([]AuditRow, 0, len(order))
+	for _, name := range order {
+		row := *agg[name]
+		if spec, ok := phaseBounds[name]; ok {
+			in, out := spec.in(sizes), spec.out(sizes)
+			if fastWords > 0 {
+				row.BoundElems = lb.ContractionLB(int64(n), fastWords, in, out)
+			} else {
+				row.BoundElems = float64(in + out)
+			}
+			if row.ActualElems > 0 {
+				row.Attained = row.BoundElems / float64(row.ActualElems)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteAuditTable renders rows as the aligned text table printed by
+// `fouridx trace`. Phases without a bound show "-" in the bound and
+// attained columns.
+func WriteAuditTable(w io.Writer, rows []AuditRow) error {
+	if _, err := fmt.Fprintf(w, "%-16s %14s %14s %14s %10s %9s\n",
+		"phase", "lb-elems", "actual-elems", "flops", "sim-sec", "attained"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		bound, att := "-", "-"
+		if r.BoundElems > 0 {
+			bound = fmt.Sprintf("%.4g", r.BoundElems)
+			att = fmt.Sprintf("%.3f", r.Attained)
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %14s %14d %14d %10.4g %9s\n",
+			r.Phase, bound, r.ActualElems, r.Flops, r.Seconds, att); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one Chrome trace_event record. Field order is fixed so
+// the golden-file test sees byte-stable output (encoding/json emits
+// struct fields in declaration order).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int32          `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object of the export.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts simulated seconds to trace_event microseconds.
+func usec(s float64) float64 { return s * 1e6 }
+
+// WriteChromeTrace exports the recorded trace as Chrome trace_event JSON
+// (the format chrome://tracing and Perfetto load). Each runtime run
+// becomes a process (pid = run id); within a run, tid 0 carries the
+// schedule's span stack and tid p+1 the per-process operation events of
+// rank p. Marks and create/destroy become instant events. Output is
+// deterministic: spans in begin order, events in (Run, Proc, Seq) order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: cannot export a disabled (nil) tracer")
+	}
+	spans := t.Spans()
+	events := t.Events()
+
+	evs := make([]chromeEvent, 0, len(spans)+len(events)+8)
+
+	// Metadata: name the processes and the schedule-span thread.
+	runs := map[int32]bool{}
+	for _, sp := range spans {
+		runs[sp.Run] = true
+	}
+	for _, ev := range events {
+		runs[ev.Run] = true
+	}
+	var runIDs []int32
+	for r := range runs {
+		runIDs = append(runIDs, r)
+	}
+	for i := 0; i < len(runIDs); i++ {
+		for j := i + 1; j < len(runIDs); j++ {
+			if runIDs[j] < runIDs[i] {
+				runIDs[i], runIDs[j] = runIDs[j], runIDs[i]
+			}
+		}
+	}
+	for _, r := range runIDs {
+		evs = append(evs,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: r,
+				Args: map[string]any{"name": fmt.Sprintf("run %d", r)}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: r, Tid: 0,
+				Args: map[string]any{"name": "schedule"}},
+		)
+	}
+
+	for _, sp := range spans {
+		ce := chromeEvent{
+			Name: sp.Name, Ph: "X", Pid: sp.Run, Tid: 0,
+			Ts: usec(sp.Start), Dur: usec(sp.Seconds()),
+		}
+		if sp.Done {
+			ce.Args = map[string]any{
+				"flops":       sp.Totals.Flops,
+				"comm_elems":  sp.Totals.CommElements,
+				"intra_elems": sp.Totals.IntraElements,
+				"disk_elems":  sp.Totals.DiskElements,
+				"messages":    sp.Totals.Messages,
+				"depth":       sp.Depth,
+			}
+		}
+		evs = append(evs, ce)
+	}
+
+	for _, ev := range events {
+		tid := ev.Proc + 1
+		switch ev.Kind {
+		case KindMark, KindCreate, KindDestroy:
+			args := map[string]any{"kind": ev.Kind.String()}
+			if ev.Elems != 0 {
+				args["elems"] = ev.Elems
+			}
+			evs = append(evs, chromeEvent{
+				Name: ev.Name, Ph: "i", Pid: ev.Run, Tid: tid,
+				Ts: usec(ev.Start), S: "p", Args: args,
+			})
+		default:
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("%s %s", ev.Kind, ev.Name),
+				Ph:   "X", Pid: ev.Run, Tid: tid,
+				Ts: usec(ev.Start), Dur: usec(ev.Dur),
+				Args: map[string]any{
+					"kind":   ev.Kind.String(),
+					"elems":  ev.Elems,
+					"remote": ev.Remote,
+				},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,151 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/cluster"
+	"fourindex/internal/fourindex"
+	"fourindex/internal/ga"
+	"fourindex/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden Chrome trace")
+
+// recordSmallRun traces a fixed small cost-mode schedule. Everything in
+// it is deterministic — the work distribution is a hash of tile
+// coordinates, simulated clocks come from the machine model, and the
+// tracer orders events by (run, proc, seq) — so the export must be
+// byte-identical across runs and platforms.
+func recordSmallRun(t *testing.T) *trace.Tracer {
+	t.Helper()
+	machine, err := cluster.ByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := machine.Configure(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := chem.NewSpec(12, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(1 << 16)
+	opt := fourindex.Options{
+		Spec:  spec,
+		Procs: 4,
+		Mode:  ga.Cost,
+		Run:   &run,
+		TileN: 4,
+		TileL: 4,
+		Trace: tr,
+	}
+	if _, err := fourindex.Run(fourindex.FullyFusedInner, opt); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events; golden run must keep all", tr.Dropped())
+	}
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := recordSmallRun(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_fullyfusedinner_n12.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace drifted from golden (%d vs %d bytes); regenerate with -update if the schedule or cost model changed intentionally",
+			buf.Len(), len(want))
+	}
+}
+
+// TestChromeTraceWellFormed checks the structural contract that makes
+// the export loadable in chrome://tracing and Perfetto.
+func TestChromeTraceWellFormed(t *testing.T) {
+	tr := recordSmallRun(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int32   `json:"pid"`
+			Tid  int32   `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	sawSpan, sawOp, sawMeta := false, false, false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("negative time on %q: ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
+			}
+			if ev.Tid == 0 {
+				sawSpan = true
+			} else {
+				sawOp = true
+			}
+		case "M":
+			sawMeta = true
+		case "i":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if !sawSpan || !sawOp || !sawMeta {
+		t.Errorf("export missing record types: span=%v op=%v meta=%v", sawSpan, sawOp, sawMeta)
+	}
+	// The schedule root span must be present and named after the scheme.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Tid == 0 && ev.Name == "fullyfused-inner" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("root span \"fullyfused-inner\" missing from export")
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Error("export should be a single JSON document with trailing newline")
+	}
+
+	var nilTr *trace.Tracer
+	if err := nilTr.WriteChromeTrace(&buf); err == nil {
+		t.Error("exporting a nil tracer should error")
+	}
+}

@@ -1,0 +1,402 @@
+// Package trace is the execution-trace subsystem: a structured span and
+// event recorder threaded through the ga runtime and every schedule in
+// internal/fourindex, recording *where inside a schedule* the data moved
+// so that measured traffic can be compared phase-by-phase against the
+// lower bounds of internal/lb (the comparison the paper's Sections 5-6
+// and Figure 2 are built on).
+//
+// The model has two layers:
+//
+//   - Spans are named sequential regions — one per schedule phase (the
+//     contraction and fusion regions of Listings 1, 8, 9 and 10) plus a
+//     root span per schedule run — arranged in a stack. Each span
+//     carries the delta of every resource tally (flops, inter-node,
+//     intra-node and disk elements, messages) between its begin and end,
+//     fed from the ga runtime's counters.
+//
+//   - Events are individual runtime operations (Get, Put, Acc, Barrier,
+//     Create, Destroy, plus free-form marks) with per-process
+//     simulated-clock timestamps, kept in a bounded ring buffer that
+//     retains the most recent events and counts what it overwrote.
+//
+// Timestamps are simulated seconds from the cluster cost model, never
+// the wall clock, so a trace of a molecule-scale cost-mode replay is
+// exactly reproducible.
+//
+// Two sinks consume a recorded trace: WriteChromeTrace emits Chrome
+// trace_event JSON loadable in chrome://tracing or Perfetto, and Audit
+// joins each contraction span against its internal/lb prediction to
+// report the attained fraction of the lower bound.
+//
+// Key invariants:
+//
+//   - A nil *Tracer is the disabled tracer: every method is a nil-safe
+//     no-op and the emit fast path performs zero allocations, so
+//     schedules are instrumented unconditionally.
+//   - Events from concurrent processes are ordered deterministically by
+//     (run, process, per-process sequence number); two runs of the same
+//     deterministic schedule produce byte-identical exports.
+//   - Tracer state is touched only through Tracer methods (enforced by
+//     the metricsdiscipline analyzer, exactly like metrics.Counters).
+package trace
+
+import "sync"
+
+// Totals is a snapshot (or, on a closed span, a delta) of the resource
+// tallies the audit reasons about. Element counts follow the metrics
+// package's two-level convention: CommElements is inter-node traffic,
+// IntraElements same-node copies, DiskElements out-of-core spill
+// traffic; their sum is the two-level-model I/O the paper's bounds are
+// stated in.
+type Totals struct {
+	Flops         int64
+	CommElements  int64
+	IntraElements int64
+	DiskElements  int64
+	Messages      int64
+}
+
+// MovedElements returns the total data movement of the two-level model:
+// inter-node plus intra-node plus disk elements.
+func (t Totals) MovedElements() int64 {
+	return t.CommElements + t.IntraElements + t.DiskElements
+}
+
+// sub returns the component-wise difference t - u.
+func (t Totals) sub(u Totals) Totals {
+	return Totals{
+		Flops:         t.Flops - u.Flops,
+		CommElements:  t.CommElements - u.CommElements,
+		IntraElements: t.IntraElements - u.IntraElements,
+		DiskElements:  t.DiskElements - u.DiskElements,
+		Messages:      t.Messages - u.Messages,
+	}
+}
+
+// Kind classifies one traced runtime operation.
+type Kind uint8
+
+// The traced operation kinds.
+const (
+	// KindGet is a Get/GetT read of a distributed array.
+	KindGet Kind = iota
+	// KindPut is a Put/PutT overwrite of a distributed array.
+	KindPut
+	// KindAcc is an atomic Acc/AccT accumulation.
+	KindAcc
+	// KindBarrier is a synchronisation wait (its Dur is the idle time).
+	KindBarrier
+	// KindCreate is a distributed-array allocation (Elems = words).
+	KindCreate
+	// KindDestroy is a distributed-array release (Elems = words).
+	KindDestroy
+	// KindMark is a free-form instant annotation (slab boundaries,
+	// hybrid-driver decisions).
+	KindMark
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGet:
+		return "get"
+	case KindPut:
+		return "put"
+	case KindAcc:
+		return "acc"
+	case KindBarrier:
+		return "barrier"
+	case KindCreate:
+		return "create"
+	case KindDestroy:
+		return "destroy"
+	case KindMark:
+		return "mark"
+	default:
+		return "kind?"
+	}
+}
+
+// SeqProc is the pseudo-process id of sequential (between-region) events
+// such as Create/Destroy and driver marks.
+const SeqProc = -1
+
+// Event is one recorded runtime operation.
+type Event struct {
+	// Run identifies the runtime instance that emitted the event (a
+	// hybrid driver may run several schedules against one tracer).
+	Run int32
+	// Proc is the emitting process rank, or SeqProc for sequential code.
+	Proc int32
+	// Seq is the per-(run, proc) emission sequence number; (Run, Proc,
+	// Seq) orders events deterministically.
+	Seq int32
+	// Kind classifies the operation.
+	Kind Kind
+	// Start is the emitting process's simulated clock at operation
+	// start, in seconds; Dur the simulated time the operation took.
+	Start, Dur float64
+	// Name is the distributed array's name, or the mark label.
+	Name string
+	// Elems is the elements moved (transfers) or held (create/destroy).
+	Elems int64
+	// Remote marks a transfer that crossed a node boundary.
+	Remote bool
+}
+
+// Span is one named sequential region of a schedule.
+type Span struct {
+	// Run identifies the runtime instance the span belongs to.
+	Run int32
+	// Name is the phase label ("op1", "op12-fused", ...) or, at depth
+	// zero, the schedule name.
+	Name string
+	// Depth is the span-stack depth at begin (0 = schedule root span).
+	Depth int32
+	// Start and End are simulated seconds; End is meaningful only when
+	// Done.
+	Start, End float64
+	// Totals is the resource delta consumed inside the span (zero until
+	// the span is closed).
+	Totals Totals
+	// Done reports whether the span was closed.
+	Done bool
+}
+
+// Seconds returns the span's simulated duration (0 while open).
+func (s Span) Seconds() float64 {
+	if !s.Done {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// DefaultCapacity is the ring-buffer size used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 1 << 15
+
+// maxSpans bounds the span list; schedules emit a handful of spans per
+// outer slab, so this is far above any realistic run.
+const maxSpans = 1 << 14
+
+// openSpan is one span-stack entry: the index of the open span and the
+// tally snapshot taken at its begin.
+type openSpan struct {
+	index int
+	begin Totals
+}
+
+// Tracer records spans and events. The zero value is not used; construct
+// with New. A nil *Tracer is the disabled tracer: all methods are
+// nil-safe no-ops and the emit path allocates nothing, which is verified
+// by TestDisabledTracerAllocs.
+type Tracer struct {
+	mu sync.Mutex
+
+	ring    []Event // bounded ring storage
+	next    int     // ring index of the next write
+	count   int     // events currently held (<= len(ring))
+	dropped int64   // events overwritten after the ring filled
+
+	spans        []Span
+	stack        []openSpan
+	spansDropped int64
+
+	runs int32   // runtime instances registered so far
+	seqs []int32 // per-(proc+1) sequence counters, index 0 = SeqProc
+}
+
+// New returns an enabled tracer whose ring buffer holds capacity events
+// (DefaultCapacity when capacity <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Enabled reports whether the tracer records anything; false for nil.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// RegisterRun allocates a fresh run id for one runtime instance.
+// Nil-safe; the disabled tracer always returns 0.
+func (t *Tracer) RegisterRun() int32 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.runs++
+	return t.runs
+}
+
+// nextSeq returns the next per-process sequence number. Caller holds mu.
+func (t *Tracer) nextSeq(proc int32) int32 {
+	i := int(proc) + 1
+	for len(t.seqs) <= i {
+		t.seqs = append(t.seqs, 0)
+	}
+	t.seqs[i]++
+	return t.seqs[i]
+}
+
+// Emit records one event. Safe for concurrent use; no-op when disabled.
+func (t *Tracer) Emit(run int32, kind Kind, proc int, start, dur float64, name string, elems int64, remote bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev := Event{
+		Run: run, Proc: int32(proc), Kind: kind,
+		Start: start, Dur: dur, Name: name, Elems: elems, Remote: remote,
+	}
+	ev.Seq = t.nextSeq(ev.Proc)
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Mark records an instant annotation from sequential schedule code.
+func (t *Tracer) Mark(run int32, clock float64, label string) {
+	t.Emit(run, KindMark, SeqProc, clock, 0, label, 0, false)
+}
+
+// Note records an instant annotation from driver code that has no
+// runtime (and therefore no run id or simulated clock), such as the
+// hybrid fuse/unfuse decision logic.
+func (t *Tracer) Note(label string) {
+	t.Emit(0, KindMark, SeqProc, 0, 0, label, 0, false)
+}
+
+// BeginSpan opens a span at the current stack depth. totals is the
+// tally snapshot at the span's start, used to compute the span's delta
+// at EndSpan. No-op when disabled.
+func (t *Tracer) BeginSpan(run int32, name string, clock float64, totals Totals) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpans {
+		t.spansDropped++
+		// Keep the stack balanced so EndSpan still pairs up.
+		t.stack = append(t.stack, openSpan{index: -1})
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Run: run, Name: name, Depth: int32(len(t.stack)), Start: clock,
+	})
+	t.stack = append(t.stack, openSpan{index: len(t.spans) - 1, begin: totals})
+}
+
+// EndSpan closes the innermost open span, recording its end time and
+// resource delta. No-op when disabled or when no span is open.
+func (t *Tracer) EndSpan(clock float64, totals Totals) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		return
+	}
+	top := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	if top.index < 0 {
+		return // span was dropped at begin
+	}
+	sp := &t.spans[top.index]
+	sp.End = clock
+	sp.Totals = totals.sub(top.begin)
+	sp.Done = true
+}
+
+// Spans returns a copy of the recorded spans in begin order. Open spans
+// have Done == false and zero Totals.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Events returns the surviving ring contents ordered deterministically
+// by (Run, Proc, Seq) — an order independent of goroutine scheduling.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, 0, t.count)
+	start := t.next - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	t.mu.Unlock()
+
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders events by (Run, Proc, Seq) with a simple in-place
+// merge-free sort (the comparator is total, so sort.Slice would do; a
+// local implementation keeps the hot sink dependency-light).
+func sortEvents(evs []Event) {
+	less := func(a, b Event) bool {
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	}
+	// Insertion-like shell sort: event batches are near-sorted per
+	// process already, and export is off the measurement path.
+	for gap := len(evs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(evs); i++ {
+			for j := i; j >= gap && less(evs[j], evs[j-gap]); j -= gap {
+				evs[j], evs[j-gap] = evs[j-gap], evs[j]
+			}
+		}
+	}
+}
+
+// Dropped returns how many events the bounded ring overwrote.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// LastRun returns the highest run id that recorded a span (the final
+// schedule attempt of a hybrid driver), or 0 when no spans exist.
+func (t *Tracer) LastRun() int32 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var last int32
+	for _, s := range t.spans {
+		if s.Run > last {
+			last = s.Run
+		}
+	}
+	return last
+}

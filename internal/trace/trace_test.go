@@ -1,0 +1,124 @@
+package trace
+
+import "testing"
+
+// TestDisabledTracerAllocs pins the contract that lets schedules stay
+// instrumented unconditionally: every method of the disabled (nil)
+// tracer is a zero-allocation no-op.
+func TestDisabledTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	checks := map[string]func(){
+		"Emit":      func() { tr.Emit(1, KindGet, 0, 0.5, 0.1, "A", 64, true) },
+		"Mark":      func() { tr.Mark(1, 0.5, "slab") },
+		"Note":      func() { tr.Note("driver note") },
+		"BeginSpan": func() { tr.BeginSpan(1, "op1", 0, Totals{}) },
+		"EndSpan":   func() { tr.EndSpan(1, Totals{}) },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("disabled tracer %s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer Spans() = %v, want nil", got)
+	}
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil tracer Events() = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 || tr.LastRun() != 0 || tr.RegisterRun() != 0 {
+		t.Error("nil tracer accessors must return zero values")
+	}
+}
+
+func TestSpanNestingAndDeltas(t *testing.T) {
+	tr := New(16)
+	run := tr.RegisterRun()
+	if run != 1 {
+		t.Fatalf("first run id = %d, want 1", run)
+	}
+	tr.BeginSpan(run, "root", 0, Totals{})
+	tr.BeginSpan(run, "op1", 1, Totals{Flops: 100, CommElements: 10})
+	tr.EndSpan(3, Totals{Flops: 400, CommElements: 25, IntraElements: 5})
+	tr.EndSpan(7, Totals{Flops: 900, CommElements: 50, IntraElements: 5})
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	root, op1 := spans[0], spans[1]
+	if root.Name != "root" || root.Depth != 0 || !root.Done || root.Seconds() != 7 {
+		t.Errorf("bad root span: %+v", root)
+	}
+	if op1.Name != "op1" || op1.Depth != 1 || op1.Seconds() != 2 {
+		t.Errorf("bad op1 span: %+v", op1)
+	}
+	if op1.Totals.Flops != 300 || op1.Totals.CommElements != 15 || op1.Totals.IntraElements != 5 {
+		t.Errorf("op1 delta = %+v, want flops 300, comm 15, intra 5", op1.Totals)
+	}
+	if got := op1.Totals.MovedElements(); got != 20 {
+		t.Errorf("op1 MovedElements = %d, want 20", got)
+	}
+	if root.Totals.Flops != 900 {
+		t.Errorf("root delta flops = %d, want 900", root.Totals.Flops)
+	}
+	// Unbalanced EndSpan must be a safe no-op.
+	tr.EndSpan(9, Totals{})
+	if got := len(tr.Spans()); got != 2 {
+		t.Errorf("extra EndSpan created spans: %d", got)
+	}
+}
+
+func TestRingKeepsNewestAndCountsDrops(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(1, KindGet, 0, float64(i), 0, "A", int64(i), false)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Elems != want {
+			t.Errorf("event %d Elems = %d, want %d (newest survive)", i, ev.Elems, want)
+		}
+	}
+}
+
+func TestEventsDeterministicOrder(t *testing.T) {
+	tr := New(64)
+	// Interleave procs out of order; Events must sort by (Run, Proc, Seq).
+	tr.Emit(2, KindPut, 1, 9, 0, "C", 1, false)
+	tr.Emit(1, KindGet, 1, 5, 0, "A", 2, false)
+	tr.Emit(1, KindGet, 0, 8, 0, "B", 3, true)
+	tr.Emit(1, KindGet, 1, 2, 0, "A", 4, false)
+	tr.Emit(1, KindMark, SeqProc, 0, 0, "m", 0, false)
+
+	evs := tr.Events()
+	wantElems := []int64{0, 3, 2, 4, 1} // run1: proc -1, 0, 1(seq1), 1(seq2); then run2
+	for i, ev := range evs {
+		if ev.Elems != wantElems[i] {
+			t.Fatalf("position %d: got Elems %d, want %d (order %+v)", i, ev.Elems, wantElems[i], evs)
+		}
+	}
+	if tr.LastRun() != 0 {
+		t.Errorf("LastRun with no spans = %d, want 0", tr.LastRun())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindGet: "get", KindPut: "put", KindAcc: "acc", KindBarrier: "barrier",
+		KindCreate: "create", KindDestroy: "destroy", KindMark: "mark", Kind(99): "kind?",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
