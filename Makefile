@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet golden ci
+.PHONY: all build test race lint vet golden chaos ci
 
 all: build test vet lint
 
@@ -33,4 +33,13 @@ vet:
 golden:
 	$(GO) test -count=1 -run 'TestChromeTraceGolden' ./internal/trace/
 
-ci: build test vet lint golden race
+# chaos runs the seeded fault-plan suite under the race detector: every
+# schedule against 50 random fault plans (bitwise-identical C or typed
+# terminal error), l-slab checkpoint resume after an injected crash, and
+# the hybrid driver's degradation path (see internal/fourindex/chaos_test.go
+# and internal/faults).
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/fourindex/
+	$(GO) test -race ./internal/faults/
+
+ci: build test vet lint golden race chaos

@@ -13,6 +13,13 @@
 // prints the bound-vs-actual audit (see README "Tracing & profiling"):
 //
 //	fouridx trace -n 24 -scheme fullyfused-inner -system A -cores 8 -o trace.json
+//
+// The chaos subcommand runs a transform under a seeded fault-injection
+// plan with checkpoint-restart, reports retries/restarts/degradations,
+// and verifies the result against a fault-free run (see README "Chaos
+// testing"):
+//
+//	fouridx chaos -n 18 -scheme fullyfused-inner -procs 4 -rate 0.05 -chaos-seed 7
 package main
 
 import (
@@ -28,6 +35,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		runChaos(os.Args[2:])
 		return
 	}
 	var (

@@ -29,6 +29,7 @@ import (
 	"fourindex/internal/analysis/errflow"
 	"fourindex/internal/analysis/gadiscipline"
 	"fourindex/internal/analysis/metricsdiscipline"
+	"fourindex/internal/analysis/retrydiscipline"
 	"fourindex/internal/analysis/symindex"
 )
 
@@ -38,6 +39,7 @@ var analyzers = []*analysis.Analyzer{
 	errflow.Analyzer,
 	gadiscipline.Analyzer,
 	metricsdiscipline.Analyzer,
+	retrydiscipline.Analyzer,
 	symindex.Analyzer,
 }
 

@@ -34,6 +34,7 @@ import (
 	"fourindex/internal/chem"
 	"fourindex/internal/cluster"
 	"fourindex/internal/experiments"
+	"fourindex/internal/faults"
 	ifx "fourindex/internal/fourindex"
 	"fourindex/internal/ga"
 	"fourindex/internal/lb"
@@ -255,3 +256,53 @@ func Tune(opt Options, space TuneSpace) ([]TunePoint, error) { return ifx.Tune(o
 
 // BestTunePoint returns the fastest feasible point of a sorted sweep.
 func BestTunePoint(points []TunePoint) (TunePoint, bool) { return ifx.Best(points) }
+
+// FaultPlan is a seeded, deterministic fault-injection plan for the GA
+// runtime: transient Get/Put/Acc failures at a configured rate, an
+// optional one-shot process crash, a straggler and late out-of-memory
+// pressure. The zero plan injects nothing.
+type FaultPlan = faults.Plan
+
+// FaultInjection bundles a FaultPlan with the checkpoint store and the
+// restart budget a transform run uses to recover from injected crashes.
+// Attach one via Options.Faults.
+type FaultInjection = faults.Injection
+
+// Checkpoint is the store schedules record completed l-slabs and stages
+// in, and resume from after a crash.
+type Checkpoint = faults.Checkpoint
+
+// NewMemCheckpoint returns an in-memory Checkpoint store.
+func NewMemCheckpoint() Checkpoint { return faults.NewMemCheckpoint() }
+
+// RandomFaultPlan derives a reproducible fault plan from a seed:
+// transient faults at the given rate, plus (on half of all seeds) a
+// crash point somewhere in the first run.
+func RandomFaultPlan(seed uint64, rate float64, procs int) *FaultPlan {
+	return faults.RandomPlan(seed, rate, procs)
+}
+
+// FaultInjected reports whether err originates from an injected fault
+// (as opposed to a genuine schedule error).
+func FaultInjected(err error) bool { return faults.Injected(err) }
+
+// FaultSummary aggregates a traced run's fault events: injected
+// crash/exhaustion faults, absorbed transient retries, checkpoint
+// restarts and hybrid degradations.
+type FaultSummary = trace.FaultSummary
+
+// TraceFaultSummary extracts the fault summary from a run's tracer.
+func TraceFaultSummary(tr *Tracer) FaultSummary { return tr.FaultSummary() }
+
+// WriteFaultSummary renders a fault summary as text.
+func WriteFaultSummary(w io.Writer, s FaultSummary) error { return trace.WriteFaultSummary(w, s) }
+
+// FaultSweepRow is one row of the fault-injection sweep: the observed
+// completion/recovery behaviour of a schedule at one transient rate.
+type FaultSweepRow = experiments.FaultSweepRow
+
+// RunFaultSweep sweeps fault rates over seeded plans in cost mode,
+// measuring success rate, retries, restarts and checkpoint I/O overhead.
+func RunFaultSweep(scheme Scheme, rates []float64, seedsPerRate int) ([]FaultSweepRow, error) {
+	return experiments.RunFaultSweep(scheme, rates, seedsPerRate)
+}

@@ -43,8 +43,15 @@ func cleanHandled(rt *ga.Runtime) error {
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
-	rt.Destroy(a)
+	if err := rt.Destroy(a); err != nil {
+		return fmt.Errorf("destroy: %w", err)
+	}
 	return nil
+}
+
+// dropDestroy discards the typed double-destroy error.
+func dropDestroy(rt *ga.Runtime, a *ga.Array) {
+	rt.Destroy(a) // want `error from ga\.Destroy is discarded`
 }
 
 // cleanErrorOnly binds a single error result.
@@ -56,6 +63,6 @@ func cleanErrorOnly(rt *ga.Runtime) {
 }
 
 // cleanNoError calls ga APIs without error results; nothing to check.
-func cleanNoError(rt *ga.Runtime, a *ga.Array) {
-	rt.Destroy(a)
+func cleanNoError(a *ga.Array) {
+	a.Bytes()
 }

@@ -1,0 +1,184 @@
+// Package retrydiscipline flags ga operation errors that are swallowed
+// inside Parallel regions. With fault injection enabled (internal/faults)
+// an error inside a region is the recovery path: a process that observes
+// one must retry the operation, hand the error to Proc.Fatal (poisoning
+// the barrier so the region fails as a unit), or propagate it out —
+// discarding it lets a faulted process sail on with missing data and
+// turns an injected fault into a silently wrong answer. The analyzer
+// inspects every function literal passed to (ga.Runtime).Parallel and
+// reports error results of ga-package calls that are dropped, blanked,
+// or bound but only ever compared against nil.
+package retrydiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fourindex/internal/analysis"
+)
+
+// Analyzer is the retrydiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "retrydiscipline",
+	Doc:  "ga operation errors inside Parallel regions must be retried, propagated with Proc.Fatal, or returned — never swallowed",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.IsMethodCall(pass.TypesInfo, call, "ga", "Runtime", "Parallel") {
+				return true
+			}
+			if len(call.Args) == 1 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+					checkRegion(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegion inspects one Parallel region body for swallowed ga errors.
+func checkRegion(pass *analysis.Pass, region *ast.FuncLit) {
+	ast.Inspect(region.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+				if name, watched := gaErrorCall(pass.TypesInfo, call); watched {
+					pass.Reportf(call.Pos(), "error from %s inside a Parallel region is discarded; retry the operation, propagate with Proc.Fatal, or return it", name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, region, stmt)
+		}
+		return true
+	})
+}
+
+// checkAssign flags the error slot of a ga call bound to the blank
+// identifier or to a variable that is never meaningfully consumed.
+func checkAssign(pass *analysis.Pass, region *ast.FuncLit, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, watched := gaErrorCall(pass.TypesInfo, call)
+	if !watched {
+		return
+	}
+	idx := errorResultIndex(pass.TypesInfo, call)
+	if idx >= len(stmt.Lhs) {
+		return
+	}
+	id, ok := ast.Unparen(stmt.Lhs[idx]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(id.Pos(), "error from %s inside a Parallel region is assigned to the blank identifier; retry the operation, propagate with Proc.Fatal, or return it", name)
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil || consumed(pass.TypesInfo, region, obj) {
+		return
+	}
+	pass.Reportf(id.Pos(), "error from %s inside a Parallel region is never consumed; retry the operation, propagate with Proc.Fatal, or return it", name)
+}
+
+// consumed reports whether obj has a meaningful use inside the region:
+// any appearance other than assignment targets, `_ = err` discards, and
+// bare nil comparisons (which check without acting) counts.
+func consumed(info *types.Info, region *ast.FuncLit, obj types.Object) bool {
+	benign := map[token.Pos]bool{}
+	markIdent := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			benign[id.Pos()] = true
+		}
+	}
+	ast.Inspect(region.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			allBlank := true
+			for _, l := range x.Lhs {
+				markIdent(l)
+				if id, ok := ast.Unparen(l).(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if allBlank {
+				for _, r := range x.Rhs {
+					markIdent(r)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.EQL || x.Op == token.NEQ {
+				if isNil(info, x.Y) {
+					markIdent(x.X)
+				}
+				if isNil(info, x.X) {
+					markIdent(x.Y)
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(region.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || benign[id.Pos()] || info.ObjectOf(id) != obj {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// gaErrorCall reports whether call invokes a ga-package function whose
+// results include an error, returning a printable name for diagnostics.
+func gaErrorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "ga" {
+		return "", false
+	}
+	if errorResultIndex(info, call) < 0 {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// errorResultIndex returns the index of the (last) error result of the
+// call's signature, or -1.
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if types.Implements(res.At(i).Type(), errorType) {
+			return i
+		}
+	}
+	return -1
+}

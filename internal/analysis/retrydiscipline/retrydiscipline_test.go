@@ -1,0 +1,12 @@
+package retrydiscipline_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/retrydiscipline"
+)
+
+func TestRetryDiscipline(t *testing.T) {
+	analysistest.Run(t, retrydiscipline.Analyzer, "./testdata/src/retry")
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/cluster"
+	"fourindex/internal/faults"
+	"fourindex/internal/fourindex"
+	"fourindex/internal/ga"
+)
+
+// FaultSweepRow reports how one schedule behaves at one transient-fault
+// rate over several seeded plans: how often it completed (possibly via
+// checkpoint restarts), how much retry work the fault plan induced, and
+// the checkpoint I/O the recovery machinery added on top of the
+// fault-free run's data movement.
+type FaultSweepRow struct {
+	Scheme fourindex.Scheme
+	// Rate is the per-operation transient fault probability.
+	Rate float64
+	// Runs and Completed count the seeded plans tried and finished;
+	// failures are typed terminal faults (retry exhaustion or an
+	// exhausted restart budget), never wrong answers.
+	Runs      int
+	Completed int
+	// SuccessRate is Completed/Runs.
+	SuccessRate float64
+	// AvgRetries and AvgRestarts average over completed runs.
+	AvgRetries  float64
+	AvgRestarts float64
+	// AvgCheckpointWords is the mean disk elements moved by checkpoint
+	// saves and restores per completed run.
+	AvgCheckpointWords float64
+	// IOOverhead is AvgCheckpointWords relative to the fault-free run's
+	// total data movement (remote + local + disk elements).
+	IOOverhead float64
+}
+
+// sweepSpec is the fixed cost-mode configuration of the fault sweep:
+// small enough that fifty seeded runs finish quickly, large enough that
+// every schedule has several l slabs to checkpoint.
+func sweepOptions() (fourindex.Options, error) {
+	machine := cluster.SystemA()
+	run, err := machine.Configure(8, 8)
+	if err != nil {
+		return fourindex.Options{}, err
+	}
+	spec, err := chem.NewSpec(48, SpatialSymmetry, 7)
+	if err != nil {
+		return fourindex.Options{}, err
+	}
+	return fourindex.Options{
+		Spec:  spec,
+		Procs: 8,
+		Mode:  ga.Cost,
+		Run:   &run,
+		TileN: 8,
+	}, nil
+}
+
+// RunFaultSweep runs scheme under seeded random fault plans at each
+// transient rate (seedsPerRate plans per rate, default 8) in cost mode
+// and aggregates success rate, retry/restart counts and checkpoint I/O
+// overhead against the fault-free baseline.
+func RunFaultSweep(scheme fourindex.Scheme, rates []float64, seedsPerRate int) ([]FaultSweepRow, error) {
+	if seedsPerRate <= 0 {
+		seedsPerRate = 8
+	}
+	opt, err := sweepOptions()
+	if err != nil {
+		return nil, err
+	}
+	base, err := fourindex.Run(scheme, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault-free baseline for %v: %w", scheme, err)
+	}
+	baseMoved := base.CommVolume + base.IntraVolume + base.DiskVolume
+
+	rows := make([]FaultSweepRow, 0, len(rates))
+	for _, rate := range rates {
+		row := FaultSweepRow{Scheme: scheme, Rate: rate, Runs: seedsPerRate}
+		var retries, restarts, ckptWords int64
+		for seed := 0; seed < seedsPerRate; seed++ {
+			o := opt
+			o.Faults = &faults.Injection{
+				Plan:       faults.RandomPlan(uint64(seed)+1, rate, o.Procs),
+				Checkpoint: faults.NewMemCheckpoint(),
+			}
+			res, err := fourindex.Run(scheme, o)
+			if err != nil {
+				if !faults.Injected(err) {
+					return nil, fmt.Errorf("experiments: %v at rate %g seed %d: %w", scheme, rate, seed, err)
+				}
+				continue // typed terminal fault: counted as a failure
+			}
+			row.Completed++
+			retries += res.Totals.Retries
+			restarts += int64(res.Restarts)
+			ckptWords += res.DiskVolume - base.DiskVolume
+		}
+		row.SuccessRate = float64(row.Completed) / float64(row.Runs)
+		if row.Completed > 0 {
+			row.AvgRetries = float64(retries) / float64(row.Completed)
+			row.AvgRestarts = float64(restarts) / float64(row.Completed)
+			row.AvgCheckpointWords = float64(ckptWords) / float64(row.Completed)
+			if baseMoved > 0 {
+				row.IOOverhead = row.AvgCheckpointWords / float64(baseMoved)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

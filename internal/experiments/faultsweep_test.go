@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"fourindex/internal/fourindex"
+)
+
+// A small sweep must report sane aggregates: a zero-rate row completes
+// every seed with no retries and no checkpoint overhead beyond the
+// saves themselves, and a faulted row accounts its retries and I/O
+// without ever returning a non-injected error.
+func TestFaultSweepAccounting(t *testing.T) {
+	rows, err := RunFaultSweep(fourindex.FullyFused, []float64{0, 0.05}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	clean, faulted := rows[0], rows[1]
+	if clean.Rate != 0 || clean.Completed != clean.Runs || clean.SuccessRate != 1 {
+		t.Errorf("zero-rate row should always complete: %+v", clean)
+	}
+	if clean.AvgRetries != 0 {
+		t.Errorf("zero-rate row reports %v retries", clean.AvgRetries)
+	}
+	if clean.AvgCheckpointWords <= 0 || clean.IOOverhead <= 0 {
+		t.Errorf("checkpoint saves should cost disk words even fault-free: %+v", clean)
+	}
+	if faulted.Completed > 0 {
+		if faulted.AvgRetries <= 0 {
+			t.Errorf("faulted row completed %d runs with no retries: %+v", faulted.Completed, faulted)
+		}
+		if faulted.AvgCheckpointWords < clean.AvgCheckpointWords {
+			t.Errorf("faulted runs should move at least the fault-free checkpoint words: %+v vs %+v", faulted, clean)
+		}
+	}
+	for _, row := range rows {
+		if row.Scheme != fourindex.FullyFused || row.Runs != 3 {
+			t.Errorf("row misattributed: %+v", row)
+		}
+	}
+}

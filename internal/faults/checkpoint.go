@@ -1,0 +1,118 @@
+package faults
+
+import "sync"
+
+// Record is one checkpoint: the progress of a schedule through its
+// restartable structure plus the tensor state needed to resume.
+//
+// For the slab schedules (fullyfused, fullyfused-inner, fused123-4)
+// Progress is the number of l *elements* fully contracted — an element
+// offset, not a tile index, so a resume under a halved TileL (the
+// hybrid degradation ladder) still lands on a tile boundary. For the
+// stage schedules (unfused, fused12-34, nwchem-fused12-34) Progress is
+// the index of the last completed stage. State maps tensor names (e.g.
+// "C", "O2") to dense snapshots in ForEachTile order; snapshots are nil
+// in Cost mode, where only the progress marker matters. Words is the
+// simulated checkpoint size in elements, charged to the disk level on
+// save and on restore regardless of mode.
+type Record struct {
+	Scheme   string
+	N        int
+	Progress int
+	Words    int64
+	State    map[string][]float64
+}
+
+// Checkpoint is the store the schedules record completed l-slabs (or
+// stages) through. Implementations must be safe for use from a single
+// goroutine between Parallel regions; they are never called from inside
+// a region.
+type Checkpoint interface {
+	// Save replaces the latest record for rec.Scheme.
+	Save(rec Record)
+	// Latest returns the most recent record saved for scheme, if any.
+	Latest(scheme string) (Record, bool)
+	// Drop forgets the record for scheme (called on successful
+	// completion).
+	Drop(scheme string)
+}
+
+// MemCheckpoint is the in-memory Checkpoint used by tests, the chaos
+// CLI, and the restart loop: latest record per scheme, mutex-guarded.
+type MemCheckpoint struct {
+	mu   sync.Mutex
+	recs map[string]Record
+}
+
+// NewMemCheckpoint returns an empty in-memory checkpoint store.
+func NewMemCheckpoint() *MemCheckpoint {
+	return &MemCheckpoint{recs: make(map[string]Record)}
+}
+
+// Save replaces the latest record for rec.Scheme.
+func (m *MemCheckpoint) Save(rec Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs[rec.Scheme] = rec
+}
+
+// Latest returns the most recent record saved for scheme.
+func (m *MemCheckpoint) Latest(scheme string) (Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[scheme]
+	return rec, ok
+}
+
+// Drop forgets the record for scheme.
+func (m *MemCheckpoint) Drop(scheme string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.recs, scheme)
+}
+
+// DefaultMaxRestarts bounds crash-restart attempts per transform when
+// Injection.MaxRestarts is zero.
+const DefaultMaxRestarts = 4
+
+// Injection bundles everything the fourindex driver needs to run under
+// faults: the plan to inject from, the checkpoint store to resume from,
+// and the restart budget. A nil *Injection disables all of it.
+type Injection struct {
+	// Plan is the fault plan the runtime consults (nil injects
+	// nothing, but checkpointing still works).
+	Plan *Plan
+	// Checkpoint, when non-nil, enables l-slab / stage
+	// checkpoint-restart.
+	Checkpoint Checkpoint
+	// MaxRestarts bounds crash-restarts per transform
+	// (0 = DefaultMaxRestarts).
+	MaxRestarts int
+}
+
+// ActivePlan returns the fault plan, nil-safe.
+func (inj *Injection) ActivePlan() *Plan {
+	if inj == nil {
+		return nil
+	}
+	return inj.Plan
+}
+
+// Store returns the checkpoint store, nil-safe.
+func (inj *Injection) Store() Checkpoint {
+	if inj == nil {
+		return nil
+	}
+	return inj.Checkpoint
+}
+
+// RestartBudget returns how many crash-restarts the driver may attempt.
+func (inj *Injection) RestartBudget() int {
+	if inj == nil {
+		return 0
+	}
+	if inj.MaxRestarts > 0 {
+		return inj.MaxRestarts
+	}
+	return DefaultMaxRestarts
+}

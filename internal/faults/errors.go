@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTransient is the sentinel wrapped by every injected communication
+// fault, so errors.Is(err, ErrTransient) identifies injected failures
+// even after the runtime wraps them with process context.
+var ErrTransient = errors.New("faults: injected transient communication fault")
+
+// CrashError is the terminal-for-this-attempt error of an injected
+// process crash. It is restartable: the driver may rebuild the runtime
+// and resume from the last checkpoint.
+type CrashError struct {
+	Run  int
+	Proc int
+	Seq  int64
+}
+
+// Error describes the crash point.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("faults: injected crash of process %d at op %d (run %d)", e.Proc, e.Seq, e.Run)
+}
+
+// RetryExhaustedError reports an operation that kept failing
+// transiently until the retry budget ran out. It is terminal: retrying
+// the run against the same plan would exhaust again, so the transform
+// fails with this typed error rather than looping.
+type RetryExhaustedError struct {
+	Op       string
+	Array    string
+	Proc     int
+	Attempts int
+}
+
+// Error describes the exhausted operation.
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("faults: %s on %q by process %d failed %d attempts, retries exhausted", e.Op, e.Array, e.Proc, e.Attempts)
+}
+
+// Unwrap ties retry exhaustion back to the transient sentinel: the
+// underlying faults were transient, only the budget made them fatal.
+func (e *RetryExhaustedError) Unwrap() error { return ErrTransient }
+
+// Restartable reports whether err represents a fault the driver may
+// recover from by rebuilding the runtime and resuming from the last
+// checkpoint (an injected process crash).
+func Restartable(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce)
+}
+
+// Terminal reports whether err is a typed terminal fault: restarting
+// against the same deterministic plan cannot succeed (retry
+// exhaustion). The hybrid driver reacts by degrading the schedule
+// rather than restarting it.
+func Terminal(err error) bool {
+	var re *RetryExhaustedError
+	return errors.As(err, &re)
+}
+
+// Injected reports whether err originates from the fault plan at all —
+// as opposed to a genuine runtime error such as an out-of-memory
+// condition or a shape mismatch.
+func Injected(err error) bool {
+	return Restartable(err) || errors.Is(err, ErrTransient)
+}

@@ -1,0 +1,221 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seeded, reproducible fault plan that the ga runtime consults on every
+// Get/Put/Acc operation, plus the typed error taxonomy and the
+// checkpoint interface the schedules' l-slab restart is built on.
+//
+// The design goal is chaos testing that is exactly replayable: every
+// fault decision is a pure function of (seed, run, proc, seq, attempt),
+// where run is a per-runtime counter owned by the Plan, proc the
+// process rank, seq the per-process operation index, and attempt the
+// retry attempt. Two executions with the same plan inject the same
+// faults at the same operations, so a failing chaos seed is a unit
+// test, not a flake.
+//
+// Four fault classes are modelled (ISSUE 3, after the failure modes of
+// production Global Arrays clusters):
+//
+//   - transient communication faults: a Get/Put/Acc fails with
+//     probability TransientRate and is retried with exponential backoff
+//     charged on the simulated clock; exhausting the retry budget is a
+//     terminal RetryExhaustedError.
+//   - process crash: the operation at a chosen (run, proc, seq) point
+//     panics with a restartable CrashError, modelling a killed rank.
+//   - stragglers: one process's simulated time charges are multiplied
+//     by a slowdown factor, modelling a degraded node.
+//   - late OOM pressure: after a chosen number of operations the
+//     effective aggregate-memory capacity shrinks, so allocations that
+//     would have fitted start failing with ga.ErrGlobalOOM mid-run.
+package faults
+
+import "sync"
+
+// Class is the outcome of one fault decision.
+type Class int
+
+const (
+	// None lets the operation proceed.
+	None Class = iota
+	// Transient fails the operation recoverably; the runtime retries
+	// with backoff.
+	Transient
+	// Crash kills the process at this operation (restartable from the
+	// last checkpoint).
+	Crash
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Crash:
+		return "crash"
+	default:
+		return "class?"
+	}
+}
+
+// CrashPoint designates one (run, proc, seq) operation to crash at.
+// Run is the plan-owned run number (1 for the first runtime registered
+// against the plan), so a crash point fires once: the restarted run
+// registers a fresh run number and sails past the same seq.
+type CrashPoint struct {
+	Run  int
+	Proc int
+	Seq  int64
+}
+
+// Straggler slows one process: every simulated-time charge of process
+// Proc is multiplied by Factor (> 1 slows it down).
+type Straggler struct {
+	Proc   int
+	Factor float64
+}
+
+// LateOOM shrinks the effective aggregate-memory capacity to CapBytes
+// once the runtime has performed AfterOps operations in total, modelling
+// memory pressure that appears mid-run (e.g. a co-tenant's allocation).
+type LateOOM struct {
+	AfterOps int64
+	CapBytes int64
+}
+
+// Default retry/backoff parameters, used when the Plan leaves the
+// corresponding field zero.
+const (
+	// DefaultMaxRetries is the transient-fault retry budget per
+	// operation.
+	DefaultMaxRetries = 8
+	// DefaultBackoffBase is the first retry's backoff in simulated
+	// seconds; attempt k waits DefaultBackoffBase * 2^k.
+	DefaultBackoffBase = 1e-4
+	// maxBackoffDoublings caps the exponential growth.
+	maxBackoffDoublings = 10
+)
+
+// Plan is a seeded, reproducible fault plan. The zero value (or a nil
+// *Plan) injects nothing. A Plan may be shared by several runtimes (a
+// hybrid driver or a restart loop); each runtime registers itself with
+// RegisterRun and is told apart by its run number.
+type Plan struct {
+	// Seed drives the per-operation transient-fault hash.
+	Seed uint64
+	// TransientRate is the per-(operation, attempt) probability of an
+	// injected transient fault, in [0, 1).
+	TransientRate float64
+	// MaxRetries bounds retries per operation (0 = DefaultMaxRetries).
+	MaxRetries int
+	// BackoffBase is the first backoff in simulated seconds
+	// (0 = DefaultBackoffBase).
+	BackoffBase float64
+	// Crash, when non-nil, kills the designated operation once.
+	Crash *CrashPoint
+	// Slow, when non-nil, makes one process a straggler.
+	Slow *Straggler
+	// OOM, when non-nil, applies late memory pressure.
+	OOM *LateOOM
+
+	mu   sync.Mutex
+	runs int
+}
+
+// RegisterRun allocates the next run number for one runtime instance
+// (1-based; a restarted schedule gets a fresh number, so one-shot crash
+// points do not re-fire after recovery). Nil-safe: a nil plan returns 0.
+func (p *Plan) RegisterRun() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.runs++
+	return p.runs
+}
+
+// MaxAttempts returns the total attempts allowed per operation: the
+// first try plus the retry budget.
+func (p *Plan) MaxAttempts() int {
+	if p == nil {
+		return 1
+	}
+	if p.MaxRetries > 0 {
+		return p.MaxRetries + 1
+	}
+	return DefaultMaxRetries + 1
+}
+
+// Backoff returns the simulated-seconds backoff before retry attempt
+// (0-based): base * 2^attempt, capped.
+func (p *Plan) Backoff(attempt int) float64 {
+	base := DefaultBackoffBase
+	if p != nil && p.BackoffBase > 0 {
+		base = p.BackoffBase
+	}
+	if attempt > maxBackoffDoublings {
+		attempt = maxBackoffDoublings
+	}
+	return base * float64(int64(1)<<uint(attempt))
+}
+
+// SlowFactor returns the simulated-time multiplier of process proc
+// (1 for non-stragglers and nil plans).
+func (p *Plan) SlowFactor(proc int) float64 {
+	if p == nil || p.Slow == nil || p.Slow.Proc != proc || p.Slow.Factor <= 0 {
+		return 1
+	}
+	return p.Slow.Factor
+}
+
+// Decide classifies operation seq of process proc in run on retry
+// attempt (0-based). Pure and deterministic: the same arguments always
+// produce the same class.
+func (p *Plan) Decide(run, proc int, seq int64, attempt int) Class {
+	if p == nil {
+		return None
+	}
+	if c := p.Crash; c != nil && attempt == 0 && run == c.Run && proc == c.Proc && seq == c.Seq {
+		return Crash
+	}
+	if p.TransientRate <= 0 {
+		return None
+	}
+	h := mix(p.Seed ^ mix(uint64(run)<<32|uint64(uint32(proc))) ^ mix(uint64(seq)<<8|uint64(uint32(attempt))))
+	// Map the top 53 bits to [0, 1).
+	u := float64(h>>11) / float64(1<<53)
+	if u < p.TransientRate {
+		return Transient
+	}
+	return None
+}
+
+// mix is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// hash used for all fault decisions.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RandomPlan derives a reproducible fault plan from one seed: transient
+// faults at the given rate, and for roughly half the seeds a one-shot
+// crash point early in the first run (proc and seq derived from the
+// seed). Plans whose crash point never matches an executed operation
+// simply behave as transient-only plans.
+func RandomPlan(seed uint64, rate float64, procs int) *Plan {
+	if procs <= 0 {
+		procs = 1
+	}
+	p := &Plan{Seed: seed, TransientRate: rate}
+	h := mix(seed ^ 0xc4a5)
+	if h&1 == 1 {
+		p.Crash = &CrashPoint{
+			Run:  1,
+			Proc: int((h >> 1) % uint64(procs)),
+			Seq:  int64((h >> 17) % 64),
+		}
+	}
+	return p
+}

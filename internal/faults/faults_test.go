@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Decide must be a pure function: identical inputs, identical class.
+func TestDecideDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, TransientRate: 0.3}
+	for run := 1; run <= 3; run++ {
+		for proc := 0; proc < 4; proc++ {
+			for seq := int64(0); seq < 200; seq++ {
+				a := p.Decide(run, proc, seq, 0)
+				b := p.Decide(run, proc, seq, 0)
+				if a != b {
+					t.Fatalf("Decide(%d,%d,%d,0) unstable: %v then %v", run, proc, seq, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The empirical transient rate over many decisions should track the
+// configured probability.
+func TestDecideRate(t *testing.T) {
+	p := &Plan{Seed: 7, TransientRate: 0.1}
+	hits, total := 0, 0
+	for proc := 0; proc < 8; proc++ {
+		for seq := int64(0); seq < 5000; seq++ {
+			total++
+			if p.Decide(1, proc, seq, 0) == Transient {
+				hits++
+			}
+		}
+	}
+	got := float64(hits) / float64(total)
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("empirical transient rate %.4f, want ~0.10", got)
+	}
+}
+
+func TestCrashPointFiresOnceOnExactOp(t *testing.T) {
+	p := &Plan{Crash: &CrashPoint{Run: 1, Proc: 2, Seq: 5}}
+	if got := p.Decide(1, 2, 5, 0); got != Crash {
+		t.Fatalf("exact crash point: got %v, want Crash", got)
+	}
+	for _, tc := range []struct {
+		run, proc int
+		seq       int64
+		attempt   int
+	}{
+		{2, 2, 5, 0}, // later run (after restart) — must not re-fire
+		{1, 1, 5, 0},
+		{1, 2, 4, 0},
+		{1, 2, 5, 1}, // retry attempt, not first try
+	} {
+		if got := p.Decide(tc.run, tc.proc, tc.seq, tc.attempt); got != None {
+			t.Fatalf("Decide(%+v) = %v, want None", tc, got)
+		}
+	}
+}
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if got := p.Decide(1, 0, 0, 0); got != None {
+		t.Fatalf("nil plan Decide = %v, want None", got)
+	}
+	if got := p.SlowFactor(0); got != 1 {
+		t.Fatalf("nil plan SlowFactor = %v, want 1", got)
+	}
+	if got := p.RegisterRun(); got != 0 {
+		t.Fatalf("nil plan RegisterRun = %d, want 0", got)
+	}
+	if got := p.MaxAttempts(); got != 1 {
+		t.Fatalf("nil plan MaxAttempts = %d, want 1", got)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := &Plan{BackoffBase: 1e-3}
+	if got := p.Backoff(0); got != 1e-3 {
+		t.Fatalf("Backoff(0) = %v, want 1e-3", got)
+	}
+	for k := 1; k < maxBackoffDoublings; k++ {
+		if p.Backoff(k) != 2*p.Backoff(k-1) {
+			t.Fatalf("Backoff(%d) = %v, want double of %v", k, p.Backoff(k), p.Backoff(k-1))
+		}
+	}
+	if p.Backoff(maxBackoffDoublings+5) != p.Backoff(maxBackoffDoublings) {
+		t.Fatalf("backoff not capped")
+	}
+}
+
+func TestRegisterRunMonotonic(t *testing.T) {
+	p := &Plan{}
+	for want := 1; want <= 3; want++ {
+		if got := p.RegisterRun(); got != want {
+			t.Fatalf("RegisterRun = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestStragglerFactor(t *testing.T) {
+	p := &Plan{Slow: &Straggler{Proc: 1, Factor: 4}}
+	if got := p.SlowFactor(1); got != 4 {
+		t.Fatalf("SlowFactor(1) = %v, want 4", got)
+	}
+	if got := p.SlowFactor(0); got != 1 {
+		t.Fatalf("SlowFactor(0) = %v, want 1", got)
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	crash := fmt.Errorf("ga: process 2 failed: %w", &CrashError{Run: 1, Proc: 2, Seq: 9})
+	exhausted := fmt.Errorf("ga: process 0 failed: %w", &RetryExhaustedError{Op: "Get", Array: "C", Proc: 0, Attempts: 9})
+	plain := errors.New("shape mismatch")
+
+	if !Restartable(crash) || Terminal(crash) || !Injected(crash) {
+		t.Fatalf("crash classification wrong: restartable=%v terminal=%v injected=%v",
+			Restartable(crash), Terminal(crash), Injected(crash))
+	}
+	if Restartable(exhausted) || !Terminal(exhausted) || !Injected(exhausted) {
+		t.Fatalf("exhaustion classification wrong: restartable=%v terminal=%v injected=%v",
+			Restartable(exhausted), Terminal(exhausted), Injected(exhausted))
+	}
+	if !errors.Is(exhausted, ErrTransient) {
+		t.Fatalf("RetryExhaustedError must unwrap to ErrTransient")
+	}
+	if Restartable(plain) || Terminal(plain) || Injected(plain) {
+		t.Fatalf("plain error misclassified as injected")
+	}
+}
+
+func TestMemCheckpointLifecycle(t *testing.T) {
+	ck := NewMemCheckpoint()
+	if _, ok := ck.Latest("unfused"); ok {
+		t.Fatalf("empty store returned a record")
+	}
+	ck.Save(Record{Scheme: "unfused", N: 8, Progress: 1, State: map[string][]float64{"O1": {1, 2}}})
+	ck.Save(Record{Scheme: "unfused", N: 8, Progress: 2, State: map[string][]float64{"O2": {3}}})
+	rec, ok := ck.Latest("unfused")
+	if !ok || rec.Progress != 2 {
+		t.Fatalf("Latest = %+v, %v; want Progress 2", rec, ok)
+	}
+	if _, ok := ck.Latest("fullyfused"); ok {
+		t.Fatalf("Latest leaked across schemes")
+	}
+	ck.Drop("unfused")
+	if _, ok := ck.Latest("unfused"); ok {
+		t.Fatalf("Drop did not remove the record")
+	}
+}
+
+func TestInjectionNilSafety(t *testing.T) {
+	var inj *Injection
+	if inj.ActivePlan() != nil || inj.Store() != nil || inj.RestartBudget() != 0 {
+		t.Fatalf("nil injection not inert")
+	}
+	inj = &Injection{}
+	if got := inj.RestartBudget(); got != DefaultMaxRestarts {
+		t.Fatalf("RestartBudget = %d, want %d", got, DefaultMaxRestarts)
+	}
+}
+
+// RandomPlan must be reproducible and only propose crash points on
+// valid process ranks.
+func TestRandomPlanReproducible(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		a := RandomPlan(seed, 0.05, 3)
+		b := RandomPlan(seed, 0.05, 3)
+		if (a.Crash == nil) != (b.Crash == nil) {
+			t.Fatalf("seed %d: crash presence unstable", seed)
+		}
+		if a.Crash != nil {
+			if *a.Crash != *b.Crash {
+				t.Fatalf("seed %d: crash point unstable: %+v vs %+v", seed, *a.Crash, *b.Crash)
+			}
+			if a.Crash.Proc < 0 || a.Crash.Proc >= 3 {
+				t.Fatalf("seed %d: crash proc %d out of range", seed, a.Crash.Proc)
+			}
+		}
+	}
+}

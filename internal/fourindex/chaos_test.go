@@ -1,0 +1,153 @@
+package fourindex
+
+import (
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/faults"
+	"fourindex/internal/ga"
+	"fourindex/internal/lb"
+	"fourindex/internal/sym"
+	"fourindex/internal/trace"
+)
+
+// bitwiseEqual fails the test at the first element where got diverges
+// from the fault-free want.
+func bitwiseEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: C has %d elements, fault-free has %d", label, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: C[%d] = %v, fault-free run has %v", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// Every schedule, run under seeded random fault plans with a 10%
+// transient rate (half the seeds also inject a process crash), must
+// either complete with C bitwise identical to a fault-free run or fail
+// with a typed injected error — never return a silently wrong answer.
+func TestChaosSchemesDeterministic(t *testing.T) {
+	sp := chem.MustSpec(8, 1, 5)
+	opt := Options{Spec: sp, Procs: 3, Mode: ga.Execute, TileN: 3, TileL: 2}
+	seeds := uint64(50)
+	if testing.Short() {
+		seeds = 8
+	}
+	schemes := append(append([]Scheme{}, allSchemes...), NWChemFused, Hybrid)
+	for _, scheme := range schemes {
+		clean, err := Run(scheme, opt)
+		if err != nil {
+			t.Fatalf("%v fault-free: %v", scheme, err)
+		}
+		want := clean.C.Data()
+		completed := 0
+		for seed := uint64(1); seed <= seeds; seed++ {
+			o := opt
+			o.Faults = &faults.Injection{
+				Plan:       faults.RandomPlan(seed, 0.1, o.Procs),
+				Checkpoint: faults.NewMemCheckpoint(),
+			}
+			res, err := Run(scheme, o)
+			if err != nil {
+				if !faults.Injected(err) {
+					t.Errorf("%v seed %d: failed with a non-injected error: %v", scheme, seed, err)
+				}
+				continue
+			}
+			completed++
+			bitwiseEqual(t, scheme.String(), res.C.Data(), want)
+		}
+		if completed == 0 {
+			t.Errorf("%v: no seed out of %d completed under a 10%% fault rate", scheme, seeds)
+		}
+	}
+}
+
+// A crash injected after the first l-slab checkpoint must resume from
+// that checkpoint (a KindRestart event), not recompute from scratch,
+// and still reproduce the fault-free C bitwise. Crash points are scanned
+// until one lands past a checkpoint; early points (restart from scratch)
+// must recover bitwise too.
+func TestChaosCheckpointResume(t *testing.T) {
+	sp := chem.MustSpec(8, 1, 3)
+	opt := Options{Spec: sp, Procs: 2, Mode: ga.Execute, TileN: 4, TileL: 2}
+	clean, err := Run(FullyFused, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean.C.Data()
+
+	resumed := false
+	for seq := int64(20); seq <= 2000 && !resumed; seq += 20 {
+		tr := trace.New(0)
+		o := opt
+		o.Trace = tr
+		o.Faults = &faults.Injection{
+			Plan:       &faults.Plan{Crash: &faults.CrashPoint{Run: 1, Proc: 1, Seq: seq}},
+			Checkpoint: faults.NewMemCheckpoint(),
+		}
+		res, err := Run(FullyFused, o)
+		if err != nil {
+			t.Fatalf("crash at seq %d not recovered: %v", seq, err)
+		}
+		bitwiseEqual(t, "fullyfused", res.C.Data(), want)
+		if s := tr.FaultSummary(); res.Restarts >= 1 && s.Restarts >= 1 {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Error("no scanned crash point produced a checkpoint resume (KindRestart); l-slab restart never exercised")
+	}
+}
+
+// Under memory pressure the hybrid driver picks the inner-fused path;
+// when that path dies mid-run on retry exhaustion the driver must
+// degrade to plain fully-fused slabs and still finish with a correct C.
+// Fault streams are per run number, so seeds are scanned until one
+// kills the inner-fused attempt but lets the degraded attempt finish.
+func TestChaosHybridDegrades(t *testing.T) {
+	sp := chem.MustSpec(20, 1, 7)
+	memCap := int64(float64(lb.MemoryUnfused(20, 1)*8) * 0.75)
+	opt := Options{Spec: sp, Procs: 2, Mode: ga.Execute, TileN: 5, GlobalMemBytes: memCap}
+	want := ReferencePacked(sp)
+
+	degradedOK := false
+	for seed := uint64(1); seed <= 24 && !degradedOK; seed++ {
+		tr := trace.New(0)
+		o := opt
+		o.Trace = tr
+		o.Faults = &faults.Injection{
+			Plan:       &faults.Plan{Seed: seed, TransientRate: 0.1, MaxRetries: 3},
+			Checkpoint: faults.NewMemCheckpoint(),
+		}
+		res, err := Run(Hybrid, o)
+		if err != nil {
+			if !faults.Injected(err) {
+				t.Fatalf("seed %d: non-injected error: %v", seed, err)
+			}
+			continue // both attempts exhausted their retries
+		}
+		s := tr.FaultSummary()
+		if s.Degrades == 0 {
+			continue // inner-fused attempt survived this seed
+		}
+		if res.ChosenScheme != FullyFused {
+			t.Errorf("seed %d: degraded run reports ChosenScheme %v, want %v", seed, res.ChosenScheme, FullyFused)
+		}
+		// Inner and plain slab kernels order the partial sums
+		// differently, so a degraded run is compared with tolerance,
+		// not bitwise.
+		if d := sym.MaxAbsDiffC(res.C, want); d > 1e-9 {
+			t.Errorf("seed %d: degraded hybrid result off by %v", seed, d)
+		}
+		degradedOK = true
+	}
+	if !degradedOK {
+		t.Error("no scanned seed produced a completed degraded hybrid run")
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"fourindex/internal/chem"
 	"fourindex/internal/cluster"
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 	"fourindex/internal/metrics"
 	"fourindex/internal/sym"
@@ -148,6 +149,14 @@ type Options struct {
 	// phase, and per-operation Get/Put/Acc/Barrier events. Nil disables
 	// tracing at zero cost.
 	Trace *trace.Tracer
+	// Faults, when non-nil, runs the transform under the bundled fault
+	// plan with checkpoint-restart (see internal/faults): transient
+	// Get/Put/Acc faults are retried with backoff, injected crashes
+	// restart the schedule from its last completed l-slab or stage
+	// (bounded by Faults.MaxRestarts), and the hybrid driver degrades
+	// the fused path to plain fully-fused slabs on terminal faults.
+	// Nil runs fault-free.
+	Faults *faults.Injection
 }
 
 // withDefaults validates and fills defaults.
@@ -212,14 +221,39 @@ type Result struct {
 	// IdleFraction is the share of total process-time spent waiting at
 	// synchronisation points (load imbalance; 0 without a cost model).
 	IdleFraction float64
+	// Restarts is how many times the driver rebuilt the runtime and
+	// resumed from a checkpoint after an injected crash (0 fault-free).
+	Restarts int
 }
 
-// Run executes the transform with the given scheme.
+// Run executes the transform with the given scheme. Under
+// Options.Faults, restartable (crash) errors trigger a bounded
+// rebuild-and-resume loop: the schedule re-runs against a fresh runtime
+// and picks up at the last checkpoint its previous attempt recorded.
+// Terminal faults (retry exhaustion) and genuine errors return as-is.
 func Run(scheme Scheme, opt Options) (*Result, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	restarts := 0
+	for {
+		res, err := runScheme(scheme, opt)
+		if err == nil {
+			res.Restarts = restarts
+			return res, nil
+		}
+		if !faults.Restartable(err) || restarts >= opt.Faults.RestartBudget() {
+			return nil, err
+		}
+		restarts++
+		opt.Trace.Note(fmt.Sprintf("restart %d/%d of %v after %v",
+			restarts, opt.Faults.RestartBudget(), scheme, err))
+	}
+}
+
+// runScheme dispatches one attempt of the transform.
+func runScheme(scheme Scheme, opt Options) (*Result, error) {
 	switch scheme {
 	case Unfused:
 		return runUnfused(opt)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fourindex/internal/blas"
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 	"fourindex/internal/tile"
 )
@@ -49,7 +50,23 @@ func runFullyFused(opt Options, inner bool) (*Result, error) {
 		lPar = c.gl.NumTiles()
 	}
 
-	for tlo := 0; tlo < c.gl.NumTiles(); tlo += lPar {
+	// Resume from the last completed l slab if a prior attempt of this
+	// schedule checkpointed one. Progress is an element offset into l so
+	// the record stays valid across TileL changes only when a tile
+	// boundary still lands there; otherwise it is ignored and the slab
+	// loop restarts from zero (correct either way: C is restored only on
+	// an aligned hit).
+	startTile := 0
+	ckptKey := scheme.String()
+	if rec, ok := c.ckptResume(ckptKey); ok {
+		if t, aligned := tileStartingAt(c.gl, rec.Progress); aligned {
+			cT.RestoreTiles(rec.State["C"])
+			startTile = t
+			c.ckptRestore(rec, fmt.Sprintf("l-slab %d", t))
+		}
+	}
+
+	for tlo := startTile; tlo < c.gl.NumTiles(); tlo += lPar {
 		batch := min(lPar, c.gl.NumTiles()-tlo)
 		if c.rt.Tracing() {
 			// Guarded so the disabled path never pays the Sprintf.
@@ -94,7 +111,19 @@ func runFullyFused(opt Options, inner bool) (*Result, error) {
 		for _, aT := range aTs {
 			c.rt.DestroyTiled(aT)
 		}
+		if c.ckpt() != nil {
+			// All of C's partial sums through l < done are in place;
+			// a restart re-enters the loop at the next slab.
+			done := lOffs[batch-1] + widths[batch-1]
+			c.ckptSave(faults.Record{
+				Scheme:   ckptKey,
+				Progress: done,
+				Words:    cT.Bytes() / 8,
+				State:    map[string][]float64{"C": cT.SnapshotTiles()},
+			})
+		}
 	}
+	c.ckptDrop(ckptKey)
 
 	packed := c.extractC(cT)
 	c.rt.DestroyTiled(cT)

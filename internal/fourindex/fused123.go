@@ -3,6 +3,7 @@ package fourindex
 import (
 	"fmt"
 
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 	"fourindex/internal/tile"
 )
@@ -33,7 +34,21 @@ func runFused123(opt Options) (*Result, error) {
 		return nil, oomWrap(Fused123, err)
 	}
 
-	for tlo := 0; tlo < c.nt; tlo++ {
+	// Resume at the slab after the last one a prior attempt completed.
+	// The final slab's record has Progress == n, which resolves to
+	// startTile == nt: the loop is skipped and only op4 (idempotent
+	// PutT writes) re-runs against the restored O3.
+	startTile := 0
+	ckptKey := Fused123.String()
+	if rec, ok := c.ckptResume(ckptKey); ok {
+		if t, aligned := tileStartingAt(c.g, rec.Progress); aligned {
+			o3T.RestoreTiles(rec.State["O3"])
+			startTile = t
+			c.ckptRestore(rec, fmt.Sprintf("l-slab %d", t))
+		}
+	}
+
+	for tlo := startTile; tlo < c.nt; tlo++ {
 		lOff, lHi := c.g.Bounds(tlo)
 		wl := lHi - lOff
 		slabGrids := []tile.Grid{c.g, c.g, c.g, tile.NewGrid(wl, wl)}
@@ -105,6 +120,14 @@ func runFused123(opt Options) (*Result, error) {
 			return nil, err
 		}
 		c.rt.DestroyTiled(o2T)
+		if c.ckpt() != nil {
+			c.ckptSave(faults.Record{
+				Scheme:   ckptKey,
+				Progress: lHi,
+				Words:    o3T.Bytes() / 8,
+				State:    map[string][]float64{"O3": o3T.SnapshotTiles()},
+			})
+		}
 	}
 
 	// op4 unfused over the materialised O3.
@@ -117,6 +140,7 @@ func runFused123(opt Options) (*Result, error) {
 		return nil, err
 	}
 	c.rt.DestroyTiled(o3T)
+	c.ckptDrop(ckptKey)
 
 	packed := c.extractC(cT)
 	c.rt.DestroyTiled(cT)

@@ -2,6 +2,7 @@ package fourindex
 
 import (
 	"fourindex/internal/blas"
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 )
 
@@ -23,33 +24,54 @@ func runFusedPair(opt Options) (*Result, error) {
 	defer c.beginRoot(Fused1234Pair)()
 	g4 := c.grids4()
 
-	c.rt.BeginPhase("generate-A")
-	aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(Fused1234Pair, err)
-	}
-	if err := c.generateA(aT, 0); err != nil {
-		return nil, err
-	}
-
-	c.rt.BeginPhase("op12-fused")
-	o2T, err := c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(Fused1234Pair, err)
-	}
-	if err := c.rt.Parallel(func(p *ga.Proc) {
-		for tk := 0; tk < c.nt; tk++ {
-			for tl := 0; tl <= tk; tl++ {
-				if workOwner(p.Procs(), 12, tk, tl) != p.ID() {
-					continue
-				}
-				c.op12Unit(p, aT, o2T, tk, tl, c.g.Width(tl), 0, c.nt)
-			}
+	// Single stage checkpoint: once the fused op12 pass has produced the
+	// full O2, a restart recreates O2 from the snapshot and runs only the
+	// fused op34 pass (idempotent PutT writes into C).
+	ckptKey := Fused1234Pair.String()
+	rec, resumed := c.ckptResume(ckptKey)
+	var o2T *ga.TiledArray
+	if resumed {
+		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(Fused1234Pair, err)
 		}
-	}); err != nil {
-		return nil, err
+		o2T.RestoreTiles(rec.State["O2"])
+		c.ckptRestore(rec, "op34-fused")
+	} else {
+		c.rt.BeginPhase("generate-A")
+		aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+		if err != nil {
+			return nil, oomWrap(Fused1234Pair, err)
+		}
+		if err := c.generateA(aT, 0); err != nil {
+			return nil, err
+		}
+
+		c.rt.BeginPhase("op12-fused")
+		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(Fused1234Pair, err)
+		}
+		if err := c.rt.Parallel(func(p *ga.Proc) {
+			for tk := 0; tk < c.nt; tk++ {
+				for tl := 0; tl <= tk; tl++ {
+					if workOwner(p.Procs(), 12, tk, tl) != p.ID() {
+						continue
+					}
+					c.op12Unit(p, aT, o2T, tk, tl, c.g.Width(tl), 0, c.nt)
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+		c.rt.DestroyTiled(aT)
+		if c.ckpt() != nil {
+			c.ckptSave(faults.Record{
+				Scheme:   ckptKey,
+				Progress: 1,
+				Words:    o2T.Bytes() / 8,
+				State:    map[string][]float64{"O2": o2T.SnapshotTiles()},
+			})
+		}
 	}
-	c.rt.DestroyTiled(aT)
 
 	c.rt.BeginPhase("op34-fused")
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
@@ -69,6 +91,7 @@ func runFusedPair(opt Options) (*Result, error) {
 		return nil, err
 	}
 	c.rt.DestroyTiled(o2T)
+	c.ckptDrop(ckptKey)
 
 	packed := c.extractC(cT)
 	c.rt.DestroyTiled(cT)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fourindex/internal/blas"
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 	"fourindex/internal/sym"
 	"fourindex/internal/tile"
@@ -35,6 +36,7 @@ func newRunCtx(opt Options) (*runCtx, error) {
 		Strict:         opt.Strict,
 		AllowSpill:     opt.AllowSpill,
 		Tracer:         opt.Trace,
+		Faults:         opt.Faults.ActivePlan(),
 	})
 	if err != nil {
 		return nil, err
@@ -293,4 +295,76 @@ func oomWrap(scheme Scheme, err error) error {
 		return nil
 	}
 	return fmt.Errorf("fourindex: %v failed: %w", scheme, err)
+}
+
+// Checkpoint plumbing. Schedules record progress between Parallel
+// regions under their scheme name; a restarted attempt resumes from the
+// latest record and drops it on success. Checkpoint I/O is charged at
+// disk bandwidth through ga.Runtime.ChargeCheckpoint so the fault-sweep
+// experiment can measure its overhead, but the tensor payload (Words)
+// is charged whether or not Execute-mode data exists — a Cost-mode
+// checkpoint moves the same simulated bytes.
+
+// ckpt returns the checkpoint store, nil when checkpointing is off.
+func (c *runCtx) ckpt() faults.Checkpoint { return c.opt.Faults.Store() }
+
+// ckptSave records rec (keyed by rec.Scheme) and charges its write.
+func (c *runCtx) ckptSave(rec faults.Record) {
+	ck := c.ckpt()
+	if ck == nil {
+		return
+	}
+	rec.N = c.n
+	c.rt.ChargeCheckpoint(rec.Words, false)
+	ck.Save(rec)
+}
+
+// ckptResume fetches the latest record for key, validating that it
+// belongs to the same problem size. Side-effect free: a schedule that
+// decides to use the record calls ckptRestore.
+func (c *runCtx) ckptResume(key string) (faults.Record, bool) {
+	ck := c.ckpt()
+	if ck == nil {
+		return faults.Record{}, false
+	}
+	rec, ok := ck.Latest(key)
+	if !ok || rec.N != c.n || rec.Progress <= 0 {
+		return faults.Record{}, false
+	}
+	return rec, true
+}
+
+// ckptRestore charges the restore read of rec and emits the KindRestart
+// trace event; label names what is being resumed ("l-slab 3", "stage 2").
+func (c *runCtx) ckptRestore(rec faults.Record, label string) {
+	c.rt.ChargeCheckpoint(rec.Words, true)
+	c.rt.TraceRestart(fmt.Sprintf("resume %s at %s", rec.Scheme, label))
+}
+
+// ckptDrop forgets key's record (called on successful completion).
+func (c *runCtx) ckptDrop(key string) {
+	if ck := c.ckpt(); ck != nil {
+		ck.Drop(key)
+	}
+}
+
+// tileStartingAt returns the index of the tile whose lower bound is
+// exactly the element offset off, or (len, true) when off equals the
+// grid's total extent, or (0, false) when off is not a tile boundary —
+// a checkpoint from an incompatibly tiled attempt, which the caller
+// must ignore (restart from scratch rather than risk a wrong resume).
+func tileStartingAt(g tile.Grid, off int) (int, bool) {
+	if off == g.N {
+		return g.NumTiles(), true
+	}
+	for t := 0; t < g.NumTiles(); t++ {
+		lo, _ := g.Bounds(t)
+		if lo == off {
+			return t, true
+		}
+		if lo > off {
+			break
+		}
+	}
+	return 0, false
 }

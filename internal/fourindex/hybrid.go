@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 	"fourindex/internal/lb"
 )
@@ -19,9 +20,17 @@ import (
 // tile storage carries a small overhead, so a scheme that was advised to
 // fit may still hit the capacity. The driver therefore falls back on
 // ErrGlobalOOM: unfused -> fused, fused -> halved TileL, down to 1.
+//
+// Under Options.Faults the driver additionally degrades: when the inner
+// fused path dies mid-run on a terminal fault (retry exhaustion) or hits
+// late OOM pressure after completing at least one l slab, its checkpoint
+// is rekeyed to the plain fully-fused schedule, which resumes at the
+// same slab without the inner fusion. Injected crashes are not handled
+// here — they propagate to Run's rebuild-and-resume loop.
 func runHybrid(opt Options) (*Result, error) {
 	chosen := Unfused
 	tileL := opt.TileL
+	degraded := false
 	if opt.GlobalMemBytes > 0 {
 		adv := lb.Advise(opt.Spec.N, opt.Spec.S, opt.GlobalMemBytes)
 		switch adv.Scheme {
@@ -42,6 +51,16 @@ func runHybrid(opt Options) (*Result, error) {
 		}
 	}
 
+	// A previous attempt that degraded before crashing left its progress
+	// under the plain fully-fused key; stay degraded on restart rather
+	// than discarding those slabs.
+	if ck := opt.Faults.Store(); ck != nil && chosen == FullyFusedInner {
+		if rec, ok := ck.Latest(FullyFused.String()); ok && rec.N == opt.Spec.N && rec.Progress > 0 {
+			chosen = FullyFused
+			degraded = true
+		}
+	}
+
 	for {
 		o := opt
 		o.TileL = tileL
@@ -49,15 +68,42 @@ func runHybrid(opt Options) (*Result, error) {
 			res *Result
 			err error
 		)
-		if chosen == Unfused {
+		switch chosen {
+		case Unfused:
 			res, err = runUnfused(o)
-		} else {
+		case FullyFused:
+			res, err = runFullyFused(o, false)
+		default:
 			res, err = runFullyFused(o, true)
 		}
 		if err == nil {
 			res.Scheme = Hybrid
 			res.ChosenScheme = chosen
 			return res, nil
+		}
+		if chosen == FullyFusedInner && !degraded && opt.Faults != nil {
+			midRunOOM := false
+			if ck := opt.Faults.Store(); ck != nil && errors.Is(err, ga.ErrGlobalOOM) {
+				rec, ok := ck.Latest(FullyFusedInner.String())
+				midRunOOM = ok && rec.N == opt.Spec.N && rec.Progress > 0
+			}
+			if faults.Terminal(err) || midRunOOM {
+				// Degrade: hand the completed slabs to the plain
+				// fully-fused schedule and finish without inner fusion.
+				if ck := opt.Faults.Store(); ck != nil {
+					if rec, ok := ck.Latest(FullyFusedInner.String()); ok && rec.N == opt.Spec.N {
+						rec.Scheme = FullyFused.String()
+						ck.Save(rec)
+					}
+					ck.Drop(FullyFusedInner.String())
+				}
+				chosen = FullyFused
+				degraded = true
+				if opt.Trace.Enabled() {
+					opt.Trace.Note(fmt.Sprintf("hybrid: degrade to fullyfused (plain slabs) for remaining l slabs after %v", err))
+				}
+				continue
+			}
 		}
 		if !errors.Is(err, ga.ErrGlobalOOM) {
 			return nil, err

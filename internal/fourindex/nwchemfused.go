@@ -2,6 +2,7 @@ package fourindex
 
 import (
 	"fourindex/internal/blas"
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 	"fourindex/internal/tile"
 )
@@ -32,56 +33,77 @@ func runNWChemFused(opt Options) (*Result, error) {
 	c.eff = nwchemKernelEfficiency
 	g4 := c.grids4()
 
-	c.rt.BeginPhase("generate-A")
-	aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(NWChemFused, err)
-	}
-	if err := c.generateA(aT, 0); err != nil {
-		return nil, err
-	}
+	// Single stage checkpoint, as in runFusedPair: a restart after the
+	// op12-chunks pass restores O2 and reruns only the op34-chunks pass
+	// (idempotent PutT writes into C).
+	ckptKey := NWChemFused.String()
+	rec, resumed := c.ckptResume(ckptKey)
+	var o2T *ga.TiledArray
+	if resumed {
+		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(NWChemFused, err)
+		}
+		o2T.RestoreTiles(rec.State["O2"])
+		c.ckptRestore(rec, "op34-chunks")
+	} else {
+		c.rt.BeginPhase("generate-A")
+		aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+		if err != nil {
+			return nil, oomWrap(NWChemFused, err)
+		}
+		if err := c.generateA(aT, 0); err != nil {
+			return nil, err
+		}
 
-	c.rt.BeginPhase("op12-chunks")
-	o2T, err := c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(NWChemFused, err)
-	}
+		c.rt.BeginPhase("op12-chunks")
+		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(NWChemFused, err)
+		}
 
-	// Fused op12: one (tk, tl) chunk at a time; the O1 chunk is a
-	// distributed array, written by op1 workers and read back by op2
-	// workers.
-	for tk := 0; tk < c.nt; tk++ {
-		for tl := 0; tl <= tk; tl++ {
-			wk, wl := c.g.Width(tk), c.g.Width(tl)
-			chunkGrids := []tile.Grid{c.g, c.g, tile.NewGrid(wk, wk), tile.NewGrid(wl, wl)}
-			o1chunk, err := c.rt.CreateTiled("O1chunk", chunkGrids, nil, opt.Policy)
-			if err != nil {
-				return nil, oomWrap(NWChemFused, err)
-			}
-			if err := c.rt.Parallel(func(p *ga.Proc) {
-				for tj := 0; tj < c.nt; tj++ {
-					if workOwner(p.Procs(), 201, tj, tk, tl) != p.ID() {
-						continue
-					}
-					c.op1Chunk(p, aT, o1chunk, tj, tk, tl)
+		// Fused op12: one (tk, tl) chunk at a time; the O1 chunk is a
+		// distributed array, written by op1 workers and read back by op2
+		// workers.
+		for tk := 0; tk < c.nt; tk++ {
+			for tl := 0; tl <= tk; tl++ {
+				wk, wl := c.g.Width(tk), c.g.Width(tl)
+				chunkGrids := []tile.Grid{c.g, c.g, tile.NewGrid(wk, wk), tile.NewGrid(wl, wl)}
+				o1chunk, err := c.rt.CreateTiled("O1chunk", chunkGrids, nil, opt.Policy)
+				if err != nil {
+					return nil, oomWrap(NWChemFused, err)
 				}
-			}); err != nil {
-				return nil, err
-			}
-			if err := c.rt.Parallel(func(p *ga.Proc) {
-				for ta := 0; ta < c.nt; ta++ {
-					if workOwner(p.Procs(), 202, ta, tk, tl) != p.ID() {
-						continue
+				if err := c.rt.Parallel(func(p *ga.Proc) {
+					for tj := 0; tj < c.nt; tj++ {
+						if workOwner(p.Procs(), 201, tj, tk, tl) != p.ID() {
+							continue
+						}
+						c.op1Chunk(p, aT, o1chunk, tj, tk, tl)
 					}
-					c.op2Chunk(p, o1chunk, o2T, ta, tk, tl)
+				}); err != nil {
+					return nil, err
 				}
-			}); err != nil {
-				return nil, err
+				if err := c.rt.Parallel(func(p *ga.Proc) {
+					for ta := 0; ta < c.nt; ta++ {
+						if workOwner(p.Procs(), 202, ta, tk, tl) != p.ID() {
+							continue
+						}
+						c.op2Chunk(p, o1chunk, o2T, ta, tk, tl)
+					}
+				}); err != nil {
+					return nil, err
+				}
+				c.rt.DestroyTiled(o1chunk)
 			}
-			c.rt.DestroyTiled(o1chunk)
+		}
+		c.rt.DestroyTiled(aT)
+		if c.ckpt() != nil {
+			c.ckptSave(faults.Record{
+				Scheme:   ckptKey,
+				Progress: 1,
+				Words:    o2T.Bytes() / 8,
+				State:    map[string][]float64{"O2": o2T.SnapshotTiles()},
+			})
 		}
 	}
-	c.rt.DestroyTiled(aT)
 
 	c.rt.BeginPhase("op34-chunks")
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
@@ -123,6 +145,7 @@ func runNWChemFused(opt Options) (*Result, error) {
 		}
 	}
 	c.rt.DestroyTiled(o2T)
+	c.ckptDrop(ckptKey)
 
 	packed := c.extractC(cT)
 	c.rt.DestroyTiled(cT)

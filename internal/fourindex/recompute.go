@@ -12,6 +12,11 @@ import (
 // keeping O1/O2/O3 in slab-sized local buffers. This is the
 // minimal-memory, maximal-work end of the paper's design space
 // (Section 2.2: "lowest memory requirement ... more time consuming").
+//
+// The schedule takes no checkpoints: its only global state is C, every
+// pair-block is written exactly once with PutT, and there is nothing to
+// snapshot that is cheaper than recomputing. A restart after a crash
+// simply reruns the single region from scratch, which is idempotent.
 func runRecompute(opt Options) (*Result, error) {
 	c, err := newRunCtx(opt)
 	if err != nil {

@@ -1,13 +1,22 @@
 package fourindex
 
 import (
+	"fmt"
+
 	"fourindex/internal/blas"
+	"fourindex/internal/faults"
 	"fourindex/internal/ga"
 )
 
 // runUnfused executes the Listing 1/4 baseline: four separate tiled
 // contractions with fully materialised intermediates. Peak aggregate
 // memory is max(|A|+|O1|, |O1|+|O2|, |O2|+|O3|, |O3|+|C|) ~ 3n^4/4.
+//
+// The schedule has no l-slab structure, so its checkpoints are per
+// stage: completing op1/op2/op3 records Progress 1/2/3 with a snapshot
+// of that stage's output intermediate, and a restart resumes at the
+// first incomplete contraction. op4 writes C with idempotent PutT and
+// simply re-runs.
 func runUnfused(opt Options) (*Result, error) {
 	c, err := newRunCtx(opt)
 	if err != nil {
@@ -16,44 +25,87 @@ func runUnfused(opt Options) (*Result, error) {
 	defer c.beginRoot(Unfused)()
 	g4 := c.grids4()
 
-	c.rt.BeginPhase("generate-A")
-	aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(Unfused, err)
+	ckptKey := Unfused.String()
+	stage := 0
+	rec, resumed := c.ckptResume(ckptKey)
+	if resumed && rec.Progress >= 1 && rec.Progress <= 3 {
+		stage = rec.Progress
 	}
-	if err := c.generateA(aT, 0); err != nil {
-		return nil, err
+	stageSave := func(progress int, name string, t *ga.TiledArray) {
+		if c.ckpt() == nil {
+			return
+		}
+		c.ckptSave(faults.Record{
+			Scheme:   ckptKey,
+			Progress: progress,
+			Words:    t.Bytes() / 8,
+			State:    map[string][]float64{name: t.SnapshotTiles()},
+		})
 	}
 
-	c.rt.BeginPhase("op1")
-	o1T, err := c.rt.CreateTiled("O1", g4, [][2]int{{2, 3}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(Unfused, err)
-	}
-	if err := c.rt.Parallel(func(p *ga.Proc) { c.op1Unfused(p, aT, o1T) }); err != nil {
-		return nil, err
-	}
-	c.rt.DestroyTiled(aT)
+	var o1T, o2T, o3T *ga.TiledArray
+	if stage < 1 {
+		c.rt.BeginPhase("generate-A")
+		aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
+		if err != nil {
+			return nil, oomWrap(Unfused, err)
+		}
+		if err := c.generateA(aT, 0); err != nil {
+			return nil, err
+		}
 
-	c.rt.BeginPhase("op2")
-	o2T, err := c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(Unfused, err)
+		c.rt.BeginPhase("op1")
+		if o1T, err = c.rt.CreateTiled("O1", g4, [][2]int{{2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(Unfused, err)
+		}
+		if err := c.rt.Parallel(func(p *ga.Proc) { c.op1Unfused(p, aT, o1T) }); err != nil {
+			return nil, err
+		}
+		c.rt.DestroyTiled(aT)
+		stageSave(1, "O1", o1T)
+	} else if stage == 1 {
+		if o1T, err = c.rt.CreateTiled("O1", g4, [][2]int{{2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(Unfused, err)
+		}
+		o1T.RestoreTiles(rec.State["O1"])
+		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
-	if err := c.rt.Parallel(func(p *ga.Proc) { c.op2Unfused(p, o1T, o2T) }); err != nil {
-		return nil, err
-	}
-	c.rt.DestroyTiled(o1T)
 
-	c.rt.BeginPhase("op3")
-	o3T, err := c.rt.CreateTiled("O3", g4, [][2]int{{0, 1}}, opt.Policy)
-	if err != nil {
-		return nil, oomWrap(Unfused, err)
+	if stage < 2 {
+		c.rt.BeginPhase("op2")
+		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(Unfused, err)
+		}
+		if err := c.rt.Parallel(func(p *ga.Proc) { c.op2Unfused(p, o1T, o2T) }); err != nil {
+			return nil, err
+		}
+		c.rt.DestroyTiled(o1T)
+		stageSave(2, "O2", o2T)
+	} else if stage == 2 {
+		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
+			return nil, oomWrap(Unfused, err)
+		}
+		o2T.RestoreTiles(rec.State["O2"])
+		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
-	if err := c.rt.Parallel(func(p *ga.Proc) { c.op3Unfused(p, o2T, o3T) }); err != nil {
-		return nil, err
+
+	if stage < 3 {
+		c.rt.BeginPhase("op3")
+		if o3T, err = c.rt.CreateTiled("O3", g4, [][2]int{{0, 1}}, opt.Policy); err != nil {
+			return nil, oomWrap(Unfused, err)
+		}
+		if err := c.rt.Parallel(func(p *ga.Proc) { c.op3Unfused(p, o2T, o3T) }); err != nil {
+			return nil, err
+		}
+		c.rt.DestroyTiled(o2T)
+		stageSave(3, "O3", o3T)
+	} else {
+		if o3T, err = c.rt.CreateTiled("O3", g4, [][2]int{{0, 1}}, opt.Policy); err != nil {
+			return nil, oomWrap(Unfused, err)
+		}
+		o3T.RestoreTiles(rec.State["O3"])
+		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
-	c.rt.DestroyTiled(o2T)
 
 	c.rt.BeginPhase("op4")
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
@@ -64,6 +116,7 @@ func runUnfused(opt Options) (*Result, error) {
 		return nil, err
 	}
 	c.rt.DestroyTiled(o3T)
+	c.ckptDrop(ckptKey)
 
 	packed := c.extractC(cT)
 	c.rt.DestroyTiled(cT)

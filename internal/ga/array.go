@@ -40,8 +40,9 @@ func (rt *Runtime) Create(name string, rows, cols, tileRows, tileCols int, pol t
 		return nil, fmt.Errorf("ga: array %q has non-positive shape %dx%d", name, rows, cols)
 	}
 	bytes := int64(rows) * int64(cols) * 8
+	lim := rt.effectiveGlobalMem()
 	rt.mu.Lock()
-	if lim := rt.cfg.GlobalMemBytes; lim > 0 && rt.globalBytes+bytes > lim {
+	if lim > 0 && rt.globalBytes+bytes > lim {
 		need := rt.globalBytes + bytes
 		rt.mu.Unlock()
 		return nil, fmt.Errorf("%w: array %q (%d x %d) needs %d B live (capacity %d B)",
@@ -82,10 +83,25 @@ func (rt *Runtime) Create(name string, rows, cols, tileRows, tileCols int, pol t
 	return a, nil
 }
 
-// Destroy releases the array's global memory. Double destroy panics.
-func (rt *Runtime) Destroy(a *Array) {
+// DoubleDestroyError reports a Destroy of an array that was already
+// destroyed — always a schedule bug (a lost ownership handoff), but one
+// the caller should surface as an error rather than a crash: the
+// destroyed flag is decided by a single atomic swap, so exactly one of
+// two racing Destroys receives it.
+type DoubleDestroyError struct {
+	Name string
+}
+
+// Error describes the doubly destroyed array.
+func (e *DoubleDestroyError) Error() string {
+	return fmt.Sprintf("ga: array %q destroyed twice", e.Name)
+}
+
+// Destroy releases the array's global memory. A second Destroy of the
+// same array returns a *DoubleDestroyError and changes nothing.
+func (rt *Runtime) Destroy(a *Array) error {
 	if a.destroyed.Swap(true) {
-		panic(fmt.Sprintf("ga: array %q destroyed twice", a.Name))
+		return &DoubleDestroyError{Name: a.Name}
 	}
 	rt.mu.Lock()
 	rt.globalBytes -= int64(a.Rows) * int64(a.Cols) * 8
@@ -93,6 +109,7 @@ func (rt *Runtime) Destroy(a *Array) {
 	rt.mu.Unlock()
 	a.data = nil
 	rt.traceEmit(trace.KindDestroy, trace.SeqProc, rt.Elapsed(), 0, a.Name, int64(a.Rows)*int64(a.Cols), false)
+	return nil
 }
 
 // Bytes returns the array's global-memory footprint.
@@ -161,6 +178,7 @@ func (a *Array) patchOp(r0, r1, c0, c1 int, f func(id, pr0, pr1, pc0, pc1 int)) 
 // communication. In Cost mode only accounting happens and buf may be nil.
 func (p *Proc) Get(a *Array, r0, r1, c0, c1 int, buf []float64, ld int) {
 	a.checkPatch("Get", r0, r1, c0, c1, buf, ld)
+	p.faultPoint("Get", a.Name)
 	exec := a.rt.cfg.Mode == Execute
 	start := p.Clock()
 	var total int64
@@ -206,6 +224,7 @@ func (p *Proc) Acc(a *Array, r0, r1, c0, c1 int, alpha float64, buf []float64, l
 // update implements Put (alpha == 0 sentinel => overwrite) and Acc.
 func (p *Proc) update(op string, a *Array, r0, r1, c0, c1 int, alpha float64, buf []float64, ld int) {
 	a.checkPatch(op, r0, r1, c0, c1, buf, ld)
+	p.faultPoint(op, a.Name)
 	exec := a.rt.cfg.Mode == Execute
 	acc := op == "Acc"
 	start := p.Clock()

@@ -1,0 +1,110 @@
+package ga
+
+import (
+	"fmt"
+
+	"fourindex/internal/faults"
+	"fourindex/internal/metrics"
+	"fourindex/internal/trace"
+)
+
+// faultPoint consults the fault plan before one Get/Put/Acc of array
+// name. Transient faults are absorbed locally: the operation is retried
+// after an exponential backoff charged on this process's simulated
+// clock, the retry counted in metrics and emitted as a KindRetry trace
+// event — the barrier is never poisoned for a recoverable fault. Fatal
+// faults (an injected crash, or a transient fault that exhausts the
+// retry budget) panic with a typed error; Parallel converts the panic
+// to an error and poisons the barrier, which is what distinguishes
+// recoverable from fatal faults at the synchronisation layer.
+func (p *Proc) faultPoint(op, name string) {
+	plan := p.rt.cfg.Faults
+	if plan == nil {
+		return
+	}
+	seq := p.rt.opSeqs[p.id]
+	p.rt.opSeqs[p.id]++
+	for attempt := 0; ; attempt++ {
+		switch plan.Decide(p.rt.faultRun, p.id, seq, attempt) {
+		case faults.None:
+			return
+		case faults.Crash:
+			err := &faults.CrashError{Run: p.rt.faultRun, Proc: p.id, Seq: seq}
+			p.rt.traceEmit(trace.KindFault, p.id, p.Clock(), 0,
+				fmt.Sprintf("crash: %s %s", op, name), 0, false)
+			panic(err)
+		case faults.Transient:
+			if attempt+1 >= plan.MaxAttempts() {
+				p.rt.traceEmit(trace.KindFault, p.id, p.Clock(), 0,
+					fmt.Sprintf("exhausted: %s %s", op, name), 0, false)
+				panic(&faults.RetryExhaustedError{
+					Op: op, Array: name, Proc: p.id, Attempts: attempt + 1,
+				})
+			}
+			start := p.Clock()
+			if p.rt.cfg.Run != nil {
+				p.rt.clocks[p.id] += plan.Backoff(attempt)
+			}
+			p.Counters().AddRetry()
+			p.rt.traceEmit(trace.KindRetry, p.id, start, p.Clock()-start,
+				fmt.Sprintf("%s %s", op, name), 0, false)
+		}
+	}
+}
+
+// Fatal aborts this process with err, poisoning the barrier so sibling
+// processes unwind instead of deadlocking. It is the sanctioned way for
+// a Parallel body to mark a ga operation error as deliberately
+// unrecoverable (the retrydiscipline analyzer accepts it as explicit
+// propagation). No-op when err is nil.
+func (p *Proc) Fatal(err error) {
+	if err == nil {
+		return
+	}
+	panic(err)
+}
+
+// effectiveGlobalMem returns the aggregate-memory capacity currently in
+// force: the configured GlobalMemBytes, tightened to the fault plan's
+// late-OOM cap once the runtime has performed enough operations. Called
+// from sequential allocation code only (opSeqs sums are race-free after
+// a region boundary).
+func (rt *Runtime) effectiveGlobalMem() int64 {
+	lim := rt.cfg.GlobalMemBytes
+	plan := rt.cfg.Faults
+	if plan == nil || plan.OOM == nil {
+		return lim
+	}
+	var ops int64
+	for _, s := range rt.opSeqs {
+		ops += s
+	}
+	if ops >= plan.OOM.AfterOps {
+		if cap := plan.OOM.CapBytes; lim == 0 || cap < lim {
+			return cap
+		}
+	}
+	return lim
+}
+
+// ChargeCheckpoint accounts one checkpoint save (isLoad false) or
+// restore (isLoad true) of words elements: disk-level traffic on
+// process 0's counters plus simulated file-system time on every clock
+// (checkpointing is a collective pause at a region boundary). Called
+// from sequential schedule code only.
+func (rt *Runtime) ChargeCheckpoint(words int64, isLoad bool) {
+	if words <= 0 {
+		return
+	}
+	if isLoad {
+		rt.counters[0].AddLoad(metrics.LevelDisk, words)
+	} else {
+		rt.counters[0].AddStore(metrics.LevelDisk, words)
+	}
+	if r := rt.cfg.Run; r != nil {
+		dt := r.DiskSeconds(words * 8)
+		for i := range rt.clocks {
+			rt.clocks[i] += dt
+		}
+	}
+}

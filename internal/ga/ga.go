@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"fourindex/internal/cluster"
+	"fourindex/internal/faults"
 	"fourindex/internal/metrics"
 	"fourindex/internal/trace"
 )
@@ -90,6 +91,14 @@ type Config struct {
 	// Tracer, when non-nil, receives per-operation events and phase
 	// spans (see internal/trace). Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, is the deterministic fault plan consulted
+	// on every Get/Put/Acc (see internal/faults): transient faults are
+	// retried with exponential backoff charged on the simulated clock,
+	// crash points and retry exhaustion panic with typed errors that
+	// poison the barrier, stragglers stretch one process's time
+	// charges, and late OOM pressure shrinks the effective aggregate
+	// capacity. Nil injects nothing.
+	Faults *faults.Plan
 }
 
 // Runtime is a PGAS runtime instance.
@@ -114,6 +123,16 @@ type Runtime struct {
 	// runID identifies this runtime instance in the attached tracer (a
 	// hybrid driver runs several runtimes against one tracer).
 	runID int32
+
+	// faultRun is this runtime's run number in the fault plan (plan-
+	// owned, so one-shot crash points do not re-fire after a restart).
+	faultRun int
+	// opSeqs counts fault-consulted operations per process. Each slot
+	// has a single writer (its process goroutine); sums are read only
+	// from sequential code after a region boundary.
+	opSeqs []int64
+	// slow holds per-process straggler factors (1.0 = full speed).
+	slow []float64
 }
 
 // NewRuntime validates the configuration and builds a runtime.
@@ -126,12 +145,18 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		counters: make([]*metrics.Counters, cfg.Procs),
 		clocks:   make([]float64, cfg.Procs),
 		idle:     make([]float64, cfg.Procs),
+		opSeqs:   make([]int64, cfg.Procs),
+		slow:     make([]float64, cfg.Procs),
 		barrier:  newClockBarrier(cfg.Procs),
 	}
 	for i := range rt.counters {
 		rt.counters[i] = &metrics.Counters{}
 	}
+	for i := range rt.slow {
+		rt.slow[i] = cfg.Faults.SlowFactor(i)
+	}
 	rt.runID = cfg.Tracer.RegisterRun()
+	rt.faultRun = cfg.Faults.RegisterRun()
 	return rt, nil
 }
 
@@ -188,6 +213,7 @@ func (rt *Runtime) Totals() metrics.Snapshot {
 		t.CommTraffic += s.CommTraffic
 		t.DiskMessages += s.DiskMessages
 		t.CommMessages += s.CommMessages
+		t.Retries += s.Retries
 		if s.PeakElements > t.PeakElements {
 			t.PeakElements = s.PeakElements
 		}
@@ -325,7 +351,7 @@ func (p *Proc) ComputeEff(flops int64, eff float64) {
 	}
 	p.Counters().AddFlops(flops)
 	if r := p.rt.cfg.Run; r != nil {
-		p.rt.clocks[p.id] += r.ComputeSeconds(flops) / eff
+		p.rt.clocks[p.id] += r.ComputeSeconds(flops) / eff * p.rt.slow[p.id]
 	}
 }
 
@@ -397,9 +423,9 @@ func (p *Proc) chargeTransfer(remote bool, elems int64, isLoad bool) {
 	}
 	if r := p.rt.cfg.Run; r != nil {
 		if remote {
-			p.rt.clocks[p.id] += r.RemoteSeconds(elems * 8)
+			p.rt.clocks[p.id] += r.RemoteSeconds(elems*8) * p.rt.slow[p.id]
 		} else {
-			p.rt.clocks[p.id] += r.LocalSeconds(elems * 8)
+			p.rt.clocks[p.id] += r.LocalSeconds(elems*8) * p.rt.slow[p.id]
 		}
 	}
 }
@@ -413,7 +439,7 @@ func (p *Proc) chargeDisk(elems int64, isLoad bool) {
 		c.AddStore(metrics.LevelDisk, elems)
 	}
 	if r := p.rt.cfg.Run; r != nil {
-		p.rt.clocks[p.id] += r.DiskSeconds(elems * 8)
+		p.rt.clocks[p.id] += r.DiskSeconds(elems*8) * p.rt.slow[p.id]
 	}
 }
 

@@ -310,16 +310,24 @@ func TestStrictReadBeforeWrite(t *testing.T) {
 	}
 }
 
-func TestDoubleDestroyPanics(t *testing.T) {
+func TestDoubleDestroyTypedError(t *testing.T) {
 	rt := newExec(t, 1)
 	a, _ := rt.Create("A", 2, 2, 2, 2, tile.RoundRobin)
-	rt.Destroy(a)
-	defer func() {
-		if recover() == nil {
-			t.Error("double destroy did not panic")
-		}
-	}()
-	rt.Destroy(a)
+	if err := rt.Destroy(a); err != nil {
+		t.Fatalf("first destroy: %v", err)
+	}
+	live := rt.LiveArrays()
+	err := rt.Destroy(a)
+	var dd *DoubleDestroyError
+	if !errors.As(err, &dd) {
+		t.Fatalf("double destroy returned %v, want *DoubleDestroyError", err)
+	}
+	if dd.Name != "A" {
+		t.Errorf("DoubleDestroyError.Name = %q, want \"A\"", dd.Name)
+	}
+	if got := rt.LiveArrays(); got != live {
+		t.Errorf("double destroy changed live-array count: %d -> %d", live, got)
+	}
 }
 
 func TestUseAfterDestroyPanics(t *testing.T) {

@@ -104,8 +104,9 @@ func (rt *Runtime) CreateTiledSparse(name string, grids []tile.Grid, symPairs []
 	})
 	a.bytes = words * 8
 
+	lim := rt.effectiveGlobalMem()
 	rt.mu.Lock()
-	if lim := rt.cfg.GlobalMemBytes; lim > 0 && rt.globalBytes+a.bytes > lim {
+	if lim > 0 && rt.globalBytes+a.bytes > lim {
 		if !rt.cfg.AllowSpill {
 			need := rt.globalBytes + a.bytes
 			rt.mu.Unlock()
@@ -308,6 +309,63 @@ func (a *TiledArray) ReadTileInto(buf []float64, coords ...int) {
 	copy(buf[:words], a.data[id])
 }
 
+// SnapshotTiles serialises the stored canonical tiles into one dense
+// slice in ForEachTile order (never-written tiles read as zeros).
+// Sequential (between-region) checkpoint helper, free of accounting —
+// the caller charges the simulated cost through Runtime.ChargeCheckpoint.
+// Returns nil in Cost mode, where a checkpoint records progress only.
+func (a *TiledArray) SnapshotTiles() []float64 {
+	if a.rt.cfg.Mode != Execute {
+		return nil
+	}
+	a.checkAlive("SnapshotTiles")
+	out := make([]float64, 0, a.bytes/8)
+	a.forEachCanonical(func(coords []int) {
+		id := a.canonicalID(coords)
+		if a.stored != nil && !a.stored[id] {
+			return
+		}
+		words := a.TileWords(coords)
+		if a.data[id] == nil {
+			out = append(out, make([]float64, words)...)
+			return
+		}
+		out = append(out, a.data[id]...)
+	})
+	return out
+}
+
+// RestoreTiles writes a SnapshotTiles result back into the tensor and
+// marks every stored tile written (so Strict-mode reads of restored
+// state succeed after a restart). A nil data slice — a Cost-mode
+// checkpoint — only marks the tiles. Sequential helper, free of
+// accounting like SnapshotTiles.
+func (a *TiledArray) RestoreTiles(data []float64) {
+	a.checkAlive("RestoreTiles")
+	off := 0
+	a.forEachCanonical(func(coords []int) {
+		id := a.canonicalID(coords)
+		if a.stored != nil && !a.stored[id] {
+			return
+		}
+		if a.written != nil {
+			a.written[id].Store(true)
+		}
+		if a.rt.cfg.Mode != Execute || data == nil {
+			return
+		}
+		words := a.TileWords(coords)
+		if off+words > len(data) {
+			panic(fmt.Sprintf("ga: RestoreTiles snapshot too small for %q: %d < %d", a.Name, len(data), off+words))
+		}
+		if a.data[id] == nil {
+			a.data[id] = make([]float64, words)
+		}
+		copy(a.data[id], data[off:off+words])
+		off += words
+	})
+}
+
 // GetT fetches the whole tile at coords into buf (row-major over the
 // tensor dims). In Cost mode buf may be nil. Returns the tile's element
 // count.
@@ -327,6 +385,7 @@ func (p *Proc) GetT(a *TiledArray, buf []float64, coords ...int) int {
 	if a.written != nil && !a.written[id].Load() {
 		panic(fmt.Sprintf("ga: strict: GetT of never-written tile %v of %q", coords, a.Name))
 	}
+	p.faultPoint("Get", a.Name)
 	start := p.Clock()
 	remote := false
 	if a.onDisk {
@@ -369,6 +428,11 @@ func (p *Proc) updateT(op string, a *TiledArray, alpha float64, acc bool, buf []
 	words := a.TileWords(coords)
 	if a.stored != nil && !a.stored[id] {
 		return // symmetry-forbidden block: writes are no-ops
+	}
+	if acc {
+		p.faultPoint("Acc", a.Name)
+	} else {
+		p.faultPoint("Put", a.Name)
 	}
 	start := p.Clock()
 	remote := false

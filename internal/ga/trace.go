@@ -59,6 +59,13 @@ func (rt *Runtime) TraceMark(label string) {
 	rt.cfg.Tracer.Mark(rt.runID, rt.Elapsed(), label)
 }
 
+// TraceRestart records a checkpoint resume (a schedule skipping already
+// completed l-slabs or stages after a crash-restart) as a KindRestart
+// event at the current simulated time. Sequential-code only.
+func (rt *Runtime) TraceRestart(label string) {
+	rt.cfg.Tracer.Emit(rt.runID, trace.KindRestart, trace.SeqProc, rt.Elapsed(), 0, label, 0, false)
+}
+
 // traceEmit forwards one per-operation event to the attached tracer
 // under this runtime's run id. Nil-safe and allocation-free when
 // tracing is disabled; safe from inside Parallel regions.

@@ -61,6 +61,8 @@ type Counters struct {
 	stores [numLevels]atomic.Int64 // elements moved slow-ward
 	msgs   [numLevels]atomic.Int64 // discrete transfer operations
 
+	retries atomic.Int64 // fault-injection retries absorbed by backoff
+
 	mu      sync.Mutex
 	current int64 // currently allocated elements (ledger)
 	peak    int64 // high-water mark of current
@@ -99,6 +101,13 @@ func (c *Counters) Traffic(l Level) int64 {
 
 // Messages returns the number of discrete transfers across level l.
 func (c *Counters) Messages(l Level) int64 { return c.msgs[l].Load() }
+
+// AddRetry records one retried operation: a transient injected fault
+// absorbed by the runtime's retry-with-backoff path.
+func (c *Counters) AddRetry() { c.retries.Add(1) }
+
+// Retries returns the total operations retried after transient faults.
+func (c *Counters) Retries() int64 { return c.retries.Load() }
 
 // Alloc records an allocation of n elements in the tracked memory and
 // updates the high-water mark.
@@ -139,6 +148,7 @@ func (c *Counters) Peak() int64 {
 // Reset zeroes every counter.
 func (c *Counters) Reset() {
 	c.flops.Store(0)
+	c.retries.Store(0)
 	for i := range c.loads {
 		c.loads[i].Store(0)
 		c.stores[i].Store(0)
@@ -158,6 +168,7 @@ type Snapshot struct {
 	DiskMessages int64
 	CommMessages int64
 	PeakElements int64
+	Retries      int64
 }
 
 // Snapshot captures the current totals.
@@ -169,6 +180,7 @@ func (c *Counters) Snapshot() Snapshot {
 		DiskMessages: c.Messages(LevelDisk),
 		CommMessages: c.Messages(LevelGlobal),
 		PeakElements: c.Peak(),
+		Retries:      c.Retries(),
 	}
 }
 

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"fourindex/internal/lb"
 	"fourindex/internal/sym"
@@ -99,6 +100,56 @@ func (t *Tracer) Audit(n, symFactor int, fastWords int64) []AuditRow {
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// FaultSummary aggregates the chaos-related events of a recorded trace:
+// how many injected faults terminated an attempt, how many transient
+// faults the retry path absorbed, how many checkpoint resumes occurred,
+// and how many times the hybrid driver degraded the schedule.
+type FaultSummary struct {
+	// Faults counts crash and retry-exhaustion events (KindFault).
+	Faults int64
+	// Retries counts transient faults absorbed by backoff (KindRetry).
+	Retries int64
+	// Restarts counts checkpoint resumes (KindRestart).
+	Restarts int64
+	// Degrades counts hybrid degradation decisions ("hybrid: degrade"
+	// marks).
+	Degrades int64
+}
+
+// degradeMarkPrefix is the label prefix the hybrid driver uses for its
+// degradation notes; FaultSummary counts marks carrying it.
+const degradeMarkPrefix = "hybrid: degrade"
+
+// FaultSummary scans the surviving events and tallies the fault, retry,
+// restart and degradation activity of the trace. Nil-safe.
+func (t *Tracer) FaultSummary() FaultSummary {
+	var s FaultSummary
+	for _, ev := range t.Events() {
+		switch ev.Kind {
+		case KindFault:
+			s.Faults++
+		case KindRetry:
+			s.Retries++
+		case KindRestart:
+			s.Restarts++
+		case KindMark:
+			if strings.HasPrefix(ev.Name, degradeMarkPrefix) {
+				s.Degrades++
+			}
+		}
+	}
+	return s
+}
+
+// WriteFaultSummary renders the summary as the short table printed by
+// `fouridx chaos`.
+func WriteFaultSummary(w io.Writer, s FaultSummary) error {
+	_, err := fmt.Fprintf(w,
+		"faults (crash/exhausted): %d\nretries (transient, absorbed): %d\ncheckpoint restarts: %d\nhybrid degradations: %d\n",
+		s.Faults, s.Retries, s.Restarts, s.Degrades)
+	return err
 }
 
 // WriteAuditTable renders rows as the aligned text table printed by

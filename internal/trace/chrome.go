@@ -93,7 +93,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	for _, ev := range events {
 		tid := ev.Proc + 1
 		switch ev.Kind {
-		case KindMark, KindCreate, KindDestroy:
+		case KindMark, KindCreate, KindDestroy, KindFault, KindRestart:
 			args := map[string]any{"kind": ev.Kind.String()}
 			if ev.Elems != 0 {
 				args["elems"] = ev.Elems

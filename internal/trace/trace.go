@@ -93,6 +93,15 @@ const (
 	// KindMark is a free-form instant annotation (slab boundaries,
 	// hybrid-driver decisions).
 	KindMark
+	// KindFault is an injected fault that terminated an attempt: a
+	// process crash or a retry-budget exhaustion (see internal/faults).
+	KindFault
+	// KindRetry is a transient injected fault absorbed by the runtime's
+	// retry path; Dur is the backoff charged on the simulated clock.
+	KindRetry
+	// KindRestart is a checkpoint resume: a schedule skipping already
+	// completed l-slabs or stages after a crash-restart.
+	KindRestart
 )
 
 // String names the kind.
@@ -112,6 +121,12 @@ func (k Kind) String() string {
 		return "destroy"
 	case KindMark:
 		return "mark"
+	case KindFault:
+		return "fault"
+	case KindRetry:
+		return "retry"
+	case KindRestart:
+		return "restart"
 	default:
 		return "kind?"
 	}
