@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet golden chaos ci
+.PHONY: all build test race lint vet golden chaos bench bench-smoke ci
 
 all: build test vet lint
 
@@ -42,4 +42,16 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/fourindex/
 	$(GO) test -race ./internal/faults/
 
-ci: build test vet lint golden race chaos
+# bench regenerates the checked-in benchmark baseline: the full matrix
+# of {schedule} x {execute sizes, cost molecules} x {GOMAXPROCS} with
+# wall-clock measurement (see internal/perf and README "Benchmarking").
+bench:
+	$(GO) run ./cmd/fouridx bench -o BENCH_fouridx.json -v
+
+# bench-smoke runs the CI subset of the matrix and gates it against the
+# checked-in baseline: deterministic accounting must match within 15%,
+# wall times within 15% after median-ratio machine normalisation.
+bench-smoke:
+	$(GO) run ./cmd/fouridx bench -smoke -o /tmp/bench_smoke.json -baseline BENCH_fouridx.json -tolerance 0.15
+
+ci: build test vet lint golden race chaos bench-smoke

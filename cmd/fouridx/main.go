@@ -20,6 +20,13 @@
 // testing"):
 //
 //	fouridx chaos -n 18 -scheme fullyfused-inner -procs 4 -rate 0.05 -chaos-seed 7
+//
+// The bench subcommand runs the reproducible benchmark matrix, writes
+// the schema-versioned report, and optionally gates it against a
+// checked-in baseline (see README "Benchmarking"):
+//
+//	fouridx bench -o BENCH_fouridx.json
+//	fouridx bench -smoke -baseline BENCH_fouridx.json -tolerance 0.15
 package main
 
 import (
@@ -39,6 +46,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		runChaos(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
 		return
 	}
 	var (

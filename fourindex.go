@@ -38,6 +38,7 @@ import (
 	ifx "fourindex/internal/fourindex"
 	"fourindex/internal/ga"
 	"fourindex/internal/lb"
+	"fourindex/internal/perf"
 	"fourindex/internal/scf"
 	"fourindex/internal/sym"
 	"fourindex/internal/trace"
@@ -296,6 +297,46 @@ func TraceFaultSummary(tr *Tracer) FaultSummary { return tr.FaultSummary() }
 
 // WriteFaultSummary renders a fault summary as text.
 func WriteFaultSummary(w io.Writer, s FaultSummary) error { return trace.WriteFaultSummary(w, s) }
+
+// Benchmark harness (internal/perf): a fixed, reproducible matrix of
+// {schedule} x {execute sizes, cost molecules} x {GOMAXPROCS}, with
+// deterministic accounting always and wall-clock measurement on demand,
+// plus the regression gate CI runs against the checked-in baseline.
+type (
+	BenchConfig       = perf.Config
+	BenchExecutePoint = perf.ExecutePoint
+	BenchCostPoint    = perf.CostPoint
+	BenchPoint        = perf.Point
+	BenchMeasured     = perf.Measured
+	BenchReport       = perf.Report
+	BenchReadPath     = perf.ReadPathResult
+)
+
+// DefaultBenchConfig is the full matrix behind BENCH_fouridx.json;
+// SmokeBenchConfig the CI-sized strict subset of it.
+func DefaultBenchConfig() BenchConfig { return perf.DefaultConfig() }
+
+// SmokeBenchConfig returns the smoke matrix (see DefaultBenchConfig).
+func SmokeBenchConfig() BenchConfig { return perf.SmokeConfig() }
+
+// RunBench executes a benchmark matrix.
+func RunBench(cfg BenchConfig) (*BenchReport, error) { return perf.Run(cfg) }
+
+// DecodeBenchReport reads a report written by BenchReport.Encode.
+func DecodeBenchReport(r io.Reader) (*BenchReport, error) { return perf.Decode(r) }
+
+// BenchGate compares a report against a baseline: deterministic metrics
+// within tolerance, wall times within tolerance after median-ratio
+// machine normalisation. Returns the violations found (empty = pass).
+func BenchGate(cur, base *BenchReport, tolerance float64) ([]string, error) {
+	return perf.Gate(cur, base, tolerance)
+}
+
+// BenchReadPathRun measures the frozen (lock-free) vs mutable (RWMutex)
+// GetT read paths on one shared tile.
+func BenchReadPathRun(procs, readsPerProc, dim int) (BenchReadPath, error) {
+	return perf.BenchReadPath(procs, readsPerProc, dim)
+}
 
 // FaultSweepRow is one row of the fault-injection sweep: the observed
 // completion/recovery behaviour of a schedule at one transient rate.

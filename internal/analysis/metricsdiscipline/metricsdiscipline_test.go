@@ -18,3 +18,7 @@ func TestTracerFieldsGuarded(t *testing.T) {
 func TestPackageMainMayUseWallClock(t *testing.T) {
 	analysistest.Run(t, metricsdiscipline.Analyzer, "./testdata/src/clockmain")
 }
+
+func TestPerfHarnessMayUseWallClock(t *testing.T) {
+	analysistest.Run(t, metricsdiscipline.Analyzer, "./testdata/src/perf")
+}

@@ -1,0 +1,13 @@
+// Package perf is a metricsdiscipline fixture: the benchmark harness
+// (import path ending in /perf) may read the wall clock — measuring
+// wall time is its purpose — so nothing in this package is flagged.
+package perf
+
+import "time"
+
+// Wall times one benchmark repetition.
+func Wall(run func()) float64 {
+	start := time.Now()
+	run()
+	return time.Since(start).Seconds()
+}

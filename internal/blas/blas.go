@@ -41,31 +41,41 @@ func Dgemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int
 	checkMatrix("B", b, ldb, rows(transB, k, n), cols(transB, k, n))
 	checkMatrix("C", c, ldc, m, n)
 
-	// Scale C by beta first; the kernel then accumulates.
-	if beta != 1 {
-		for i := 0; i < m; i++ {
-			row := c[i*ldc : i*ldc+n]
-			if beta == 0 {
-				for j := range row {
-					row[j] = 0
-				}
-			} else {
-				for j := range row {
-					row[j] *= beta
-				}
-			}
-		}
-	}
 	if alpha == 0 || k == 0 {
+		scaleRows(beta, 0, m, n, c, ldc)
 		return
 	}
 
+	// Beta-scaling is folded into the same row split as the kernel so C
+	// is swept once per worker, not serially up front and again in the
+	// accumulation.
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 1 && int64(m)*int64(n)*int64(k) >= parallelThreshold && m >= 2 {
-		parallelGemm(workers, transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		parallelGemm(workers, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		return
 	}
+	scaleRows(beta, 0, m, n, c, ldc)
 	gemmBlocked(transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// scaleRows applies C[i0:i1, :n] *= beta (beta == 0 stores zeros, so
+// uninitialised input never propagates NaNs).
+func scaleRows(beta float64, i0, i1, n int, c []float64, ldc int) {
+	if beta == 1 {
+		return
+	}
+	for i := i0; i < i1; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
 }
 
 func rows(trans bool, r, c int) int {
@@ -94,8 +104,10 @@ func checkMatrix(name string, x []float64, ld, r, c int) {
 	}
 }
 
-// parallelGemm splits the row range of C across workers.
-func parallelGemm(workers int, transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+// parallelGemm splits the row range of C across workers; each worker
+// beta-scales its own rows before accumulating, so the scaling sweep
+// parallelises with the kernel instead of serialising before it.
+func parallelGemm(workers int, transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if workers > m {
 		workers = m
 	}
@@ -113,6 +125,7 @@ func parallelGemm(workers int, transA, transB bool, m, n, k int, alpha float64, 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			scaleRows(beta, lo, hi, n, c, ldc)
 			gemmBlocked(transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, c, ldc)
 		}(lo, hi)
 	}

@@ -157,6 +157,43 @@ func TestDgemmParallelPathMatches(t *testing.T) {
 	}
 }
 
+func TestDgemmParallelBetaFold(t *testing.T) {
+	// Beta scaling is folded into the row-split workers rather than run
+	// as a serial pre-pass; every beta class must still match the naive
+	// reference above the parallel threshold.
+	rng := rand.New(rand.NewSource(7))
+	m, k := 160, 160
+	n := parallelThreshold/(m*k) + 8
+	a := randomSlice(rng, m*k)
+	b := randomSlice(rng, k*n)
+	for _, beta := range []float64{0, 0.5, 1} {
+		c := randomSlice(rng, m*n)
+		want := append([]float64(nil), c...)
+		naiveGemm(false, false, m, n, k, 1.1, a, k, b, n, beta, want, n)
+		Dgemm(false, false, m, n, k, 1.1, a, k, b, n, beta, c, n)
+		if d := maxAbsDiff(c, want); d > 1e-10 {
+			t.Errorf("beta=%v: parallel beta fold diff %v", beta, d)
+		}
+	}
+}
+
+func TestDgemmAlphaZeroLargeOnlyScales(t *testing.T) {
+	// alpha == 0 short-circuits to a pure beta scale even at sizes that
+	// would otherwise take the parallel path.
+	m, k := 160, 160
+	n := parallelThreshold/(m*k) + 8
+	c := make([]float64, m*n)
+	for i := range c {
+		c[i] = 2
+	}
+	Dgemm(false, false, m, n, k, 0, make([]float64, m*k), k, make([]float64, k*n), n, 0.5, c, n)
+	for i, v := range c {
+		if v != 1 {
+			t.Fatalf("element %d = %v, want 1", i, v)
+		}
+	}
+}
+
 func TestDgemmNegativeDimPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -212,6 +212,40 @@ func PointOptions(pt Point) (fourindex.Options, error) {
 	}, nil
 }
 
+// BenchOptions builds cost-mode Options for an arbitrary molecule /
+// system / core-count triple outside the Figure 2 calibration: one rank
+// per core and unlimited aggregate memory, so every schedule is feasible
+// and the benchmark harness (internal/perf) can compare all of them on
+// equal footing.
+func BenchOptions(molecule, system string, cores int) (fourindex.Options, error) {
+	mol, err := chem.ByName(molecule)
+	if err != nil {
+		return fourindex.Options{}, err
+	}
+	machine, err := cluster.ByName(system)
+	if err != nil {
+		return fourindex.Options{}, err
+	}
+	run, err := machine.Configure(cores, 0)
+	if err != nil {
+		return fourindex.Options{}, err
+	}
+	spec, err := chem.NewSpec(mol.Orbitals, SpatialSymmetry, 7)
+	if err != nil {
+		return fourindex.Options{}, err
+	}
+	tileN, tileL, alphaPar := tiling(mol.Orbitals, cores)
+	return fourindex.Options{
+		Spec:     spec,
+		Procs:    cores,
+		Mode:     ga.Cost,
+		Run:      &run,
+		TileN:    tileN,
+		TileL:    tileL,
+		AlphaPar: alphaPar,
+	}, nil
+}
+
 // RunPoint simulates one Figure 2 point.
 func RunPoint(pt Point) (Outcome, error) {
 	return runPoint(pt, nil)

@@ -164,6 +164,9 @@ func (c *runCtx) innerSlabs(aTs []*ga.TiledArray, cT *ga.TiledArray, slabGridsAl
 	}); err != nil {
 		return err
 	}
+	for _, o2T := range o2Ts {
+		o2T.Freeze() // op34 only reads the completed O2 slabs
+	}
 	c.rt.BeginPhase("op34-fused")
 	if err := c.rt.Parallel(func(p *ga.Proc) {
 		for i := 0; i < batch; i++ {
@@ -206,6 +209,7 @@ func (c *runCtx) plainSlab(aT, cT *ga.TiledArray, slabGrids []tile.Grid, wl, lOf
 	}); err != nil {
 		return err
 	}
+	o1T.Freeze()
 
 	// op2: O2[a>=b, k, lslab] = sum_j O1[a, j, k, lslab] B[b, j].
 	c.rt.BeginPhase("op2")
@@ -226,6 +230,7 @@ func (c *runCtx) plainSlab(aT, cT *ga.TiledArray, slabGrids []tile.Grid, wl, lOf
 		return err
 	}
 	c.rt.DestroyTiled(o1T)
+	o2T.Freeze()
 
 	// op3: O3[a>=b, c, lslab] = sum_k O2[ab, k, lslab] B[c, k].
 	c.rt.BeginPhase("op3")
@@ -246,6 +251,7 @@ func (c *runCtx) plainSlab(aT, cT *ga.TiledArray, slabGrids []tile.Grid, wl, lOf
 		return err
 	}
 	c.rt.DestroyTiled(o2T)
+	o3T.Freeze()
 
 	// op4: C[a>=b, c>=d] += O3[ab, c, lslab] B[d, lOff+l].
 	c.rt.BeginPhase("op4")

@@ -85,6 +85,7 @@ func runFused123(opt Options) (*Result, error) {
 			return nil, err
 		}
 		c.rt.DestroyTiled(aT)
+		o1T.Freeze()
 
 		c.rt.BeginPhase("op2")
 		o2T, err := c.rt.CreateTiled("O2l", slabGrids, [][2]int{{0, 1}}, opt.Policy)
@@ -104,6 +105,7 @@ func runFused123(opt Options) (*Result, error) {
 			return nil, err
 		}
 		c.rt.DestroyTiled(o1T)
+		o2T.Freeze()
 
 		// op3 writes this slab's tiles into the FULL O3 tensor.
 		c.rt.BeginPhase("op3")
@@ -130,7 +132,8 @@ func runFused123(opt Options) (*Result, error) {
 		}
 	}
 
-	// op4 unfused over the materialised O3.
+	// op4 unfused over the materialised O3, now complete and read-only.
+	o3T.Freeze()
 	c.rt.BeginPhase("op4")
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
 	if err != nil {

@@ -35,6 +35,7 @@ func runFusedPair(opt Options) (*Result, error) {
 			return nil, oomWrap(Fused1234Pair, err)
 		}
 		o2T.RestoreTiles(rec.State["O2"])
+		o2T.Freeze()
 		c.ckptRestore(rec, "op34-fused")
 	} else {
 		c.rt.BeginPhase("generate-A")
@@ -71,6 +72,8 @@ func runFusedPair(opt Options) (*Result, error) {
 				State:    map[string][]float64{"O2": o2T.SnapshotTiles()},
 			})
 		}
+		// O2 is complete: the op34 pass only reads it.
+		o2T.Freeze()
 	}
 
 	c.rt.BeginPhase("op34-fused")

@@ -108,9 +108,11 @@ func (c *runCtx) fillBRow(p *ga.Proc, buf []float64, ta int) (wa int) {
 // (0,1) and (2,3); the l dimension may be a slab grid) with on-the-fly
 // integrals: each process fills and Puts the tiles it owns. lOff shifts
 // the l tile indices into absolute orbital indices (used by per-slab A
-// tensors whose l grid covers [lOff, lOff+wl)).
+// tensors whose l grid covers [lOff, lOff+wl)). The generated tensor is
+// frozen: every schedule only reads A after generation, so subsequent
+// GetT traffic takes the lock-free read path.
 func (c *runCtx) generateA(aT *ga.TiledArray, lOff int) error {
-	return c.rt.Parallel(func(p *ga.Proc) {
+	err := c.rt.Parallel(func(p *ga.Proc) {
 		var coordsCopy [4]int
 		aT.ForEachTile(func(coords []int) {
 			copy(coordsCopy[:], coords)
@@ -127,12 +129,18 @@ func (c *runCtx) generateA(aT *ga.TiledArray, lOff int) error {
 			p.FreeLocal(buf)
 		})
 	})
+	if err != nil {
+		return err
+	}
+	aT.Freeze()
+	return nil
 }
 
 // generateABatch fills several slab tensors in one parallel region so
 // that integral generation for concurrently processed l slabs overlaps.
+// Like generateA it freezes the generated tensors.
 func (c *runCtx) generateABatch(aTs []*ga.TiledArray, lOffs []int) error {
-	return c.rt.Parallel(func(p *ga.Proc) {
+	err := c.rt.Parallel(func(p *ga.Proc) {
 		var coordsCopy [4]int
 		for i, aT := range aTs {
 			lOff := lOffs[i]
@@ -152,6 +160,13 @@ func (c *runCtx) generateABatch(aTs []*ga.TiledArray, lOffs []int) error {
 			})
 		}
 	})
+	if err != nil {
+		return err
+	}
+	for _, aT := range aTs {
+		aT.Freeze()
+	}
+	return nil
 }
 
 // fillATile evaluates integrals for one tile (Execute mode).

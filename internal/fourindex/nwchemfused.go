@@ -44,6 +44,7 @@ func runNWChemFused(opt Options) (*Result, error) {
 			return nil, oomWrap(NWChemFused, err)
 		}
 		o2T.RestoreTiles(rec.State["O2"])
+		o2T.Freeze()
 		c.ckptRestore(rec, "op34-chunks")
 	} else {
 		c.rt.BeginPhase("generate-A")
@@ -81,6 +82,7 @@ func runNWChemFused(opt Options) (*Result, error) {
 				}); err != nil {
 					return nil, err
 				}
+				o1chunk.Freeze() // op2 workers only read it back
 				if err := c.rt.Parallel(func(p *ga.Proc) {
 					for ta := 0; ta < c.nt; ta++ {
 						if workOwner(p.Procs(), 202, ta, tk, tl) != p.ID() {
@@ -103,6 +105,8 @@ func runNWChemFused(opt Options) (*Result, error) {
 				State:    map[string][]float64{"O2": o2T.SnapshotTiles()},
 			})
 		}
+		// O2 is complete: the op34 chunk passes only read it.
+		o2T.Freeze()
 	}
 
 	c.rt.BeginPhase("op34-chunks")
@@ -131,6 +135,7 @@ func runNWChemFused(opt Options) (*Result, error) {
 			}); err != nil {
 				return nil, err
 			}
+			o3chunk.Freeze() // op4 workers only read it back
 			if err := c.rt.Parallel(func(p *ga.Proc) {
 				for tc := 0; tc < c.nt; tc++ {
 					if workOwner(p.Procs(), 204, ta, tb, tc) != p.ID() {

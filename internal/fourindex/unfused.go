@@ -63,11 +63,13 @@ func runUnfused(opt Options) (*Result, error) {
 		}
 		c.rt.DestroyTiled(aT)
 		stageSave(1, "O1", o1T)
+		o1T.Freeze()
 	} else if stage == 1 {
 		if o1T, err = c.rt.CreateTiled("O1", g4, [][2]int{{2, 3}}, opt.Policy); err != nil {
 			return nil, oomWrap(Unfused, err)
 		}
 		o1T.RestoreTiles(rec.State["O1"])
+		o1T.Freeze()
 		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
 
@@ -81,11 +83,13 @@ func runUnfused(opt Options) (*Result, error) {
 		}
 		c.rt.DestroyTiled(o1T)
 		stageSave(2, "O2", o2T)
+		o2T.Freeze()
 	} else if stage == 2 {
 		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
 			return nil, oomWrap(Unfused, err)
 		}
 		o2T.RestoreTiles(rec.State["O2"])
+		o2T.Freeze()
 		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
 
@@ -99,11 +103,13 @@ func runUnfused(opt Options) (*Result, error) {
 		}
 		c.rt.DestroyTiled(o2T)
 		stageSave(3, "O3", o3T)
+		o3T.Freeze()
 	} else {
 		if o3T, err = c.rt.CreateTiled("O3", g4, [][2]int{{0, 1}}, opt.Policy); err != nil {
 			return nil, oomWrap(Unfused, err)
 		}
 		o3T.RestoreTiles(rec.State["O3"])
+		o3T.Freeze()
 		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
 

@@ -1,0 +1,149 @@
+package ga
+
+import (
+	"strings"
+	"testing"
+
+	"fourindex/internal/tile"
+)
+
+// TestGetTShortBufferPanicsBothPaths is the regression test for the
+// silent-truncation bug: GetT of a symmetry-forbidden (unstored) tile
+// used to zero only len(buf) elements of a short buffer while the
+// stored path panicked, so the same schedule bug surfaced or hid
+// depending on sparsity. Both paths must panic identically now.
+func TestGetTShortBufferPanicsBothPaths(t *testing.T) {
+	rt := newExec(t, 1)
+	a, err := rt.CreateTiledSparse("S", grids(4, 2, 2), nil, tile.RoundRobin,
+		func(coords []int) bool { return coords[0] == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([]float64, 3) // tile words = 4
+
+	err = rt.Parallel(func(p *Proc) {
+		p.GetT(a, short, 0, 0) // stored tile
+	})
+	if err == nil || !strings.Contains(err.Error(), "GetT buffer") {
+		t.Errorf("stored-tile short buffer: got %v, want GetT buffer panic", err)
+	}
+	err = rt.Parallel(func(p *Proc) {
+		p.GetT(a, short, 1, 0) // symmetry-forbidden tile
+	})
+	if err == nil || !strings.Contains(err.Error(), "GetT buffer") {
+		t.Errorf("forbidden-tile short buffer: got %v, want GetT buffer panic", err)
+	}
+
+	// A full-length buffer reads forbidden tiles as zeros, as before.
+	full := []float64{7, 7, 7, 7}
+	if err := rt.Parallel(func(p *Proc) {
+		p.GetT(a, full, 1, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range full {
+		if v != 0 {
+			t.Errorf("forbidden tile element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestFreezeSemantics pins the immutable-after-sync contract: reads
+// still work (and return the written data), while PutT, AccT and
+// RestoreTiles on a frozen tensor panic.
+func TestFreezeSemantics(t *testing.T) {
+	rt := newExec(t, 2)
+	a, err := rt.CreateTiled("F", grids(4, 2, 2), nil, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4}
+	if err := rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.PutT(a, want, 0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Frozen() {
+		t.Fatal("tensor frozen before Freeze")
+	}
+	a.Freeze()
+	a.Freeze() // idempotent
+	if !a.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+
+	got := make([]float64, 4)
+	if err := rt.Parallel(func(p *Proc) {
+		buf := make([]float64, 4)
+		p.GetT(a, buf, 0, 0)
+		p.GetT(a, buf, 1, 1) // unwritten tile still reads as zeros
+		p.GetT(a, buf, 0, 0)
+		if p.ID() == 0 {
+			copy(got, buf)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want {
+		if got[i] != v {
+			t.Errorf("frozen read [%d] = %v, want %v", i, got[i], v)
+		}
+	}
+
+	if err := rt.Parallel(func(p *Proc) {
+		p.PutT(a, want, 0, 0)
+	}); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("PutT on frozen tensor: got %v, want frozen panic", err)
+	}
+	if err := rt.Parallel(func(p *Proc) {
+		p.AccT(a, 1, want, 0, 0)
+	}); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("AccT on frozen tensor: got %v, want frozen panic", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RestoreTiles on frozen tensor did not panic")
+			}
+		}()
+		a.RestoreTiles(nil)
+	}()
+	rt.DestroyTiled(a)
+}
+
+// TestAllocLocalPoolZeroed pins the AllocLocal zeroed-storage contract
+// across pool reuse: a buffer dirtied and freed must come back zeroed
+// (the fused schedules accumulate GEMMs into fresh allocations).
+func TestAllocLocalPoolZeroed(t *testing.T) {
+	rt := newExec(t, 1)
+	if err := rt.Parallel(func(p *Proc) {
+		for round := 0; round < 3; round++ {
+			b := p.MustAllocLocal(100)
+			for i := range b.Data {
+				if b.Data[i] != 0 {
+					t.Errorf("round %d: reused buffer element %d = %v, want 0", round, i, b.Data[i])
+					break
+				}
+				b.Data[i] = 42
+			}
+			p.FreeLocal(b)
+		}
+		// A different length landing in the same bucket must also be
+		// fully zeroed and correctly sized.
+		b := p.MustAllocLocal(65)
+		if len(b.Data) != 65 {
+			t.Errorf("len = %d, want 65", len(b.Data))
+		}
+		for i := range b.Data {
+			if b.Data[i] != 0 {
+				t.Errorf("bucket-shared buffer element %d = %v, want 0", i, b.Data[i])
+				break
+			}
+		}
+		p.FreeLocal(b)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

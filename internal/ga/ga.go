@@ -133,7 +133,20 @@ type Runtime struct {
 	opSeqs []int64
 	// slow holds per-process straggler factors (1.0 = full speed).
 	slow []float64
+
+	// bufPools recycles Execute-mode local staging buffers, bucketed by
+	// power-of-two capacity: the schedules allocate and free the same
+	// tile-sized Get/Put/Acc buffers once per work unit, and without
+	// reuse that garbage dominates execute-mode allocation volume. The
+	// ledger accounting in AllocLocal/FreeLocal is unchanged — pooling
+	// only recycles the physical storage.
+	bufPools [poolBuckets]sync.Pool
 }
+
+// poolBuckets bounds the buffer-pool size classes: bucket b holds
+// slices of capacity 2^b elements, so 2^40 elements (8 TiB) is far
+// beyond any execute-mode buffer.
+const poolBuckets = 41
 
 // NewRuntime validates the configuration and builds a runtime.
 func NewRuntime(cfg Config) (*Runtime, error) {
@@ -388,10 +401,50 @@ func (p *Proc) AllocLocal(words int64) (Buffer, error) {
 	}
 	c.Alloc(words)
 	b := Buffer{words: words}
-	if p.rt.cfg.Mode == Execute {
-		b.Data = make([]float64, words)
+	if p.rt.cfg.Mode == Execute && words > 0 {
+		b.Data = p.rt.getPooled(words)
 	}
 	return b, nil
+}
+
+// getPooled returns a zeroed slice of length words from the bucketed
+// buffer pool, allocating a bucket-capacity slice on a miss. Buffers
+// are re-zeroed on reuse because AllocLocal promises zeroed storage
+// (the fused schedules accumulate GEMMs into fresh buffers).
+func (rt *Runtime) getPooled(words int64) []float64 {
+	bkt := poolBucket(words)
+	if bkt < 0 {
+		return make([]float64, words)
+	}
+	if v := rt.bufPools[bkt].Get(); v != nil {
+		s := (*(v.(*[]float64)))[:words]
+		clear(s)
+		return s
+	}
+	return make([]float64, words, int64(1)<<bkt)
+}
+
+// putPooled recycles a buffer's storage. Only slices whose capacity is
+// exactly a bucket size re-enter the pool, so a future Get can always
+// reslice to any length the bucket covers.
+func (rt *Runtime) putPooled(s []float64) {
+	bkt := poolBucket(int64(cap(s)))
+	if bkt < 0 || cap(s) != 1<<bkt {
+		return
+	}
+	s = s[:cap(s)]
+	rt.bufPools[bkt].Put(&s)
+}
+
+// poolBucket returns the smallest power-of-two bucket holding words
+// elements, or -1 when words is outside the pooled range.
+func poolBucket(words int64) int {
+	for b := 0; b < poolBuckets; b++ {
+		if int64(1)<<b >= words {
+			return b
+		}
+	}
+	return -1
 }
 
 // MustAllocLocal is AllocLocal that panics on failure (the panic is
@@ -404,9 +457,14 @@ func (p *Proc) MustAllocLocal(words int64) Buffer {
 	return b
 }
 
-// FreeLocal releases a local buffer.
+// FreeLocal releases a local buffer. The caller must not retain b.Data
+// afterwards: in Execute mode the storage re-enters the buffer pool and
+// a later AllocLocal may hand it to another process.
 func (p *Proc) FreeLocal(b Buffer) {
 	p.Counters().Free(b.words)
+	if b.Data != nil {
+		p.rt.putPooled(b.Data)
+	}
 }
 
 // chargeTransfer accounts one tile-fragment transfer of elems elements.

@@ -123,6 +123,64 @@ func TestStressBarrierPoisonUnderLoad(t *testing.T) {
 	}
 }
 
+// TestStressFrozenTileLockFreeReads writes one hot tile inside a
+// region, freezes the tensor at the following sync point, and then has
+// every process read that same tile in a tight loop from a second
+// region. Frozen tensors take the lock-free GetT fast path, so this is
+// exactly the schedule shape (producer region -> GA_Sync -> consumer
+// region) whose safety rests on the region boundary's happens-before
+// edge. Run under `go test -race -count=5` in CI.
+func TestStressFrozenTileLockFreeReads(t *testing.T) {
+	const (
+		procs  = 8
+		rounds = 200
+		dim    = 6
+	)
+	rt, err := NewRuntime(Config{Procs: procs, Mode: Execute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rt.CreateTiled("B", grids(dim, dim, 2), nil, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.DestroyTiled(a)
+
+	want := make([]float64, dim*dim)
+	for i := range want {
+		want[i] = float64(i + 1)
+	}
+	if err := rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.PutT(a, want, 0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Freeze()
+
+	var reads atomic.Int64
+	if err := rt.Parallel(func(p *Proc) {
+		buf := p.MustAllocLocal(dim * dim)
+		defer p.FreeLocal(buf)
+		for r := 0; r < rounds; r++ {
+			p.GetT(a, buf.Data, 0, 0)
+			for i, v := range buf.Data {
+				if v != want[i] {
+					panic(fmt.Errorf("proc %d round %d: element %d = %v, want %v",
+						p.ID(), r, i, v, want[i]))
+				}
+			}
+			reads.Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reads.Load(); got != procs*rounds {
+		t.Fatalf("completed %d reads, want %d", got, procs*rounds)
+	}
+}
+
 // TestStressLocalLedgerBalanced checks that the concurrent stress
 // leaves every per-process local-memory ledger at zero — the invariant
 // gadiscipline enforces statically and the runtime tracks dynamically.

@@ -45,9 +45,15 @@ type TiledArray struct {
 	onDisk bool
 
 	data      []([]float64) // canonical tile id -> storage (Execute only)
-	locks     []sync.Mutex
+	locks     []sync.RWMutex
 	written   []atomic.Bool // Strict mode
 	destroyed atomic.Bool
+
+	// frozen marks the tensor immutable-after-sync: Freeze is called
+	// from sequential code after the last producing Parallel region, so
+	// the region boundary's happens-before edge publishes every tile to
+	// every subsequent reader and GetT can skip the tile lock entirely.
+	frozen atomic.Bool
 }
 
 // CreateTiled allocates a distributed tensor with one grid per dimension
@@ -129,7 +135,7 @@ func (rt *Runtime) CreateTiledSparse(name string, grids []tile.Grid, symPairs []
 	a.Dist = tile.NewDist(total, rt.cfg.Procs, pol, 1)
 	if rt.cfg.Mode == Execute {
 		a.data = make([][]float64, total)
-		a.locks = make([]sync.Mutex, total)
+		a.locks = make([]sync.RWMutex, total)
 	}
 	if rt.cfg.Strict {
 		a.written = make([]atomic.Bool, total)
@@ -287,6 +293,23 @@ func (a *TiledArray) checkAlive(op string) {
 // if retained.
 func (a *TiledArray) ForEachTile(f func(coords []int)) { a.forEachCanonical(f) }
 
+// Freeze marks the tensor read-only. It must be called from sequential
+// (between-region) code after the last Parallel region that writes the
+// tensor: the region boundary already synchronised every producer with
+// every later reader, so once frozen GetT copies tile data without
+// taking the tile lock at all — concurrent reads of one hot tile (the
+// A slabs and O-intermediates every process re-fetches per l-slab) stop
+// contending on anything. PutT and AccT on a frozen tensor panic.
+// Freezing is idempotent and permanent for the tensor's lifetime;
+// RestoreTiles on a frozen tensor panics like a write.
+func (a *TiledArray) Freeze() {
+	a.checkAlive("Freeze")
+	a.frozen.Store(true)
+}
+
+// Frozen reports whether Freeze has been called.
+func (a *TiledArray) Frozen() bool { return a.frozen.Load() }
+
 // ReadTileInto copies a tile's contents into buf without any accounting.
 // Sequential (between-region) helper for result extraction and
 // verification; Execute mode only. Unwritten tiles read as zeros.
@@ -342,6 +365,9 @@ func (a *TiledArray) SnapshotTiles() []float64 {
 // accounting like SnapshotTiles.
 func (a *TiledArray) RestoreTiles(data []float64) {
 	a.checkAlive("RestoreTiles")
+	if a.frozen.Load() {
+		panic(fmt.Sprintf("ga: RestoreTiles on frozen tensor %q", a.Name))
+	}
 	off := 0
 	a.forEachCanonical(func(coords []int) {
 		id := a.canonicalID(coords)
@@ -374,9 +400,15 @@ func (p *Proc) GetT(a *TiledArray, buf []float64, coords ...int) int {
 	id := a.canonicalID(coords)
 	words := a.TileWords(coords)
 	if a.stored != nil && !a.stored[id] {
-		// Symmetry-forbidden block: reads are free zeros.
+		// Symmetry-forbidden block: reads are free zeros. The buffer
+		// must still hold the whole tile — a short buffer here would
+		// silently leave stale elements past len(buf) that the stored
+		// path would have caught, so both paths panic alike.
 		if a.rt.cfg.Mode == Execute {
-			for i := 0; i < words && i < len(buf); i++ {
+			if len(buf) < words {
+				panic(fmt.Sprintf("ga: GetT buffer %d < tile words %d", len(buf), words))
+			}
+			for i := 0; i < words; i++ {
 				buf[i] = 0
 			}
 		}
@@ -399,17 +431,28 @@ func (p *Proc) GetT(a *TiledArray, buf []float64, coords ...int) int {
 		if len(buf) < words {
 			panic(fmt.Sprintf("ga: GetT buffer %d < tile words %d", len(buf), words))
 		}
-		a.locks[id].Lock()
-		if a.data[id] == nil {
-			for i := 0; i < words; i++ {
-				buf[i] = 0
-			}
+		if a.frozen.Load() {
+			// Immutable-after-sync fast path: no writer can exist, so
+			// the copy needs no lock (see Freeze).
+			a.copyTile(buf, id, words)
 		} else {
-			copy(buf[:words], a.data[id])
+			a.locks[id].RLock()
+			a.copyTile(buf, id, words)
+			a.locks[id].RUnlock()
 		}
-		a.locks[id].Unlock()
 	}
 	return words
+}
+
+// copyTile copies tile id into buf (never-written tiles read as zeros).
+func (a *TiledArray) copyTile(buf []float64, id, words int) {
+	if a.data[id] == nil {
+		for i := 0; i < words; i++ {
+			buf[i] = 0
+		}
+		return
+	}
+	copy(buf[:words], a.data[id])
 }
 
 // PutT overwrites the whole tile at coords with buf.
@@ -424,6 +467,9 @@ func (p *Proc) AccT(a *TiledArray, alpha float64, buf []float64, coords ...int) 
 
 func (p *Proc) updateT(op string, a *TiledArray, alpha float64, acc bool, buf []float64, coords []int) {
 	a.checkAlive(op)
+	if a.frozen.Load() {
+		panic(fmt.Sprintf("ga: %s on frozen tensor %q", op, a.Name))
+	}
 	id := a.canonicalID(coords)
 	words := a.TileWords(coords)
 	if a.stored != nil && !a.stored[id] {

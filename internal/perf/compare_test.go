@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkPoint(scheme string, wall float64) Point {
+	p := Point{
+		Kind: "execute", Scheme: scheme, N: 16, Procs: 2, Gomaxprocs: 1,
+		Flops: 1000, BytesMoved: 8000, Messages: 10, PeakGlobalBytes: 4096,
+	}
+	if wall > 0 {
+		p.Measured = &Measured{WallSeconds: wall}
+	}
+	return p
+}
+
+func mkReport(points ...Point) *Report {
+	return &Report{SchemaVersion: SchemaVersion, Points: points}
+}
+
+func TestGatePassesIdenticalReports(t *testing.T) {
+	cur := mkReport(mkPoint("unfused", 0.1), mkPoint("hybrid", 0.2))
+	base := mkReport(mkPoint("unfused", 0.1), mkPoint("hybrid", 0.2))
+	v, err := Gate(cur, base, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Errorf("identical reports gated: %v", v)
+	}
+}
+
+func TestGateNormalisesMachineSpeed(t *testing.T) {
+	// Current machine is uniformly 2x slower: every ratio is 2.0, the
+	// median normalisation absorbs it, no violation.
+	cur := mkReport(mkPoint("unfused", 0.2), mkPoint("hybrid", 0.4), mkPoint("fullyfused", 0.6))
+	base := mkReport(mkPoint("unfused", 0.1), mkPoint("hybrid", 0.2), mkPoint("fullyfused", 0.3))
+	v, err := Gate(cur, base, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Errorf("uniform slowdown gated: %v", v)
+	}
+}
+
+func TestGateCatchesSingleRegression(t *testing.T) {
+	// One schedule regressed 2x while the others held: the median stays
+	// at 1.0 and the regressed point must fail.
+	cur := mkReport(mkPoint("unfused", 0.1), mkPoint("hybrid", 0.4), mkPoint("fullyfused", 0.3))
+	base := mkReport(mkPoint("unfused", 0.1), mkPoint("hybrid", 0.2), mkPoint("fullyfused", 0.3))
+	v, err := Gate(cur, base, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "hybrid") || !strings.Contains(v[0], "wall time regressed") {
+		t.Errorf("violations = %v, want one hybrid wall-time regression", v)
+	}
+}
+
+func TestGateCatchesDeterministicDrift(t *testing.T) {
+	reg := mkPoint("unfused", 0.1)
+	reg.BytesMoved = 12000 // 50% more movement than baseline
+	cur := mkReport(reg)
+	base := mkReport(mkPoint("unfused", 0.1))
+	v, err := Gate(cur, base, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "bytesMoved") {
+		t.Errorf("violations = %v, want one bytesMoved drift", v)
+	}
+}
+
+func TestGateSkipsNoisePoints(t *testing.T) {
+	// Sub-minGateWall points regress 10x without tripping the gate.
+	cur := mkReport(mkPoint("unfused", 0.04), mkPoint("hybrid", 0.2))
+	base := mkReport(mkPoint("unfused", 0.004), mkPoint("hybrid", 0.2))
+	v, err := Gate(cur, base, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Errorf("noise point gated: %v", v)
+	}
+}
+
+func TestGateMissingBaselinePointErrors(t *testing.T) {
+	cur := mkReport(mkPoint("unfused", 0.1), mkPoint("fused123-4", 0.1))
+	base := mkReport(mkPoint("unfused", 0.1))
+	if _, err := Gate(cur, base, 0.15); err == nil || !strings.Contains(err.Error(), "no baseline") {
+		t.Errorf("err = %v, want missing-baseline error", err)
+	}
+}
+
+func TestGateSubsetCurrentAllowed(t *testing.T) {
+	// A smoke run (subset) gated against the full baseline must pass.
+	cur := mkReport(mkPoint("unfused", 0.1))
+	base := mkReport(mkPoint("unfused", 0.1), mkPoint("hybrid", 0.2))
+	v, err := Gate(cur, base, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Errorf("subset current gated: %v", v)
+	}
+}
+
+func TestGateSchemaMismatchErrors(t *testing.T) {
+	cur := mkReport(mkPoint("unfused", 0.1))
+	base := mkReport(mkPoint("unfused", 0.1))
+	base.SchemaVersion = SchemaVersion + 1
+	if _, err := Gate(cur, base, 0.15); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("err = %v, want schema-version error", err)
+	}
+}

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fourindex/internal/fourindex"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden benchmark report")
+
+// goldenConfig is one tiny fully-deterministic cell: no measurement, so
+// the encoded report must be byte-stable across machines and runs.
+func goldenConfig() Config {
+	return Config{
+		Schemes:       []fourindex.Scheme{fourindex.Unfused, fourindex.FullyFusedInner},
+		ExecutePoints: []ExecutePoint{{N: 12, Procs: 2}},
+		Gomaxprocs:    []int{1},
+	}
+}
+
+// TestGoldenReportSchema pins the report's JSON shape (field names, key
+// order, schema version) and the deterministic accounting of a fixed
+// execute point. Regenerate with `go test ./internal/perf -update` only
+// when the schema or the schedules change intentionally.
+func TestGoldenReportSchema(t *testing.T) {
+	rep, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Fatalf("SchemaVersion = %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_bench.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/perf -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("benchmark report drifted from golden (%d vs %d bytes); regenerate with -update if the schema or schedules changed intentionally",
+			buf.Len(), len(want))
+	}
+}
+
+// TestCostModeDeterminism runs the same cost-mode matrix twice and
+// requires byte-identical reports: the simulated clock, the counters and
+// the audit join must not depend on host scheduling.
+func TestCostModeDeterminism(t *testing.T) {
+	cfg := Config{
+		Schemes:    []fourindex.Scheme{fourindex.Unfused, fourindex.Fused1234Pair},
+		CostPoints: []CostPoint{{Molecule: "Hyperpolar", System: "A", Cores: 32}},
+		Gomaxprocs: []int{1},
+	}
+	encode := func() []byte {
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two cost-mode runs encoded differently (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestRoundTrip checks Decode inverts Encode.
+func TestRoundTrip(t *testing.T) {
+	rep, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), buf.Bytes()...)
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, buf2.Bytes()) {
+		t.Error("Decode(Encode(r)) re-encoded differently")
+	}
+}
+
+// TestMeasuredFieldsPresent checks the measured layer appears exactly
+// when asked for, and that attainment lands in (0, 1].
+func TestMeasuredFieldsPresent(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Measure = true
+	cfg.Repeats = 1
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReadPath == nil {
+		t.Error("Measure run has no readPath result")
+	} else if rep.ReadPath.FrozenSeconds <= 0 || rep.ReadPath.LockedSeconds <= 0 {
+		t.Errorf("read-path timings not positive: %+v", rep.ReadPath)
+	}
+	for _, p := range rep.Points {
+		if p.Measured == nil {
+			t.Errorf("%s: no measured fields on a Measure run", p.Key())
+			continue
+		}
+		if p.Measured.WallSeconds <= 0 {
+			t.Errorf("%s: wall %v, want > 0", p.Key(), p.Measured.WallSeconds)
+		}
+		if p.Attained <= 0 || p.Attained > 1.000001 {
+			t.Errorf("%s: attained %v outside (0, 1]", p.Key(), p.Attained)
+		}
+	}
+}
+
+// TestSmokeIsSubsetOfDefault guards the CI contract: every smoke matrix
+// cell must exist in the full matrix, or gating a smoke run against the
+// checked-in full baseline would fail spuriously.
+func TestSmokeIsSubsetOfDefault(t *testing.T) {
+	full := DefaultConfig().withDefaults()
+	smoke := SmokeConfig().withDefaults()
+	inExec := func(e ExecutePoint) bool {
+		for _, f := range full.ExecutePoints {
+			if f == e {
+				return true
+			}
+		}
+		return false
+	}
+	inCost := func(c CostPoint) bool {
+		for _, f := range full.CostPoints {
+			if f == c {
+				return true
+			}
+		}
+		return false
+	}
+	inGmp := func(g int) bool {
+		for _, f := range full.Gomaxprocs {
+			if f == g {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range smoke.ExecutePoints {
+		if !inExec(e) {
+			t.Errorf("smoke execute point %+v not in the full matrix", e)
+		}
+	}
+	for _, c := range smoke.CostPoints {
+		if !inCost(c) {
+			t.Errorf("smoke cost point %+v not in the full matrix", c)
+		}
+	}
+	for _, g := range smoke.Gomaxprocs {
+		if !inGmp(g) {
+			t.Errorf("smoke gomaxprocs %d not in the full matrix", g)
+		}
+	}
+	if len(smoke.Schemes) != len(full.Schemes) || len(smoke.CostSchemes) != len(full.CostSchemes) {
+		t.Error("smoke must run the same scheme set as the full matrix")
+	}
+}

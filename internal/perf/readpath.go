@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"fourindex/internal/ga"
+	"fourindex/internal/tile"
+)
+
+// ReadPathResult reports the GetT read-path microbenchmark: every
+// process hammering one shared tile, first through the per-tile
+// RWMutex (the mutable path), then lock-free after Freeze (the
+// immutable-after-sync fast path the schedules use for frozen inputs
+// and intermediates). Wall-clock quantities; Measure runs only.
+type ReadPathResult struct {
+	// Procs and ReadsPerProc size the hammering region.
+	Procs        int `json:"procs"`
+	ReadsPerProc int `json:"readsPerProc"`
+	// TileWords is the shared tile's element count.
+	TileWords int `json:"tileWords"`
+	// LockedSeconds is the mutable (RWMutex) path's best region time;
+	// FrozenSeconds the lock-free frozen path's.
+	LockedSeconds float64 `json:"lockedSeconds"`
+	FrozenSeconds float64 `json:"frozenSeconds"`
+	// Speedup is LockedSeconds / FrozenSeconds.
+	Speedup float64 `json:"speedup"`
+}
+
+// readPathTrials is the best-of count for each path's region timing.
+const readPathTrials = 3
+
+// BenchReadPath measures both GetT read paths on one dim x dim tile
+// shared by procs processes, each issuing readsPerProc reads per trial.
+// The unfrozen path is timed first, the tensor is frozen at a region
+// boundary (exactly a schedule's producer -> GA_Sync -> consumers
+// shape), and the same loop is timed again.
+func BenchReadPath(procs, readsPerProc, dim int) (ReadPathResult, error) {
+	rt, err := ga.NewRuntime(ga.Config{Procs: procs, Mode: ga.Execute})
+	if err != nil {
+		return ReadPathResult{}, err
+	}
+	g := tile.NewGrid(dim, dim)
+	a, err := rt.CreateTiled("readpath", []tile.Grid{g, g}, nil, tile.RoundRobin)
+	if err != nil {
+		return ReadPathResult{}, err
+	}
+	defer rt.DestroyTiled(a)
+
+	words := dim * dim
+	init := make([]float64, words)
+	for i := range init {
+		init[i] = float64(i)
+	}
+	if err := rt.Parallel(func(p *ga.Proc) {
+		if p.ID() == 0 {
+			p.PutT(a, init, 0, 0)
+		}
+	}); err != nil {
+		return ReadPathResult{}, err
+	}
+
+	hammer := func() (float64, error) {
+		best := 0.0
+		for trial := 0; trial < readPathTrials; trial++ {
+			start := time.Now()
+			err := rt.Parallel(func(p *ga.Proc) {
+				buf := p.MustAllocLocal(int64(words))
+				defer p.FreeLocal(buf)
+				for r := 0; r < readsPerProc; r++ {
+					p.GetT(a, buf.Data, 0, 0)
+				}
+			})
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return 0, err
+			}
+			if trial == 0 || wall < best {
+				best = wall
+			}
+		}
+		return best, nil
+	}
+
+	res := ReadPathResult{Procs: procs, ReadsPerProc: readsPerProc, TileWords: words}
+	if res.LockedSeconds, err = hammer(); err != nil {
+		return ReadPathResult{}, err
+	}
+	a.Freeze()
+	if res.FrozenSeconds, err = hammer(); err != nil {
+		return ReadPathResult{}, err
+	}
+	if res.FrozenSeconds > 0 {
+		res.Speedup = res.LockedSeconds / res.FrozenSeconds
+	}
+	return res, nil
+}
+
+// String renders the result for the bench subcommand's summary.
+func (r ReadPathResult) String() string {
+	return fmt.Sprintf("read-path: %d procs x %d reads of a %d-word tile: locked %.3fms, frozen %.3fms (%.2fx)",
+		r.Procs, r.ReadsPerProc, r.TileWords, 1e3*r.LockedSeconds, 1e3*r.FrozenSeconds, r.Speedup)
+}
