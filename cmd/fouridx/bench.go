@@ -40,8 +40,8 @@ func runBench(args []string) {
 	fatalIf(err)
 
 	if *verbose {
-		fmt.Printf("%-9s %-18s %-22s %5s | %12s %12s %10s %8s %10s\n",
-			"kind", "scheme", "point", "gomax", "flops", "bytesMoved", "sim s", "attained", "wall ms")
+		fmt.Printf("%-9s %-18s %-22s %5s %3s | %12s %12s %10s %8s %8s %10s\n",
+			"kind", "scheme", "point", "gomax", "ov", "flops", "bytesMoved", "sim s", "attained", "exp frac", "wall ms")
 		for _, p := range rep.Points {
 			where := fmt.Sprintf("n=%d procs=%d", p.N, p.Procs)
 			if p.Kind == "cost" {
@@ -51,14 +51,21 @@ func runBench(args []string) {
 			if p.Measured != nil {
 				wall = fmt.Sprintf("%.2f", 1e3*p.Measured.WallSeconds)
 			}
-			fmt.Printf("%-9s %-18s %-22s %5d | %12.4g %12.4g %10.2f %8.3f %10s\n",
-				p.Kind, p.Scheme, where, p.Gomaxprocs,
-				float64(p.Flops), float64(p.BytesMoved), p.SimSeconds, p.Attained, wall)
+			ov := "off"
+			if p.Overlap {
+				ov = "on"
+			}
+			fmt.Printf("%-9s %-18s %-22s %5d %3s | %12.4g %12.4g %10.2f %8.3f %8.3f %10s\n",
+				p.Kind, p.Scheme, where, p.Gomaxprocs, ov,
+				float64(p.Flops), float64(p.BytesMoved), p.SimSeconds, p.Attained, p.ExposedCommFraction, wall)
 		}
 	}
 	fmt.Printf("bench:    %d matrix points\n", len(rep.Points))
 	if rep.ReadPath != nil {
 		fmt.Printf("%s\n", rep.ReadPath)
+	}
+	if rep.GemmTransB != nil {
+		fmt.Printf("%s\n", rep.GemmTransB)
 	}
 
 	if *out != "" {

@@ -32,6 +32,7 @@ func runChaos(args []string) {
 		cores    = fs.Int("cores", 0, "cores on the cluster model (with -system)")
 		rpn      = fs.Int("ranks-per-node", 0, "ranks per node (0 = one per core)")
 		mem      = fs.String("mem", "", "aggregate memory cap, e.g. 512MB, 9TB (empty = unlimited)")
+		overlap  = fs.Bool("overlap", false, "nonblocking communication: faults on nonblocking ops surface at the matching wait")
 	)
 	fatalIf(fs.Parse(args))
 
@@ -41,10 +42,11 @@ func runChaos(args []string) {
 	fatalIf(err)
 
 	opt := fourindex.Options{
-		Spec:  spec,
-		Procs: *procs,
-		TileN: *tileN,
-		TileL: *tileL,
+		Spec:    spec,
+		Procs:   *procs,
+		TileN:   *tileN,
+		TileL:   *tileL,
+		Overlap: *overlap,
 	}
 	if *cost {
 		opt.Mode = fourindex.ModeCost

@@ -67,6 +67,8 @@ func main() {
 		cores    = flag.Int("cores", 0, "cores on the cluster model (with -system)")
 		rpn      = flag.Int("ranks-per-node", 0, "ranks per node (0 = one per core)")
 		mem      = flag.String("mem", "", "aggregate memory cap, e.g. 512MB, 9TB (empty = unlimited)")
+		overlap  = flag.Bool("overlap", false, "nonblocking communication: double-buffer gets and pipeline writes so transfers overlap compute")
+		ovEff    = flag.Float64("overlap-eff", 0, "fraction of in-flight transfer time the cost model may hide, in (0, 1] (0 = 1, full overlap)")
 		verbose  = flag.Bool("v", false, "print the transformed tensor's checksum")
 		autotune = flag.Bool("autotune", false, "sweep configurations in simulation and report the fastest (needs -system)")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
@@ -90,11 +92,13 @@ func main() {
 	fatalIf(err)
 
 	opt := fourindex.Options{
-		Spec:     spec,
-		Procs:    *procs,
-		TileN:    *tileN,
-		TileL:    *tileL,
-		AlphaPar: *alphaPar,
+		Spec:              spec,
+		Procs:             *procs,
+		TileN:             *tileN,
+		TileL:             *tileL,
+		AlphaPar:          *alphaPar,
+		Overlap:           *overlap,
+		OverlapEfficiency: *ovEff,
 	}
 	if *cost {
 		opt.Mode = fourindex.ModeCost
@@ -166,6 +170,10 @@ func main() {
 	if res.ElapsedSeconds > 0 {
 		fmt.Printf("sim time: %.1f s (%.0f%% idle at barriers)\n",
 			res.ElapsedSeconds, 100*res.IdleFraction)
+	}
+	if total := res.ExposedCommSeconds + res.OverlapCommSeconds; *overlap && total > 0 {
+		fmt.Printf("overlap:  %.1f s transfer hidden, %.1f s exposed (%.0f%% exposed)\n",
+			res.OverlapCommSeconds, res.ExposedCommSeconds, 100*res.ExposedCommSeconds/total)
 	}
 	if len(res.Phases) > 0 {
 		fmt.Printf("phases:\n")

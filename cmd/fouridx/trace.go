@@ -30,6 +30,8 @@ func runTrace(args []string) {
 		cores    = fs.Int("cores", 0, "cores on the cluster model (with -system)")
 		rpn      = fs.Int("ranks-per-node", 0, "ranks per node (0 = one per core)")
 		mem      = fs.String("mem", "", "aggregate memory cap, e.g. 512MB, 9TB (empty = unlimited)")
+		overlap  = fs.Bool("overlap", false, "nonblocking communication: double-buffer gets and pipeline writes so transfers overlap compute")
+		ovEff    = fs.Float64("overlap-eff", 0, "fraction of in-flight transfer time the cost model may hide, in (0, 1] (0 = 1, full overlap)")
 		events   = fs.Int("events", 0, "event ring capacity (0 = default 32768)")
 		out      = fs.String("o", "trace.json", "Chrome trace_event JSON output path")
 	)
@@ -53,12 +55,14 @@ func runTrace(args []string) {
 
 	tr := fourindex.NewTracer(*events)
 	opt := fourindex.Options{
-		Spec:     spec,
-		Procs:    *procs,
-		TileN:    *tileN,
-		TileL:    *tileL,
-		AlphaPar: *alphaPar,
-		Trace:    tr,
+		Spec:              spec,
+		Procs:             *procs,
+		TileN:             *tileN,
+		TileL:             *tileL,
+		AlphaPar:          *alphaPar,
+		Overlap:           *overlap,
+		OverlapEfficiency: *ovEff,
+		Trace:             tr,
 	}
 	if *cost {
 		opt.Mode = fourindex.ModeCost
@@ -104,6 +108,10 @@ func runTrace(args []string) {
 		*out, len(tr.Spans()), len(tr.Events()), tr.Dropped())
 	if res.ElapsedSeconds > 0 {
 		fmt.Printf("sim time: %.1f s\n", res.ElapsedSeconds)
+	}
+	if total := res.ExposedCommSeconds + res.OverlapCommSeconds; *overlap && total > 0 {
+		fmt.Printf("overlap:  %.1f s transfer hidden, %.1f s exposed (%.0f%% exposed)\n",
+			res.OverlapCommSeconds, res.ExposedCommSeconds, 100*res.ExposedCommSeconds/total)
 	}
 
 	// Per-process fast memory for the contraction bounds: an explicit

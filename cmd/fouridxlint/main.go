@@ -1,6 +1,7 @@
 // Command fouridxlint is the multichecker for the repository's custom
 // static analyzers. It enforces the code-level disciplines the paper's
-// data-movement accounting depends on — ga resource pairing, packed
+// data-movement accounting depends on — ga resource pairing,
+// nonblocking-handle completion discipline, packed
 // triangular indexing through internal/sym, metrics and tracer accessor
 // hygiene, runtime error propagation, and doc-comment coverage of the
 // internal packages (see internal/analysis for the full rationale of
@@ -29,6 +30,7 @@ import (
 	"fourindex/internal/analysis/errflow"
 	"fourindex/internal/analysis/gadiscipline"
 	"fourindex/internal/analysis/metricsdiscipline"
+	"fourindex/internal/analysis/nbdiscipline"
 	"fourindex/internal/analysis/retrydiscipline"
 	"fourindex/internal/analysis/symindex"
 )
@@ -39,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	errflow.Analyzer,
 	gadiscipline.Analyzer,
 	metricsdiscipline.Analyzer,
+	nbdiscipline.Analyzer,
 	retrydiscipline.Analyzer,
 	symindex.Analyzer,
 }

@@ -1,0 +1,12 @@
+package nbdiscipline_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/nbdiscipline"
+)
+
+func TestNbDiscipline(t *testing.T) {
+	analysistest.Run(t, nbdiscipline.Analyzer, "./testdata/src/nb")
+}

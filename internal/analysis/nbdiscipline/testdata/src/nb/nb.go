@@ -1,0 +1,125 @@
+// Package nb is an nbdiscipline fixture: it exercises the nonblocking
+// handle discipline checks against the real ga runtime API. Lines
+// carrying a "want" comment are true positives; the rest must stay
+// clean.
+package nb
+
+import (
+	"fourindex/internal/ga"
+)
+
+// discardResult drops the handle on the floor: nothing can ever wait it.
+func discardResult(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	p.NbGetT(a, buf, 0, 0) // want `nonblocking handle from NbGetT is discarded`
+}
+
+// discardBlank binds the handle to the blank identifier.
+func discardBlank(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	_ = p.NbPutT(a, buf, 0, 0) // want `nonblocking handle from NbPutT is discarded`
+}
+
+// neverWaited binds the handle but forgets the wait.
+func neverWaited(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	h := p.NbGetT(a, buf, 0, 0) // want `nonblocking handle "h" never reaches Wait or WaitAll`
+	_ = buf[0]
+	_ = h
+}
+
+// barrierBeforeWait lets deferred work cross a synchronisation point.
+func barrierBeforeWait(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	h := p.NbPutT(a, buf, 0, 0) // want `nonblocking handle "h" crosses a barrier on line \d+ before its Wait`
+	p.Barrier()
+	h.Wait(p)
+}
+
+// cleanWait is the straight-line issue/wait pair.
+func cleanWait(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	h := p.NbGetT(a, buf, 0, 0)
+	h.Wait(p)
+	_ = buf[0]
+}
+
+// cleanWaitAll completes several handles through WaitAll, including a
+// variadic spread.
+func cleanWaitAll(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	h1 := p.NbPutT(a, buf, 0, 0)
+	h2 := p.NbAccT(a, 1, buf, 0, 1)
+	var hs []*ga.Handle
+	h3 := p.NbPutT(a, buf, 0, 2)
+	hs = append(hs, h3)
+	p.WaitAll(h1, h2)
+	p.WaitAll(hs...)
+}
+
+// cleanWaitBeforeBarrier waits before the barrier, the legal order.
+func cleanWaitBeforeBarrier(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	h := p.NbGetT(a, buf, 0, 0)
+	h.Wait(p)
+	p.Barrier()
+}
+
+// cleanReturn hands the handle to the caller, who owns the wait.
+func cleanReturn(p *ga.Proc, a *ga.TiledArray, buf []float64) *ga.Handle {
+	return p.NbGetT(a, buf, 0, 0)
+}
+
+// cleanBoundReturn binds first, then returns.
+func cleanBoundReturn(p *ga.Proc, a *ga.TiledArray, buf []float64) *ga.Handle {
+	h := p.NbGetT(a, buf, 0, 0)
+	return h
+}
+
+// waiter consumes a handle; used by the escape cases below.
+func waiter(p *ga.Proc, h *ga.Handle) {
+	if h != nil {
+		h.Wait(p)
+	}
+}
+
+// cleanCallEscape passes the handle to a helper (the nbQueue push
+// pattern in the schedules); the callee owns the wait.
+func cleanCallEscape(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	waiter(p, p.NbPutT(a, buf, 0, 0))
+	h := p.NbPutT(a, buf, 0, 1)
+	waiter(p, h)
+}
+
+// cleanFieldEscape stores the handle in a struct (the double-buffer
+// window pattern); the struct owner drains it.
+type window struct {
+	hs [2]*ga.Handle
+}
+
+func cleanFieldEscape(p *ga.Proc, a *ga.TiledArray, buf []float64, w *window) {
+	h := p.NbPutT(a, buf, 0, 0)
+	w.hs[0] = h
+}
+
+// cleanAliasEscape rotates buffers prefetch2-style: next is aliased
+// into cur, whose wait covers both.
+func cleanAliasEscape(p *ga.Proc, a *ga.TiledArray, buf []float64, n int) {
+	cur := p.NbGetT(a, buf, 0, 0)
+	for t := 1; t <= n; t++ {
+		next := p.NbGetT(a, buf, 0, t)
+		cur.Wait(p)
+		cur = next
+	}
+	cur.Wait(p)
+}
+
+// cleanBarrierBeforeIssue: a barrier before the issue is irrelevant.
+func cleanBarrierBeforeIssue(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	p.Barrier()
+	h := p.NbGetT(a, buf, 0, 0)
+	h.Wait(p)
+}
+
+// barrierBeforeEscapeIsStillCleanish: ownership moves to the slice
+// before the barrier, so the storing code is responsible.
+func cleanEscapeBeforeBarrier(p *ga.Proc, a *ga.TiledArray, buf []float64) []*ga.Handle {
+	var hs []*ga.Handle
+	h := p.NbPutT(a, buf, 0, 0)
+	hs = append(hs, h)
+	p.Barrier()
+	return hs
+}

@@ -134,22 +134,56 @@ func parallelGemm(workers int, transA, transB bool, m, n, k int, alpha float64, 
 
 // gemmBlocked accumulates alpha*op(A)*op(B) into C for C-rows [i0, i1).
 func gemmBlocked(transA, transB bool, i0, i1, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if transB {
+		gemmBlockedTransB(transA, i0, i1, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
 	for ib := i0; ib < i1; ib += blockM {
 		iMax := min(ib+blockM, i1)
 		for kb := 0; kb < k; kb += blockK {
 			kMax := min(kb+blockK, k)
 			for jb := 0; jb < n; jb += blockN {
 				jMax := min(jb+blockN, n)
-				gemmKernel(transA, transB, ib, iMax, jb, jMax, kb, kMax, alpha, a, lda, b, ldb, c, ldc)
+				gemmKernel(transA, ib, iMax, jb, jMax, kb, kMax, alpha, a, lda, b, ldb, c, ldc)
 			}
 		}
 	}
 }
 
-// gemmKernel is the innermost i-k-j loop. The j loop runs over contiguous
-// rows of B (or strided columns when transB), accumulating into a
-// contiguous row of C.
-func gemmKernel(transA, transB bool, i0, i1, j0, j1, k0, k1 int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+// gemmBlockedTransB handles op(B) = B^T by packing each (kb, jb) panel
+// of B^T into a contiguous [kk][j] scratch buffer once, then reusing it
+// for every row block of C. The naive kernel's b[j*ldb+kk] walk strides
+// by ldb on every inner-loop step, defeating the blockN tiling; the
+// packed panel restores the contiguous inner loop of the untransposed
+// case at the cost of reading each B block once per (kb, jb) instead of
+// once per (ib, kb, jb). Accumulation order per C element is unchanged
+// (kb ascending, kk ascending within each block), so results are
+// bitwise identical to the unpacked kernel.
+func gemmBlockedTransB(transA bool, i0, i1, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	panel := make([]float64, min(blockK, k)*min(blockN, n))
+	for kb := 0; kb < k; kb += blockK {
+		kMax := min(kb+blockK, k)
+		for jb := 0; jb < n; jb += blockN {
+			jMax := min(jb+blockN, n)
+			w := jMax - jb
+			for kk := kb; kk < kMax; kk++ {
+				dst := panel[(kk-kb)*w : (kk-kb+1)*w]
+				for j := jb; j < jMax; j++ {
+					dst[j-jb] = b[j*ldb+kk]
+				}
+			}
+			for ib := i0; ib < i1; ib += blockM {
+				iMax := min(ib+blockM, i1)
+				gemmPanelKernel(transA, ib, iMax, jb, jMax, kb, kMax, alpha, a, lda, panel, w, c, ldc)
+			}
+		}
+	}
+}
+
+// gemmPanelKernel is gemmKernel against a packed [kk-k0][j-j0] panel of
+// width w (the B operand addressed block-relative instead of through
+// the full matrix).
+func gemmPanelKernel(transA bool, i0, i1, j0, j1, k0, k1 int, alpha float64, a []float64, lda int, panel []float64, w int, c []float64, ldc int) {
 	for i := i0; i < i1; i++ {
 		crow := c[i*ldc+j0 : i*ldc+j1]
 		for kk := k0; kk < k1; kk++ {
@@ -163,15 +197,34 @@ func gemmKernel(transA, transB bool, i0, i1, j0, j1, k0, k1 int, alpha float64, 
 			if av == 0 {
 				continue
 			}
-			if transB {
-				for j := j0; j < j1; j++ {
-					crow[j-j0] += av * b[j*ldb+kk]
-				}
+			brow := panel[(kk-k0)*w : (kk-k0)*w+(j1-j0)]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// gemmKernel is the innermost i-k-j loop over one (i, j, k) block of the
+// untransposed-B case: the j loop runs over contiguous rows of B,
+// accumulating into a contiguous row of C.
+func gemmKernel(transA bool, i0, i1, j0, j1, k0, k1 int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := i0; i < i1; i++ {
+		crow := c[i*ldc+j0 : i*ldc+j1]
+		for kk := k0; kk < k1; kk++ {
+			var av float64
+			if transA {
+				av = a[kk*lda+i]
 			} else {
-				brow := b[kk*ldb+j0 : kk*ldb+j1]
-				for j := range brow {
-					crow[j] += av * brow[j]
-				}
+				av = a[i*lda+kk]
+			}
+			av *= alpha
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*ldb+j0 : kk*ldb+j1]
+			for j := range brow {
+				crow[j] += av * brow[j]
 			}
 		}
 	}

@@ -149,6 +149,17 @@ type Options struct {
 	// phase, and per-operation Get/Put/Acc/Barrier events. Nil disables
 	// tracing at zero cost.
 	Trace *trace.Tracer
+	// Overlap enables the nonblocking communication path: schedules
+	// double-buffer tile gets and pipeline tile writes through
+	// ga.NbGetT/NbPutT/NbAccT, so transfer time overlaps compute (the
+	// ga package's max-vs-sum clock rule). Execute-mode results are
+	// bitwise identical with Overlap on or off; Cost mode reports the
+	// exposed/overlapped split per phase. Off by default.
+	Overlap bool
+	// OverlapEfficiency scales how much in-flight transfer time the
+	// overlap cost model may hide, in (0, 1]; zero means 1 (full
+	// overlap). See ga.Config.OverlapEfficiency.
+	OverlapEfficiency float64
 	// Faults, when non-nil, runs the transform under the bundled fault
 	// plan with checkpoint-restart (see internal/faults): transient
 	// Get/Put/Acc faults are retried with backoff, injected crashes
@@ -221,6 +232,12 @@ type Result struct {
 	// IdleFraction is the share of total process-time spent waiting at
 	// synchronisation points (load imbalance; 0 without a cost model).
 	IdleFraction float64
+	// ExposedCommSeconds is transfer time processes waited for;
+	// OverlapCommSeconds is transfer time the nonblocking verbs hid
+	// behind compute (nonzero only with Options.Overlap). Their sum is
+	// the run's total transfer time.
+	ExposedCommSeconds float64
+	OverlapCommSeconds float64
 	// Restarts is how many times the driver rebuilt the runtime and
 	// resumed from a checkpoint after an injected crash (0 fault-free).
 	Restarts int

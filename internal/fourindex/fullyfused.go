@@ -277,42 +277,48 @@ func (c *runCtx) op1Slab(p *ga.Proc, aT, o1T *ga.TiledArray, tj, tk, wl int) {
 	rest := wj * wk * wl
 
 	abig := c.alloc(p, int64(c.n)*int64(rest))
-	tmp := c.alloc(p, int64(c.g.T)*int64(rest))
-	row := 0
-	for ti := 0; ti < c.nt; ti++ {
-		wi := c.g.Width(ti)
+	tileW := c.g.T * rest
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(ti int) *ga.Handle {
+		buf := sl(tmp, (ti%2)*tileW)
 		if ti >= tj {
-			p.GetT(aT, tmp.Data, ti, tj, tk, 0)
-			if c.exec {
-				copy(abig.Data[row*rest:(row+wi)*rest], tmp.Data[:wi*rest])
-			}
-		} else {
-			p.GetT(aT, tmp.Data, tj, ti, tk, 0)
-			if c.exec {
-				wklw := wk * wl
-				for j := 0; j < wj; j++ {
-					for i := 0; i < wi; i++ {
-						src := tmp.Data[(j*wi+i)*wklw : (j*wi+i+1)*wklw]
-						dst := abig.Data[((row+i)*wj+j)*wklw : ((row+i)*wj+j+1)*wklw]
-						copy(dst, src)
-					}
+			return p.NbGetT(aT, buf, ti, tj, tk, 0)
+		}
+		return p.NbGetT(aT, buf, tj, ti, tk, 0)
+	}, func(ti int) {
+		if !c.exec {
+			return
+		}
+		row, _ := c.g.Bounds(ti)
+		wi := c.g.Width(ti)
+		got := tmp.Data[(ti%2)*tileW:]
+		if ti >= tj { // tile laid out (i, j, k, l): rows i, cols rest
+			copy(abig.Data[row*rest:(row+wi)*rest], got[:wi*rest])
+		} else { // tile laid out (j, i, k, l): transpose (i, j)
+			wklw := wk * wl
+			for j := 0; j < wj; j++ {
+				for i := 0; i < wi; i++ {
+					src := got[(j*wi+i)*wklw : (j*wi+i+1)*wklw]
+					dst := abig.Data[((row+i)*wj+j)*wklw : ((row+i)*wj+j+1)*wklw]
+					copy(dst, src)
 				}
 			}
 		}
-		row += wi
-	}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(c.g.T)*int64(rest))
+	wq := newNbQueue(p)
 	for ta := 0; ta < c.nt; ta++ {
 		wa := c.fillBRow(p, bbuf.Data, ta)
 		if c.exec {
 			zero(out.Data[:wa*rest])
 		}
 		c.gemm(p, false, false, wa, rest, c.n, bbuf.Data, c.n, abig.Data, rest, out.Data, rest)
-		p.PutT(o1T, out.Data, ta, tj, tk, 0)
+		wq.push(p.NbPutT(o1T, out.Data, ta, tj, tk, 0))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(abig)
@@ -324,24 +330,28 @@ func (c *runCtx) op2Slab(p *ga.Proc, o1T, o2T *ga.TiledArray, ta, tk, wl int) {
 	wkl := wk * wl
 
 	o1big := c.alloc(p, int64(wa)*int64(c.n)*int64(wkl))
-	tmp := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
-	col := 0
-	for tj := 0; tj < c.nt; tj++ {
-		wj := c.g.Width(tj)
-		p.GetT(o1T, tmp.Data, ta, tj, tk, 0)
-		if c.exec {
-			for a := 0; a < wa; a++ {
-				src := tmp.Data[a*wj*wkl : (a+1)*wj*wkl]
-				dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
-				copy(dst, src)
-			}
+	tileW := wa * c.g.T * wkl
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(tj int) *ga.Handle {
+		return p.NbGetT(o1T, sl(tmp, (tj%2)*tileW), ta, tj, tk, 0)
+	}, func(tj int) {
+		if !c.exec {
+			return
 		}
-		col += wj
-	}
+		col, _ := c.g.Bounds(tj)
+		wj := c.g.Width(tj)
+		got := tmp.Data[(tj%2)*tileW:]
+		for a := 0; a < wa; a++ {
+			src := got[a*wj*wkl : (a+1)*wj*wkl]
+			dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
+			copy(dst, src)
+		}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	wq := newNbQueue(p)
 	for tb := 0; tb <= ta; tb++ {
 		wb := c.fillBRow(p, bbuf.Data, tb)
 		if c.exec {
@@ -355,8 +365,9 @@ func (c *runCtx) op2Slab(p *ga.Proc, o1T, o2T *ga.TiledArray, ta, tk, wl int) {
 		} else {
 			p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
 		}
-		p.PutT(o2T, out.Data, ta, tb, tk, 0)
+		wq.push(p.NbPutT(o2T, out.Data, ta, tb, tk, 0))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(o1big)
@@ -370,24 +381,28 @@ func (c *runCtx) op3Slab(p *ga.Proc, o2T, o3T *ga.TiledArray, ta, tb, wl, lCoord
 	wab := wa * wb
 
 	o2big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
-	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
-	row := 0
-	for tk := 0; tk < c.nt; tk++ {
-		wk := c.g.Width(tk)
-		p.GetT(o2T, tmp.Data, ta, tb, tk, 0)
-		if c.exec {
-			for ab := 0; ab < wab; ab++ {
-				src := tmp.Data[ab*wk*wl : (ab+1)*wk*wl]
-				dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
-				copy(dst, src)
-			}
+	tileW := wab * c.g.T * wl
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(tk int) *ga.Handle {
+		return p.NbGetT(o2T, sl(tmp, (tk%2)*tileW), ta, tb, tk, 0)
+	}, func(tk int) {
+		if !c.exec {
+			return
 		}
-		row += wk
-	}
+		row, _ := c.g.Bounds(tk)
+		wk := c.g.Width(tk)
+		got := tmp.Data[(tk%2)*tileW:]
+		for ab := 0; ab < wab; ab++ {
+			src := got[ab*wk*wl : (ab+1)*wk*wl]
+			dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
+			copy(dst, src)
+		}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	wq := newNbQueue(p)
 	for tc := 0; tc < c.nt; tc++ {
 		wc := c.fillBRow(p, bbuf.Data, tc)
 		if c.exec {
@@ -401,8 +416,9 @@ func (c *runCtx) op3Slab(p *ga.Proc, o2T, o3T *ga.TiledArray, ta, tb, wl, lCoord
 		} else {
 			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wl, c.n), c.eff)
 		}
-		p.PutT(o3T, out.Data, ta, tb, tc, lCoord)
+		wq.push(p.NbPutT(o3T, out.Data, ta, tb, tc, lCoord))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(o2big)
@@ -413,22 +429,19 @@ func (c *runCtx) op4Slab(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb, wl, lOff in
 	wa, wb := c.g.Width(ta), c.g.Width(tb)
 	wab := wa * wb
 
-	o3big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
-	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
-	for tc := 0; tc < c.nt; tc++ {
-		c0, _ := c.g.Bounds(tc)
-		wc := c.g.Width(tc)
-		p.GetT(o3T, tmp.Data, ta, tb, tc, 0)
-		if c.exec {
-			for ab := 0; ab < wab; ab++ {
-				src := tmp.Data[ab*wc*wl : (ab+1)*wc*wl]
-				dst := o3big.Data[(ab*c.n+c0)*wl : (ab*c.n+c0+wc)*wl]
-				copy(dst, src)
-			}
-		}
+	// The O3 slab tile for tc is already laid out [(a,b)][c][l] with row
+	// stride wl — exactly the GEMM operand layout — so no packed plane is
+	// needed: double-buffer the per-tc tiles and feed GEMM from the tile
+	// buffer directly, with the gets for tc+1 in flight during tc's GEMMs.
+	tileW := wab * c.g.T * wl
+	tmp := c.alloc(p, 2*int64(tileW))
+	issue := func(tc int) *ga.Handle {
+		return p.NbGetT(o3T, sl(tmp, (tc%2)*tileW), ta, tb, tc, 0)
 	}
-	p.FreeLocal(tmp)
+	h := issue(0)
 
+	// Coefficient rows for the d index; computing them here overlaps
+	// tile 0's in-flight get.
 	ball := c.alloc(p, int64(c.n)*int64(wl))
 	p.Compute(int64(coeffFlops) * int64(c.n) * int64(wl))
 	if c.exec {
@@ -440,9 +453,15 @@ func (c *runCtx) op4Slab(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb, wl, lOff in
 	}
 
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	wq := newNbQueue(p)
 	for tc := 0; tc < c.nt; tc++ {
-		c0, _ := c.g.Bounds(tc)
+		var next *ga.Handle
+		if tc+1 < c.nt {
+			next = issue(tc + 1)
+		}
+		h.Wait(p)
 		wc := c.g.Width(tc)
+		got := (tc % 2) * tileW
 		for td := 0; td <= tc; td++ {
 			if !cT.Stored(ta, tb, tc, td) {
 				continue // spatial symmetry forbids this block
@@ -453,17 +472,19 @@ func (c *runCtx) op4Slab(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb, wl, lOff in
 				zero(out.Data[:wab*wc*wd])
 				for ab := 0; ab < wab; ab++ {
 					c.gemm(p, false, true, wc, wd, wl,
-						o3big.Data[(ab*c.n+c0)*wl:], wl,
+						sl(tmp, got+ab*wc*wl), wl,
 						ball.Data[d0*wl:], wl,
 						out.Data[ab*wc*wd:], wd)
 				}
 			} else {
 				p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, wl), c.eff)
 			}
-			p.AccT(cT, 1, out.Data, ta, tb, tc, td)
+			wq.push(p.NbAccT(cT, 1, out.Data, ta, tb, tc, td))
 		}
+		h = next
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(ball)
-	p.FreeLocal(o3big)
+	p.FreeLocal(tmp)
 }

@@ -121,30 +121,33 @@ func (c *runCtx) op12Unit(p *ga.Proc, aT, o2T *ga.TiledArray, tk, lCoord, wl, ta
 	// mirrored locally, so A moves |A| elements per chunk (the
 	// Section 7.2 accounting), not 2|A|.
 	afull := c.alloc(p, int64(c.n)*int64(c.n)*int64(wkl))
-	tmp := c.alloc(p, int64(c.g.T)*int64(c.g.T)*int64(wkl))
-	for ti := 0; ti < c.nt; ti++ {
+	tileW := c.g.T * c.g.T * wkl
+	tmp := c.alloc(p, 2*int64(tileW))
+	pairs := triPairs(c.nt)
+	prefetch2(p, len(pairs), func(t int) *ga.Handle {
+		return p.NbGetT(aT, sl(tmp, (t%2)*tileW), pairs[t][0], pairs[t][1], tk, lCoord)
+	}, func(t int) {
+		if !c.exec {
+			return
+		}
+		ti, tj := pairs[t][0], pairs[t][1]
 		i0, _ := c.g.Bounds(ti)
 		wi := c.g.Width(ti)
-		for tj := 0; tj <= ti; tj++ {
-			j0, _ := c.g.Bounds(tj)
-			wj := c.g.Width(tj)
-			p.GetT(aT, tmp.Data, ti, tj, tk, lCoord)
-			if !c.exec {
-				continue
-			}
-			for i := 0; i < wi; i++ {
-				for j := 0; j < wj; j++ {
-					src := tmp.Data[(i*wj+j)*wkl : (i*wj+j+1)*wkl]
-					dst := afull.Data[((i0+i)*c.n+(j0+j))*wkl : ((i0+i)*c.n+(j0+j)+1)*wkl]
-					copy(dst, src)
-					if ti != tj {
-						mir := afull.Data[((j0+j)*c.n+(i0+i))*wkl : ((j0+j)*c.n+(i0+i)+1)*wkl]
-						copy(mir, src)
-					}
+		j0, _ := c.g.Bounds(tj)
+		wj := c.g.Width(tj)
+		got := tmp.Data[(t%2)*tileW:]
+		for i := 0; i < wi; i++ {
+			for j := 0; j < wj; j++ {
+				src := got[(i*wj+j)*wkl : (i*wj+j+1)*wkl]
+				dst := afull.Data[((i0+i)*c.n+(j0+j))*wkl : ((i0+i)*c.n+(j0+j)+1)*wkl]
+				copy(dst, src)
+				if ti != tj {
+					mir := afull.Data[((j0+j)*c.n+(i0+i))*wkl : ((j0+j)*c.n+(i0+i)+1)*wkl]
+					copy(mir, src)
 				}
 			}
 		}
-	}
+	})
 	p.FreeLocal(tmp)
 
 	// op1: O1[a, j, kl] = B[a, i] . A[i, (j, kl)] — one GEMM over the
@@ -171,6 +174,7 @@ func (c *runCtx) op12Unit(p *ga.Proc, aT, o2T *ga.TiledArray, tk, lCoord, wl, ta
 
 	// op2: O2[a>=b, kl] = sum_j O1[a, j, kl] B[b, j].
 	out := c.alloc(p, int64(c.g.T)*int64(c.g.T)*int64(wkl))
+	wq := newNbQueue(p)
 	for ta := ta0; ta < ta1; ta++ {
 		wa := c.g.Width(ta)
 		taOff, _ := c.g.Bounds(ta)
@@ -187,9 +191,10 @@ func (c *runCtx) op12Unit(p *ga.Proc, aT, o2T *ga.TiledArray, tk, lCoord, wl, ta
 			} else {
 				p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
 			}
-			p.PutT(o2T, out.Data, ta, tb, tk, lCoord)
+			wq.push(p.NbPutT(o2T, out.Data, ta, tb, tk, lCoord))
 		}
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(o1loc)
@@ -209,45 +214,50 @@ func (c *runCtx) op34Unit(p *ga.Proc, o2T, cT *ga.TiledArray, ta, tb, nl, lOff i
 
 	// o2loc[(a,b)][k][l]: the full k x l window per (a, b).
 	o2loc := c.alloc(p, int64(wab)*int64(c.n)*int64(nl))
-	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(max(c.g.T, nl)))
+	tileW := wab * c.g.T * max(c.g.T, nl)
+	tmp := c.alloc(p, 2*int64(tileW))
 	if slab {
-		row := 0
-		for tk := 0; tk < c.nt; tk++ {
-			wk := c.g.Width(tk)
-			p.GetT(o2T, tmp.Data, ta, tb, tk, 0)
-			if c.exec { // tile (a, b, k, l-slab)
-				for ab := 0; ab < wab; ab++ {
-					src := tmp.Data[ab*wk*nl : (ab+1)*wk*nl]
-					dst := o2loc.Data[(ab*c.n+row)*nl : (ab*c.n+row+wk)*nl]
-					copy(dst, src)
-				}
+		prefetch2(p, c.nt, func(tk int) *ga.Handle {
+			return p.NbGetT(o2T, sl(tmp, (tk%2)*tileW), ta, tb, tk, 0)
+		}, func(tk int) {
+			if !c.exec {
+				return
 			}
-			row += wk
-		}
+			row, _ := c.g.Bounds(tk)
+			wk := c.g.Width(tk)
+			got := tmp.Data[(tk%2)*tileW:]
+			for ab := 0; ab < wab; ab++ { // tile (a, b, k, l-slab)
+				src := got[ab*wk*nl : (ab+1)*wk*nl]
+				dst := o2loc.Data[(ab*c.n+row)*nl : (ab*c.n+row+wk)*nl]
+				copy(dst, src)
+			}
+		})
 	} else {
 		// Canonical (tk >= tl) tiles; fill (k,l) and mirror (l,k).
-		for tk := 0; tk < c.nt; tk++ {
+		pairs := triPairs(c.nt)
+		prefetch2(p, len(pairs), func(t int) *ga.Handle {
+			return p.NbGetT(o2T, sl(tmp, (t%2)*tileW), ta, tb, pairs[t][0], pairs[t][1])
+		}, func(t int) {
+			if !c.exec {
+				return
+			}
+			tk, tl := pairs[t][0], pairs[t][1]
 			k0, _ := c.g.Bounds(tk)
 			wk := c.g.Width(tk)
-			for tl := 0; tl <= tk; tl++ {
-				l0, _ := c.g.Bounds(tl)
-				wl := c.g.Width(tl)
-				p.GetT(o2T, tmp.Data, ta, tb, tk, tl)
-				if !c.exec {
-					continue
-				}
-				for ab := 0; ab < wab; ab++ {
-					base := ab * c.n * c.n
-					for k := 0; k < wk; k++ {
-						for l := 0; l < wl; l++ {
-							v := tmp.Data[(ab*wk+k)*wl+l]
-							o2loc.Data[base+(k0+k)*c.n+(l0+l)] = v
-							o2loc.Data[base+(l0+l)*c.n+(k0+k)] = v
-						}
+			l0, _ := c.g.Bounds(tl)
+			wl := c.g.Width(tl)
+			got := tmp.Data[(t%2)*tileW:]
+			for ab := 0; ab < wab; ab++ {
+				base := ab * c.n * c.n
+				for k := 0; k < wk; k++ {
+					for l := 0; l < wl; l++ {
+						v := got[(ab*wk+k)*wl+l]
+						o2loc.Data[base+(k0+k)*c.n+(l0+l)] = v
+						o2loc.Data[base+(l0+l)*c.n+(k0+k)] = v
 					}
 				}
 			}
-		}
+		})
 	}
 	p.FreeLocal(tmp)
 
@@ -281,6 +291,7 @@ func (c *runCtx) op34Unit(p *ga.Proc, o2T, cT *ga.TiledArray, ta, tb, nl, lOff i
 		}
 	}
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	wq := newNbQueue(p)
 	for tc := 0; tc < c.nt; tc++ {
 		c0, _ := c.g.Bounds(tc)
 		wc := c.g.Width(tc)
@@ -302,12 +313,13 @@ func (c *runCtx) op34Unit(p *ga.Proc, o2T, cT *ga.TiledArray, ta, tb, nl, lOff i
 				p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, nl), c.eff)
 			}
 			if slab {
-				p.AccT(cT, 1, out.Data, ta, tb, tc, td)
+				wq.push(p.NbAccT(cT, 1, out.Data, ta, tb, tc, td))
 			} else {
-				p.PutT(cT, out.Data, ta, tb, tc, td)
+				wq.push(p.NbPutT(cT, out.Data, ta, tb, tc, td))
 			}
 		}
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(ball)
 	p.FreeLocal(bbuf)

@@ -28,15 +28,17 @@ type runCtx struct {
 
 func newRunCtx(opt Options) (*runCtx, error) {
 	rt, err := ga.NewRuntime(ga.Config{
-		Procs:          opt.Procs,
-		Mode:           opt.Mode,
-		Run:            opt.Run,
-		GlobalMemBytes: opt.GlobalMemBytes,
-		LocalMemBytes:  opt.LocalMemBytes,
-		Strict:         opt.Strict,
-		AllowSpill:     opt.AllowSpill,
-		Tracer:         opt.Trace,
-		Faults:         opt.Faults.ActivePlan(),
+		Procs:             opt.Procs,
+		Mode:              opt.Mode,
+		Run:               opt.Run,
+		GlobalMemBytes:    opt.GlobalMemBytes,
+		LocalMemBytes:     opt.LocalMemBytes,
+		Strict:            opt.Strict,
+		AllowSpill:        opt.AllowSpill,
+		Overlap:           opt.Overlap,
+		OverlapEfficiency: opt.OverlapEfficiency,
+		Tracer:            opt.Trace,
+		Faults:            opt.Faults.ActivePlan(),
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +116,7 @@ func (c *runCtx) fillBRow(p *ga.Proc, buf []float64, ta int) (wa int) {
 func (c *runCtx) generateA(aT *ga.TiledArray, lOff int) error {
 	err := c.rt.Parallel(func(p *ga.Proc) {
 		var coordsCopy [4]int
+		wq := newNbQueue(p)
 		aT.ForEachTile(func(coords []int) {
 			copy(coordsCopy[:], coords)
 			if aT.Owner(coordsCopy[:]...) != p.ID() {
@@ -125,9 +128,12 @@ func (c *runCtx) generateA(aT *ga.TiledArray, lOff int) error {
 			if c.exec {
 				c.fillATile(aT, buf.Data, coordsCopy[:], lOff)
 			}
-			p.PutT(aT, buf.Data, coordsCopy[:]...)
+			// NbPutT stages the payload at issue, so buf is free to go
+			// while the write is still in flight.
+			wq.push(p.NbPutT(aT, buf.Data, coordsCopy[:]...))
 			p.FreeLocal(buf)
 		})
+		wq.drain()
 	})
 	if err != nil {
 		return err
@@ -142,6 +148,7 @@ func (c *runCtx) generateA(aT *ga.TiledArray, lOff int) error {
 func (c *runCtx) generateABatch(aTs []*ga.TiledArray, lOffs []int) error {
 	err := c.rt.Parallel(func(p *ga.Proc) {
 		var coordsCopy [4]int
+		wq := newNbQueue(p)
 		for i, aT := range aTs {
 			lOff := lOffs[i]
 			aT.ForEachTile(func(coords []int) {
@@ -155,10 +162,11 @@ func (c *runCtx) generateABatch(aTs []*ga.TiledArray, lOffs []int) error {
 				if c.exec {
 					c.fillATile(aT, buf.Data, coordsCopy[:], lOff)
 				}
-				p.PutT(aT, buf.Data, coordsCopy[:]...)
+				wq.push(p.NbPutT(aT, buf.Data, coordsCopy[:]...))
 				p.FreeLocal(buf)
 			})
 		}
+		wq.drain()
 	})
 	if err != nil {
 		return err
@@ -228,17 +236,19 @@ func (c *runCtx) extractC(cT *ga.TiledArray) *sym.PackedC {
 // result assembles the Result from the runtime's counters.
 func (c *runCtx) result(scheme, chosen Scheme, packed *sym.PackedC) *Result {
 	return &Result{
-		Scheme:          scheme,
-		C:               packed,
-		ElapsedSeconds:  c.rt.Elapsed(),
-		Totals:          c.rt.Totals(),
-		CommVolume:      c.rt.CommVolume(),
-		IntraVolume:     c.rt.IntraVolume(),
-		DiskVolume:      c.rt.DiskVolume(),
-		PeakGlobalBytes: c.rt.PeakGlobalBytes(),
-		ChosenScheme:    chosen,
-		Phases:          c.rt.Phases(),
-		IdleFraction:    c.rt.IdleFraction(),
+		Scheme:             scheme,
+		C:                  packed,
+		ElapsedSeconds:     c.rt.Elapsed(),
+		Totals:             c.rt.Totals(),
+		CommVolume:         c.rt.CommVolume(),
+		IntraVolume:        c.rt.IntraVolume(),
+		DiskVolume:         c.rt.DiskVolume(),
+		PeakGlobalBytes:    c.rt.PeakGlobalBytes(),
+		ChosenScheme:       chosen,
+		Phases:             c.rt.Phases(),
+		IdleFraction:       c.rt.IdleFraction(),
+		ExposedCommSeconds: c.rt.CommExposedSeconds(),
+		OverlapCommSeconds: c.rt.CommOverlapSeconds(),
 	}
 }
 
@@ -301,6 +311,79 @@ func (c *runCtx) gemm(p *ga.Proc, transA, transB bool, m, n, k int, a []float64,
 		return
 	}
 	blas.Dgemm(transA, transB, m, n, k, 1, a, lda, b, ldb, 1, out, ldc)
+}
+
+// Nonblocking pipeline helpers. Every schedule routes its tile traffic
+// through these two shapes so the double-buffered discipline is uniform:
+// gathers prefetch the next tile before consuming the current one, and
+// writes ride a bounded in-flight window drained before the region's
+// barrier. With Options.Overlap off the nonblocking verbs degrade to
+// blocking at issue, so these helpers cost nothing on the default path.
+
+// prefetch2 runs a double-buffered gather of n nonblocking fetches: the
+// fetch for slot t+1 is issued before slot t's handle is waited, so
+// slot t's in-flight transfer (and, in Execute mode, its deferred copy)
+// overlaps its neighbour's issue and consumption. issue(t) must target
+// the t%2 half of a doubled staging buffer; consume(t) runs after slot
+// t's data has landed.
+func prefetch2(p *ga.Proc, n int, issue func(t int) *ga.Handle, consume func(t int)) {
+	if n <= 0 {
+		return
+	}
+	cur := issue(0)
+	for t := 0; t < n; t++ {
+		var next *ga.Handle
+		if t+1 < n {
+			next = issue(t + 1)
+		}
+		cur.Wait(p)
+		if consume != nil {
+			consume(t)
+		}
+		cur = next
+	}
+}
+
+// nbQueue is a bounded write pipeline: pushing a nonblocking Put/Acc
+// handle first waits the handle pushed two slots earlier, so at most
+// two writes are in flight — their staging memory stays at the
+// double-buffer level while the transfer time overlaps the compute
+// issued between pushes. drain must run before the enclosing region's
+// barrier (the schedules call it at the end of each work unit).
+type nbQueue struct {
+	p  *ga.Proc
+	hs [2]*ga.Handle
+	i  int
+}
+
+func newNbQueue(p *ga.Proc) nbQueue { return nbQueue{p: p} }
+
+// push enqueues h, waiting the write issued two pushes ago.
+func (q *nbQueue) push(h *ga.Handle) {
+	q.hs[q.i&1].Wait(q.p)
+	q.hs[q.i&1] = h
+	q.i++
+}
+
+// drain waits the outstanding writes in issue order and resets the
+// queue for reuse.
+func (q *nbQueue) drain() {
+	q.hs[q.i&1].Wait(q.p)
+	q.hs[(q.i+1)&1].Wait(q.p)
+	q.hs[0], q.hs[1] = nil, nil
+}
+
+// triPairs enumerates the canonical lower-triangular tile pairs
+// (t0 >= t1) in row-major order, flattening the symmetric double loops
+// so triangular gathers can run through prefetch2.
+func triPairs(nt int) [][2]int {
+	pairs := make([][2]int, 0, sym.Pairs(nt))
+	for t0 := 0; t0 < nt; t0++ {
+		for t1 := 0; t1 <= t0; t1++ {
+			pairs = append(pairs, [2]int{t0, t1})
+		}
+	}
+	return pairs
 }
 
 // checkOOM converts a global-memory allocation failure into a helpful

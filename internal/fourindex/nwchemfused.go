@@ -163,42 +163,48 @@ func (c *runCtx) op1Chunk(p *ga.Proc, aT, o1chunk *ga.TiledArray, tj, tk, tl int
 	rest := wj * wk * wl
 
 	abig := c.alloc(p, int64(c.n)*int64(rest))
-	tmp := c.alloc(p, int64(c.g.T)*int64(rest))
-	row := 0
-	for ti := 0; ti < c.nt; ti++ {
-		wi := c.g.Width(ti)
+	tileW := c.g.T * rest
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(ti int) *ga.Handle {
+		buf := sl(tmp, (ti%2)*tileW)
 		if ti >= tj {
-			p.GetT(aT, tmp.Data, ti, tj, tk, tl)
-			if c.exec {
-				copy(abig.Data[row*rest:(row+wi)*rest], tmp.Data[:wi*rest])
-			}
-		} else {
-			p.GetT(aT, tmp.Data, tj, ti, tk, tl)
-			if c.exec {
-				wkl := wk * wl
-				for j := 0; j < wj; j++ {
-					for i := 0; i < wi; i++ {
-						src := tmp.Data[(j*wi+i)*wkl : (j*wi+i+1)*wkl]
-						dst := abig.Data[((row+i)*wj+j)*wkl : ((row+i)*wj+j+1)*wkl]
-						copy(dst, src)
-					}
+			return p.NbGetT(aT, buf, ti, tj, tk, tl)
+		}
+		return p.NbGetT(aT, buf, tj, ti, tk, tl)
+	}, func(ti int) {
+		if !c.exec {
+			return
+		}
+		row, _ := c.g.Bounds(ti)
+		wi := c.g.Width(ti)
+		got := tmp.Data[(ti%2)*tileW:]
+		if ti >= tj { // tile laid out (i, j, k, l): rows i, cols rest
+			copy(abig.Data[row*rest:(row+wi)*rest], got[:wi*rest])
+		} else { // tile laid out (j, i, k, l): transpose (i, j)
+			wkl := wk * wl
+			for j := 0; j < wj; j++ {
+				for i := 0; i < wi; i++ {
+					src := got[(j*wi+i)*wkl : (j*wi+i+1)*wkl]
+					dst := abig.Data[((row+i)*wj+j)*wkl : ((row+i)*wj+j+1)*wkl]
+					copy(dst, src)
 				}
 			}
 		}
-		row += wi
-	}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(c.g.T)*int64(rest))
+	wq := newNbQueue(p)
 	for ta := 0; ta < c.nt; ta++ {
 		wa := c.fillBRow(p, bbuf.Data, ta)
 		if c.exec {
 			zero(out.Data[:wa*rest])
 		}
 		c.gemm(p, false, false, wa, rest, c.n, bbuf.Data, c.n, abig.Data, rest, out.Data, rest)
-		p.PutT(o1chunk, out.Data, ta, tj, 0, 0)
+		wq.push(p.NbPutT(o1chunk, out.Data, ta, tj, 0, 0))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(abig)
@@ -211,24 +217,28 @@ func (c *runCtx) op2Chunk(p *ga.Proc, o1chunk, o2T *ga.TiledArray, ta, tk, tl in
 	wkl := wk * wl
 
 	o1big := c.alloc(p, int64(wa)*int64(c.n)*int64(wkl))
-	tmp := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
-	col := 0
-	for tj := 0; tj < c.nt; tj++ {
-		wj := c.g.Width(tj)
-		p.GetT(o1chunk, tmp.Data, ta, tj, 0, 0)
-		if c.exec {
-			for a := 0; a < wa; a++ {
-				src := tmp.Data[a*wj*wkl : (a+1)*wj*wkl]
-				dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
-				copy(dst, src)
-			}
+	tileW := wa * c.g.T * wkl
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(tj int) *ga.Handle {
+		return p.NbGetT(o1chunk, sl(tmp, (tj%2)*tileW), ta, tj, 0, 0)
+	}, func(tj int) {
+		if !c.exec {
+			return
 		}
-		col += wj
-	}
+		col, _ := c.g.Bounds(tj)
+		wj := c.g.Width(tj)
+		got := tmp.Data[(tj%2)*tileW:]
+		for a := 0; a < wa; a++ {
+			src := got[a*wj*wkl : (a+1)*wj*wkl]
+			dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
+			copy(dst, src)
+		}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	wq := newNbQueue(p)
 	for tb := 0; tb <= ta; tb++ {
 		wb := c.fillBRow(p, bbuf.Data, tb)
 		if c.exec {
@@ -242,8 +252,9 @@ func (c *runCtx) op2Chunk(p *ga.Proc, o1chunk, o2T *ga.TiledArray, ta, tk, tl in
 		} else {
 			p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
 		}
-		p.PutT(o2T, out.Data, ta, tb, tk, tl)
+		wq.push(p.NbPutT(o2T, out.Data, ta, tb, tk, tl))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(o1big)
@@ -255,37 +266,42 @@ func (c *runCtx) op3Chunk(p *ga.Proc, o2T, o3chunk *ga.TiledArray, ta, tb, tl in
 	wab := wa * wb
 
 	o2big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
-	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
-	row := 0
-	for tk := 0; tk < c.nt; tk++ {
-		wk := c.g.Width(tk)
+	tileW := wab * c.g.T * c.g.T
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(tk int) *ga.Handle {
+		buf := sl(tmp, (tk%2)*tileW)
 		if tk >= tl {
-			p.GetT(o2T, tmp.Data, ta, tb, tk, tl)
-			if c.exec {
-				for ab := 0; ab < wab; ab++ {
-					src := tmp.Data[ab*wk*wl : (ab+1)*wk*wl]
-					dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
-					copy(dst, src)
-				}
+			return p.NbGetT(o2T, buf, ta, tb, tk, tl)
+		}
+		return p.NbGetT(o2T, buf, ta, tb, tl, tk)
+	}, func(tk int) {
+		if !c.exec {
+			return
+		}
+		row, _ := c.g.Bounds(tk)
+		wk := c.g.Width(tk)
+		got := tmp.Data[(tk%2)*tileW:]
+		if tk >= tl { // tile (a, b, k, l)
+			for ab := 0; ab < wab; ab++ {
+				src := got[ab*wk*wl : (ab+1)*wk*wl]
+				dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
+				copy(dst, src)
 			}
-		} else {
-			p.GetT(o2T, tmp.Data, ta, tb, tl, tk)
-			if c.exec {
-				for ab := 0; ab < wab; ab++ {
-					for l := 0; l < wl; l++ {
-						for k := 0; k < wk; k++ {
-							o2big.Data[(ab*c.n+row+k)*wl+l] = tmp.Data[(ab*wl+l)*wk+k]
-						}
+		} else { // tile (a, b, l, k): transpose (k, l)
+			for ab := 0; ab < wab; ab++ {
+				for l := 0; l < wl; l++ {
+					for k := 0; k < wk; k++ {
+						o2big.Data[(ab*c.n+row+k)*wl+l] = got[(ab*wl+l)*wk+k]
 					}
 				}
 			}
 		}
-		row += wk
-	}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	wq := newNbQueue(p)
 	for tc := 0; tc < c.nt; tc++ {
 		wc := c.fillBRow(p, bbuf.Data, tc)
 		if c.exec {
@@ -299,15 +315,16 @@ func (c *runCtx) op3Chunk(p *ga.Proc, o2T, o3chunk *ga.TiledArray, ta, tb, tl in
 		} else {
 			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wl, c.n), c.eff)
 		}
-		// Chunk layout (a, b, c, l): one tile per (tc, tl).
+		// Chunk layout (a, b, c, l): one tile per (tc, tl). The
+		// (ab, c, l) -> (a, b, c, l) reorder is the identity because ab
+		// is already (a, b) row-major.
 		if c.exec {
-			// Reorder (ab, c, l) -> (a, b, c, l) is identity here
-			// because ab is already (a, b) row-major.
-			p.PutT(o3chunk, out.Data, 0, 0, tc, tl)
+			wq.push(p.NbPutT(o3chunk, out.Data, 0, 0, tc, tl))
 		} else {
-			p.PutT(o3chunk, nil, 0, 0, tc, tl)
+			wq.push(p.NbPutT(o3chunk, nil, 0, 0, tc, tl))
 		}
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(o2big)
@@ -320,20 +337,23 @@ func (c *runCtx) op4Chunk(p *ga.Proc, o3chunk, cT *ga.TiledArray, ta, tb, tc int
 
 	// o3big[(a,b)][c in tc][l] over all l.
 	o3big := c.alloc(p, int64(wab)*int64(wc)*int64(c.n))
-	tmp := c.alloc(p, int64(wab)*int64(wc)*int64(c.g.T))
-	col := 0
-	for tl := 0; tl < c.nt; tl++ {
-		wl := c.g.Width(tl)
-		p.GetT(o3chunk, tmp.Data, 0, 0, tc, tl)
-		if c.exec { // chunk tile (a, b, c, l)
-			for abc := 0; abc < wab*wc; abc++ {
-				src := tmp.Data[abc*wl : (abc+1)*wl]
-				dst := o3big.Data[abc*c.n+col:]
-				copy(dst[:wl], src)
-			}
+	tileW := wab * wc * c.g.T
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(tl int) *ga.Handle {
+		return p.NbGetT(o3chunk, sl(tmp, (tl%2)*tileW), 0, 0, tc, tl)
+	}, func(tl int) {
+		if !c.exec {
+			return
 		}
-		col += wl
-	}
+		col, _ := c.g.Bounds(tl)
+		wl := c.g.Width(tl)
+		got := tmp.Data[(tl%2)*tileW:]
+		for abc := 0; abc < wab*wc; abc++ { // chunk tile (a, b, c, l)
+			src := got[abc*wl : (abc+1)*wl]
+			dst := o3big.Data[abc*c.n+col:]
+			copy(dst[:wl], src)
+		}
+	})
 	p.FreeLocal(tmp)
 
 	ball := c.alloc(p, int64(c.n)*int64(c.n))
@@ -347,6 +367,7 @@ func (c *runCtx) op4Chunk(p *ga.Proc, o3chunk, cT *ga.TiledArray, ta, tb, tc int
 	}
 
 	out := c.alloc(p, int64(wab)*int64(wc)*int64(c.g.T))
+	wq := newNbQueue(p)
 	for td := 0; td <= tc; td++ {
 		if !cT.Stored(ta, tb, tc, td) {
 			continue // spatial symmetry forbids this block
@@ -364,8 +385,9 @@ func (c *runCtx) op4Chunk(p *ga.Proc, o3chunk, cT *ga.TiledArray, ta, tb, tc int
 		} else {
 			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, c.n), c.eff)
 		}
-		p.PutT(cT, out.Data, ta, tb, tc, td)
+		wq.push(p.NbPutT(cT, out.Data, ta, tb, tc, td))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(ball)
 	p.FreeLocal(o3big)

@@ -138,8 +138,11 @@ func (c *runCtx) recomputeUnit(p *ga.Proc, cT *ga.TiledArray, ta, tb int) {
 	}
 	p.FreeLocal(o2loc)
 
-	// op4: C[(a,b), c>=d] = O3[(a,b), c, l] . B[d, l]^T, then Put.
+	// op4: C[(a,b), c>=d] = O3[(a,b), c, l] . B[d, l]^T, then Put. The
+	// writes ride the nonblocking window so each tile's transfer overlaps
+	// the next tile's GEMM.
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	wq := newNbQueue(p)
 	for tc := 0; tc < c.nt; tc++ {
 		c0, _ := c.g.Bounds(tc)
 		wc := c.g.Width(tc)
@@ -160,9 +163,10 @@ func (c *runCtx) recomputeUnit(p *ga.Proc, cT *ga.TiledArray, ta, tb int) {
 			} else {
 				p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, n), c.eff)
 			}
-			p.PutT(cT, out.Data, ta, tb, tc, td)
+			wq.push(p.NbPutT(cT, out.Data, ta, tb, tc, td))
 		}
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bfull)
 	p.FreeLocal(o3loc)

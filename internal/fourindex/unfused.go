@@ -150,33 +150,38 @@ func (c *runCtx) op1Unit(p *ga.Proc, aT, o1T *ga.TiledArray, tj, tk, tl int) {
 	rest := wj * wk * wl
 
 	abig := c.alloc(p, int64(c.n)*int64(rest))
-	tmp := c.alloc(p, int64(c.g.T)*int64(rest))
-	row := 0
-	for ti := 0; ti < c.nt; ti++ {
-		wi := c.g.Width(ti)
+	tileW := c.g.T * rest
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(ti int) *ga.Handle {
+		buf := sl(tmp, (ti%2)*tileW)
 		if ti >= tj {
-			p.GetT(aT, tmp.Data, ti, tj, tk, tl)
-			if c.exec { // tile laid out (i, j, k, l): rows i, cols rest
-				copy(abig.Data[row*rest:(row+wi)*rest], tmp.Data[:wi*rest])
-			}
-		} else {
-			p.GetT(aT, tmp.Data, tj, ti, tk, tl)
-			if c.exec { // tile laid out (j, i, k, l): transpose (i, j)
-				for j := 0; j < wj; j++ {
-					for i := 0; i < wi; i++ {
-						src := tmp.Data[(j*wi+i)*wk*wl : (j*wi+i+1)*wk*wl]
-						dst := abig.Data[((row+i)*wj+j)*wk*wl : ((row+i)*wj+j+1)*wk*wl]
-						copy(dst, src)
-					}
+			return p.NbGetT(aT, buf, ti, tj, tk, tl)
+		}
+		return p.NbGetT(aT, buf, tj, ti, tk, tl)
+	}, func(ti int) {
+		if !c.exec {
+			return
+		}
+		row, _ := c.g.Bounds(ti)
+		wi := c.g.Width(ti)
+		got := tmp.Data[(ti%2)*tileW:]
+		if ti >= tj { // tile laid out (i, j, k, l): rows i, cols rest
+			copy(abig.Data[row*rest:(row+wi)*rest], got[:wi*rest])
+		} else { // tile laid out (j, i, k, l): transpose (i, j)
+			for j := 0; j < wj; j++ {
+				for i := 0; i < wi; i++ {
+					src := got[(j*wi+i)*wk*wl : (j*wi+i+1)*wk*wl]
+					dst := abig.Data[((row+i)*wj+j)*wk*wl : ((row+i)*wj+j+1)*wk*wl]
+					copy(dst, src)
 				}
 			}
 		}
-		row += wi
-	}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(c.g.T)*int64(rest))
+	wq := newNbQueue(p)
 	for ta := 0; ta < c.nt; ta++ {
 		wa := c.fillBRow(p, bbuf.Data, ta)
 		if c.exec {
@@ -184,8 +189,9 @@ func (c *runCtx) op1Unit(p *ga.Proc, aT, o1T *ga.TiledArray, tj, tk, tl int) {
 		}
 		// O1[a, (j,k,l)] = B[a, i] . A[i, (j,k,l)]
 		c.gemm(p, false, false, wa, rest, c.n, bbuf.Data, c.n, abig.Data, rest, out.Data, rest)
-		p.PutT(o1T, out.Data, ta, tj, tk, tl)
+		wq.push(p.NbPutT(o1T, out.Data, ta, tj, tk, tl))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(abig)
@@ -212,24 +218,29 @@ func (c *runCtx) op2Unit(p *ga.Proc, o1T, o2T *ga.TiledArray, ta, tk, tl int) {
 
 	// o1big[a][j][kl] for all j.
 	o1big := c.alloc(p, int64(wa)*int64(c.n)*int64(wkl))
-	tmp := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
-	col := 0
-	for tj := 0; tj < c.nt; tj++ {
-		wj := c.g.Width(tj)
-		p.GetT(o1T, tmp.Data, ta, tj, tk, tl)
-		if c.exec { // tile (a, j, k, l)
-			for a := 0; a < wa; a++ {
-				src := tmp.Data[a*wj*wkl : (a+1)*wj*wkl]
-				dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
-				copy(dst, src)
-			}
+	tileW := wa * c.g.T * wkl
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(tj int) *ga.Handle {
+		return p.NbGetT(o1T, sl(tmp, (tj%2)*tileW), ta, tj, tk, tl)
+	}, func(tj int) {
+		if !c.exec {
+			return
 		}
-		col += wj
-	}
+		col, _ := c.g.Bounds(tj)
+		wj := c.g.Width(tj)
+		got := tmp.Data[(tj%2)*tileW:]
+		// tile (a, j, k, l)
+		for a := 0; a < wa; a++ {
+			src := got[a*wj*wkl : (a+1)*wj*wkl]
+			dst := o1big.Data[(a*c.n+col)*wkl : (a*c.n+col+wj)*wkl]
+			copy(dst, src)
+		}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(wa)*int64(c.g.T)*int64(wkl))
+	wq := newNbQueue(p)
 	for tb := 0; tb <= ta; tb++ {
 		wb := c.fillBRow(p, bbuf.Data, tb)
 		if c.exec {
@@ -244,8 +255,9 @@ func (c *runCtx) op2Unit(p *ga.Proc, o1T, o2T *ga.TiledArray, ta, tk, tl int) {
 		} else {
 			p.ComputeEff(int64(wa)*blas.GemmFlops(wb, wkl, c.n), c.eff)
 		}
-		p.PutT(o2T, out.Data, ta, tb, tk, tl)
+		wq.push(p.NbPutT(o2T, out.Data, ta, tb, tk, tl))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(o1big)
@@ -272,37 +284,42 @@ func (c *runCtx) op3Unit(p *ga.Proc, o2T, o3T *ga.TiledArray, ta, tb, tl int) {
 
 	// o2big[(a,b)][k][l] for all k.
 	o2big := c.alloc(p, int64(wab)*int64(c.n)*int64(wl))
-	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
-	row := 0
-	for tk := 0; tk < c.nt; tk++ {
-		wk := c.g.Width(tk)
+	tileW := wab * c.g.T * wl
+	tmp := c.alloc(p, 2*int64(tileW))
+	prefetch2(p, c.nt, func(tk int) *ga.Handle {
+		buf := sl(tmp, (tk%2)*tileW)
 		if tk >= tl {
-			p.GetT(o2T, tmp.Data, ta, tb, tk, tl)
-			if c.exec { // tile (a, b, k, l)
-				for ab := 0; ab < wab; ab++ {
-					src := tmp.Data[ab*wk*wl : (ab+1)*wk*wl]
-					dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
-					copy(dst, src)
-				}
+			return p.NbGetT(o2T, buf, ta, tb, tk, tl)
+		}
+		return p.NbGetT(o2T, buf, ta, tb, tl, tk)
+	}, func(tk int) {
+		if !c.exec {
+			return
+		}
+		row, _ := c.g.Bounds(tk)
+		wk := c.g.Width(tk)
+		got := tmp.Data[(tk%2)*tileW:]
+		if tk >= tl { // tile (a, b, k, l)
+			for ab := 0; ab < wab; ab++ {
+				src := got[ab*wk*wl : (ab+1)*wk*wl]
+				dst := o2big.Data[(ab*c.n+row)*wl : (ab*c.n+row+wk)*wl]
+				copy(dst, src)
 			}
-		} else {
-			p.GetT(o2T, tmp.Data, ta, tb, tl, tk)
-			if c.exec { // tile (a, b, l, k): transpose (k, l)
-				for ab := 0; ab < wab; ab++ {
-					for l := 0; l < wl; l++ {
-						for k := 0; k < wk; k++ {
-							o2big.Data[(ab*c.n+row+k)*wl+l] = tmp.Data[(ab*wl+l)*wk+k]
-						}
+		} else { // tile (a, b, l, k): transpose (k, l)
+			for ab := 0; ab < wab; ab++ {
+				for l := 0; l < wl; l++ {
+					for k := 0; k < wk; k++ {
+						o2big.Data[(ab*c.n+row+k)*wl+l] = got[(ab*wl+l)*wk+k]
 					}
 				}
 			}
 		}
-		row += wk
-	}
+	})
 	p.FreeLocal(tmp)
 
 	bbuf := c.alloc(p, int64(c.g.T)*int64(c.n))
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(wl))
+	wq := newNbQueue(p)
 	for tc := 0; tc < c.nt; tc++ {
 		wc := c.fillBRow(p, bbuf.Data, tc)
 		if c.exec {
@@ -317,8 +334,9 @@ func (c *runCtx) op3Unit(p *ga.Proc, o2T, o3T *ga.TiledArray, ta, tb, tl int) {
 		} else {
 			p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wl, c.n), c.eff)
 		}
-		p.PutT(o3T, out.Data, ta, tb, tc, tl)
+		wq.push(p.NbPutT(o3T, out.Data, ta, tb, tc, tl))
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(bbuf)
 	p.FreeLocal(o2big)
@@ -341,30 +359,49 @@ func (c *runCtx) op4Unit(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb int) {
 	wa, wb := c.g.Width(ta), c.g.Width(tb)
 	wab := wa * wb
 
-	// o3big[(a,b)][c][l] for all c, l.
-	o3big := c.alloc(p, int64(wab)*int64(c.n)*int64(c.n))
-	tmp := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
-	for tc := 0; tc < c.nt; tc++ {
-		c0, _ := c.g.Bounds(tc)
+	// Rather than materialising the full o3big[(a,b)][c][l] plane, gather
+	// one c-tile strip [(a,b)][c in tile tc][l] at a time, double-buffered
+	// so the gets for strip tc+1 are in flight while strip tc's GEMMs run.
+	// Each strip packs its l tiles contiguously (row stride c.n), so the
+	// GEMM operands carry exactly the values the full plane held.
+	stripW := wab * c.g.T * c.n
+	tileW := wab * c.g.T * c.g.T
+	o3s := c.alloc(p, 2*int64(stripW))
+	tmp := c.alloc(p, 2*int64(c.nt)*int64(tileW))
+
+	issueStrip := func(tc int) []*ga.Handle {
+		hs := make([]*ga.Handle, c.nt)
+		base := (tc % 2) * c.nt * tileW
+		for tl := 0; tl < c.nt; tl++ {
+			hs[tl] = p.NbGetT(o3T, sl(tmp, base+tl*tileW), ta, tb, tc, tl)
+		}
+		return hs
+	}
+	landStrip := func(tc int, hs []*ga.Handle) {
+		p.WaitAll(hs...)
+		if !c.exec {
+			return
+		}
 		wc := c.g.Width(tc)
+		strip := o3s.Data[(tc%2)*stripW:]
+		base := (tc % 2) * c.nt * tileW
 		for tl := 0; tl < c.nt; tl++ {
 			l0, _ := c.g.Bounds(tl)
 			wl := c.g.Width(tl)
-			p.GetT(o3T, tmp.Data, ta, tb, tc, tl)
-			if c.exec { // tile (a, b, c, l)
-				for ab := 0; ab < wab; ab++ {
-					for cc := 0; cc < wc; cc++ {
-						src := tmp.Data[(ab*wc+cc)*wl : (ab*wc+cc+1)*wl]
-						dst := o3big.Data[(ab*c.n+c0+cc)*c.n+l0:]
-						copy(dst[:wl], src)
-					}
+			got := tmp.Data[base+tl*tileW:]
+			for ab := 0; ab < wab; ab++ { // tile (a, b, c, l)
+				for cc := 0; cc < wc; cc++ {
+					src := got[(ab*wc+cc)*wl : (ab*wc+cc+1)*wl]
+					dst := strip[(ab*wc+cc)*c.n+l0:]
+					copy(dst[:wl], src)
 				}
 			}
 		}
 	}
-	p.FreeLocal(tmp)
+	hs := issueStrip(0)
 
-	// Full coefficient matrix rows for the d index.
+	// Full coefficient matrix rows for the d index; generating them here
+	// overlaps strip 0's in-flight gets.
 	ball := c.alloc(p, int64(c.n)*int64(c.n))
 	for td := 0; td < c.nt; td++ {
 		d0, _ := c.g.Bounds(td)
@@ -376,8 +413,14 @@ func (c *runCtx) op4Unit(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb int) {
 	}
 
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
+	wq := newNbQueue(p)
 	for tc := 0; tc < c.nt; tc++ {
-		c0, _ := c.g.Bounds(tc)
+		var next []*ga.Handle
+		if tc+1 < c.nt {
+			next = issueStrip(tc + 1)
+		}
+		landStrip(tc, hs)
+		hs = next
 		wc := c.g.Width(tc)
 		for td := 0; td <= tc; td++ {
 			if !cT.Stored(ta, tb, tc, td) {
@@ -390,19 +433,21 @@ func (c *runCtx) op4Unit(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb int) {
 				for ab := 0; ab < wab; ab++ {
 					// C[ab, c, d] = O3[ab, c, l] . B[d, l]^T
 					c.gemm(p, false, true, wc, wd, c.n,
-						sl(o3big, (ab*c.n+c0)*c.n), c.n,
+						sl(o3s, (tc%2)*stripW+ab*wc*c.n), c.n,
 						sl(ball, d0*c.n), c.n,
 						sl(out, ab*wc*wd), wd)
 				}
 			} else {
 				p.ComputeEff(int64(wab)*blas.GemmFlops(wc, wd, c.n), c.eff)
 			}
-			p.PutT(cT, out.Data, ta, tb, tc, td)
+			wq.push(p.NbPutT(cT, out.Data, ta, tb, tc, td))
 		}
 	}
+	wq.drain()
 	p.FreeLocal(out)
 	p.FreeLocal(ball)
-	p.FreeLocal(o3big)
+	p.FreeLocal(tmp)
+	p.FreeLocal(o3s)
 }
 
 func zero(x []float64) {

@@ -91,6 +91,19 @@ type Config struct {
 	// Tracer, when non-nil, receives per-operation events and phase
 	// spans (see internal/trace). Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// Overlap enables the nonblocking verbs (NbGetT/NbPutT/NbAccT) to
+	// actually overlap communication with computation. When false (the
+	// default) the nonblocking verbs degrade to their blocking
+	// equivalents at issue time — identical clocks, events, and fault
+	// points — so schedules can be written against the nonblocking API
+	// unconditionally.
+	Overlap bool
+	// OverlapEfficiency is the fraction of an in-flight transfer's time
+	// that computation can hide, in (0, 1]. At Wait the process is
+	// charged max(arrival - now, (1-e) * duration): e = 1 (the default
+	// when this is zero) hides everything that finished in flight,
+	// while values near 0 approach the blocking sum rule.
+	OverlapEfficiency float64
 	// Faults, when non-nil, is the deterministic fault plan consulted
 	// on every Get/Put/Acc (see internal/faults): transient faults are
 	// retried with exponential backoff charged on the simulated clock,
@@ -134,6 +147,21 @@ type Runtime struct {
 	// slow holds per-process straggler factors (1.0 = full speed).
 	slow []float64
 
+	// Nonblocking-transfer state (see nb.go). Every slice is indexed by
+	// process id with a single writer (that process's goroutine), like
+	// clocks. nbChanFree is the simulated time each process's comm
+	// channel becomes free (in-flight transfers serialise per process);
+	// nbPrev chains Execute-mode apply goroutines so deferred copies
+	// land in per-process FIFO order; nbOutstanding counts handles not
+	// yet waited (checked at region exit); commExposed/commOverlapped
+	// split each process's transfer seconds into time it waited for
+	// versus time hidden behind compute.
+	nbChanFree     []float64
+	nbPrev         []chan struct{}
+	nbOutstanding  []int
+	commExposed    []float64
+	commOverlapped []float64
+
 	// bufPools recycles Execute-mode local staging buffers, bucketed by
 	// power-of-two capacity: the schedules allocate and free the same
 	// tile-sized Get/Put/Acc buffers once per work unit, and without
@@ -153,14 +181,22 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("ga: non-positive process count %d", cfg.Procs)
 	}
+	if e := cfg.OverlapEfficiency; e < 0 || e > 1 {
+		return nil, fmt.Errorf("ga: overlap efficiency %v out of [0, 1]", e)
+	}
 	rt := &Runtime{
-		cfg:      cfg,
-		counters: make([]*metrics.Counters, cfg.Procs),
-		clocks:   make([]float64, cfg.Procs),
-		idle:     make([]float64, cfg.Procs),
-		opSeqs:   make([]int64, cfg.Procs),
-		slow:     make([]float64, cfg.Procs),
-		barrier:  newClockBarrier(cfg.Procs),
+		cfg:            cfg,
+		counters:       make([]*metrics.Counters, cfg.Procs),
+		clocks:         make([]float64, cfg.Procs),
+		idle:           make([]float64, cfg.Procs),
+		opSeqs:         make([]int64, cfg.Procs),
+		slow:           make([]float64, cfg.Procs),
+		nbChanFree:     make([]float64, cfg.Procs),
+		nbPrev:         make([]chan struct{}, cfg.Procs),
+		nbOutstanding:  make([]int, cfg.Procs),
+		commExposed:    make([]float64, cfg.Procs),
+		commOverlapped: make([]float64, cfg.Procs),
+		barrier:        newClockBarrier(cfg.Procs),
 	}
 	for i := range rt.counters {
 		rt.counters[i] = &metrics.Counters{}
@@ -288,6 +324,12 @@ func (rt *Runtime) Parallel(body func(p *Proc)) error {
 				}
 			}()
 			body(&Proc{rt: rt, id: id})
+			// Region exit is a barrier: every nonblocking handle must
+			// have been waited by now, or deferred work could cross the
+			// synchronisation point (see nb.go).
+			if n := rt.nbOutstanding[id]; n != 0 {
+				panic(fmt.Sprintf("ga: process %d left %d nonblocking handle(s) unwaited at region exit", id, n))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -327,6 +369,27 @@ func (rt *Runtime) IdleFraction() float64 {
 		idle += v
 	}
 	return idle / (elapsed * float64(rt.cfg.Procs))
+}
+
+// CommExposedSeconds returns the total simulated transfer time processes
+// actually waited for (blocking transfers plus the exposed remainder of
+// nonblocking ones). Sequential-code only, like Totals.
+func (rt *Runtime) CommExposedSeconds() float64 {
+	var s float64
+	for _, v := range rt.commExposed {
+		s += v
+	}
+	return s
+}
+
+// CommOverlapSeconds returns the total simulated transfer time hidden
+// behind computation by nonblocking operations. Sequential-code only.
+func (rt *Runtime) CommOverlapSeconds() float64 {
+	var s float64
+	for _, v := range rt.commOverlapped {
+		s += v
+	}
+	return s
 }
 
 // Proc is the per-process handle passed to Parallel bodies.
@@ -382,6 +445,38 @@ func (p *Proc) Barrier() {
 type Buffer struct {
 	Data  []float64
 	words int64
+	// state tracks the allocation's owner and lifetime so an invalid
+	// FreeLocal fails loudly instead of corrupting the ledger. Shared
+	// by all copies of the Buffer value; nil for a Buffer that did not
+	// come from AllocLocal.
+	state *bufState
+}
+
+// bufState is the shared lifetime record behind every Buffer copy.
+type bufState struct {
+	owner int
+	freed bool
+}
+
+// BufferFreeError reports a FreeLocal that would have corrupted the
+// local-memory ledger: freeing a buffer twice, freeing a buffer that
+// never came from AllocLocal, or freeing another process's buffer.
+type BufferFreeError struct {
+	// Words is the buffer's element capacity.
+	Words int64
+	// Owner is the allocating process, or -1 when unknown (a foreign
+	// buffer that never came from AllocLocal).
+	Owner int
+	// Proc is the process that attempted the free.
+	Proc int
+	// Reason says which rule the free violated.
+	Reason string
+}
+
+// Error formats the violation with the buffer's identity.
+func (e *BufferFreeError) Error() string {
+	return fmt.Sprintf("ga: FreeLocal on process %d: %s (buffer of %d words, owner %d)",
+		e.Proc, e.Reason, e.Words, e.Owner)
 }
 
 // Words returns the element capacity of the buffer.
@@ -400,7 +495,7 @@ func (p *Proc) AllocLocal(words int64) (Buffer, error) {
 			ErrLocalOOM, p.id, words*8, lim, c.Current()*8)
 	}
 	c.Alloc(words)
-	b := Buffer{words: words}
+	b := Buffer{words: words, state: &bufState{owner: p.id}}
 	if p.rt.cfg.Mode == Execute && words > 0 {
 		b.Data = p.rt.getPooled(words)
 	}
@@ -459,8 +554,24 @@ func (p *Proc) MustAllocLocal(words int64) Buffer {
 
 // FreeLocal releases a local buffer. The caller must not retain b.Data
 // afterwards: in Execute mode the storage re-enters the buffer pool and
-// a later AllocLocal may hand it to another process.
+// a later AllocLocal may hand it to another process. Freeing a buffer
+// twice, a buffer that never came from AllocLocal, or another process's
+// buffer panics with *BufferFreeError (converted to an error by
+// Parallel) instead of silently corrupting the ledger.
 func (p *Proc) FreeLocal(b Buffer) {
+	if b.state == nil {
+		panic(&BufferFreeError{Words: b.words, Owner: -1, Proc: p.id,
+			Reason: "foreign buffer (not from AllocLocal)"})
+	}
+	if b.state.owner != p.id {
+		panic(&BufferFreeError{Words: b.words, Owner: b.state.owner, Proc: p.id,
+			Reason: "cross-process free"})
+	}
+	if b.state.freed {
+		panic(&BufferFreeError{Words: b.words, Owner: b.state.owner, Proc: p.id,
+			Reason: "double free"})
+	}
+	b.state.freed = true
 	p.Counters().Free(b.words)
 	if b.Data != nil {
 		p.rt.putPooled(b.Data)
@@ -480,11 +591,16 @@ func (p *Proc) chargeTransfer(remote bool, elems int64, isLoad bool) {
 		c.AddStore(lvl, elems)
 	}
 	if r := p.rt.cfg.Run; r != nil {
+		var dt float64
 		if remote {
-			p.rt.clocks[p.id] += r.RemoteSeconds(elems*8) * p.rt.slow[p.id]
+			dt = r.RemoteSeconds(elems*8) * p.rt.slow[p.id]
 		} else {
-			p.rt.clocks[p.id] += r.LocalSeconds(elems*8) * p.rt.slow[p.id]
+			dt = r.LocalSeconds(elems*8) * p.rt.slow[p.id]
 		}
+		p.rt.clocks[p.id] += dt
+		// A blocking transfer is fully exposed: the process waits for
+		// all of it (the denominator of the exposed-comm fraction).
+		p.rt.commExposed[p.id] += dt
 	}
 }
 
@@ -497,7 +613,9 @@ func (p *Proc) chargeDisk(elems int64, isLoad bool) {
 		c.AddStore(metrics.LevelDisk, elems)
 	}
 	if r := p.rt.cfg.Run; r != nil {
-		p.rt.clocks[p.id] += r.DiskSeconds(elems*8) * p.rt.slow[p.id]
+		dt := r.DiskSeconds(elems*8) * p.rt.slow[p.id]
+		p.rt.clocks[p.id] += dt
+		p.rt.commExposed[p.id] += dt
 	}
 }
 

@@ -12,6 +12,11 @@ type PhaseStat struct {
 	CommElements  int64 // inter-node traffic
 	IntraElements int64 // same-node copies
 	Messages      int64
+	// ExposedCommSeconds is transfer time processes waited for inside
+	// the phase; OverlapCommSeconds is transfer time nonblocking
+	// operations hid behind compute (see internal/ga's overlap model).
+	ExposedCommSeconds float64
+	OverlapCommSeconds float64
 }
 
 // phaseTracker accumulates per-phase deltas between sequential-section
@@ -24,11 +29,13 @@ type phaseTracker struct {
 }
 
 type phaseMark struct {
-	clock float64
-	flops int64
-	comm  int64
-	intra int64
-	msgs  int64
+	clock   float64
+	flops   int64
+	comm    int64
+	intra   int64
+	msgs    int64
+	exposed float64
+	overlap float64
 }
 
 // BeginPhase marks the start of a named schedule phase. It must be
@@ -59,6 +66,10 @@ func (rt *Runtime) phaseMarkNow() phaseMark {
 		m.intra += c.Traffic(metrics.LevelIntra)
 		m.msgs += c.Messages(metrics.LevelGlobal) + c.Messages(metrics.LevelIntra)
 	}
+	for i := range rt.commExposed {
+		m.exposed += rt.commExposed[i]
+		m.overlap += rt.commOverlapped[i]
+	}
 	return m
 }
 
@@ -79,6 +90,8 @@ func (rt *Runtime) closePhase() {
 	st.CommElements += now.comm - pt.mark.comm
 	st.IntraElements += now.intra - pt.mark.intra
 	st.Messages += now.msgs - pt.mark.msgs
+	st.ExposedCommSeconds += now.exposed - pt.mark.exposed
+	st.OverlapCommSeconds += now.overlap - pt.mark.overlap
 	pt.current = ""
 	rt.TraceSpanEnd()
 }

@@ -207,3 +207,115 @@ func TestStressLocalLedgerBalanced(t *testing.T) {
 		}
 	}
 }
+
+// TestStressConcurrentNbPrefetch exercises the nonblocking path the way
+// the schedules use it, under maximal contention: every process
+// double-buffer prefetches all tiles of a shared frozen input with
+// NbGetT while streaming NbAccT updates at a single hot output tile
+// through a two-deep write window. Run under the race detector, this
+// covers the worker-chain FIFO, handle-owned staging, the frozen
+// lock-free read inside a deferred get, and the pooled staging buffers
+// racing with AllocLocal.
+func TestStressConcurrentNbPrefetch(t *testing.T) {
+	const (
+		procs  = 8
+		rounds = 20
+		nt     = 4
+		dim    = 5
+	)
+	rt, err := NewRuntime(Config{Procs: procs, Mode: Execute, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tile.NewGrid(nt*dim, dim)
+	in, err := rt.CreateTiled("in", []tile.Grid{g, g}, nil, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.DestroyTiled(in)
+	out, err := rt.CreateTiled("out", []tile.Grid{g, g}, nil, tile.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.DestroyTiled(out)
+
+	words := dim * dim
+	if err := rt.Parallel(func(p *Proc) {
+		buf := p.MustAllocLocal(int64(words))
+		defer p.FreeLocal(buf)
+		for ti := 0; ti < nt; ti++ {
+			for tj := 0; tj < nt; tj++ {
+				if workOwner := (ti*nt + tj) % procs; workOwner != p.ID() {
+					continue
+				}
+				for i := range buf.Data {
+					buf.Data[i] = float64(ti*nt + tj)
+				}
+				p.NbPutT(in, buf.Data, ti, tj).Wait(p)
+				zero := make([]float64, words)
+				p.PutT(out, zero, ti, tj)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in.Freeze()
+
+	// Each round every process sweeps all tiles with a two-slot prefetch
+	// pipeline and accumulates each tile's value into out[0,0].
+	if err := rt.Parallel(func(p *Proc) {
+		tmp := p.MustAllocLocal(int64(2 * words))
+		defer p.FreeLocal(tmp)
+		acc := p.MustAllocLocal(int64(words))
+		defer p.FreeLocal(acc)
+		issue := func(k int) *Handle {
+			ti, tj := k/nt, k%nt
+			half := tmp.Data[(k%2)*words : (k%2)*words+words]
+			return p.NbGetT(in, half, ti, tj)
+		}
+		var wprev *Handle
+		for r := 0; r < rounds; r++ {
+			h := issue(0)
+			for k := 0; k < nt*nt; k++ {
+				var next *Handle
+				if k+1 < nt*nt {
+					next = issue(k + 1)
+				}
+				h.Wait(p)
+				got := tmp.Data[(k%2)*words]
+				if got != float64(k) {
+					panic(fmt.Errorf("proc %d round %d tile %d: prefetched %v, want %d", p.ID(), r, k, got, k))
+				}
+				for i := range acc.Data {
+					acc.Data[i] = got
+				}
+				wprev.Wait(p)
+				wprev = p.NbAccT(out, 1, acc.Data, 0, 0)
+				h = next
+			}
+		}
+		wprev.Wait(p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every process added sum(0..nt*nt-1) per round into out[0,0].
+	want := 0.0
+	for k := 0; k < nt*nt; k++ {
+		want += float64(k)
+	}
+	want *= procs * rounds
+	buf := make([]float64, words)
+	if err := rt.Parallel(func(p *Proc) {
+		if p.ID() == 0 {
+			p.GetT(out, buf, 0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != want {
+			t.Fatalf("out[0,0][%d] = %v, want %v", i, v, want)
+		}
+	}
+}

@@ -30,6 +30,10 @@ func (rt *Runtime) traceTotals() trace.Totals {
 			c.Messages(metrics.LevelIntra) +
 			c.Messages(metrics.LevelDisk)
 	}
+	for i := range rt.commExposed {
+		t.CommExposedSec += rt.commExposed[i]
+		t.CommOverlapSec += rt.commOverlapped[i]
+	}
 	return t
 }
 

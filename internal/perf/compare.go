@@ -37,8 +37,9 @@ func Decode(rd io.Reader) (*Report, error) {
 // regressions found (empty = pass).
 //
 // Deterministic fields (flops, bytes moved, messages, peak memory,
-// simulated seconds) must match the baseline within tolerance — they do
-// not vary across machines, so any drift is a real accounting change.
+// simulated seconds, exposed-comm fraction) must match the baseline
+// within tolerance — they do not vary across machines, so any drift is
+// a real accounting change.
 //
 // Wall times vary with the host, so they are gated relatively: the
 // per-point ratio current/baseline is normalised by the median ratio
@@ -86,6 +87,7 @@ func Gate(cur, base *Report, tolerance float64) ([]string, error) {
 			{"messages", float64(p.Messages), float64(b.Messages)},
 			{"peakGlobalBytes", float64(p.PeakGlobalBytes), float64(b.PeakGlobalBytes)},
 			{"simSeconds", p.SimSeconds, b.SimSeconds},
+			{"exposedCommFraction", p.ExposedCommFraction, b.ExposedCommFraction},
 		} {
 			if d := relDiff(m.cur, m.base); d > tolerance {
 				violations = append(violations, fmt.Sprintf("%s: %s drifted %.1f%% (%.6g vs baseline %.6g)",

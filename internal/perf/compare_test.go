@@ -74,6 +74,35 @@ func TestGateCatchesDeterministicDrift(t *testing.T) {
 	}
 }
 
+func TestGateCatchesExposedCommFractionDrift(t *testing.T) {
+	// The overlap pipeline regressed: more transfer time is exposed than
+	// the baseline recorded, and the gate must flag it even though every
+	// other deterministic field matches.
+	reg := mkPoint("fullyfused", 0.1)
+	reg.Overlap = true
+	reg.ExposedCommFraction = 0.9
+	b := mkPoint("fullyfused", 0.1)
+	b.Overlap = true
+	b.ExposedCommFraction = 0.6
+	v, err := Gate(mkReport(reg), mkReport(b), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "exposedCommFraction") {
+		t.Errorf("violations = %v, want one exposedCommFraction drift", v)
+	}
+}
+
+func TestGateKeysOverlapSeparately(t *testing.T) {
+	// Overlap on and off are distinct matrix cells: a current overlap
+	// point must not match a baseline non-overlap point.
+	cur := mkPoint("unfused", 0.1)
+	cur.Overlap = true
+	if _, err := Gate(mkReport(cur), mkReport(mkPoint("unfused", 0.1)), 0.15); err == nil || !strings.Contains(err.Error(), "no baseline") {
+		t.Errorf("err = %v, want missing-baseline error for the overlap cell", err)
+	}
+}
+
 func TestGateSkipsNoisePoints(t *testing.T) {
 	// Sub-minGateWall points regress 10x without tripping the gate.
 	cur := mkReport(mkPoint("unfused", 0.04), mkPoint("hybrid", 0.2))

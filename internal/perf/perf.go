@@ -37,8 +37,10 @@ import (
 )
 
 // SchemaVersion is bumped whenever the JSON report shape changes
-// incompatibly; Gate refuses to compare across versions.
-const SchemaVersion = 1
+// incompatibly; Gate refuses to compare across versions. Version 2
+// added the overlap axis (each matrix cell runs with the nonblocking
+// communication path off and on) and the exposed-comm fraction.
+const SchemaVersion = 2
 
 // benchSeed fixes the integral-generator seed for every benchmark run.
 const benchSeed = 7
@@ -77,8 +79,14 @@ type Config struct {
 	// points simulate their own parallelism and run at the ambient
 	// setting). Empty selects {1, 4}.
 	Gomaxprocs []int
-	// Measure records wall time and allocations (and the read-path
-	// microbenchmark). Off, the report is fully deterministic.
+	// Overlap sweeps Options.Overlap over every point: off exercises the
+	// blocking verbs, on the nonblocking double-buffered path. Empty
+	// selects {false, true}, which pins the overlap win (cost-mode
+	// simulated seconds and the exposed-comm fraction) in the baseline.
+	Overlap []bool
+	// Measure records wall time and allocations (and the read-path and
+	// transposed-B GEMM microbenchmarks). Off, the report is fully
+	// deterministic.
 	Measure bool
 	// Repeats is how many timed repetitions each measured point runs;
 	// the minimum wall time is reported (default 3).
@@ -144,6 +152,9 @@ type Point struct {
 	// Gomaxprocs is the host parallelism the point ran at (execute
 	// points; 0 for cost points).
 	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Overlap reports whether the point ran with the nonblocking
+	// communication path (Options.Overlap).
+	Overlap bool `json:"overlap,omitempty"`
 
 	// Deterministic accounting, identical across machines and runs.
 	Flops           int64   `json:"flops"`
@@ -154,6 +165,11 @@ type Point struct {
 	PeakGlobalBytes int64   `json:"peakGlobalBytes"`
 	BytesMoved      int64   `json:"bytesMoved"`
 	SimSeconds      float64 `json:"simSeconds,omitempty"`
+	// ExposedCommFraction is exposed transfer time over total transfer
+	// time (cost points with a machine model; 1 with Overlap off, lower
+	// as the nonblocking verbs hide transfers behind compute). Gated
+	// deterministically: a drift means the overlap pipeline changed.
+	ExposedCommFraction float64 `json:"exposedCommFraction,omitempty"`
 	// Attained is the aggregate bound-vs-actual fraction from the trace
 	// audit (sum of per-phase lower bounds over actual elements moved,
 	// memory-independent floor), 0 when no phase was auditable.
@@ -165,8 +181,12 @@ type Point struct {
 
 // Key identifies a point across reports (for baseline comparison).
 func (p Point) Key() string {
-	return fmt.Sprintf("%s/%s/n%d/%s%s/p%d/g%d",
-		p.Kind, p.Scheme, p.N, p.Molecule, p.System, p.Procs, p.Gomaxprocs)
+	ov := 0
+	if p.Overlap {
+		ov = 1
+	}
+	return fmt.Sprintf("%s/%s/n%d/%s%s/p%d/g%d/o%d",
+		p.Kind, p.Scheme, p.N, p.Molecule, p.System, p.Procs, p.Gomaxprocs, ov)
 }
 
 // Report is the schema-versioned benchmark output.
@@ -175,6 +195,8 @@ type Report struct {
 	Points        []Point `json:"points"`
 	// ReadPath is the GetT read-path microbenchmark (Measure only).
 	ReadPath *ReadPathResult `json:"readPath,omitempty"`
+	// GemmTransB is the transposed-B GEMM microbenchmark (Measure only).
+	GemmTransB *GemmTransBResult `json:"gemmTransB,omitempty"`
 }
 
 // withDefaults fills the config's empty fields.
@@ -196,6 +218,9 @@ func (c Config) withDefaults() Config {
 	if len(c.Gomaxprocs) == 0 {
 		c.Gomaxprocs = []int{1, 4}
 	}
+	if len(c.Overlap) == 0 {
+		c.Overlap = []bool{false, true}
+	}
 	if c.Repeats <= 0 {
 		c.Repeats = 3
 	}
@@ -203,8 +228,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Run executes the benchmark matrix and returns the report. The matrix
-// order is fixed (gomaxprocs, then point, then scheme; cost points
-// after execute points) so reports are comparable line by line.
+// order is fixed (gomaxprocs, then point, then scheme, then overlap;
+// cost points after execute points) so reports are comparable line by
+// line.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rep := &Report{SchemaVersion: SchemaVersion}
@@ -213,12 +239,14 @@ func Run(cfg Config) (*Report, error) {
 		prev := runtime.GOMAXPROCS(gmp)
 		for _, ep := range cfg.ExecutePoints {
 			for _, s := range cfg.Schemes {
-				pt, err := runExecutePoint(s, ep, gmp, cfg)
-				if err != nil {
-					runtime.GOMAXPROCS(prev)
-					return nil, err
+				for _, ov := range cfg.Overlap {
+					pt, err := runExecutePoint(s, ep, gmp, ov, cfg)
+					if err != nil {
+						runtime.GOMAXPROCS(prev)
+						return nil, err
+					}
+					rep.Points = append(rep.Points, pt)
 				}
-				rep.Points = append(rep.Points, pt)
 			}
 		}
 		runtime.GOMAXPROCS(prev)
@@ -226,11 +254,13 @@ func Run(cfg Config) (*Report, error) {
 
 	for _, cp := range cfg.CostPoints {
 		for _, s := range cfg.CostSchemes {
-			pt, err := runCostPoint(s, cp, cfg)
-			if err != nil {
-				return nil, err
+			for _, ov := range cfg.Overlap {
+				pt, err := runCostPoint(s, cp, ov, cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep.Points = append(rep.Points, pt)
 			}
-			rep.Points = append(rep.Points, pt)
 		}
 	}
 
@@ -243,6 +273,8 @@ func Run(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		rep.ReadPath = &rp
+		gb := BenchGemmTransB(192, 192, 192)
+		rep.GemmTransB = &gb
 	}
 	return rep, nil
 }
@@ -256,24 +288,26 @@ func executeOptions(ep ExecutePoint) (fourindex.Options, error) {
 	return fourindex.Options{Spec: spec, Procs: ep.Procs, Mode: ga.Execute}, nil
 }
 
-func runExecutePoint(s fourindex.Scheme, ep ExecutePoint, gmp int, cfg Config) (Point, error) {
+func runExecutePoint(s fourindex.Scheme, ep ExecutePoint, gmp int, overlap bool, cfg Config) (Point, error) {
 	opt, err := executeOptions(ep)
 	if err != nil {
 		return Point{}, err
 	}
-	pt := Point{Kind: "execute", Scheme: s.String(), N: ep.N, Procs: ep.Procs, Gomaxprocs: gmp}
+	opt.Overlap = overlap
+	pt := Point{Kind: "execute", Scheme: s.String(), N: ep.N, Procs: ep.Procs, Gomaxprocs: gmp, Overlap: overlap}
 	if err := fillPoint(&pt, s, opt, ep.N, 1, cfg); err != nil {
 		return Point{}, fmt.Errorf("perf: execute %s n=%d procs=%d: %w", s, ep.N, ep.Procs, err)
 	}
 	return pt, nil
 }
 
-func runCostPoint(s fourindex.Scheme, cp CostPoint, cfg Config) (Point, error) {
+func runCostPoint(s fourindex.Scheme, cp CostPoint, overlap bool, cfg Config) (Point, error) {
 	opt, err := experiments.BenchOptions(cp.Molecule, cp.System, cp.Cores)
 	if err != nil {
 		return Point{}, err
 	}
-	pt := Point{Kind: "cost", Scheme: s.String(), Molecule: cp.Molecule, System: cp.System, Procs: cp.Cores}
+	opt.Overlap = overlap
+	pt := Point{Kind: "cost", Scheme: s.String(), Molecule: cp.Molecule, System: cp.System, Procs: cp.Cores, Overlap: overlap}
 	if err := fillPoint(&pt, s, opt, opt.Spec.N, experiments.SpatialSymmetry, cfg); err != nil {
 		return Point{}, fmt.Errorf("perf: cost %s %s/%s/%d: %w", s, cp.Molecule, cp.System, cp.Cores, err)
 	}
@@ -298,6 +332,9 @@ func fillPoint(pt *Point, s fourindex.Scheme, opt fourindex.Options, n, symFacto
 	pt.PeakGlobalBytes = res.PeakGlobalBytes
 	pt.BytesMoved = 8 * (res.CommVolume + res.IntraVolume + res.DiskVolume)
 	pt.SimSeconds = res.ElapsedSeconds
+	if total := res.ExposedCommSeconds + res.OverlapCommSeconds; total > 0 {
+		pt.ExposedCommFraction = res.ExposedCommSeconds / total
+	}
 	pt.Attained = aggregateAttained(tr.Audit(n, symFactor, 0))
 
 	if !cfg.Measure {

@@ -119,6 +119,11 @@ func TestMeasuredFieldsPresent(t *testing.T) {
 	} else if rep.ReadPath.FrozenSeconds <= 0 || rep.ReadPath.LockedSeconds <= 0 {
 		t.Errorf("read-path timings not positive: %+v", rep.ReadPath)
 	}
+	if rep.GemmTransB == nil {
+		t.Error("Measure run has no gemmTransB result")
+	} else if rep.GemmTransB.NoTransSeconds <= 0 || rep.GemmTransB.TransBSeconds <= 0 {
+		t.Errorf("gemm transB timings not positive: %+v", rep.GemmTransB)
+	}
 	for _, p := range rep.Points {
 		if p.Measured == nil {
 			t.Errorf("%s: no measured fields on a Measure run", p.Key())
@@ -163,6 +168,14 @@ func TestSmokeIsSubsetOfDefault(t *testing.T) {
 		}
 		return false
 	}
+	inOverlap := func(o bool) bool {
+		for _, f := range full.Overlap {
+			if f == o {
+				return true
+			}
+		}
+		return false
+	}
 	for _, e := range smoke.ExecutePoints {
 		if !inExec(e) {
 			t.Errorf("smoke execute point %+v not in the full matrix", e)
@@ -176,6 +189,11 @@ func TestSmokeIsSubsetOfDefault(t *testing.T) {
 	for _, g := range smoke.Gomaxprocs {
 		if !inGmp(g) {
 			t.Errorf("smoke gomaxprocs %d not in the full matrix", g)
+		}
+	}
+	for _, o := range smoke.Overlap {
+		if !inOverlap(o) {
+			t.Errorf("smoke overlap %v not in the full matrix", o)
 		}
 	}
 	if len(smoke.Schemes) != len(full.Schemes) || len(smoke.CostSchemes) != len(full.CostSchemes) {

@@ -24,6 +24,11 @@ type AuditRow struct {
 	Flops int64
 	// Seconds is the phase's simulated duration.
 	Seconds float64
+	// ExposedCommSec is transfer time processes waited for inside the
+	// phase; OverlapCommSec is transfer time the nonblocking verbs hid
+	// behind compute. Their sum is the phase's total transfer time.
+	ExposedCommSec float64
+	OverlapCommSec float64
 	// Attained is BoundElems/ActualElems — the fraction of the lower
 	// bound the schedule attains (1.0 = bound-optimal, smaller = more
 	// movement than necessary). Zero when no bound applies.
@@ -81,6 +86,8 @@ func (t *Tracer) Audit(n, symFactor int, fastWords int64) []AuditRow {
 		row.ActualElems += sp.Totals.MovedElements()
 		row.Flops += sp.Totals.Flops
 		row.Seconds += sp.Seconds()
+		row.ExposedCommSec += sp.Totals.CommExposedSec
+		row.OverlapCommSec += sp.Totals.CommOverlapSec
 	}
 
 	rows := make([]AuditRow, 0, len(order))
@@ -154,10 +161,13 @@ func WriteFaultSummary(w io.Writer, s FaultSummary) error {
 
 // WriteAuditTable renders rows as the aligned text table printed by
 // `fouridx trace`. Phases without a bound show "-" in the bound and
-// attained columns.
+// attained columns. The exposed/overlap columns split each phase's
+// transfer time into what processes waited for versus what the
+// nonblocking verbs hid behind compute (overlap is zero without
+// Options.Overlap).
 func WriteAuditTable(w io.Writer, rows []AuditRow) error {
-	if _, err := fmt.Fprintf(w, "%-16s %14s %14s %14s %10s %9s\n",
-		"phase", "lb-elems", "actual-elems", "flops", "sim-sec", "attained"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-16s %14s %14s %14s %10s %11s %11s %9s\n",
+		"phase", "lb-elems", "actual-elems", "flops", "sim-sec", "exposed-sec", "overlap-sec", "attained"); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -166,8 +176,8 @@ func WriteAuditTable(w io.Writer, rows []AuditRow) error {
 			bound = fmt.Sprintf("%.4g", r.BoundElems)
 			att = fmt.Sprintf("%.3f", r.Attained)
 		}
-		if _, err := fmt.Fprintf(w, "%-16s %14s %14d %14d %10.4g %9s\n",
-			r.Phase, bound, r.ActualElems, r.Flops, r.Seconds, att); err != nil {
+		if _, err := fmt.Fprintf(w, "%-16s %14s %14d %14d %10.4g %11.4g %11.4g %9s\n",
+			r.Phase, bound, r.ActualElems, r.Flops, r.Seconds, r.ExposedCommSec, r.OverlapCommSec, att); err != nil {
 			return err
 		}
 	}

@@ -54,6 +54,12 @@ type Totals struct {
 	IntraElements int64
 	DiskElements  int64
 	Messages      int64
+	// CommExposedSec is simulated transfer time the issuing process
+	// actually waited for; CommOverlapSec is transfer time hidden
+	// behind compute by nonblocking operations (see internal/ga's
+	// overlap cost model). Blocking transfers are fully exposed.
+	CommExposedSec float64
+	CommOverlapSec float64
 }
 
 // MovedElements returns the total data movement of the two-level model:
@@ -65,11 +71,13 @@ func (t Totals) MovedElements() int64 {
 // sub returns the component-wise difference t - u.
 func (t Totals) sub(u Totals) Totals {
 	return Totals{
-		Flops:         t.Flops - u.Flops,
-		CommElements:  t.CommElements - u.CommElements,
-		IntraElements: t.IntraElements - u.IntraElements,
-		DiskElements:  t.DiskElements - u.DiskElements,
-		Messages:      t.Messages - u.Messages,
+		Flops:          t.Flops - u.Flops,
+		CommElements:   t.CommElements - u.CommElements,
+		IntraElements:  t.IntraElements - u.IntraElements,
+		DiskElements:   t.DiskElements - u.DiskElements,
+		Messages:       t.Messages - u.Messages,
+		CommExposedSec: t.CommExposedSec - u.CommExposedSec,
+		CommOverlapSec: t.CommOverlapSec - u.CommOverlapSec,
 	}
 }
 
@@ -102,6 +110,16 @@ const (
 	// KindRestart is a checkpoint resume: a schedule skipping already
 	// completed l-slabs or stages after a crash-restart.
 	KindRestart
+	// KindNbGet is a nonblocking NbGetT issue; Dur is the transfer's
+	// in-flight time on the comm channel, not exposed process time.
+	KindNbGet
+	// KindNbPut is a nonblocking NbPutT issue (Dur as for KindNbGet).
+	KindNbPut
+	// KindNbAcc is a nonblocking NbAccT issue (Dur as for KindNbGet).
+	KindNbAcc
+	// KindWait is a Handle.Wait completion; Dur is the exposed (not
+	// hidden behind compute) portion of the transfer's time.
+	KindWait
 )
 
 // String names the kind.
@@ -127,6 +145,14 @@ func (k Kind) String() string {
 		return "retry"
 	case KindRestart:
 		return "restart"
+	case KindNbGet:
+		return "nbget"
+	case KindNbPut:
+		return "nbput"
+	case KindNbAcc:
+		return "nbacc"
+	case KindWait:
+		return "wait"
 	default:
 		return "kind?"
 	}
