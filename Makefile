@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet golden chaos bench bench-smoke ci
+.PHONY: all build test race lint lint-self lint-fixtures vet golden chaos bench bench-smoke ci
 
 all: build test vet lint
 
@@ -23,6 +23,17 @@ race:
 # lint runs the project's own analyzer suite (see internal/analysis).
 lint:
 	$(GO) run ./cmd/fouridxlint ./...
+
+# lint-self points the linter at its own analysis layer: the checkers
+# must satisfy the disciplines they enforce (deterministic diagnostics,
+# documented exports, clean error flow).
+lint-self:
+	$(GO) run ./cmd/fouridxlint ./internal/analysis/... ./cmd/fouridxlint
+
+# lint-fixtures runs every analyzer's `// want` fixture suite plus the
+# cfg/dataflow engine and loader tests.
+lint-fixtures:
+	$(GO) test -count=1 ./internal/analysis/...
 
 vet:
 	$(GO) vet ./...
@@ -54,4 +65,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/fouridx bench -smoke -o /tmp/bench_smoke.json -baseline BENCH_fouridx.json -tolerance 0.15
 
-ci: build test vet lint golden race chaos bench-smoke
+ci: build test vet lint lint-self lint-fixtures golden race chaos bench-smoke

@@ -62,6 +62,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
+		//lint:ignore determinism the report header timestamps when it was generated; no measured result depends on it
 		err = experiments.WriteReport(f, time.Now())
 		cerr := f.Close()
 		if err != nil || cerr != nil {

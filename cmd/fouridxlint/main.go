@@ -1,22 +1,31 @@
 // Command fouridxlint is the multichecker for the repository's custom
 // static analyzers. It enforces the code-level disciplines the paper's
 // data-movement accounting depends on — ga resource pairing,
-// nonblocking-handle completion discipline, packed
-// triangular indexing through internal/sym, metrics and tracer accessor
-// hygiene, runtime error propagation, and doc-comment coverage of the
-// internal packages (see internal/analysis for the full rationale of
-// each check).
+// flow-sensitive nonblocking-handle completion discipline, static race
+// checking of Parallel regions, determinism of results and traces,
+// freeze-protocol ordering, packed triangular indexing through
+// internal/sym, metrics and tracer accessor hygiene, runtime error
+// propagation, and doc-comment coverage of the internal packages (see
+// internal/analysis for the full rationale of each check).
+//
+// Findings can be suppressed per line with a justified directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it. A directive without an
+// analyzer name or a reason suppresses nothing and is itself reported.
 //
 // Usage:
 //
 //	go run ./cmd/fouridxlint ./...         # lint the whole module
 //	go run ./cmd/fouridxlint -list         # describe the analyzers
+//	go run ./cmd/fouridxlint -tests ./...  # include _test.go files
 //	go run ./cmd/fouridxlint -only symindex ./internal/fourindex
 //	go vet -vettool=$(which fouridxlint) ./...   # as a vet tool
 //
 // Exit status is 0 when no findings are reported, 1 on findings, and 2
-// on usage or load errors. Test files are not analyzed (patterns follow
-// `go list` GoFiles semantics).
+// on usage or load errors. Test files are analyzed only with -tests
+// (patterns follow `go list` GoFiles semantics otherwise).
 package main
 
 import (
@@ -26,22 +35,28 @@ import (
 	"strings"
 
 	"fourindex/internal/analysis"
+	"fourindex/internal/analysis/determinism"
 	"fourindex/internal/analysis/docstring"
 	"fourindex/internal/analysis/errflow"
+	"fourindex/internal/analysis/freezediscipline"
 	"fourindex/internal/analysis/gadiscipline"
 	"fourindex/internal/analysis/metricsdiscipline"
 	"fourindex/internal/analysis/nbdiscipline"
+	"fourindex/internal/analysis/paralleldiscipline"
 	"fourindex/internal/analysis/retrydiscipline"
 	"fourindex/internal/analysis/symindex"
 )
 
 // analyzers is the full suite, in reporting-name order.
 var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
 	docstring.Analyzer,
 	errflow.Analyzer,
+	freezediscipline.Analyzer,
 	gadiscipline.Analyzer,
 	metricsdiscipline.Analyzer,
 	nbdiscipline.Analyzer,
+	paralleldiscipline.Analyzer,
 	retrydiscipline.Analyzer,
 	symindex.Analyzer,
 }
@@ -54,6 +69,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("fouridxlint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	tests := fs.Bool("tests", false, "also analyze _test.go files (each file exactly once)")
 	vetVersion := fs.String("V", "", "vet tool protocol: print version (-V=full)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: fouridxlint [-list] [-only names] [packages]\n")
@@ -101,7 +117,11 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := analysis.Run("", suite, patterns...)
+	runner := analysis.Run
+	if *tests {
+		runner = analysis.RunTests
+	}
+	diags, err := runner("", suite, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fouridxlint: %v\n", err)
 		return 2

@@ -1,0 +1,586 @@
+// Package cfg builds per-function control-flow graphs over the Go AST.
+// It is the flow-sensitive foundation of the fouridxlint analyzers: the
+// purely lexical checks in the original suite treat "a Wait appears
+// later in the source" as "the Wait runs", which is exact for
+// straight-line schedule code but blind to early returns, error
+// branches, and loops — exactly the paths the runtime's dynamic checks
+// (race detector, chaos seeds) only see when a test happens to take
+// them. A CFG makes "on every path" and "on some path" mechanical.
+//
+// The graph is statement-granular: each Block holds a straight-line
+// sequence of atomic nodes (simple statements, plus the Init/Cond/Tag
+// parts of control statements), and control transfer is expressed only
+// through Succs edges. Function literals are not descended into — each
+// function body is its own graph — and a node sequence therefore never
+// spans scopes. panic calls and os.Exit terminate their block without
+// an edge to Exit, so path queries naturally treat dying paths as
+// requiring nothing further.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one straight-line run of nodes with a single entry point.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable, dense).
+	Index int
+	// Nodes are the block's statements and control-statement parts, in
+	// execution order. Nested function literals appear inside nodes but
+	// their bodies belong to their own graphs.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Preds are the possible predecessor blocks.
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, entry first; unreachable blocks (dead
+	// code after a return) are retained so analyses can still inspect
+	// their nodes.
+	Blocks []*Block
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the single synthetic exit: every return and the fall-off
+	// end of the body edge here. It holds no nodes.
+	Exit *Block
+	// Defers lists the defer statements encountered anywhere in the
+	// body, in source order. Deferred calls run at every exit that the
+	// defer statement precedes; analyses that care (a deferred Wait
+	// covers all later exits) consult this list.
+	Defers []*ast.DeferStmt
+}
+
+// Pos identifies a node position inside a graph: the node at
+// Block.Nodes[Index]. An Index equal to len(Nodes) denotes the end of
+// the block (used as a search start meaning "after the last node").
+type Pos struct {
+	Block *Block
+	Index int
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit)
+	b.resolveGotos()
+	return g
+}
+
+// PosOf locates n among the graph's block nodes. The match is by node
+// identity; n must be one of the atomic nodes the builder recorded (a
+// statement, or the Init/Cond/Tag part of a control statement), not a
+// nested expression.
+func (g *Graph) PosOf(n ast.Node) (Pos, bool) {
+	for _, blk := range g.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n {
+				return Pos{Block: blk, Index: i}, true
+			}
+		}
+	}
+	return Pos{}, false
+}
+
+// PathResult is the outcome of a Search call.
+type PathResult struct {
+	// Found is the first node satisfying the target predicate on some
+	// stop-free path, or nil.
+	Found ast.Node
+	// ReachedExit reports whether some stop-free path reached the
+	// graph's Exit without encountering a target node.
+	ReachedExit bool
+}
+
+// Search explores every path forward from start (exclusive: scanning
+// begins at the node after start.Index). A node satisfying stop ends
+// its path; a node satisfying target is returned as a witness. Paths
+// that reach Exit without a stop or target set ReachedExit. Either
+// predicate may be nil. Search visits each block at most once per entry
+// mode, so it terminates on cyclic graphs.
+func (g *Graph) Search(start Pos, target, stop func(ast.Node) bool) PathResult {
+	var res PathResult
+	visited := make([]bool, len(g.Blocks))
+	type item struct {
+		blk  *Block
+		from int
+	}
+	// The initial visit is partial (it starts after start.Index) and
+	// does not mark the block visited: a loop that re-enters the start
+	// block must still scan its earlier nodes once, via a full visit.
+	work := []item{{start.Block, start.Index + 1}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		if it.from == 0 {
+			if visited[it.blk.Index] {
+				continue
+			}
+			visited[it.blk.Index] = true
+		}
+		stopped := false
+		for i := it.from; i < len(it.blk.Nodes); i++ {
+			n := it.blk.Nodes[i]
+			if stop != nil && stop(n) {
+				stopped = true
+				break
+			}
+			if target != nil && target(n) {
+				res.Found = n
+				return res
+			}
+		}
+		if stopped {
+			continue
+		}
+		for _, s := range it.blk.Succs {
+			if s == g.Exit {
+				res.ReachedExit = true
+				continue
+			}
+			if !visited[s.Index] {
+				work = append(work, item{s, 0})
+			}
+		}
+	}
+	return res
+}
+
+// builder incrementally grows a graph. cur is the block under
+// construction; a terminated flow (return, panic, break) replaces cur
+// with a fresh unreachable block so trailing dead code still lands in
+// the graph.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// targets stacks the enclosing breakable/continuable statements.
+	targets []*target
+	// labels maps label names to the block starting the labeled
+	// statement, for goto resolution.
+	labels map[string]*Block
+	// pendingGotos are forward gotos awaiting their label's block.
+	pendingGotos []pendingGoto
+	// nextLabel is the label attached to the statement about to be
+	// built (consumed by the loop/switch builders).
+	nextLabel string
+}
+
+// target is one enclosing statement break/continue can address.
+type target struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to blk and continues there.
+func (b *builder) jump(blk *Block) {
+	b.edge(b.cur, blk)
+	b.cur = blk
+}
+
+// terminate ends the current flow: subsequent statements are dead code
+// collected in a fresh, unreachable block.
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.terminate()
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, ...
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel() // labels on if are only goto targets; labeledStmt recorded it
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	join := b.newBlock()
+	b.edge(thenEnd, join)
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.jump(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock()
+	done := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, done)
+	}
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+	b.targets = append(b.targets, &target{label: label, breakTo: done, continueTo: continueTo})
+	b.cur = body
+	b.stmt(s.Body)
+	if post != nil {
+		b.jump(post)
+		b.add(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.jump(head)
+	// The whole RangeStmt is the head node: analyses read X and the
+	// per-iteration Key/Value definitions from it.
+	b.add(s)
+	body := b.newBlock()
+	done := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, done)
+	b.targets = append(b.targets, &target{label: label, breakTo: done, continueTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	cond := b.cur
+	done := b.newBlock()
+	b.targets = append(b.targets, &target{label: label, breakTo: done})
+	b.caseClauses(s.Body, cond, done, func(cc *ast.CaseClause) ([]ast.Stmt, bool) {
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		return cc.Body, cc.List == nil
+	})
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	cond := b.cur
+	done := b.newBlock()
+	b.targets = append(b.targets, &target{label: label, breakTo: done})
+	b.caseClauses(s.Body, cond, done, func(cc *ast.CaseClause) ([]ast.Stmt, bool) {
+		return cc.Body, cc.List == nil
+	})
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// caseClauses wires the clause bodies of a (type) switch: every clause
+// is entered from cond, every clause end reaches done, and fallthrough
+// edges into the next clause's body. bodyOf extracts a clause's
+// statements and reports whether it is the default clause.
+func (b *builder) caseClauses(body *ast.BlockStmt, cond, done *Block, bodyOf func(*ast.CaseClause) ([]ast.Stmt, bool)) {
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(cond, bodies[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		stmts, isDefault := bodyOf(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		fellThrough := false
+		for _, st := range stmts {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1])
+				b.terminate()
+				fellThrough = true
+				continue
+			}
+			b.stmt(st)
+			fellThrough = false
+		}
+		if !fellThrough {
+			b.edge(b.cur, done)
+		}
+	}
+	if !hasDefault {
+		b.edge(cond, done)
+	}
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	b.takeLabel()
+	cond := b.cur
+	done := b.newBlock()
+	b.targets = append(b.targets, &target{breakTo: done})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock()
+		b.edge(cond, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findTarget(s.Label, false); t != nil {
+			b.edge(b.cur, t.breakTo)
+		}
+		b.terminate()
+	case token.CONTINUE:
+		if t := b.findTarget(s.Label, true); t != nil {
+			b.edge(b.cur, t.continueTo)
+		}
+		b.terminate()
+	case token.GOTO:
+		if s.Label != nil {
+			if blk, ok := b.labels[s.Label.Name]; ok {
+				b.edge(b.cur, blk)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+		}
+		b.terminate()
+	case token.FALLTHROUGH:
+		// Only reachable here for a fallthrough outside caseClauses
+		// handling (ill-formed code); drop the flow.
+		b.terminate()
+	}
+}
+
+// findTarget resolves a break/continue to its enclosing statement.
+func (b *builder) findTarget(label *ast.Ident, needContinue bool) *target {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if needContinue && t.continueTo == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	start := b.newBlock()
+	b.jump(start)
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	b.labels[s.Label.Name] = start
+	b.nextLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.nextLabel = ""
+}
+
+func (b *builder) resolveGotos() {
+	for _, pg := range b.pendingGotos {
+		if blk, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, blk)
+		}
+	}
+}
+
+// ScanOwn visits the parts of a block node that execute when control
+// reaches that node. Two subtrees are skipped: the body of a RangeStmt
+// (the head node evaluates only the range operand and the key/value
+// bindings; the body belongs to other blocks) and nested function
+// literals (defining a closure runs no code). visit returning false
+// prunes the walk below the current node, as with ast.Inspect.
+// Analyzers should use ScanOwn instead of ast.Inspect when matching
+// block nodes against predicates, or a loop body's contents leak into
+// its head.
+func ScanOwn(n ast.Node, visit func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		for _, part := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if part != nil {
+				ScanOwn(part, visit)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}
+
+// isTerminalCall reports whether the expression statement is a call
+// that never returns: the panic builtin, or os.Exit / log.Fatal-style
+// process exits matched by name.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if pkg.Name == "os" && fun.Sel.Name == "Exit" {
+				return true
+			}
+			if pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the graph for debugging and golden tests: one line per
+// block with its node kinds and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.Index)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " %T", n)
+		}
+		fmt.Fprintf(&sb, " ->")
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		if blk == g.Exit {
+			fmt.Fprintf(&sb, " (exit)")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,227 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"fourindex/internal/analysis/cfg"
+)
+
+// buildFunc parses a function body and builds its graph.
+func buildFunc(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// mentions matches any node whose own code (per cfg.ScanOwn: not a
+// range head's body, not nested function literals) contains an
+// identifier called name.
+func mentions(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		cfg.ScanOwn(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+}
+
+// startAt locates the first node mentioning name, as a search start.
+func startAt(t *testing.T, g *cfg.Graph, name string) cfg.Pos {
+	t.Helper()
+	pred := mentions(name)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if pred(n) {
+				return cfg.Pos{Block: blk, Index: i}
+			}
+		}
+	}
+	t.Fatalf("no node mentions %q in\n%s", name, g)
+	return cfg.Pos{}
+}
+
+func TestLinearSearch(t *testing.T) {
+	g := buildFunc(t, "a(); b(); c()")
+	res := g.Search(startAt(t, g, "a"), mentions("c"), nil)
+	if res.Found == nil {
+		t.Fatalf("c not found after a:\n%s", g)
+	}
+	res = g.Search(startAt(t, g, "a"), mentions("zzz"), nil)
+	if res.Found != nil || !res.ReachedExit {
+		t.Fatalf("expected exit without witness, got %+v", res)
+	}
+	// stop before target ends the (only) path
+	res = g.Search(startAt(t, g, "a"), mentions("c"), mentions("b"))
+	if res.Found != nil || res.ReachedExit {
+		t.Fatalf("stop at b should end the path, got %+v", res)
+	}
+}
+
+func TestEarlyReturnPath(t *testing.T) {
+	g := buildFunc(t, "h(); if cond() {\nreturn\n}\nw()")
+	isReturn := func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok }
+	res := g.Search(startAt(t, g, "h"), isReturn, mentions("w"))
+	if res.Found == nil {
+		t.Fatalf("early return not witnessed past the w-stop:\n%s", g)
+	}
+	// on the other path, w is reachable
+	res = g.Search(startAt(t, g, "h"), mentions("w"), nil)
+	if res.Found == nil {
+		t.Fatalf("w unreachable from h:\n%s", g)
+	}
+}
+
+func TestBothBranchesStop(t *testing.T) {
+	g := buildFunc(t, "h(); if cond() {\nw1()\n} else {\nw2()\n}\nend()")
+	stop := func(n ast.Node) bool { return mentions("w1")(n) || mentions("w2")(n) }
+	res := g.Search(startAt(t, g, "h"), nil, stop)
+	if res.ReachedExit {
+		t.Fatalf("every path should hit a stop:\n%s", g)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	g := buildFunc(t, "x(); for i := 0; i < n; i++ {\ny()\n}\nz()")
+	// the zero-trip path skips the body entirely
+	res := g.Search(startAt(t, g, "x"), mentions("z"), mentions("y"))
+	if res.Found == nil {
+		t.Fatalf("zero-trip path to z not found:\n%s", g)
+	}
+	// the loop body is also reachable
+	res = g.Search(startAt(t, g, "x"), mentions("y"), nil)
+	if res.Found == nil {
+		t.Fatalf("loop body unreachable:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := buildFunc(t, "for {\na()\nif cond() {\nbreak\n}\n}\nc()")
+	res := g.Search(startAt(t, g, "a"), mentions("c"), nil)
+	if res.Found == nil {
+		t.Fatalf("break edge missing:\n%s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, "for k := range m {\nuse(k)\n}\nafter()")
+	res := g.Search(cfg.Pos{Block: g.Entry, Index: -1}, mentions("after"), mentions("use"))
+	if res.Found == nil {
+		t.Fatalf("zero-iteration range path missing:\n%s", g)
+	}
+	isRange := func(n ast.Node) bool { _, ok := n.(*ast.RangeStmt); return ok }
+	res = g.Search(cfg.Pos{Block: g.Entry, Index: -1}, isRange, nil)
+	if res.Found == nil {
+		t.Fatalf("range head node missing:\n%s", g)
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	g := buildFunc(t, "a(); if bad() {\npanic(\"x\")\n}\nb()")
+	// the panic path dies; the other path stops at b, so exit is unreachable
+	res := g.Search(startAt(t, g, "a"), nil, mentions("b"))
+	if res.ReachedExit {
+		t.Fatalf("panic path should not reach exit:\n%s", g)
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	g := buildFunc(t, "a(); os.Exit(1); b()")
+	res := g.Search(startAt(t, g, "a"), mentions("b"), nil)
+	if res.Found != nil || res.ReachedExit {
+		t.Fatalf("os.Exit should end the path, got %+v\n%s", res, g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, "switch x {\ncase 1:\na()\nfallthrough\ncase 2:\nb()\ndefault:\nc()\n}")
+	res := g.Search(startAt(t, g, "a"), mentions("b"), nil)
+	if res.Found == nil {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+	// case 1 does not flow into default
+	res = g.Search(startAt(t, g, "a"), mentions("c"), mentions("b"))
+	if res.Found != nil {
+		t.Fatalf("case 1 should not reach default:\n%s", g)
+	}
+}
+
+func TestSwitchWithDefaultCoversAllPaths(t *testing.T) {
+	g := buildFunc(t, "h(); switch x {\ncase 1:\nw()\ndefault:\nw()\n}\nend()")
+	res := g.Search(startAt(t, g, "h"), mentions("end"), mentions("w"))
+	if res.Found != nil {
+		t.Fatalf("all switch paths hit w, end should be unreachable:\n%s", g)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := buildFunc(t, "a()\ngoto L\nb()\nL:\nc()")
+	res := g.Search(startAt(t, g, "a"), mentions("c"), mentions("b"))
+	if res.Found == nil {
+		t.Fatalf("goto edge to label missing:\n%s", g)
+	}
+}
+
+func TestLabeledContinueTerminates(t *testing.T) {
+	// must build and search without hanging
+	g := buildFunc(t, "outer:\nfor {\nfor {\na()\ncontinue outer\n}\n}\nend()")
+	res := g.Search(startAt(t, g, "a"), mentions("end"), nil)
+	if res.Found != nil {
+		t.Fatalf("continue outer cannot reach end (no break):\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, "sel()\nselect {\ncase <-ch1:\na()\ncase <-ch2:\nb()\n}\nend()")
+	res := g.Search(startAt(t, g, "sel"), mentions("end"), mentions("a"))
+	if res.Found == nil {
+		t.Fatalf("second select clause path missing:\n%s", g)
+	}
+}
+
+func TestDefersRecorded(t *testing.T) {
+	g := buildFunc(t, "defer h.Wait(p)\nwork()")
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+}
+
+func TestPosOf(t *testing.T) {
+	g := buildFunc(t, "a(); b()")
+	var target ast.Node
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if mentions("b")(n) {
+				target = n
+			}
+		}
+	}
+	pos, ok := g.PosOf(target)
+	if !ok || pos.Block.Nodes[pos.Index] != target {
+		t.Fatalf("PosOf failed to locate node")
+	}
+	if _, ok := g.PosOf(&ast.BadStmt{}); ok {
+		t.Fatalf("PosOf matched a foreign node")
+	}
+}
+
+func TestLoopReentersStartBlock(t *testing.T) {
+	// the wait before the issue in the same loop body must be seen when
+	// the back edge re-enters the block
+	g := buildFunc(t, "for {\nw()\nh()\n}")
+	res := g.Search(startAt(t, g, "h"), mentions("w"), nil)
+	if res.Found == nil {
+		t.Fatalf("back edge should re-scan earlier nodes once:\n%s", g)
+	}
+}

@@ -1,0 +1,404 @@
+// Package dataflow is a small forward-dataflow engine over the cfg
+// package's graphs, plus the two fact families the fouridxlint
+// analyzers need: reaching definitions and escape/capture facts for
+// closures. Like the rest of internal/analysis it is built on the
+// standard library only.
+//
+// The engine is deliberately minimal: a worklist iteration to fixpoint
+// with caller-supplied join and transfer functions. The lattices the
+// analyzers use (sets of definition sites, sets of tainted objects) are
+// finite per function, so termination needs only monotone transfers.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fourindex/internal/analysis/cfg"
+)
+
+// Forward iterates a forward dataflow analysis to fixpoint and returns
+// the in-fact of every block. entry seeds the graph entry; join merges
+// two facts (must be commutative and monotone); transfer pushes a fact
+// through one block; equal detects the fixpoint. Facts must be treated
+// as immutable by transfer and join.
+func Forward[T any](g *cfg.Graph, entry T, join func(a, b T) T, transfer func(b *cfg.Block, in T) T, equal func(a, b T) bool) map[*cfg.Block]T {
+	in := make(map[*cfg.Block]T, len(g.Blocks))
+	out := make(map[*cfg.Block]T, len(g.Blocks))
+	seeded := make(map[*cfg.Block]bool, len(g.Blocks))
+	in[g.Entry] = entry
+	seeded[g.Entry] = true
+
+	work := []*cfg.Block{g.Entry}
+	queued := make(map[*cfg.Block]bool)
+	queued[g.Entry] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		o := transfer(blk, in[blk])
+		if prev, ok := out[blk]; ok && equal(prev, o) {
+			continue
+		}
+		out[blk] = o
+		for _, s := range blk.Succs {
+			var ni T
+			if !seeded[s] {
+				ni = o
+				seeded[s] = true
+			} else {
+				ni = join(in[s], o)
+			}
+			if !seeded[s] || !equal(ni, in[s]) {
+				in[s] = ni
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Def is one definition site of a variable: the node that assigns it.
+type Def struct {
+	Obj  types.Object
+	Site ast.Node
+}
+
+// DefSet is an immutable-by-convention set of definitions.
+type DefSet map[Def]bool
+
+// Equal reports set equality.
+func (s DefSet) Equal(o DefSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for d := range s {
+		if !o[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// union returns s ∪ o, sharing the larger input when possible.
+func union(s, o DefSet) DefSet {
+	if len(o) > len(s) {
+		s, o = o, s
+	}
+	grown := s
+	copied := false
+	for d := range o {
+		if !grown[d] {
+			if !copied {
+				g := make(DefSet, len(s)+len(o))
+				for k := range s {
+					g[k] = true
+				}
+				grown, copied = g, true
+			}
+			grown[d] = true
+		}
+	}
+	return grown
+}
+
+// ReachingDefs computes, for every block, the set of definitions that
+// reach its entry: the classic gen/kill analysis with defs gathered
+// from assignments, declarations, inc/dec statements, and range-clause
+// key/value bindings. params seeds the entry block (function parameters
+// are definitions at Entry).
+func ReachingDefs(g *cfg.Graph, info *types.Info, params []types.Object) map[*cfg.Block]DefSet {
+	entry := make(DefSet, len(params))
+	for _, p := range params {
+		entry[Def{Obj: p, Site: nil}] = true
+	}
+	transfer := func(blk *cfg.Block, in DefSet) DefSet {
+		cur := in
+		for _, n := range blk.Nodes {
+			defs := NodeDefs(info, n)
+			if len(defs) == 0 {
+				continue
+			}
+			next := make(DefSet, len(cur)+len(defs))
+			killed := make(map[types.Object]bool, len(defs))
+			for _, d := range defs {
+				killed[d.Obj] = true
+			}
+			for d := range cur {
+				if !killed[d.Obj] {
+					next[d] = true
+				}
+			}
+			for _, d := range defs {
+				next[d] = true
+			}
+			cur = next
+		}
+		return cur
+	}
+	return Forward(g, entry, union, transfer, DefSet.Equal)
+}
+
+// NodeDefs lists the variables a single CFG node defines (assigns), as
+// Def facts whose Site is the node. Nested function literals are not
+// descended into.
+func NodeDefs(info *types.Info, n ast.Node) []Def {
+	var out []Def
+	record := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			out = append(out, Def{Obj: obj, Site: n})
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			record(lhs)
+		}
+	case *ast.IncDecStmt:
+		record(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						record(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			record(s.Key)
+		}
+		if s.Value != nil {
+			record(s.Value)
+		}
+	case *ast.TypeSwitchStmt:
+		// handled via its Assign node when present in a block
+	}
+	return out
+}
+
+// DefSources returns the expressions a definition site reads to produce
+// the defined object's new value: the matching RHS of an assignment,
+// the range operand for range-bound keys/values, or the spec values of
+// a declaration. A nil Site (parameter) returns nil.
+func DefSources(info *types.Info, d Def) []ast.Expr {
+	switch s := d.Site.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && useOrDef(info, id) == d.Obj {
+					return []ast.Expr{s.Rhs[i]}
+				}
+			}
+		}
+		return s.Rhs
+	case *ast.IncDecStmt:
+		return []ast.Expr{s.X}
+	case *ast.RangeStmt:
+		return []ast.Expr{s.X}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			var out []ast.Expr
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// Captured lists the free variables of a function literal: objects used
+// inside lit that are declared in an enclosing function scope. Package-
+// level objects and fields are not captures. The result preserves first-
+// use order.
+func Captured(info *types.Info, lit *ast.FuncLit) []types.Object {
+	inside := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || inside[obj] || seen[obj] {
+			return true
+		}
+		if obj.Parent() == nil || obj.Parent() == types.Universe {
+			return true
+		}
+		// Package-scope variables are shared state but not captures of
+		// this literal; the analyzers treat them separately.
+		if pkgScope(obj) {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// pkgScope reports whether v is declared at package scope.
+func pkgScope(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// WriteKind classifies how a node writes an object.
+type WriteKind int
+
+// Write kinds, from most to least direct.
+const (
+	// WriteAssign is a direct assignment or inc/dec of the variable
+	// itself (x = v, x += v, x++, x = append(x, ...)).
+	WriteAssign WriteKind = iota
+	// WriteIndex stores through an index of the variable (x[i] = v),
+	// covering both slice elements and map keys.
+	WriteIndex
+	// WriteField stores into a field of the variable (x.f = v).
+	WriteField
+)
+
+// Write is one write to a tracked object found inside a scanned region.
+type Write struct {
+	Obj  types.Object
+	Kind WriteKind
+	// Node is the assignment or inc/dec statement performing the write.
+	Node ast.Node
+	// Index is the index expression for WriteIndex writes, nil
+	// otherwise.
+	Index ast.Expr
+}
+
+// Writes scans root (without descending into nested function literals
+// other than root itself when root is one) and returns the writes to
+// any object in tracked. The scan covers assignment statements, inc/dec
+// statements, and range statements that bind into tracked variables.
+func Writes(info *types.Info, root ast.Node, tracked map[types.Object]bool) []Write {
+	body := root
+	if lit, ok := root.(*ast.FuncLit); ok {
+		body = lit.Body
+	}
+	var out []Write
+	classify := func(stmt ast.Node, e ast.Expr) {
+		e = ast.Unparen(e)
+		switch t := e.(type) {
+		case *ast.Ident:
+			if obj := useOrDef(info, t); obj != nil && tracked[obj] {
+				out = append(out, Write{Obj: obj, Kind: WriteAssign, Node: stmt})
+			}
+		case *ast.IndexExpr:
+			if obj := rootObject(info, t.X); obj != nil && tracked[obj] {
+				out = append(out, Write{Obj: obj, Kind: WriteIndex, Node: stmt, Index: t.Index})
+			}
+		case *ast.SelectorExpr:
+			if obj := rootObject(info, t.X); obj != nil && tracked[obj] {
+				out = append(out, Write{Obj: obj, Kind: WriteField, Node: stmt})
+			}
+		case *ast.StarExpr:
+			if obj := rootObject(info, t.X); obj != nil && tracked[obj] {
+				out = append(out, Write{Obj: obj, Kind: WriteAssign, Node: stmt})
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				classify(s, lhs)
+			}
+		case *ast.IncDecStmt:
+			classify(s, s.X)
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				if s.Key != nil {
+					classify(s, s.Key)
+				}
+				if s.Value != nil {
+					classify(s, s.Value)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// useOrDef resolves an identifier to its object through either map.
+func useOrDef(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// rootObject walks to the base identifier of a selector/index/star
+// chain (a.b[i].c → a) and resolves it.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return useOrDef(info, t)
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// RootObject is the exported form of rootObject for analyzers.
+func RootObject(info *types.Info, e ast.Expr) types.Object {
+	return rootObject(info, e)
+}
+
+// UsesObject reports whether expr mentions obj outside nested function
+// literals.
+func UsesObject(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

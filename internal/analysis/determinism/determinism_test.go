@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "./testdata/src/det")
+}
+
+// TestPerfExemption checks the measured-layer carve-out: a package whose
+// import path ends in /perf may read clocks and draw randomness, but map
+// iteration order still may not reach its outputs.
+func TestPerfExemption(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "./testdata/src/perf")
+}

@@ -1,0 +1,32 @@
+// Package perf stands in for the measured layer: its import path ends
+// in /perf, so wall-clock readings and randomness are its business and
+// the determinism analyzer leaves them alone. Map-range discipline
+// still applies.
+package perf
+
+import (
+	"math/rand"
+	"time"
+)
+
+// measure times a real operation; exempt in the measured layer.
+func measure(op func()) float64 {
+	start := time.Now()
+	op()
+	return time.Since(start).Seconds()
+}
+
+// jitter draws process-seeded randomness; exempt in the measured layer.
+func jitter() float64 {
+	return rand.Float64()
+}
+
+// keysUnsorted is still order-dependent even here: the exemption is for
+// clocks, not for map iteration.
+func keysUnsorted(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range without sorting it afterwards`
+	}
+	return keys
+}

@@ -1,0 +1,307 @@
+// Package freezediscipline enforces the ga runtime's freeze protocol
+// for tiled tensors. Freeze() is the write/read phase boundary: it is
+// permanent, writes (PutT, AccT, NbPutT, NbAccT, RestoreTiles) to a
+// frozen tensor panic at runtime, and in exchange reads skip tile
+// locking. The analyzer makes both directions of the contract static,
+// using path queries over the function's control-flow graph
+// (internal/analysis/cfg):
+//
+//  1. No write to a tensor may be reachable after a Freeze() on it.
+//     The runtime panic fires only on the path a run happens to take;
+//     the path query covers the branches the tests never execute. A
+//     rebinding of the variable (t, err = rt.CreateTiled(...)) starts a
+//     new tensor and ends the frozen region.
+//
+//  2. A Parallel region that reads a tensor written by an earlier
+//     Parallel region should be separated from it by a Freeze(): the
+//     write-complete tensor is read lock-free only after the boundary.
+//     Regions are classified by the direct verbs in their closure
+//     (GetT/NbGetT/ReadTileInto read; PutT/AccT/NbPutT/NbAccT/
+//     RestoreTiles write); a region that only hands the tensor to an
+//     opaque helper stays unclassified and is never flagged. Pipelines
+//     that keep rewriting the tensor (a write is reachable from the
+//     reading region, or the reading region itself writes) are exempt —
+//     freezing there would be wrong.
+//
+// Writes hidden behind helper functions are invisible to both checks;
+// the runtime's own panics still cover those.
+package freezediscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"fourindex/internal/analysis"
+	"fourindex/internal/analysis/cfg"
+	"fourindex/internal/analysis/dataflow"
+)
+
+// Analyzer is the freezediscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "freezediscipline",
+	Doc:  "no tensor writes may be reachable after its Freeze(), and cross-region lock-free reads should be dominated by one",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, scope := range analysis.FuncScopes(file) {
+			checkScope(pass, scope)
+		}
+	}
+	return nil
+}
+
+// tensorVerbs classifies the direct calls that touch a tensor.
+const (
+	opNone = iota
+	opWrite
+	opRead
+	opFreeze
+)
+
+// tensorOp resolves one call expression to (tensor object, operation).
+func tensorOp(info *types.Info, call *ast.CallExpr) (types.Object, int) {
+	// TiledArray methods: receiver is the tensor.
+	for _, m := range []struct {
+		name string
+		op   int
+	}{{"Freeze", opFreeze}, {"RestoreTiles", opWrite}} {
+		if analysis.IsMethodCall(info, call, "ga", "TiledArray", m.name) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if obj := dataflow.RootObject(info, sel.X); obj != nil {
+					return obj, m.op
+				}
+			}
+			return nil, opNone
+		}
+	}
+	// Proc verbs: the tensor is the first argument.
+	proc := []struct {
+		name string
+		op   int
+	}{
+		{"PutT", opWrite}, {"AccT", opWrite}, {"NbPutT", opWrite}, {"NbAccT", opWrite},
+		{"GetT", opRead}, {"NbGetT", opRead},
+	}
+	for _, m := range proc {
+		if analysis.IsMethodCall(info, call, "ga", "Proc", m.name) && len(call.Args) > 0 {
+			if obj := dataflow.RootObject(info, call.Args[0]); obj != nil {
+				return obj, m.op
+			}
+			return nil, opNone
+		}
+	}
+	// Runtime sequential helper.
+	if analysis.IsMethodCall(info, call, "ga", "Runtime", "ReadTileInto") && len(call.Args) > 0 {
+		if obj := dataflow.RootObject(info, call.Args[0]); obj != nil {
+			return obj, opRead
+		}
+	}
+	return nil, opNone
+}
+
+// nodeOps collects the tensor operations a block node performs directly
+// (not inside nested function literals).
+func nodeOps(info *types.Info, n ast.Node) map[types.Object]int {
+	var out map[types.Object]int
+	cfg.ScanOwn(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if obj, op := tensorOp(info, call); op != opNone {
+				if out == nil {
+					out = make(map[types.Object]int)
+				}
+				out[obj] |= 1 << op
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// regionOps classifies a Parallel region's closure by the direct verbs
+// anywhere inside it (including nested literals: the closure is one
+// concurrent phase).
+func regionOps(info *types.Info, lit *ast.FuncLit) map[types.Object]int {
+	out := make(map[types.Object]int)
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if obj, op := tensorOp(info, call); op != opNone {
+				out[obj] |= 1 << op
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// parallelLit returns the closure of a rt.Parallel(...) call found
+// directly in node n, if any.
+func parallelLit(info *types.Info, n ast.Node) *ast.FuncLit {
+	var lit *ast.FuncLit
+	cfg.ScanOwn(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok &&
+			analysis.IsMethodCall(info, call, "ga", "Runtime", "Parallel") && len(call.Args) == 1 {
+			if l, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+				lit = l
+			}
+		}
+		return true
+	})
+	return lit
+}
+
+// writeCall pins down the actual write call on obj inside node n — in
+// the node's own code or inside its Parallel closure — so the
+// diagnostic lands on the offending line rather than on the statement
+// that encloses it. Falls back to n itself.
+func writeCall(info *types.Info, n ast.Node, obj types.Object) ast.Node {
+	var found ast.Node
+	match := func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && found == nil {
+			if o, op := tensorOp(info, call); o == obj && op == opWrite {
+				found = call
+			}
+		}
+		return true
+	}
+	cfg.ScanOwn(n, match)
+	if found == nil {
+		if lit := parallelLit(info, n); lit != nil {
+			ast.Inspect(lit.Body, match)
+		}
+	}
+	if found == nil {
+		return n
+	}
+	return found
+}
+
+// checkScope runs both freeze checks over one function body.
+func checkScope(pass *analysis.Pass, scope analysis.FuncScope) {
+	info := pass.TypesInfo
+	g := cfg.New(scope.Body)
+
+	hasOp := func(ops map[types.Object]int, obj types.Object, op int) bool {
+		return ops != nil && ops[obj]&(1<<op) != 0
+	}
+	rebinds := func(n ast.Node, obj types.Object) bool {
+		for _, d := range dataflow.NodeDefs(info, n) {
+			if d.Obj == obj {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass over all nodes: record freeze sites and write regions.
+	type site struct {
+		pos  cfg.Pos
+		node ast.Node
+		obj  types.Object
+	}
+	var freezes, writeRegions []site
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			ops := nodeOps(info, n)
+			for obj, mask := range ops {
+				if mask&(1<<opFreeze) != 0 {
+					freezes = append(freezes, site{pos: cfg.Pos{Block: blk, Index: i}, node: n, obj: obj})
+				}
+			}
+			if lit := parallelLit(info, n); lit != nil {
+				for obj, mask := range regionOps(info, lit) {
+					if mask&(1<<opWrite) != 0 {
+						writeRegions = append(writeRegions, site{pos: cfg.Pos{Block: blk, Index: i}, node: n, obj: obj})
+					}
+				}
+			}
+		}
+	}
+	// The op maps iterate in random order; sort the collected sites so
+	// diagnostics come out in a reproducible order.
+	sort.Slice(freezes, func(i, j int) bool {
+		if freezes[i].node.Pos() != freezes[j].node.Pos() {
+			return freezes[i].node.Pos() < freezes[j].node.Pos()
+		}
+		return freezes[i].obj.Pos() < freezes[j].obj.Pos()
+	})
+	sort.Slice(writeRegions, func(i, j int) bool {
+		if writeRegions[i].node.Pos() != writeRegions[j].node.Pos() {
+			return writeRegions[i].node.Pos() < writeRegions[j].node.Pos()
+		}
+		return writeRegions[i].obj.Pos() < writeRegions[j].obj.Pos()
+	})
+
+	// Check 1: no write reachable after a freeze of the same tensor.
+	for _, fz := range freezes {
+		obj := fz.obj
+		writesObj := func(n ast.Node) bool {
+			if hasOp(nodeOps(info, n), obj, opWrite) {
+				return true
+			}
+			if lit := parallelLit(info, n); lit != nil {
+				return hasOp(regionOps(info, lit), obj, opWrite)
+			}
+			return false
+		}
+		stop := func(n ast.Node) bool { return rebinds(n, obj) }
+		if res := g.Search(fz.pos, writesObj, stop); res.Found != nil {
+			at := writeCall(info, res.Found, obj)
+			pass.Reportf(at.Pos(), "write to tensor %q on line %d is reachable after its Freeze on line %d; writes to frozen tensors panic",
+				obj.Name(), pass.Fset.Position(at.Pos()).Line, pass.Fset.Position(fz.node.Pos()).Line)
+		}
+	}
+
+	// Check 2: a reading region downstream of a write region wants an
+	// intervening Freeze for its lock-free reads.
+	for _, wr := range writeRegions {
+		obj := wr.obj
+		readRegion := func(n ast.Node) bool {
+			lit := parallelLit(info, n)
+			if lit == nil {
+				return false
+			}
+			ops := regionOps(info, lit)
+			// a region that also writes the tensor is a rewrite phase
+			return hasOp(ops, obj, opRead) && !hasOp(ops, obj, opWrite)
+		}
+		stop := func(n ast.Node) bool {
+			if rebinds(n, obj) || hasOp(nodeOps(info, n), obj, opFreeze) {
+				return true
+			}
+			// another write region restarts the question there
+			if lit := parallelLit(info, n); lit != nil && n != wr.node {
+				if hasOp(regionOps(info, lit), obj, opWrite) {
+					return true
+				}
+			}
+			return false
+		}
+		res := g.Search(wr.pos, readRegion, stop)
+		if res.Found == nil {
+			continue
+		}
+		// Rewrite-pipeline exemption: a write on the tensor reachable
+		// from the reading region means it is not write-complete yet.
+		readPos, ok := g.PosOf(res.Found)
+		if !ok {
+			continue
+		}
+		laterWrite := func(n ast.Node) bool {
+			if hasOp(nodeOps(info, n), obj, opWrite) {
+				return true
+			}
+			if lit := parallelLit(info, n); lit != nil {
+				return hasOp(regionOps(info, lit), obj, opWrite)
+			}
+			return false
+		}
+		if later := g.Search(readPos, laterWrite, func(n ast.Node) bool { return rebinds(n, obj) }); later.Found != nil {
+			continue
+		}
+		pass.Reportf(res.Found.Pos(), "Parallel region reads tensor %q written by the region on line %d without an intervening Freeze; freeze write-complete tensors at the region boundary for lock-free reads",
+			obj.Name(), pass.Fset.Position(wr.node.Pos()).Line)
+	}
+}

@@ -1,0 +1,12 @@
+package freezediscipline_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/freezediscipline"
+)
+
+func TestFreezeDiscipline(t *testing.T) {
+	analysistest.Run(t, freezediscipline.Analyzer, "./testdata/src/freeze")
+}

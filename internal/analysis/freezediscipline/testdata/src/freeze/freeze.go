@@ -1,0 +1,121 @@
+// Package freeze is the freezediscipline fixture: writes reachable
+// after a Freeze() are flagged on every path the CFG exposes, and a
+// Parallel region reading a tensor another region wrote wants a Freeze
+// at the boundary. The checkpoint-restore idiom, rebinding, rewrite
+// pipelines, and opaque helpers stay clean.
+package freeze
+
+import (
+	"fourindex/internal/ga"
+	"fourindex/internal/tile"
+)
+
+// putAfterFreeze writes directly after the freeze: the runtime panic
+// made static.
+func putAfterFreeze(rt *ga.Runtime, a *ga.TiledArray, buf []float64) {
+	a.Freeze()
+	rt.Parallel(func(p *ga.Proc) {
+		p.PutT(a, buf, 0, 0) // want `write to tensor "a" on line \d+ is reachable after its Freeze on line \d+`
+	})
+}
+
+// restoreAfterFreeze restores tile data into a frozen tensor.
+func restoreAfterFreeze(a *ga.TiledArray) {
+	snap := a.SnapshotTiles()
+	a.Freeze()
+	a.RestoreTiles(snap) // want `write to tensor "a" on line \d+ is reachable after its Freeze on line \d+`
+}
+
+// freezeOnBranchThenWrite freezes on one branch only; the write after
+// the join is reachable from it.
+func freezeOnBranchThenWrite(rt *ga.Runtime, a *ga.TiledArray, buf []float64, done bool) {
+	if done {
+		a.Freeze()
+	}
+	rt.Parallel(func(p *ga.Proc) {
+		p.AccT(a, 1.0, buf, 0, 0) // want `write to tensor "a" on line \d+ is reachable after its Freeze on line \d+`
+	})
+}
+
+// lockFreeReadNoFreeze reads in a second region what the first region
+// wrote, with no Freeze between them: the reads take tile locks they
+// were promised not to need.
+func lockFreeReadNoFreeze(rt *ga.Runtime, a *ga.TiledArray, buf []float64) {
+	rt.Parallel(func(p *ga.Proc) {
+		p.PutT(a, buf, 0, 0)
+	})
+	rt.Parallel(func(p *ga.Proc) { // want `Parallel region reads tensor "a" written by the region on line \d+ without an intervening Freeze`
+		p.GetT(a, buf, 0, 0)
+	})
+}
+
+// cleanFreezeBetweenRegions is the intended protocol: write, freeze,
+// read lock-free.
+func cleanFreezeBetweenRegions(rt *ga.Runtime, a *ga.TiledArray, buf []float64) {
+	rt.Parallel(func(p *ga.Proc) {
+		p.PutT(a, buf, 0, 0)
+	})
+	a.Freeze()
+	rt.Parallel(func(p *ga.Proc) {
+		p.GetT(a, buf, 0, 0)
+	})
+}
+
+// cleanCheckpointRestore mirrors the driver's restart path: the fresh
+// branch freezes after writing, the resume branch restores and then
+// freezes. The branches are exclusive, so no write follows a freeze.
+func cleanCheckpointRestore(rt *ga.Runtime, a *ga.TiledArray, buf []float64, resume bool, saved []float64) {
+	if !resume {
+		rt.Parallel(func(p *ga.Proc) {
+			p.PutT(a, buf, 0, 0)
+		})
+		a.Freeze()
+	} else {
+		a.RestoreTiles(saved)
+		a.Freeze()
+	}
+	rt.Parallel(func(p *ga.Proc) {
+		p.GetT(a, buf, 0, 0)
+	})
+}
+
+// cleanRebind freezes one tensor, then rebinds the variable to a fresh
+// one: the write targets the new tensor.
+func cleanRebind(rt *ga.Runtime, a *ga.TiledArray, buf []float64, grids []tile.Grid) {
+	a.Freeze()
+	a, _ = rt.CreateTiled("fresh", grids, nil, tile.Policy(0))
+	rt.Parallel(func(p *ga.Proc) {
+		p.PutT(a, buf, 0, 0)
+	})
+}
+
+// cleanRewritePipeline keeps mutating the tensor across iterations: the
+// reads are mid-pipeline, not lock-free-phase reads, and freezing would
+// break the next sweep.
+func cleanRewritePipeline(rt *ga.Runtime, a *ga.TiledArray, buf []float64, sweeps int) {
+	for s := 0; s < sweeps; s++ {
+		rt.Parallel(func(p *ga.Proc) {
+			p.PutT(a, buf, 0, 0)
+		})
+		rt.Parallel(func(p *ga.Proc) {
+			p.GetT(a, buf, 0, 0)
+		})
+	}
+}
+
+// cleanOpaqueHelper hands the tensor to a helper: the region is
+// unclassified and never flagged.
+func cleanOpaqueHelper(rt *ga.Runtime, a *ga.TiledArray) {
+	rt.Parallel(func(p *ga.Proc) {
+		fill(p, a)
+	})
+	rt.Parallel(func(p *ga.Proc) {
+		drain(p, a)
+	})
+}
+
+// fill stands in for an opaque write helper.
+func fill(p *ga.Proc, a *ga.TiledArray) {}
+
+// drain stands in for an opaque read helper.
+func drain(p *ga.Proc, a *ga.TiledArray) {}

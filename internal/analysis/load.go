@@ -12,6 +12,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, typechecked package.
@@ -27,6 +28,22 @@ type Package struct {
 	Target bool
 }
 
+// LoadError is the typed error returned when a listed package cannot be
+// loaded: the go tool reported an error for it (missing dependency,
+// broken source) or parsing/typechecking failed. Callers distinguish it
+// from loader-internal failures with errors.As.
+type LoadError struct {
+	// ImportPath is the package the failure was reported against.
+	ImportPath string
+	// Reason is the underlying go list / parser / typechecker message.
+	Reason string
+}
+
+// Error formats the failure with its package context.
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("analysis: %s: %s", e.ImportPath, e.Reason)
+}
+
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
 	Dir        string
@@ -34,7 +51,9 @@ type listedPackage struct {
 	Name       string
 	Standard   bool
 	DepOnly    bool
+	ForTest    string
 	GoFiles    []string
+	CgoFiles   []string
 	Imports    []string
 	ImportMap  map[string]string
 	Error      *struct{ Err string }
@@ -46,12 +65,32 @@ type listedPackage struct {
 // It is a deliberately small stand-in for golang.org/x/tools/go/packages
 // that works without network access: `go list -deps` emits packages in
 // dependency order, so a single pass with a map-backed importer
-// typechecks everything.
+// typechecks everything. Packages with cgo files are skipped: the
+// loader has no C toolchain, and the analyzers' disciplines are about
+// pure-Go runtime code.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, false, patterns)
+}
+
+// LoadTests is Load with `go list -test`: each matched package that has
+// tests is returned as its test-augmented variant (regular files plus
+// _test.go files, each file exactly once), external _test packages are
+// returned as their own targets, and the synthesized ".test" main
+// packages are dropped.
+func LoadTests(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, true, patterns)
+}
+
+func load(dir string, tests bool, patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
 	}
-	args := append([]string{"list", "-e", "-deps", "-json=Dir,ImportPath,Name,Standard,DepOnly,GoFiles,Imports,ImportMap,Error"}, patterns...)
+	args := []string{"list", "-e", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=Dir,ImportPath,Name,Standard,DepOnly,ForTest,GoFiles,CgoFiles,Imports,ImportMap,Error")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -73,6 +112,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		listed = append(listed, lp)
 	}
 
+	// In test mode a package with tests is listed twice: plain and as
+	// the augmented "pkg [pkg.test]" variant whose GoFiles already
+	// include the _test.go files. Analyze only the variant so every
+	// file is seen exactly once; the plain package stays loaded as a
+	// dependency for non-test importers.
+	augmented := make(map[string]bool)
+	if tests {
+		for _, lp := range listed {
+			if lp.ForTest != "" && !strings.HasSuffix(lp.Name, "_test") {
+				augmented[lp.ForTest] = true
+			}
+		}
+	}
+
 	fset := token.NewFileSet()
 	byPath := make(map[string]*Package, len(listed))
 	var targets []*Package
@@ -81,15 +134,21 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			byPath["unsafe"] = &Package{ImportPath: "unsafe", Pkg: types.Unsafe}
 			continue
 		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthesized test-main package; nothing imports it
+		}
 		if lp.Error != nil {
-			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+			return nil, &LoadError{ImportPath: lp.ImportPath, Reason: lp.Error.Err}
+		}
+		if len(lp.CgoFiles) > 0 {
+			continue // no C toolchain here; see Load doc comment
 		}
 		pkg, err := typecheck(fset, lp, byPath)
 		if err != nil {
 			return nil, err
 		}
 		byPath[lp.ImportPath] = pkg
-		if !lp.DepOnly {
+		if !lp.DepOnly && !augmented[lp.ImportPath] {
 			pkg.Target = true
 			targets = append(targets, pkg)
 		}
@@ -107,7 +166,7 @@ func typecheck(fset *token.FileSet, lp *listedPackage, byPath map[string]*Packag
 	for _, name := range lp.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+			return nil, &LoadError{ImportPath: lp.ImportPath, Reason: fmt.Sprintf("parsing %s: %v", name, err)}
 		}
 		files = append(files, f)
 	}
@@ -123,9 +182,16 @@ func typecheck(fset *token.FileSet, lp *listedPackage, byPath map[string]*Packag
 		Sizes:    types.SizesFor("gc", "amd64"),
 		Error:    func(error) {}, // collect the first hard error below instead
 	}
-	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	// Typecheck test-augmented variants ("pkg [pkg.test]") under the
+	// plain path so analyzers that inspect Pkg.Path() (e.g. the /perf
+	// wall-clock exemption) see the real import path.
+	checkPath := lp.ImportPath
+	if i := strings.Index(checkPath, " ["); i >= 0 {
+		checkPath = checkPath[:i]
+	}
+	tpkg, err := conf.Check(checkPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: typechecking %s: %v", lp.ImportPath, err)
+		return nil, &LoadError{ImportPath: lp.ImportPath, Reason: fmt.Sprintf("typechecking: %v", err)}
 	}
 	return &Package{
 		ImportPath: lp.ImportPath,

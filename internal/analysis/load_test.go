@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"errors"
 	"go/token"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -55,4 +58,101 @@ func TestRunReportsSortedDiagnostics(t *testing.T) {
 	if diags[0].Pos == (token.Position{}) {
 		t.Errorf("diagnostic missing position")
 	}
+}
+
+// writeModule lays out a throwaway module under t.TempDir and returns
+// its root. Keys are slash-relative paths, values are file contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const tmpGoMod = "module tmpmod\n\ngo 1.22\n"
+
+// TestLoadSkipsCgoPackages checks that a package with cgo files is
+// silently dropped while its pure-Go sibling still loads: the loader
+// has no C toolchain and must not fail the whole pattern over one cgo
+// package.
+func TestLoadSkipsCgoPackages(t *testing.T) {
+	t.Setenv("CGO_ENABLED", "1") // make go list classify the import "C" file as a CgoFile
+	root := writeModule(t, map[string]string{
+		"go.mod":        tmpGoMod,
+		"native/nat.go": "package native\n\nimport \"C\"\n\nfunc Nat() {}\n",
+		"pure/pure.go":  "package pure\n\nfunc Pure() int { return 1 }\n",
+	})
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "tmpmod/pure" {
+		t.Fatalf("want exactly [tmpmod/pure], got %v", targetPaths(pkgs))
+	}
+}
+
+// TestLoadMissingDependency checks that an unresolvable import surfaces
+// as a typed *LoadError naming the broken package, not as a panic or an
+// anonymous failure.
+func TestLoadMissingDependency(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      tmpGoMod,
+		"broken/b.go": "package broken\n\nimport \"tmpmod/nope\"\n\nvar _ = nope.Missing\n",
+	})
+	_, err := Load(root, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a missing dependency")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LoadError, got %T: %v", err, err)
+	}
+	if le.ImportPath == "" || le.Reason == "" {
+		t.Fatalf("LoadError missing context: %+v", le)
+	}
+}
+
+// TestLoadTestsFilesExactlyOnce checks the augmented-variant demotion:
+// in -test mode a package with tests is listed both plain and as the
+// "pkg [pkg.test]" variant, and naive target selection would analyze
+// its regular files twice. Every file — regular, internal test,
+// external test — must be analyzed exactly once.
+func TestLoadTestsFilesExactlyOnce(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":              tmpGoMod,
+		"thing/thing.go":      "package thing\n\nfunc Val() int { return 7 }\n",
+		"thing/inner_test.go": "package thing\n\nfunc helper() int { return Val() }\n",
+		"thing/outer_test.go": "package thing_test\n\nimport \"tmpmod/thing\"\n\nvar _ = thing.Val\n",
+	})
+	pkgs, err := LoadTests(root, "./...")
+	if err != nil {
+		t.Fatalf("LoadTests: %v", err)
+	}
+	seen := make(map[string]int)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			seen[filepath.Base(p.Fset.Position(f.Pos()).Filename)]++
+		}
+	}
+	for _, name := range []string{"thing.go", "inner_test.go", "outer_test.go"} {
+		if seen[name] != 1 {
+			t.Errorf("file %s analyzed %d times, want exactly once (targets: %v)", name, seen[name], targetPaths(pkgs))
+		}
+	}
+}
+
+func targetPaths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.ImportPath)
+	}
+	return out
 }

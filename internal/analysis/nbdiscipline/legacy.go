@@ -1,0 +1,265 @@
+package nbdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fourindex/internal/analysis"
+)
+
+// LegacyAnalyzer is the original, purely lexical form of the check: a
+// wait covers an issue when it appears later in source order. It is
+// retained (unregistered) so the regression tests can prove which
+// findings only the flow-sensitive Analyzer catches — early-return
+// leaks and use-before-wait are invisible to source order.
+var LegacyAnalyzer = &analysis.Analyzer{
+	Name: "nbdiscipline",
+	Doc:  "lexical predecessor of the flow-sensitive nbdiscipline check",
+	Run:  legacyRun,
+}
+
+func legacyRun(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, scope := range analysis.FuncScopes(file) {
+			legacyCheckHandles(pass, scope)
+		}
+	}
+	return nil
+}
+
+// legacyCheckHandles enforces the lexical checks for one function scope.
+func legacyCheckHandles(pass *analysis.Pass, scope analysis.FuncScope) {
+	type issueSite struct {
+		call *ast.CallExpr
+		obj  types.Object
+	}
+	var issues []issueSite
+
+	scope.InspectOwn(func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) == 1 {
+				if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok && returnsHandle(pass.TypesInfo, call) {
+					if obj := lhsObject(pass.TypesInfo, stmt.Lhs[0]); obj != nil {
+						issues = append(issues, issueSite{call: call, obj: obj})
+					} else if id, isIdent := ast.Unparen(stmt.Lhs[0]).(*ast.Ident); isIdent && id.Name == "_" {
+						pass.Reportf(call.Pos(), "nonblocking handle from %s is discarded; it can never reach Wait", callName(pass.TypesInfo, call))
+					}
+					return true
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok && returnsHandle(pass.TypesInfo, call) {
+				pass.Reportf(call.Pos(), "nonblocking handle from %s is discarded; it can never reach Wait", callName(pass.TypesInfo, call))
+				return true
+			}
+		case *ast.ValueSpec:
+			if len(stmt.Values) == 1 {
+				if call, ok := ast.Unparen(stmt.Values[0]).(*ast.CallExpr); ok && returnsHandle(pass.TypesInfo, call) {
+					if obj := pass.TypesInfo.Defs[stmt.Names[0]]; obj != nil && stmt.Names[0].Name != "_" {
+						issues = append(issues, issueSite{call: call, obj: obj})
+					} else {
+						pass.Reportf(call.Pos(), "nonblocking handle from %s is discarded; it can never reach Wait", callName(pass.TypesInfo, call))
+					}
+					return true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, is := range issues {
+		legacyCheckIssueWaited(pass, scope, is.call, is.obj)
+	}
+}
+
+// legacyCheckIssueWaited verifies one bound handle lexically: it must
+// reach a wait or escape somewhere later in the source, and no barrier
+// may sit between issue and the first wait.
+func legacyCheckIssueWaited(pass *analysis.Pass, scope analysis.FuncScope, call *ast.CallExpr, obj types.Object) {
+	issuePos := call.Pos()
+	waits := waitPositions(pass.TypesInfo, scope, obj, issuePos)
+	escape := escapePos(pass.TypesInfo, scope, obj, call)
+
+	if len(waits) == 0 {
+		if escape == token.NoPos {
+			pass.Reportf(issuePos, "nonblocking handle %q never reaches Wait or WaitAll in this function", obj.Name())
+		}
+		return
+	}
+	first := waits[0]
+	for _, w := range waits {
+		if w < first {
+			first = w
+		}
+	}
+	if escape != token.NoPos && escape < first {
+		// Ownership moved before the first wait; the receiver's
+		// discipline applies from there.
+		first = escape
+	}
+	for _, b := range barrierPositions(pass.TypesInfo, scope) {
+		if b > issuePos && b < first {
+			pass.Reportf(issuePos, "nonblocking handle %q crosses a barrier on line %d before its Wait; deferred work must not pass a synchronisation point",
+				obj.Name(), pass.Fset.Position(b).Line)
+			return
+		}
+	}
+}
+
+// returnsHandle reports whether call produces a *ga.Handle as its first
+// result — the nonblocking verbs themselves or any wrapper around them.
+func returnsHandle(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tuple, isTuple := t.(*types.Tuple); isTuple {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(0).Type()
+	}
+	ptr, isPtr := t.(*types.Pointer)
+	return isPtr && analysis.NamedTypeIs(ptr.Elem(), "ga", "Handle")
+}
+
+// waitPositions lists positions after pos where obj reaches
+// Handle.Wait or appears in a Proc.WaitAll argument list (including a
+// variadic hs... spread).
+func waitPositions(info *types.Info, scope analysis.FuncScope, obj types.Object, pos token.Pos) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(scope.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < pos {
+			return true
+		}
+		if analysis.IsMethodCall(info, c, "ga", "Handle", "Wait") {
+			if sel, isSel := ast.Unparen(c.Fun).(*ast.SelectorExpr); isSel {
+				if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent && info.Uses[id] == obj {
+					out = append(out, c.Pos())
+				}
+			}
+			return true
+		}
+		if analysis.IsMethodCall(info, c, "ga", "Proc", "WaitAll") {
+			for _, arg := range c.Args {
+				if usesObject(info, arg, obj) {
+					out = append(out, c.Pos())
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// barrierPositions lists the scope's own Proc.Barrier calls.
+func barrierPositions(info *types.Info, scope analysis.FuncScope) []token.Pos {
+	var out []token.Pos
+	scope.InspectOwn(func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && analysis.IsMethodCall(info, c, "ga", "Proc", "Barrier") {
+			out = append(out, c.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// escapePos returns the earliest position where the handle's ownership
+// leaves this function — returned, assigned to another variable or
+// field, placed in a composite literal, sent on a channel, or passed as
+// an argument to a call other than Wait/WaitAll — or NoPos if it never
+// escapes.
+func escapePos(info *types.Info, scope analysis.FuncScope, obj types.Object, issue *ast.CallExpr) token.Pos {
+	earliest := token.NoPos
+	record := func(p token.Pos) {
+		if earliest == token.NoPos || p < earliest {
+			earliest = p
+		}
+	}
+	ast.Inspect(scope.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if usesObject(info, res, obj) {
+					record(s.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || info.Uses[id] != obj {
+					continue
+				}
+				// A blank assignment discards the handle rather than
+				// transferring ownership.
+				if len(s.Lhs) == len(s.Rhs) {
+					if lid, isIdent := ast.Unparen(s.Lhs[i]).(*ast.Ident); isIdent && lid.Name == "_" {
+						continue
+					}
+				}
+				record(s.Pos())
+			}
+		case *ast.CompositeLit:
+			for _, elt := range s.Elts {
+				if usesObject(info, elt, obj) {
+					record(s.Pos())
+				}
+			}
+		case *ast.SendStmt:
+			if usesObject(info, s.Value, obj) {
+				record(s.Pos())
+			}
+		case *ast.CallExpr:
+			if s == issue ||
+				analysis.IsMethodCall(info, s, "ga", "Handle", "Wait") ||
+				analysis.IsMethodCall(info, s, "ga", "Proc", "WaitAll") {
+				return true
+			}
+			for _, arg := range s.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+					record(s.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return earliest
+}
+
+// usesObject reports whether expr mentions obj.
+func usesObject(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// lhsObject returns the variable a define/assign binds, or nil for
+// blank or non-ident targets.
+func lhsObject(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// callName renders the called expression for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,29 @@
+// Package nbsuppress is the //lint:ignore fixture: a justified
+// directive silences the finding on the next line, an unjustified one
+// suppresses nothing and is itself reported, and a directive naming the
+// wrong analyzer does not apply. Expectations are asserted
+// programmatically in TestSuppression (directives are line comments, so
+// a want comment cannot share their line).
+package nbsuppress
+
+import "fourindex/internal/ga"
+
+// justified: the reason makes the suppression stick; no diagnostics.
+func justified(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	//lint:ignore nbdiscipline fire-and-forget put: the region barrier completes it in this bench-only helper
+	p.NbPutT(a, buf, 0, 0)
+}
+
+// unjustified: no reason, so the discard is still reported and the
+// directive itself becomes a lintignore finding.
+func unjustified(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	//lint:ignore nbdiscipline
+	p.NbPutT(a, buf, 0, 1)
+}
+
+// wrongAnalyzer: a justified directive for a different analyzer does
+// not cover an nbdiscipline finding.
+func wrongAnalyzer(p *ga.Proc, a *ga.TiledArray, buf []float64) {
+	//lint:ignore docstring misdirected directive must not suppress nbdiscipline
+	p.NbPutT(a, buf, 0, 2)
+}

@@ -1,0 +1,234 @@
+// Package paralleldiscipline is a static race checker for the closures
+// the ga runtime executes concurrently. Every process of a Runtime runs
+// the body passed to Parallel, so a variable captured from the enclosing
+// scope is shared state: writing it without a guard races on every
+// schedule, not just the ones a -race test happens to execute. The
+// analyzer complements the race detector the way the data-movement
+// bounds complement measurement — it covers the paths no run exercises.
+//
+// For each ga.Parallel region (and each goroutine launched with a
+// closure) the analyzer computes the capture set (internal/analysis/
+// dataflow), classifies every write to a captured variable, and accepts
+// the three safe disciplines the schedules use:
+//
+//   - writes holding a mutex: a Lock (or RLock) lexically precedes the
+//     write with no intervening Unlock, including the defer-Unlock idiom;
+//   - per-process slice indexing: the index expression derives from the
+//     *ga.Proc parameter (p.ID() arithmetic), so processes touch
+//     disjoint elements;
+//   - channel communication: sends are synchronisation, not shared
+//     writes, and are never flagged.
+//
+// Everything else — direct assignment, field stores, map stores (which
+// panic under concurrency even with disjoint keys), slice stores at a
+// rank-independent index — is reported. Writes through method calls on
+// captured receivers are invisible to this analyzer; the runtime's
+// types guard themselves internally.
+package paralleldiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fourindex/internal/analysis"
+	"fourindex/internal/analysis/dataflow"
+)
+
+// Analyzer is the paralleldiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "paralleldiscipline",
+	Doc:  "variables captured by ga.Parallel or goroutine closures must not be written without a mutex, per-process indexing, or channels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.CallExpr:
+				if analysis.IsMethodCall(pass.TypesInfo, s, "ga", "Runtime", "Parallel") && len(s.Args) == 1 {
+					if lit, ok := ast.Unparen(s.Args[0]).(*ast.FuncLit); ok {
+						checkRegion(pass, lit, true)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					checkRegion(pass, lit, false)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegion analyzes one concurrently-executed closure. parallel
+// distinguishes ga.Parallel bodies (which have a *ga.Proc parameter and
+// the per-process indexing discipline) from plain goroutines.
+func checkRegion(pass *analysis.Pass, lit *ast.FuncLit, parallel bool) {
+	info := pass.TypesInfo
+	caps := dataflow.Captured(info, lit)
+	if len(caps) == 0 {
+		return
+	}
+	tracked := make(map[types.Object]bool, len(caps))
+	for _, o := range caps {
+		tracked[o] = true
+	}
+	writes := dataflow.Writes(info, lit, tracked)
+	if len(writes) == 0 {
+		return
+	}
+
+	guards := guardEvents(lit)
+	derived := derivedObjects(info, lit, parallel)
+
+	region := "the Parallel region"
+	if !parallel {
+		region = "a goroutine closure"
+	}
+
+	reported := make(map[types.Object]bool)
+	for _, w := range writes {
+		if reported[w.Obj] {
+			continue
+		}
+		if guardedAt(guards, w.Node.Pos()) {
+			continue
+		}
+		t := w.Obj.Type().Underlying()
+		switch w.Kind {
+		case dataflow.WriteIndex:
+			if _, isMap := t.(*types.Map); isMap {
+				reported[w.Obj] = true
+				pass.Reportf(w.Node.Pos(), "captured map %q is written inside %s without a guard; concurrent map writes panic even with disjoint keys", w.Obj.Name(), region)
+				continue
+			}
+			if !parallel {
+				// Goroutine fan-outs index disjoint slice chunks by
+				// convention; the race detector owns that proof.
+				continue
+			}
+			if indexDerived(info, w.Index, derived) {
+				continue
+			}
+			reported[w.Obj] = true
+			pass.Reportf(w.Node.Pos(), "captured slice %q is written inside %s at an index not derived from the process rank; processes collide — derive the index from p.ID() or guard with a mutex", w.Obj.Name(), region)
+		default:
+			reported[w.Obj] = true
+			pass.Reportf(w.Node.Pos(), "captured variable %q is written inside %s without a guard; every process runs this closure concurrently — use a mutex, a channel, or per-process state", w.Obj.Name(), region)
+		}
+	}
+}
+
+// guardEvent is one lexical mutex transition inside the closure body.
+type guardEvent struct {
+	pos   token.Pos
+	delta int
+}
+
+// guardEvents collects Lock/RLock (+1) and non-deferred Unlock/RUnlock
+// (-1) calls in the closure's own scope, in source order. A deferred
+// Unlock keeps the guard held for the rest of the body, matching the
+// lock-then-defer idiom.
+func guardEvents(lit *ast.FuncLit) []guardEvent {
+	var out []guardEvent
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return s == lit
+		case *ast.DeferStmt:
+			return false // a deferred Unlock does not end the guard
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					out = append(out, guardEvent{pos: s.Pos(), delta: +1})
+				case "Unlock", "RUnlock":
+					out = append(out, guardEvent{pos: s.Pos(), delta: -1})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardedAt reports whether a mutex is lexically held at pos.
+func guardedAt(events []guardEvent, pos token.Pos) bool {
+	depth := 0
+	for _, e := range events {
+		if e.pos < pos {
+			depth += e.delta
+		}
+	}
+	return depth > 0
+}
+
+// derivedObjects computes the set of variables whose values derive from
+// the region's *ga.Proc parameter — the rank-dependent coordinates the
+// per-process indexing discipline is built on. The fixpoint follows
+// assignments: a variable becomes derived when any of its definition
+// sources mentions a derived object.
+func derivedObjects(info *types.Info, lit *ast.FuncLit, parallel bool) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	if !parallel || lit.Type.Params == nil || len(lit.Type.Params.List) == 0 {
+		return derived
+	}
+	for _, name := range lit.Type.Params.List[0].Names {
+		if obj := info.Defs[name]; obj != nil {
+			derived[obj] = true
+		}
+	}
+
+	// Collect the closure's own definition sites once.
+	var defs []dataflow.Def
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok && l != lit {
+			return false
+		}
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.RangeStmt:
+			defs = append(defs, dataflow.NodeDefs(info, n)...)
+		}
+		return true
+	})
+
+	for changed := true; changed; {
+		changed = false
+		for _, d := range defs {
+			if derived[d.Obj] {
+				continue
+			}
+			for _, src := range dataflow.DefSources(info, d) {
+				if usesAny(info, src, derived) {
+					derived[d.Obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return derived
+}
+
+// indexDerived reports whether the index expression mentions a
+// rank-derived object.
+func indexDerived(info *types.Info, index ast.Expr, derived map[types.Object]bool) bool {
+	return index != nil && usesAny(info, index, derived)
+}
+
+// usesAny reports whether n mentions any object in set.
+func usesAny(info *types.Info, n ast.Node, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

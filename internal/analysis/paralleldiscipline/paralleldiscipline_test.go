@@ -1,0 +1,12 @@
+package paralleldiscipline_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/paralleldiscipline"
+)
+
+func TestParallelDiscipline(t *testing.T) {
+	analysistest.Run(t, paralleldiscipline.Analyzer, "./testdata/src/par")
+}

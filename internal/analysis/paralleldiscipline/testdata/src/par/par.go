@@ -1,0 +1,155 @@
+// Package par is the paralleldiscipline fixture: closures run by
+// ga.Parallel (and goroutines) writing captured state, with and without
+// the three accepted disciplines (mutex, per-process indexing,
+// channels).
+package par
+
+import (
+	"sync"
+
+	"fourindex/internal/ga"
+)
+
+// racyCounter increments a captured int from every process.
+func racyCounter(rt *ga.Runtime) {
+	total := 0
+	_ = rt.Parallel(func(p *ga.Proc) {
+		total++ // want `captured variable "total" is written inside the Parallel region without a guard`
+	})
+	_ = total
+}
+
+// racyAssign reassigns a captured error from every process.
+func racyAssign(rt *ga.Runtime) error {
+	var firstErr error
+	_ = rt.Parallel(func(p *ga.Proc) {
+		firstErr = nil // want `captured variable "firstErr" is written inside the Parallel region without a guard`
+	})
+	return firstErr
+}
+
+// racyMap writes a captured map; disjoint keys do not save a Go map.
+func racyMap(rt *ga.Runtime) {
+	seen := map[int]bool{}
+	_ = rt.Parallel(func(p *ga.Proc) {
+		seen[p.ID()] = true // want `captured map "seen" is written inside the Parallel region without a guard`
+	})
+	_ = seen
+}
+
+// racySharedIndex writes every process to the same slice slot.
+func racySharedIndex(rt *ga.Runtime, out []float64) {
+	_ = rt.Parallel(func(p *ga.Proc) {
+		out[0] = 1.0 // want `captured slice "out" is written inside the Parallel region at an index not derived from the process rank`
+	})
+}
+
+// racyField stores into a field of a captured struct pointer.
+type acc struct{ n int }
+
+func racyField(rt *ga.Runtime, a *acc) {
+	_ = rt.Parallel(func(p *ga.Proc) {
+		a.n = p.ID() // want `captured variable "a" is written inside the Parallel region without a guard`
+	})
+}
+
+// cleanPerProcIndex writes disjoint elements indexed by rank.
+func cleanPerProcIndex(rt *ga.Runtime, out []float64) {
+	_ = rt.Parallel(func(p *ga.Proc) {
+		out[p.ID()] = 1.0
+	})
+}
+
+// cleanDerivedIndex derives loop bounds from the rank; the index
+// variable inherits the taint.
+func cleanDerivedIndex(rt *ga.Runtime, out []float64, chunk int) {
+	_ = rt.Parallel(func(p *ga.Proc) {
+		lo := p.ID() * chunk
+		for i := lo; i < lo+chunk; i++ {
+			out[i] = float64(i)
+		}
+	})
+}
+
+// cleanMutex guards the shared accumulator with a lock.
+func cleanMutex(rt *ga.Runtime) {
+	var mu sync.Mutex
+	total := 0
+	_ = rt.Parallel(func(p *ga.Proc) {
+		mu.Lock()
+		total += p.ID()
+		mu.Unlock()
+	})
+	_ = total
+}
+
+// cleanDeferUnlock uses the lock-then-defer idiom; the guard holds for
+// the rest of the body.
+func cleanDeferUnlock(rt *ga.Runtime) {
+	var mu sync.Mutex
+	total := 0
+	_ = rt.Parallel(func(p *ga.Proc) {
+		mu.Lock()
+		defer mu.Unlock()
+		total += p.ID()
+	})
+	_ = total
+}
+
+// racyAfterUnlock releases the lock before the second write.
+func racyAfterUnlock(rt *ga.Runtime) {
+	var mu sync.Mutex
+	total := 0
+	_ = rt.Parallel(func(p *ga.Proc) {
+		mu.Lock()
+		total += p.ID()
+		mu.Unlock()
+		total++ // want `captured variable "total" is written inside the Parallel region without a guard`
+	})
+	_ = total
+}
+
+// cleanLocal writes only process-local state.
+func cleanLocal(rt *ga.Runtime, out []float64) {
+	_ = rt.Parallel(func(p *ga.Proc) {
+		local := make([]float64, 4)
+		for i := range local {
+			local[i] = float64(p.ID())
+		}
+		out[p.ID()] = local[0]
+	})
+}
+
+// cleanChannel communicates instead of sharing; sends are not writes.
+func cleanChannel(rt *ga.Runtime) {
+	results := make(chan int, 8)
+	_ = rt.Parallel(func(p *ga.Proc) {
+		results <- p.ID()
+	})
+	close(results)
+}
+
+// racyGoroutine writes a captured variable from a plain goroutine.
+func racyGoroutine(done chan struct{}) {
+	count := 0
+	go func() {
+		count++ // want `captured variable "count" is written inside a goroutine closure without a guard`
+		done <- struct{}{}
+	}()
+}
+
+// cleanGoroutineChunk indexes a disjoint chunk from a goroutine; the
+// convention is left to the race detector, not flagged statically.
+func cleanGoroutineChunk(out []float64, i int, done chan struct{}) {
+	go func() {
+		out[i] = 1.0
+		done <- struct{}{}
+	}()
+}
+
+// cleanReadOnly only reads captured state.
+func cleanReadOnly(rt *ga.Runtime, in []float64, out []float64) {
+	_ = rt.Parallel(func(p *ga.Proc) {
+		out[p.ID()] = in[0] + in[1]
+	})
+}

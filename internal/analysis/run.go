@@ -14,6 +14,22 @@ func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, e
 	if err != nil {
 		return nil, err
 	}
+	return RunPackages(analyzers, pkgs)
+}
+
+// RunTests is Run with _test.go files and external test packages
+// included in the analyzed set (see LoadTests).
+func RunTests(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := LoadTests(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(analyzers, pkgs)
+}
+
+// RunPackages applies the analyzers to every package and returns the
+// combined diagnostics sorted by file, line, and column.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ds, err := RunPackage(analyzers, pkg)
@@ -38,7 +54,9 @@ func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, e
 	return diags, nil
 }
 
-// RunPackage applies the analyzers to one loaded package.
+// RunPackage applies the analyzers to one loaded package, then filters
+// the diagnostics through any //lint:ignore suppression directives in
+// the package's files (see suppress.go).
 func RunPackage(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -54,7 +72,7 @@ func RunPackage(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
 		}
 	}
-	return diags, nil
+	return applySuppressions(pkg, diags), nil
 }
 
 // Print writes diagnostics one per line and returns how many there were.

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression directives let a human override an analyzer where the
+// code is intentionally outside the discipline, but only with a
+// recorded justification:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses matching diagnostics reported on its own
+// line (trailing comment) or on the line directly below (preceding
+// comment). A directive without a reason suppresses nothing and is
+// itself reported as a finding, so an unjustified ignore fails the lint
+// run instead of silently widening a hole.
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\b[ \t]*(\S*)[ \t]*(.*)$`)
+
+// SuppressionAnalyzer is the reporting name for malformed directives.
+// It is not a runnable analyzer; it exists so directive problems carry
+// a name in diagnostics and can themselves never be suppressed.
+const SuppressionAnalyzer = "lintignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos       token.Position
+	analyzers map[string]bool
+	justified bool
+	malformed string // non-empty: why the directive is unusable
+}
+
+// collectDirectives parses every //lint:ignore comment in the package.
+func collectDirectives(pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				if m[1] == "" {
+					d.malformed = "missing analyzer name"
+				} else {
+					d.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(m[1], ",") {
+						d.analyzers[strings.TrimSpace(name)] = true
+					}
+				}
+				reason := strings.TrimSpace(m[2])
+				d.justified = reason != ""
+				if d.malformed == "" && !d.justified {
+					d.malformed = "missing justification"
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops diagnostics covered by a justified
+// //lint:ignore directive and reports unjustified or malformed
+// directives as findings of their own. Directives can never suppress
+// SuppressionAnalyzer findings.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	dirs := collectDirectives(pkg)
+	if len(dirs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(dirs, d) {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.malformed != "" {
+			kept = append(kept, Diagnostic{
+				Analyzer: SuppressionAnalyzer,
+				Pos:      dir.pos,
+				Message:  "unjustified //lint:ignore directive (" + dir.malformed + "): write //lint:ignore <analyzer> <reason>",
+			})
+		}
+	}
+	return kept
+}
+
+// suppressed reports whether a justified directive covers d.
+func suppressed(dirs []directive, d Diagnostic) bool {
+	if d.Analyzer == SuppressionAnalyzer {
+		return false
+	}
+	for _, dir := range dirs {
+		if dir.malformed != "" || !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line == dir.pos.Line || d.Pos.Line == dir.pos.Line+1 {
+			return true
+		}
+	}
+	return false
+}

@@ -95,10 +95,12 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
-// SchemeByName resolves a scheme from its name.
+// SchemeByName resolves a scheme from its name. Schemes are scanned in
+// declaration order, not map order, so a (hypothetical) duplicate name
+// would resolve the same way on every run.
 func SchemeByName(name string) (Scheme, error) {
-	for s, n := range schemeNames {
-		if n == name {
+	for s := Unfused; s <= Fused123; s++ {
+		if schemeNames[s] == name {
 			return s, nil
 		}
 	}

@@ -426,6 +426,9 @@ func (c *runCtx) op3Slab(p *ga.Proc, o2T, o3T *ga.TiledArray, ta, tb, wl, lCoord
 
 // op4Slab accumulates this slab's contribution to C.
 func (c *runCtx) op4Slab(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb, wl, lOff int) {
+	if c.nt == 0 {
+		return // empty grid: nothing to fetch, and the tc loop below assumes one trip
+	}
 	wa, wb := c.g.Width(ta), c.g.Width(tb)
 	wab := wa * wb
 
@@ -454,7 +457,10 @@ func (c *runCtx) op4Slab(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb, wl, lOff in
 
 	out := c.alloc(p, int64(wab)*int64(c.g.T)*int64(c.g.T))
 	wq := newNbQueue(p)
-	for tc := 0; tc < c.nt; tc++ {
+	// Bottom-tested like prefetch2: tile 0's get is already in flight
+	// (issued above so it overlaps the coefficient compute), and every
+	// path from an issue reaches its Wait.
+	for tc := 0; ; tc++ {
 		var next *ga.Handle
 		if tc+1 < c.nt {
 			next = issue(tc + 1)
@@ -482,6 +488,9 @@ func (c *runCtx) op4Slab(p *ga.Proc, o3T, cT *ga.TiledArray, ta, tb, wl, lOff in
 			wq.push(p.NbAccT(cT, 1, out.Data, ta, tb, tc, td))
 		}
 		h = next
+		if tc+1 >= c.nt {
+			break
+		}
 	}
 	wq.drain()
 	p.FreeLocal(out)

@@ -330,8 +330,12 @@ func prefetch2(p *ga.Proc, n int, issue func(t int) *ga.Handle, consume func(t i
 	if n <= 0 {
 		return
 	}
+	// Bottom-tested loop: the first handle is issued before the body and
+	// every path from an issue reaches its Wait, which the nbdiscipline
+	// flow check verifies (a top-tested loop would leave a zero-trip
+	// path where cur is never waited).
 	cur := issue(0)
-	for t := 0; t < n; t++ {
+	for t := 0; ; t++ {
 		var next *ga.Handle
 		if t+1 < n {
 			next = issue(t + 1)
@@ -341,6 +345,9 @@ func prefetch2(p *ga.Proc, n int, issue func(t int) *ga.Handle, consume func(t i
 			consume(t)
 		}
 		cur = next
+		if t+1 >= n {
+			break
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package ga
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -122,6 +123,9 @@ func TestQuickPatchRoundTrip(t *testing.T) {
 		for i := range buf {
 			buf[i] = rng.NormFloat64()
 		}
+		// Only proc 0 writes ok today, but guard the capture anyway so
+		// the check stays safe if the ID gate changes.
+		var mu sync.Mutex
 		ok := true
 		err = rt.Parallel(func(p *Proc) {
 			if p.ID() != 0 {
@@ -132,7 +136,9 @@ func TestQuickPatchRoundTrip(t *testing.T) {
 			p.Get(a, r0, r1, c0, c1, got, w)
 			for i := range got {
 				if got[i] != buf[i] {
+					mu.Lock()
 					ok = false
+					mu.Unlock()
 				}
 			}
 		})

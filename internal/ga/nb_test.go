@@ -3,6 +3,7 @@ package ga
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"fourindex/internal/cluster"
@@ -119,6 +120,9 @@ func TestNbCostModelMaxRule(t *testing.T) {
 	// rule), not compute + dur (sum rule).
 	rt2, a2 := build(0)
 	before := rt2.Elapsed()
+	// Single-proc runtime, but guard the capture so the measurement
+	// stays safe if the scenario ever runs wider.
+	var mu sync.Mutex
 	var computeSec float64
 	if err := rt2.Parallel(func(p *Proc) {
 		h := p.NbGetT(a2, nil, 0, 0)
@@ -126,7 +130,9 @@ func TestNbCostModelMaxRule(t *testing.T) {
 		for rt2.clocks[0]-start < 10*dur {
 			p.Compute(1 << 20)
 		}
+		mu.Lock()
 		computeSec = rt2.clocks[0] - start
+		mu.Unlock()
 		h.Wait(p)
 	}); err != nil {
 		t.Fatal(err)
@@ -342,10 +348,15 @@ func TestFreeLocalTypedErrors(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// One writer behind the ID gate; guard the capture so the
+			// handoff to the next region is explicitly synchronised.
+			var mu sync.Mutex
 			var foreign Buffer
 			if err := rt.Parallel(func(p *Proc) {
 				if p.ID() == 1 {
+					mu.Lock()
 					foreign = p.MustAllocLocal(8)
+					mu.Unlock()
 				}
 			}); err != nil {
 				t.Fatal(err)

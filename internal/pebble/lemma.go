@@ -137,8 +137,12 @@ func SplitFusedSchedule(g *cdag.Graph, s int, moves []Move, producerVerts, inter
 	}
 
 	// First consumer use of each interface vertex: the first Compute of
-	// a non-producer vertex having it as a predecessor.
+	// a non-producer vertex having it as a predecessor. dlAt inverts the
+	// relation (move index -> vertices first used there) in discovery
+	// order, so the inserted Delete+Load pairs below come out in the
+	// same sequence on every run.
 	firstUse := map[cdag.VID]int{}
+	dlAt := map[int][]cdag.VID{}
 	for i, m := range moves {
 		if m.Kind != MoveCompute || producerVerts[m.V] {
 			continue
@@ -147,6 +151,7 @@ func SplitFusedSchedule(g *cdag.Graph, s int, moves []Move, producerVerts, inter
 			if interfaceVerts[p] {
 				if _, seen := firstUse[p]; !seen {
 					firstUse[p] = i
+					dlAt[i] = append(dlAt[i], p)
 				}
 			}
 		}
@@ -163,12 +168,10 @@ func SplitFusedSchedule(g *cdag.Graph, s int, moves []Move, producerVerts, inter
 	ioFused := 0
 	for i, m := range moves {
 		// Inserted Delete+Load immediately before the first use.
-		for v, fu := range firstUse {
-			if fu == i {
-				aug = append(aug,
-					tagged{m: Move{Kind: MoveDelete, V: v}, insertedDL: true},
-					tagged{m: Move{Kind: MoveLoad, V: v}, insertedDL: true})
-			}
+		for _, v := range dlAt[i] {
+			aug = append(aug,
+				tagged{m: Move{Kind: MoveDelete, V: v}, insertedDL: true},
+				tagged{m: Move{Kind: MoveLoad, V: v}, insertedDL: true})
 		}
 		isProducerOp := producerVerts[m.V]
 		if interfaceVerts[m.V] && m.Kind != MoveCompute {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // chromeEvent is one Chrome trace_event record. Field order is fixed so
@@ -56,13 +57,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	for r := range runs {
 		runIDs = append(runIDs, r)
 	}
-	for i := 0; i < len(runIDs); i++ {
-		for j := i + 1; j < len(runIDs); j++ {
-			if runIDs[j] < runIDs[i] {
-				runIDs[i], runIDs[j] = runIDs[j], runIDs[i]
-			}
-		}
-	}
+	sort.Slice(runIDs, func(i, j int) bool { return runIDs[i] < runIDs[j] })
 	for _, r := range runIDs {
 		evs = append(evs,
 			chromeEvent{Name: "process_name", Ph: "M", Pid: r,
