@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self lint-fixtures vet golden chaos bench bench-smoke ci
+.PHONY: all build test race lint lint-self lint-fixtures vet golden chaos bench bench-smoke frontier frontier-golden ci
 
 all: build test vet lint
 
@@ -65,4 +65,16 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/fouridx bench -smoke -o /tmp/bench_smoke.json -baseline BENCH_fouridx.json -tolerance 0.15
 
-ci: build test vet lint lint-self lint-fixtures golden race chaos bench-smoke
+# frontier regenerates the checked-in capacity-vs-bound frontier
+# artifact (see README "Autotuning" and DESIGN.md §11).
+frontier:
+	$(GO) run ./cmd/fouridx frontier -o FRONTIER_fouridx.json
+
+# frontier-golden fails the build when the checked-in artifact is stale,
+# then gates the frontier-driven tuner against the benchmark baseline:
+# its pick must never be slower than the per-point best in
+# BENCH_fouridx.json.
+frontier-golden:
+	$(GO) run ./cmd/fouridx frontier -check -o FRONTIER_fouridx.json -gate -baseline BENCH_fouridx.json
+
+ci: build test vet lint lint-self lint-fixtures golden frontier-golden race chaos bench-smoke

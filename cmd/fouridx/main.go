@@ -27,6 +27,15 @@
 //
 //	fouridx bench -o BENCH_fouridx.json
 //	fouridx bench -smoke -baseline BENCH_fouridx.json -tolerance 0.15
+//
+// The frontier subcommand computes the capacity-vs-bound frontier
+// artifact, checks the checked-in copy for staleness, and gates the
+// frontier-driven tuner against the benchmark baseline (see README
+// "Autotuning"):
+//
+//	fouridx frontier -o FRONTIER_fouridx.json
+//	fouridx frontier -check -o FRONTIER_fouridx.json
+//	fouridx frontier -gate -baseline BENCH_fouridx.json
 package main
 
 import (
@@ -50,6 +59,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		runBench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "frontier" {
+		runFrontier(os.Args[2:])
 		return
 	}
 	var (
@@ -128,13 +141,24 @@ func main() {
 		if opt.Run == nil {
 			fatalIf(fmt.Errorf("-autotune needs -system for the cost model"))
 		}
-		points, err := fourindex.Tune(opt, fourindex.TuneSpace{})
+		ft, err := fourindex.TuneFrontier(opt, autotuneSpace(orbitals, opt.Procs), 0)
 		fatalIf(err)
-		fmt.Printf("autotune: %d configurations\n", len(points))
+		fmt.Printf("autotune: frontier at S = %.3g elements, %d of %d configurations simulated\n",
+			float64(ft.CapacityElements), ft.Simulated, ft.FullSpace)
+		fmt.Printf("  %-18s %-10s %6s %12s %10s\n",
+			"scheme", "config", "fits", "bound elems", "floor s")
+		for _, c := range ft.Candidates {
+			mark := " "
+			if c.Shortlisted {
+				mark = "*"
+			}
+			fmt.Printf("%s %-18v %-10s %6v %12.4g %10.4f\n",
+				mark, c.Scheme, c.Config, c.Feasible, c.BoundElements, c.LowerBoundSeconds)
+		}
 		fmt.Printf("  %-18s %5s %5s %8s %5s | %10s %12s\n",
 			"scheme", "tileN", "tileL", "alphaPar", "lPar", "sim s", "peak GB")
 		shown := 0
-		for _, p := range points {
+		for _, p := range ft.Points {
 			if p.Err != "" {
 				continue
 			}
@@ -145,6 +169,9 @@ func main() {
 				break
 			}
 		}
+		fmt.Printf("pick:     %v tileN=%d tileL=%d alphaPar=%d lPar=%d overlap=%v (%.1f s simulated)\n",
+			ft.Pick.Scheme, ft.Pick.TileN, ft.Pick.TileL, ft.Pick.AlphaPar, ft.Pick.LPar,
+			ft.Pick.Overlap, ft.Pick.Seconds)
 		return
 	}
 
@@ -252,4 +279,35 @@ func emitJSON(res *fourindex.Result, orbitals, spatial, procs int) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// autotuneSpace derives a lean tuning space centred on the benchmark
+// matrix's tiling heuristic (~n/24-wide data tiles, alpha parallelism
+// matched to the rank count): the heuristic knob, a 2x coarser tile,
+// and both parallelisation settings. The package-level TuneSpace
+// defaults reach down to single-element tiles, which are pathological
+// to cost-simulate at small n (minutes per configuration); this space
+// keeps -autotune interactive at every extent.
+func autotuneSpace(n, procs int) fourindex.TuneSpace {
+	tileN := max(2, (n+23)/24)
+	nt := (n + tileN - 1) / tileN
+	alphaPar := max(1, (procs+nt-1)/nt)
+	if alphaPar > nt {
+		alphaPar = nt
+	}
+	dedup := func(vals ...int) []int {
+		var out []int
+		for _, v := range vals {
+			if len(out) == 0 || out[len(out)-1] != v {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	return fourindex.TuneSpace{
+		TileNs:    dedup(tileN, 2*tileN),
+		TileLs:    dedup(tileN, 2*tileN),
+		AlphaPars: dedup(1, alphaPar),
+		LPars:     []int{1, 2},
+	}
 }

@@ -52,6 +52,19 @@ func main() {
 		fmt.Printf("  %-12s %16d %8.1f %s\n", rc.Config, rc.IO, gb(rc.IO), tight)
 	}
 
+	fmt.Printf("\nCapacity-vs-bound frontier (knees where each curve flattens):\n")
+	fmt.Printf("  %-12s %16s %16s %16s\n", "config", "floor (elements)", "flat at S", "min memory")
+	grid := lb.CapacityGrid(*n, *spatial, 0)
+	for _, name := range []string{"op1/2/3/4", "op12/34", "op123/4", "op1234"} {
+		c, err := lb.ConfigByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuseadvisor:", err)
+			os.Exit(1)
+		}
+		cv := lb.ComputeCurve(c, *n, *spatial, grid)
+		fmt.Printf("  %-12s %16d %16d %16d\n", cv.Config, cv.FloorElements, cv.FlatAtS, cv.MinMemoryElements)
+	}
+
 	n64 := int64(*n)
 	fmt.Printf("\nFast-memory thresholds:\n")
 	fmt.Printf("  single contraction tight (S >= n^2+n+1):     %d words\n", lb.SingleTightThreshold(n64))

@@ -3,18 +3,39 @@
 // Section 1 argues that the space of fusion and tiling configurations is
 // so large that "neither analytical model-based optimization, nor any
 // successful auto-tuning approach has been previously reported" — and
-// that data-movement lower bounds cut through it. Here we run both
+// that data-movement lower bounds cut through it. Here we run three
 // roads on the same problem:
 //
 //   - the brute-force road: sweep schedules x tile widths x
 //     parallelisation knobs through the cost simulator and pick the
 //     fastest feasible configuration;
+//   - the frontier road: evaluate each schedule's lower bound at the
+//     run's capacity, shortlist by the machine-aware time floor, and
+//     simulate only the shortlist (TuneFrontier) — same pick, fewer
+//     simulations, and provably never worse than the sweep;
 //   - the analysis road: one call to the Section 7.4 advisor, which
-//     consults the Theorem 5.2/6.2 bounds.
+//     consults the Theorem 5.2/6.2 bounds and needs no search at all.
 //
-// They agree — and the advisor needed no search at all.
+// Output of `go run ./examples/autotune`:
 //
-//	go run ./examples/autotune
+//	== ample memory ==
+//	brute force: swept 78 configurations (0 infeasible)
+//	             best = unfused  tileN=6 tileL=0 alphaPar=1 lPar=1  (0.0 sim-s)
+//	frontier:    simulated 78 configurations, same pick: unfused (0.0 sim-s)
+//	advisor:     "unfused" — intermediates fit in aggregate memory; unfused does ~1.5x less work
+//	agreement:   sweep, frontier shortlist and O(1) analysis all match
+//
+//	== memory-constrained (70% of unfused need) ==
+//	brute force: swept 78 configurations (46 infeasible)
+//	             best = fullyfused-inner  tileN=6 tileL=2 alphaPar=1 lPar=2  (0.1 sim-s)
+//	frontier:    simulated 72 configurations, same pick: fullyfused-inner (0.1 sim-s)
+//	advisor:     "fused" — intermediates overflow memory; fully fused op1234 with inner op12/34 fits
+//	agreement:   sweep, frontier shortlist and O(1) analysis all match
+//
+// Under memory pressure the frontier walk discards every unfused
+// configuration from the schedule's memory model alone — brute force
+// burned 46 simulations discovering the same thing one comparison
+// against the feasibility edge already knew.
 package main
 
 import (
@@ -38,6 +59,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	space := fourindex.TuneSpace{
+		TileNs:    []int{6, 8, 12},
+		TileLs:    []int{2, 6, 12},
+		AlphaPars: []int{1, 2},
+		LPars:     []int{1, 2},
+		Overlaps:  []bool{false, true},
+	}
+
 	for _, scenario := range []struct {
 		name string
 		mem  int64
@@ -46,48 +75,54 @@ func main() {
 		{"memory-constrained (70% of unfused need)", fourindex.UnfusedMemoryWords(n, 1) * 8 * 7 / 10},
 	} {
 		fmt.Printf("== %s ==\n", scenario.name)
-
-		// Road 1: exhaustive sweep.
-		points, err := fourindex.Tune(fourindex.Options{
+		opt := fourindex.Options{
 			Spec:           spec,
 			Procs:          procs,
 			Run:            &run,
 			GlobalMemBytes: scenario.mem,
-		}, fourindex.TuneSpace{
-			TileNs:    []int{6, 8, 12},
-			TileLs:    []int{2, 6, 12},
-			AlphaPars: []int{1, 2},
-			LPars:     []int{1, 2},
-		})
+		}
+
+		// Road 1: exhaustive sweep.
+		points, err := fourindex.Tune(opt, space)
 		if err != nil {
 			log.Fatal(err)
 		}
-		feasible, failed := 0, 0
+		failed := 0
 		for _, p := range points {
-			if p.Err == "" {
-				feasible++
-			} else {
+			if p.Err != "" {
 				failed++
 			}
 		}
 		best, _ := fourindex.BestTunePoint(points)
-		fmt.Printf("autotuner: swept %d configurations (%d infeasible)\n", len(points), failed)
-		fmt.Printf("           best = %v  tileN=%d tileL=%d alphaPar=%d lPar=%d  (%.1f sim-s)\n",
+		fmt.Printf("brute force: swept %d configurations (%d infeasible)\n", len(points), failed)
+		fmt.Printf("             best = %v  tileN=%d tileL=%d alphaPar=%d lPar=%d  (%.1f sim-s)\n",
 			best.Scheme, best.TileN, best.TileL, best.AlphaPar, best.LPar, best.Seconds)
 
-		// Road 2: the lower-bound advisor.
+		// Road 2: the frontier tuner — walk the capacity-vs-bound
+		// frontier, simulate only the shortlist.
+		ft, err := fourindex.TuneFrontier(opt, space, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("frontier:    simulated %d configurations, same pick: %v (%.1f sim-s)\n",
+			ft.Simulated, ft.Pick.Scheme, ft.Pick.Seconds)
+		if ft.Pick.Seconds > best.Seconds*(1+1e-9) {
+			log.Fatalf("frontier pick (%.4f s) worse than the sweep best (%.4f s)", ft.Pick.Seconds, best.Seconds)
+		}
+
+		// Road 3: the lower-bound advisor.
 		mem := scenario.mem
 		if mem == 0 {
 			mem = 1 << 62 // unlimited
 		}
 		adv := fourindex.Advise(n, 1, mem)
-		fmt.Printf("advisor:   %q — %s\n", adv.Scheme, adv.Reason)
+		fmt.Printf("advisor:     %q — %s\n", adv.Scheme, adv.Reason)
 
 		agree := (adv.Scheme == "unfused" && best.Scheme == fourindex.Unfused) ||
 			(adv.Scheme == "fused" && best.Scheme == fourindex.FullyFusedInner)
 		if !agree {
 			log.Fatalf("the sweep (%v) and the analysis (%s) disagree", best.Scheme, adv.Scheme)
 		}
-		fmt.Printf("agreement: the O(1) bound analysis matches the exhaustive search\n\n")
+		fmt.Printf("agreement:   sweep, frontier shortlist and O(1) analysis all match\n\n")
 	}
 }

@@ -4,9 +4,28 @@
 // the provably largest problem for a given aggregate memory — across the
 // benchmark molecules, reproducing the Section 8 headline: a transform
 // needing more than 12 TB unfused runs on a cluster holding less than
-// 9 TB.
+// 9 TB. It then walks the capacity-vs-bound frontier for n = 256: every
+// capacity S has a data-movement lower bound, and the paper's
+// closed-form thresholds are the knees where each schedule's curve
+// flattens onto its memory-independent floor.
 //
-//	go run ./examples/capacity
+// Tail of the output of `go run ./examples/capacity`:
+//
+//	Largest disk-free extent on System B (9.9 TB), s = 8:
+//	  unfused:      n <= 1132
+//	  fully fused:  n <= 2488 (2.2x more orbitals, 23x more tensor elements)
+//
+//	Capacity-vs-bound frontier knees, n = 256, s = 1:
+//	  single contraction tight at S = n^2+n+1  = 65793
+//	  pair fusion tight at     S = 3n^2+n+1 = 196865
+//	  full reuse possible at   S = |C|      = 1082146816
+//	  scheme               config            flat at S    floor (elems)    bound at knee-1
+//	  unfused              op1/2/3/4             65793      12952076288          3.146e+10
+//	  fused12-34           op12/34              196865       4328587264          8.536e+09
+//	  nwchem-fused12-34    op12/34              196865       4328587264          8.536e+09
+//	  fused123-4           op123/4               65793       6476038144          2.498e+10
+//	  fullyfused           op1234           1082146816       2164293632          4.329e+09
+//	  fullyfused-inner     op1234           1082146816       2164293632          4.329e+09
 package main
 
 import (
@@ -68,9 +87,34 @@ func main() {
 		return fourindex.Advise(n, spatial, sysB).Scheme != "infeasible"
 	})
 	fmt.Printf("  unfused:      n <= %d\n", nUnfused)
-	fmt.Printf("  fully fused:  n <= %d (%.1fx more orbitals, %.0fx more tensor elements)\n",
+	fmt.Printf("  fully fused:  n <= %d (%.1fx more orbitals, %.0fx more tensor elements)\n\n",
 		nFused, float64(nFused)/float64(nUnfused),
 		pow4(float64(nFused)/float64(nUnfused)))
+
+	// The knee walk: every capacity S has a data-movement lower bound,
+	// and the closed-form thresholds are where each schedule's curve
+	// flattens onto its memory-independent floor. Sample each curve at
+	// its own knee, plus one grid step below (bound still falling) and
+	// well above (flat).
+	const n = 256
+	knees := fourindex.KneesFor(n, 1)
+	fmt.Printf("Capacity-vs-bound frontier knees, n = %d, s = 1:\n", n)
+	fmt.Printf("  single contraction tight at S = n^2+n+1  = %d\n", knees.SingleTight)
+	fmt.Printf("  pair fusion tight at     S = 3n^2+n+1 = %d\n", knees.PairFusion)
+	fmt.Printf("  full reuse possible at   S = |C|      = %d\n", knees.FullReuse)
+	rep := fourindex.RunFrontier([]fourindex.FrontierProblem{{Name: "knees", N: n, Sym: 1}})
+	fmt.Printf("  %-20s %-12s %14s %16s %18s\n",
+		"scheme", "config", "flat at S", "floor (elems)", "bound at knee-1")
+	for _, sf := range rep.Problems[0].Schedules {
+		var belowKnee float64
+		for _, pt := range sf.Points {
+			if pt.S < sf.FlatAtS {
+				belowKnee = pt.BoundElements
+			}
+		}
+		fmt.Printf("  %-20s %-12s %14d %16d %18.4g\n",
+			sf.Scheme, sf.Config, sf.FlatAtS, sf.FloorElements, belowKnee)
+	}
 }
 
 func pow4(x float64) float64 { return x * x * x * x }

@@ -338,6 +338,72 @@ func BenchReadPathRun(procs, readsPerProc, dim int) (BenchReadPath, error) {
 	return perf.BenchReadPath(procs, readsPerProc, dim)
 }
 
+// Capacity-vs-bound frontier (internal/lb + internal/fourindex): for
+// every fast-memory capacity S there is a data-movement lower bound,
+// and the paper's closed-form thresholds are the knees where each
+// schedule's curve flattens onto its memory-independent floor. The
+// frontier engine sweeps S over a deterministic grid, the artifact
+// (FRONTIER_fouridx.json) pins the curves byte-for-byte, and the
+// frontier tuner shortlists schedules by their bound before simulating.
+type (
+	// FrontierProblem names one (n, s) problem a frontier covers.
+	FrontierProblem = ifx.FrontierProblem
+	// FrontierPoint is one capacity sample of a schedule's curve.
+	FrontierPoint = ifx.FrontierPoint
+	// ScheduleFrontier is one schedule's capacity-vs-bound curve.
+	ScheduleFrontier = ifx.ScheduleFrontier
+	// ProblemFrontier is one problem's full frontier across schedules.
+	ProblemFrontier = ifx.ProblemFrontier
+	// FrontierReport is the schema-versioned FRONTIER_fouridx.json shape.
+	FrontierReport = ifx.FrontierReport
+	// FrontierCandidate is one schedule's frontier analysis in a tune.
+	FrontierCandidate = ifx.FrontierCandidate
+	// FrontierTuneResult is the frontier-driven tuner's outcome.
+	FrontierTuneResult = ifx.FrontierTune
+	// KneeCapacities collects the paper's closed-form threshold
+	// capacities for one problem.
+	KneeCapacities = lb.Thresholds
+)
+
+// DefaultFrontierProblems returns the problems behind the checked-in
+// FRONTIER_fouridx.json artifact.
+func DefaultFrontierProblems() []FrontierProblem { return ifx.DefaultFrontierProblems() }
+
+// RunFrontier sweeps every schedule's memory model and lower bound over
+// a deterministic capacity grid for each problem (nil = the defaults)
+// and returns the frontier report; equal inputs encode byte-identically.
+func RunFrontier(problems []FrontierProblem) *FrontierReport { return ifx.RunFrontier(problems) }
+
+// DecodeFrontierReport reads a report written by FrontierReport.Encode.
+func DecodeFrontierReport(r io.Reader) (*FrontierReport, error) { return ifx.DecodeFrontier(r) }
+
+// KneesFor returns the closed-form knee capacities (S >= n^2+n+1,
+// S >= 3n^2+n+1, S >= |C|, ...) for extent n with spatial symmetry s.
+func KneesFor(n, s int) KneeCapacities { return lb.ThresholdsFor(n, s) }
+
+// TuneFrontier is the frontier-driven autotuner: it evaluates each
+// schedule's lower bound at the run's capacity, shortlists the schedules
+// whose machine-aware time floor is within tolerance (<= 0 selects the
+// default) of the best attainable, cost-simulates only the shortlist —
+// rescuing any pruned schedule whose floor undercuts the incumbent's
+// simulated time, so the pick is never worse than a full Tune sweep —
+// and returns the analysis alongside the winning configuration.
+func TuneFrontier(opt Options, space TuneSpace, tolerance float64) (*FrontierTuneResult, error) {
+	return ifx.TuneFrontier(opt, space, tolerance)
+}
+
+// FrontierGateResult is one cost point's frontier-tuner check against
+// the benchmark baseline.
+type FrontierGateResult = perf.TunerGateResult
+
+// FrontierTunerGate checks the frontier tuner against the checked-in
+// benchmark baseline: at every cost point the tuner's pick must simulate
+// at least as fast as the fastest schedule the benchmark recorded there.
+// Returns the per-point results and the violations found (empty = pass).
+func FrontierTunerGate(base *BenchReport) ([]FrontierGateResult, []string, error) {
+	return perf.TunerGate(base)
+}
+
 // FaultSweepRow is one row of the fault-injection sweep: the observed
 // completion/recovery behaviour of a schedule at one transient rate.
 type FaultSweepRow = experiments.FaultSweepRow

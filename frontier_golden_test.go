@@ -1,0 +1,70 @@
+package fourindex
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestFrontierGolden pins the checked-in FRONTIER_fouridx.json
+// byte-for-byte: recomputing the frontier from the default problems
+// must reproduce the artifact exactly. A mismatch means either the
+// frontier engine changed (regenerate with `make frontier`) or the
+// emission path lost determinism.
+func TestFrontierGolden(t *testing.T) {
+	want, err := os.ReadFile("FRONTIER_fouridx.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := RunFrontier(nil).Encode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Fatalf("FRONTIER_fouridx.json is stale: checked-in %d bytes, recomputed %d bytes differ (regenerate with `make frontier`)",
+			len(want), got.Len())
+	}
+}
+
+// TestFrontierGoldenKnees cross-checks the checked-in artifact's knees
+// against the closed-form thresholds: each schedule's curve must
+// flatten exactly at its configuration's threshold capacity, and the
+// thresholds themselves must be grid points.
+func TestFrontierGoldenKnees(t *testing.T) {
+	f, err := os.Open("FRONTIER_fouridx.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := DecodeFrontierReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) == 0 {
+		t.Fatal("artifact has no problems")
+	}
+	for _, pf := range rep.Problems {
+		th := KneesFor(pf.N, pf.Sym)
+		if th != pf.Thresholds {
+			t.Errorf("%s: artifact thresholds %+v differ from closed form %+v", pf.Name, pf.Thresholds, th)
+		}
+		for _, sf := range pf.Schedules {
+			var want int64
+			switch sf.Config {
+			case "op1/2/3/4", "op123/4":
+				want = th.SingleTight
+			case "op12/34":
+				want = th.PairFusion
+			case "op1234":
+				want = th.FullReuse
+			default:
+				t.Errorf("%s: unexpected config %q in artifact", pf.Name, sf.Config)
+				continue
+			}
+			if sf.FlatAtS != want {
+				t.Errorf("%s/%s: curve flattens at S=%d, closed-form threshold is %d",
+					pf.Name, sf.Scheme, sf.FlatAtS, want)
+			}
+		}
+	}
+}

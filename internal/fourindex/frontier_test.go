@@ -1,0 +1,179 @@
+package fourindex
+
+import (
+	"bytes"
+	"testing"
+
+	"fourindex/internal/lb"
+)
+
+func TestRunFrontierDeterministicBytes(t *testing.T) {
+	problems := []FrontierProblem{{Name: "tiny", N: 64, Sym: 1}}
+	var a, b bytes.Buffer
+	if err := RunFrontier(problems).Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunFrontier(problems).Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical frontier runs encoded differently")
+	}
+	dec, err := DecodeFrontier(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.SchemaVersion != FrontierSchemaVersion {
+		t.Fatalf("schema version %d, want %d", dec.SchemaVersion, FrontierSchemaVersion)
+	}
+}
+
+// TestFrontierKneesMatchClosedForm checks that every schedule's detected
+// flattening knee coincides with the paper's closed-form threshold for
+// its fusion configuration, because the grid contains the thresholds as
+// exact points.
+func TestFrontierKneesMatchClosedForm(t *testing.T) {
+	rep := RunFrontier([]FrontierProblem{{Name: "p", N: 256, Sym: 1}})
+	pf := rep.Problems[0]
+	if len(pf.Schedules) != 6 {
+		t.Fatalf("expected 6 schedules on the frontier, got %d", len(pf.Schedules))
+	}
+	for _, sf := range pf.Schedules {
+		c, err := lb.ConfigByName(sf.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lb.ConfigFlatThreshold(c, pf.N, pf.Sym)
+		if sf.FlatAtS != want {
+			t.Errorf("%s (%s): flat at S=%d, closed form says %d", sf.Scheme, sf.Config, sf.FlatAtS, want)
+		}
+		if sf.FeasibleAtS != sf.MinMemoryElements {
+			t.Errorf("%s: feasible at S=%d but memory model needs %d (edge must be a grid point)",
+				sf.Scheme, sf.FeasibleAtS, sf.MinMemoryElements)
+		}
+		// Bound curve monotone non-increasing over the emitted points.
+		for i := 1; i < len(sf.Points); i++ {
+			if sf.Points[i].BoundElements > sf.Points[i-1].BoundElements*(1+1e-12) {
+				t.Errorf("%s: bound rises at S=%d", sf.Scheme, sf.Points[i].S)
+			}
+		}
+	}
+}
+
+func TestTuneFrontierRequiresModel(t *testing.T) {
+	opt := Options{}
+	if _, err := TuneFrontier(opt, TuneSpace{}, 0); err == nil {
+		t.Error("TuneFrontier without a machine model should error")
+	}
+}
+
+// TestTuneFrontierNeverWorseThanTune is the gate in miniature: on the
+// same space, the frontier tuner's pick must be at least as fast as the
+// exhaustive sweep's best, while simulating no more configurations.
+func TestTuneFrontierNeverWorseThanTune(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cap  int64
+	}{
+		{"ample", 0},
+		{"pressured", lb.MemoryUnfused(48, 1) * 8 * 7 / 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tuneOpts(t, 48, 1, 28, tc.cap)
+			space := TuneSpace{
+				TileNs: []int{6, 12}, TileLs: []int{2, 6, 12},
+				AlphaPars: []int{1, 2}, LPars: []int{1},
+				Overlaps: []bool{false, true},
+			}
+			pts, err := Tune(opt, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bruteBest, _ := Best(pts)
+			ft, err := TuneFrontier(opt, space, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ft.Pick.Seconds > bruteBest.Seconds*(1+1e-9) {
+				t.Errorf("frontier pick %.4fs slower than brute-force best %.4fs (%+v vs %+v)",
+					ft.Pick.Seconds, bruteBest.Seconds, ft.Pick, bruteBest)
+			}
+			if ft.Simulated > ft.FullSpace {
+				t.Errorf("simulated %d > full space %d", ft.Simulated, ft.FullSpace)
+			}
+			if ft.CapacityElements <= 0 {
+				t.Error("planned capacity not recorded")
+			}
+			// Every shortlisted candidate must be feasible at the planned
+			// capacity; every analysed candidate carries a positive floor.
+			for _, c := range ft.Candidates {
+				if c.Shortlisted && !c.Feasible {
+					t.Errorf("%v shortlisted but infeasible", c.Scheme)
+				}
+				if c.LowerBoundSeconds <= 0 {
+					t.Errorf("%v has no lower-bound time", c.Scheme)
+				}
+			}
+		})
+	}
+}
+
+// TestTuneFrontierPrunes pins the point of the exercise: when the
+// capacity makes whole schedule families infeasible, the frontier walk
+// prunes them without simulating a single configuration, so the
+// shortlist runs strictly fewer configurations than brute force.
+func TestTuneFrontierPrunes(t *testing.T) {
+	n, s := 48, 1
+	// Capacity just above the fully fused feasibility edge: the memory
+	// models say every other family cannot fit, so only the two fully
+	// fused schedules are simulated.
+	cap := (lb.MemoryFused1234Inner(n, s, 1) + lb.MemoryFused1234(n, s, 1)) * 8
+	opt := tuneOpts(t, n, s, 28, cap)
+	space := TuneSpace{
+		Schemes: []Scheme{Unfused, Fused1234Pair, NWChemFused, Fused123, FullyFused, FullyFusedInner},
+		TileNs:  []int{6, 12}, TileLs: []int{2, 6, 12},
+		AlphaPars: []int{1}, LPars: []int{1},
+	}
+	ft, err := TuneFrontier(opt, space, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Simulated >= ft.FullSpace {
+		t.Errorf("no pruning: simulated %d of %d", ft.Simulated, ft.FullSpace)
+	}
+	for _, c := range ft.Candidates {
+		if c.Shortlisted && !c.Feasible {
+			t.Errorf("%v shortlisted despite not fitting the capacity", c.Scheme)
+		}
+		if !c.Feasible && (c.Scheme == FullyFused || c.Scheme == FullyFusedInner) {
+			t.Errorf("%v should fit a capacity above its feasibility edge", c.Scheme)
+		}
+		if c.Feasible && c.Scheme == Unfused {
+			t.Error("unfused should not fit the fused-only capacity")
+		}
+	}
+}
+
+// TestSortTunePointsDeterministicTieBreak feeds equal-Seconds points in
+// two different emission orders and expects identical sorted output —
+// the satellite fix for the old emission-order tie.
+func TestSortTunePointsDeterministicTieBreak(t *testing.T) {
+	mk := func(scheme Scheme, tn, tl int, peak int64) TunePoint {
+		return TunePoint{Scheme: scheme, TileN: tn, TileL: tl, AlphaPar: 1, LPar: 1, Seconds: 1.0, PeakBytes: peak}
+	}
+	a := []TunePoint{mk(FullyFusedInner, 12, 6, 100), mk(Unfused, 6, 0, 100), mk(Unfused, 6, 0, 50)}
+	b := []TunePoint{a[2], a[0], a[1]}
+	sortTunePoints(a)
+	sortTunePoints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tie-break depends on emission order: %+v vs %+v at %d", a[i], b[i], i)
+		}
+	}
+	if a[0].PeakBytes != 50 {
+		t.Error("equal-time points must order by PeakBytes first")
+	}
+	if a[1].Scheme != Unfused {
+		t.Error("equal-time equal-peak points must order by Scheme")
+	}
+}

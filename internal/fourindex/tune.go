@@ -12,6 +12,7 @@ type TunePoint struct {
 	Scheme         Scheme
 	TileN, TileL   int
 	AlphaPar, LPar int
+	Overlap        bool    // nonblocking communication path on
 	Seconds        float64 // simulated time; +Inf when infeasible
 	PeakBytes      int64
 	CommElements   int64
@@ -30,6 +31,11 @@ type TuneSpace struct {
 	// AlphaPars and LPars (defaults {1, 2, 4} and {1, 2}).
 	AlphaPars []int
 	LPars     []int
+	// Overlaps sweeps the nonblocking communication path
+	// (Options.Overlap). Empty selects {false}, preserving the
+	// historical blocking-only sweep; the frontier tuner defaults to
+	// {false, true}.
+	Overlaps []bool
 }
 
 func (ts TuneSpace) withDefaults(n int) TuneSpace {
@@ -48,7 +54,24 @@ func (ts TuneSpace) withDefaults(n int) TuneSpace {
 	if len(ts.LPars) == 0 {
 		ts.LPars = []int{1, 2}
 	}
+	if len(ts.Overlaps) == 0 {
+		ts.Overlaps = []bool{false}
+	}
 	return ts
+}
+
+// size returns how many distinct configurations the space enumerates for
+// the given schemes — what a brute-force sweep would cost-simulate.
+func (ts TuneSpace) size() int {
+	total := 0
+	for _, scheme := range ts.Schemes {
+		if scheme == FullyFused || scheme == FullyFusedInner {
+			total += len(ts.TileNs) * len(ts.TileLs) * len(ts.AlphaPars) * len(ts.LPars) * len(ts.Overlaps)
+		} else {
+			total += len(ts.TileNs) * len(ts.Overlaps)
+		}
+	}
+	return total
 }
 
 // Tune sweeps schedule configurations in cost mode — the brute-force
@@ -61,16 +84,30 @@ func (ts TuneSpace) withDefaults(n int) TuneSpace {
 // opt supplies the problem, machine model and memory caps; its tiling
 // fields are ignored in favour of the sweep. A cost model (opt.Run) is
 // required, since "fastest" is meaningless without one.
+//
+// TuneFrontier walks the capacity-vs-bound frontier first and simulates
+// only a bound-shortlisted fraction of the same space; Tune remains as
+// the exhaustive reference the frontier gate compares against.
 func Tune(opt Options, space TuneSpace) ([]TunePoint, error) {
 	if opt.Run == nil {
 		return nil, fmt.Errorf("fourindex: Tune needs a machine model (Options.Run)")
 	}
-	opt.Mode = ga.Cost
 	space = space.withDefaults(opt.Spec.N)
+	points := sweepConfigs(opt, space, space.Schemes)
+	sortTunePoints(points)
+	if len(points) == 0 || points[0].Err != "" {
+		return points, fmt.Errorf("fourindex: no feasible configuration in the tuning space")
+	}
+	return points, nil
+}
 
+// sweepConfigs cost-simulates every configuration of the space for the
+// given schemes, deduplicating repeats.
+func sweepConfigs(opt Options, space TuneSpace, schemes []Scheme) []TunePoint {
+	opt.Mode = ga.Cost
 	var points []TunePoint
 	seen := map[TunePoint]bool{}
-	for _, scheme := range space.Schemes {
+	for _, scheme := range schemes {
 		fusedKnobs := scheme == FullyFused || scheme == FullyFusedInner
 		tileLs, alphaPars, lPars := space.TileLs, space.AlphaPars, space.LPars
 		if !fusedKnobs {
@@ -80,39 +117,76 @@ func Tune(opt Options, space TuneSpace) ([]TunePoint, error) {
 			for _, tl := range tileLs {
 				for _, ap := range alphaPars {
 					for _, lp := range lPars {
-						key := TunePoint{Scheme: scheme, TileN: tn, TileL: tl, AlphaPar: ap, LPar: lp}
-						if seen[key] {
-							continue
+						for _, ov := range space.Overlaps {
+							key := TunePoint{Scheme: scheme, TileN: tn, TileL: tl, AlphaPar: ap, LPar: lp, Overlap: ov}
+							if seen[key] {
+								continue
+							}
+							seen[key] = true
+							o := opt
+							o.TileN, o.TileL, o.AlphaPar, o.LPar, o.Overlap = tn, tl, ap, lp, ov
+							pt := key
+							res, err := Run(scheme, o)
+							if err != nil {
+								pt.Err = err.Error()
+							} else {
+								pt.Seconds = res.ElapsedSeconds
+								pt.PeakBytes = res.PeakGlobalBytes
+								pt.CommElements = res.CommVolume
+							}
+							points = append(points, pt)
 						}
-						seen[key] = true
-						o := opt
-						o.TileN, o.TileL, o.AlphaPar, o.LPar = tn, tl, ap, lp
-						pt := key
-						res, err := Run(scheme, o)
-						if err != nil {
-							pt.Err = err.Error()
-						} else {
-							pt.Seconds = res.ElapsedSeconds
-							pt.PeakBytes = res.PeakGlobalBytes
-							pt.CommElements = res.CommVolume
-						}
-						points = append(points, pt)
 					}
 				}
 			}
 		}
 	}
-	sort.SliceStable(points, func(i, j int) bool {
-		fi, fj := points[i].Err == "", points[j].Err == ""
-		if fi != fj {
-			return fi
-		}
-		return points[i].Seconds < points[j].Seconds
+	return points
+}
+
+// sortTunePoints orders a sweep fastest-first with a fully deterministic
+// tie-break: feasible before failed, then (Seconds, PeakBytes, Scheme,
+// TileN, TileL, AlphaPar, LPar, Overlap, Err). Points with equal
+// simulated time no longer order by sweep emission, so the sweep output
+// — and every artifact written from it — is a pure function of the
+// space (the determinism analyzer's contract).
+func sortTunePoints(points []TunePoint) {
+	sort.Slice(points, func(i, j int) bool {
+		return lessTunePoint(points[i], points[j])
 	})
-	if len(points) == 0 || points[0].Err != "" {
-		return points, fmt.Errorf("fourindex: no feasible configuration in the tuning space")
+}
+
+// lessTunePoint is the strict total order behind sortTunePoints.
+func lessTunePoint(a, b TunePoint) bool {
+	fa, fb := a.Err == "", b.Err == ""
+	if fa != fb {
+		return fa
 	}
-	return points, nil
+	if a.Seconds != b.Seconds {
+		return a.Seconds < b.Seconds
+	}
+	if a.PeakBytes != b.PeakBytes {
+		return a.PeakBytes < b.PeakBytes
+	}
+	if a.Scheme != b.Scheme {
+		return a.Scheme < b.Scheme
+	}
+	if a.TileN != b.TileN {
+		return a.TileN < b.TileN
+	}
+	if a.TileL != b.TileL {
+		return a.TileL < b.TileL
+	}
+	if a.AlphaPar != b.AlphaPar {
+		return a.AlphaPar < b.AlphaPar
+	}
+	if a.LPar != b.LPar {
+		return a.LPar < b.LPar
+	}
+	if a.Overlap != b.Overlap {
+		return !a.Overlap
+	}
+	return a.Err < b.Err
 }
 
 // Best returns the fastest feasible point of a sorted sweep.

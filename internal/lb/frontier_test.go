@@ -1,0 +1,148 @@
+package lb
+
+import (
+	"math"
+	"testing"
+
+	"fourindex/internal/sym"
+)
+
+func TestCapacityGridDeterministicAndSorted(t *testing.T) {
+	a := CapacityGrid(368, 8, 0)
+	b := CapacityGrid(368, 8, 0)
+	if len(a) != len(b) {
+		t.Fatalf("grid lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grid not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("grid not strictly increasing at %d: %d then %d", i, a[i-1], a[i])
+		}
+	}
+	// The closed-form thresholds must be exact grid points, so detected
+	// knees coincide with the formulas.
+	th := ThresholdsFor(368, 8)
+	for _, want := range []int64{th.SingleTight, th.PairFusion, th.FullReuse} {
+		found := false
+		for _, s := range a {
+			if s == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("threshold %d missing from grid", want)
+		}
+	}
+}
+
+// TestFrontierBoundMonotone is the frontier property: for every fusion
+// configuration the I/O lower bound is monotone non-increasing in the
+// fast-memory capacity S — more memory never forces more data movement.
+func TestFrontierBoundMonotone(t *testing.T) {
+	for _, prob := range []struct{ n, s int }{{64, 1}, {256, 1}, {368, 8}, {580, 8}} {
+		grid := CapacityGrid(prob.n, prob.s, 16)
+		for _, c := range AllFusionConfigs() {
+			prev := math.Inf(1)
+			for _, S := range grid {
+				b := ConfigBoundAt(c, prob.n, prob.s, S)
+				if b > prev*(1+1e-12) {
+					t.Fatalf("n=%d s=%d %v: bound rose from %g to %g at S=%d",
+						prob.n, prob.s, c, prev, b, S)
+				}
+				prev = b
+			}
+		}
+	}
+}
+
+// TestFrontierKneesMatchThresholds checks that each canonical curve
+// flattens onto its floor exactly at the paper's closed-form threshold:
+// op1/2/3/4 at n^2+n+1, op12/34 at 3n^2+n+1, op1234 at |C|.
+func TestFrontierKneesMatchThresholds(t *testing.T) {
+	const n, s = 256, 1
+	th := ThresholdsFor(n, s)
+	grid := CapacityGrid(n, s, 0)
+	for _, tc := range []struct {
+		config string
+		knee   int64
+	}{
+		{"op1/2/3/4", th.SingleTight},
+		{"op12/34", th.PairFusion},
+		{"op1234", th.FullReuse},
+	} {
+		c, err := ConfigByName(tc.config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv := ComputeCurve(c, n, s, grid)
+		if cv.FlatAtS != tc.knee {
+			t.Errorf("%s flattens at S=%d, want knee at %d", tc.config, cv.FlatAtS, tc.knee)
+		}
+		if got := ConfigFlatThreshold(c, n, s); got != tc.knee {
+			t.Errorf("%s ConfigFlatThreshold = %d, want %d", tc.config, got, tc.knee)
+		}
+		// Strictly above the floor just below the knee: the knee is a
+		// real regime change, not a smooth approach.
+		below := tc.knee - 1
+		if b := ConfigBoundAt(c, n, s, below); b <= float64(cv.FloorElements) {
+			t.Errorf("%s bound at S=%d is %g, want > floor %d", tc.config, below, b, cv.FloorElements)
+		}
+		// At and beyond the knee the bound is the floor exactly.
+		for _, S := range []int64{tc.knee, tc.knee * 2} {
+			if b := ConfigBoundAt(c, n, s, S); b != float64(cv.FloorElements) {
+				t.Errorf("%s bound at S=%d is %g, want floor %d", tc.config, S, b, cv.FloorElements)
+			}
+		}
+	}
+}
+
+// TestFrontierFullReuseJump pins the Theorem 6.2 discontinuity: crossing
+// S = |C| from below drops the op1234 bound by exactly 2|O2| (the
+// op12/34 intermediate's round trip that full reuse eliminates).
+func TestFrontierFullReuseJump(t *testing.T) {
+	const n, s = 368, 8
+	sz := sym.ExactSizes(n, s)
+	c, err := ConfigByName("op1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := ConfigBoundAt(c, n, s, sz.C-1)
+	at := ConfigBoundAt(c, n, s, sz.C)
+	if at != float64(sz.A+sz.C) {
+		t.Fatalf("bound at S=|C| is %g, want |A|+|C| = %d", at, sz.A+sz.C)
+	}
+	if want := float64(sz.A + 2*sz.O2 + sz.C); below != want {
+		t.Fatalf("bound just below |C| is %g, want op12/34 floor %g", below, want)
+	}
+}
+
+func TestConfigMinMemoryOrdering(t *testing.T) {
+	const n, s = 368, 8
+	unfused := ConfigMinMemory(FusionConfig{Groups: [][]int{{1}, {2}, {3}, {4}}}, n, s)
+	pair := ConfigMinMemory(FusionConfig{Groups: [][]int{{1, 2}, {3, 4}}}, n, s)
+	full := ConfigMinMemory(FusionConfig{Groups: [][]int{{1, 2, 3, 4}}}, n, s)
+	if !(full < pair && pair < unfused) {
+		t.Errorf("memory floors not ordered: full=%d pair=%d unfused=%d", full, pair, unfused)
+	}
+	// The fully fused floor must sit above |C| (the schedule holds the
+	// output resident) but far below the unfused intermediates.
+	if c := sym.ExactSizes(n, s).C; full <= c {
+		t.Errorf("fully fused floor %d not above |C| = %d", full, c)
+	}
+}
+
+func TestMemoryFused123(t *testing.T) {
+	const n, s = 64, 1
+	m1 := MemoryFused123(n, s, 1)
+	m4 := MemoryFused123(n, s, 4)
+	if m4 <= m1 {
+		t.Errorf("op123/4 memory not increasing in tile width: tl=1 %d, tl=4 %d", m1, m4)
+	}
+	sz := sym.ExactSizes(n, s)
+	if m1 <= sz.O3+sz.C {
+		t.Errorf("op123/4 memory %d must exceed its resident O3+C = %d", m1, sz.O3+sz.C)
+	}
+}

@@ -1,0 +1,130 @@
+package perf
+
+import (
+	"fmt"
+
+	"fourindex/internal/experiments"
+	"fourindex/internal/fourindex"
+)
+
+// tunerGateSchemes is the schedule set the frontier tuner competes over
+// in the gate: every benchmarked schedule with a frontier model. Hybrid
+// is a driver over unfused and fullyfused-inner (both present), and
+// Recompute is excluded from the cost matrix, so the set dominates every
+// cost point's best.
+func tunerGateSchemes() []fourindex.Scheme {
+	return []fourindex.Scheme{
+		fourindex.Unfused, fourindex.Fused1234Pair, fourindex.NWChemFused,
+		fourindex.Fused123, fourindex.FullyFused, fourindex.FullyFusedInner,
+	}
+}
+
+// TunerGateResult records one cost point's frontier-tuner check.
+type TunerGateResult struct {
+	// Molecule, System and Cores identify the cost point.
+	Molecule string
+	System   string
+	Cores    int
+	// BaselineSeconds is the fastest simulated time any benchmarked
+	// schedule recorded at the point in the baseline report.
+	BaselineSeconds float64
+	// BaselineScheme is the schedule that recorded it.
+	BaselineScheme string
+	// PickSeconds is the frontier tuner's pick at the point.
+	PickSeconds float64
+	// Pick is the tuner's chosen configuration.
+	Pick fourindex.TunePoint
+	// Simulated and FullSpace count cost simulations the tuner ran vs
+	// what a brute-force sweep of the same space would run.
+	Simulated, FullSpace int
+}
+
+// TunerGate checks the frontier-driven tuner against the checked-in
+// benchmark baseline: for every cost point in the report, the tuner's
+// pick must simulate at least as fast as the fastest schedule the
+// benchmark matrix recorded there. It returns the per-point results and
+// the violations found (empty = pass).
+//
+// The gate is exact up to floating-point slack: the tuner and the
+// benchmark drive the same deterministic cost model, and the tuner's
+// candidate space always contains the benchmark's own tiling knobs, so
+// a slower pick means the shortlist dropped the winner — a real tuner
+// regression, not noise.
+func TunerGate(base *Report) ([]TunerGateResult, []string, error) {
+	if base == nil {
+		return nil, nil, fmt.Errorf("perf: TunerGate needs a baseline report")
+	}
+	if base.SchemaVersion != SchemaVersion {
+		return nil, nil, fmt.Errorf("perf: schema version mismatch: baseline %d, want %d (regenerate with `make bench`)",
+			base.SchemaVersion, SchemaVersion)
+	}
+
+	// Collect cost points into per-(molecule, system, cores) groups in
+	// first-seen report order (deterministic: reports are ordered).
+	type groupKey struct {
+		molecule, system string
+		cores            int
+	}
+	var order []groupKey
+	best := map[groupKey]Point{}
+	for _, p := range base.Points {
+		if p.Kind != "cost" || p.SimSeconds <= 0 {
+			continue
+		}
+		k := groupKey{p.Molecule, p.System, p.Procs}
+		b, seen := best[k]
+		if !seen {
+			order = append(order, k)
+		}
+		if !seen || p.SimSeconds < b.SimSeconds {
+			best[k] = p
+		}
+	}
+	if len(order) == 0 {
+		return nil, nil, fmt.Errorf("perf: baseline has no cost points to gate against")
+	}
+
+	var results []TunerGateResult
+	var violations []string
+	for _, k := range order {
+		opt, err := experiments.BenchOptions(k.molecule, k.system, k.cores)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The candidate grid is the benchmark's own tiling knobs (the
+		// baseline best lives exactly there) — the gate checks schedule
+		// selection and pruning, not tile exploration, and stays fast
+		// enough for CI.
+		space := fourindex.TuneSpace{
+			Schemes:   tunerGateSchemes(),
+			TileNs:    []int{opt.TileN},
+			TileLs:    []int{opt.TileL},
+			AlphaPars: []int{opt.AlphaPar},
+			LPars:     []int{max(1, opt.LPar)},
+		}
+		ft, err := fourindex.TuneFrontier(opt, space, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("perf: tuning %s/%s/%d: %w", k.molecule, k.system, k.cores, err)
+		}
+		b := best[k]
+		r := TunerGateResult{
+			Molecule:        k.molecule,
+			System:          k.system,
+			Cores:           k.cores,
+			BaselineSeconds: b.SimSeconds,
+			BaselineScheme:  b.Scheme,
+			PickSeconds:     ft.Pick.Seconds,
+			Pick:            ft.Pick,
+			Simulated:       ft.Simulated,
+			FullSpace:       ft.FullSpace,
+		}
+		results = append(results, r)
+		if r.PickSeconds > r.BaselineSeconds*(1+1e-9) {
+			violations = append(violations, fmt.Sprintf(
+				"%s/%s/%d: frontier pick %s %.4fs slower than benchmark best %s %.4fs",
+				k.molecule, k.system, k.cores, ft.Pick.Scheme, r.PickSeconds,
+				r.BaselineScheme, r.BaselineSeconds))
+		}
+	}
+	return results, violations, nil
+}

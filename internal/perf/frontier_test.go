@@ -1,0 +1,53 @@
+package perf
+
+import (
+	"os"
+	"testing"
+)
+
+func TestTunerGateInputChecks(t *testing.T) {
+	if _, _, err := TunerGate(nil); err == nil {
+		t.Error("nil baseline should error")
+	}
+	if _, _, err := TunerGate(&Report{SchemaVersion: SchemaVersion - 1}); err == nil {
+		t.Error("schema mismatch should error")
+	}
+	if _, _, err := TunerGate(&Report{SchemaVersion: SchemaVersion}); err == nil {
+		t.Error("baseline without cost points should error")
+	}
+}
+
+// TestTunerGateAgainstBaseline is the CI gate: on every cost point of
+// the checked-in benchmark matrix, the frontier tuner's pick must
+// simulate at least as fast as the fastest schedule the matrix recorded
+// there. Both sides drive the same deterministic cost model, so any
+// violation is a real shortlisting regression.
+func TestTunerGateAgainstBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale cost simulations; skipped with -short")
+	}
+	f, err := os.Open("../../BENCH_fouridx.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, violations, err := TunerGate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("gate checked no cost points")
+	}
+	for _, r := range results {
+		t.Logf("%s/%s/%d: baseline %s %.2fs, pick %s %.2fs (%d simulations)",
+			r.Molecule, r.System, r.Cores, r.BaselineScheme, r.BaselineSeconds,
+			r.Pick.Scheme, r.PickSeconds, r.Simulated)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
