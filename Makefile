@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self lint-fixtures vet golden chaos bench bench-smoke frontier frontier-golden ci
+.PHONY: all build test race lint lint-self lint-fixtures vet golden chaos bench bench-smoke frontier frontier-golden serve-smoke ci
 
 all: build test vet lint
 
@@ -13,11 +13,12 @@ build:
 test:
 	$(GO) test ./...
 
-# race runs the tier-1 race gate: the full ga + fourindex suites under
-# the race detector, plus the concurrency stress tests repeated to give
-# interleavings a chance to differ.
+# race runs the tier-1 race gate: the full ga + fourindex suites plus
+# the concurrent job server under the race detector, plus the
+# concurrency stress tests repeated to give interleavings a chance to
+# differ.
 race:
-	$(GO) test -race ./internal/ga/... ./internal/fourindex/...
+	$(GO) test -race ./internal/ga/... ./internal/fourindex/... ./internal/serve/...
 	$(GO) test -race -count=5 -run 'TestStress' ./internal/ga/
 
 # lint runs the project's own analyzer suite (see internal/analysis).
@@ -77,4 +78,11 @@ frontier:
 frontier-golden:
 	$(GO) run ./cmd/fouridx frontier -check -o FRONTIER_fouridx.json -gate -baseline BENCH_fouridx.json
 
-ci: build test vet lint lint-self lint-fixtures golden frontier-golden race chaos bench-smoke
+# serve-smoke exercises the fouridxd job server end to end through its
+# real binary: admission (202 + 422 over budget), SIGTERM drain with
+# checkpoint + queue persistence, and restart-resume with a
+# bitwise-identical result (see README "Serving" and DESIGN.md §12).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: build test vet lint lint-self lint-fixtures golden frontier-golden race chaos bench-smoke serve-smoke

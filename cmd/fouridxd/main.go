@@ -1,0 +1,108 @@
+// Command fouridxd is the multi-tenant four-index transform service: a
+// long-running HTTP/JSON server that admits transform jobs against a
+// server-wide memory budget, runs them concurrently under per-tenant
+// quotas, and drains gracefully — SIGTERM checkpoints in-flight jobs
+// and persists the queue, so a restarted fouridxd on the same state
+// directory resumes every interrupted transform bitwise identically.
+//
+// Examples:
+//
+//	fouridxd -addr :8765 -mem 2GB -state /var/lib/fouridxd
+//	curl -s localhost:8765/jobs -d '{"tenant":"alice","n":24,"scheme":"auto"}'
+//	curl -s localhost:8765/jobs/j1
+//	curl -N localhost:8765/jobs/j1/events
+//	curl -s localhost:8765/metrics
+//
+// See README "Serving" and DESIGN.md section 12 for the admission
+// model and the drain/resume protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fourindex/internal/serve"
+	"fourindex/internal/units"
+)
+
+func main() {
+	fs := flag.NewFlagSet("fouridxd", flag.ExitOnError)
+	addr := fs.String("addr", ":8765", "listen address")
+	mem := fs.String("mem", "1GB", "server-wide aggregate-memory budget jobs are admitted against")
+	state := fs.String("state", "", "state directory for the job queue and checkpoints (required)")
+	procs := fs.Int("procs", 4, "default per-job parallel process count")
+	workers := fs.Int("workers", 0, "BLAS worker pool size shared by all jobs (0 = NumCPU)")
+	machine := fs.String("machine", "B", "cluster model for cost mode and auto planning (A|B|C)")
+	maxRunning := fs.Int("max-running", 2, "maximum concurrently executing jobs")
+	maxQueue := fs.Int("queue", 64, "maximum queued jobs across all tenants")
+	quota := fs.Int("quota", 8, "maximum queued-or-running jobs per tenant")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := run(*addr, *mem, *state, *procs, *workers, *machine, *maxRunning, *maxQueue, *quota); err != nil {
+		fmt.Fprintln(os.Stderr, "fouridxd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server, serves HTTP until SIGTERM/SIGINT, then drains:
+// running jobs checkpoint at their next slab boundary, the queue is
+// persisted, and the process exits 0 ready to be restarted.
+func run(addr, mem, state string, procs, workers int, machine string, maxRunning, maxQueue, quota int) error {
+	budget, err := units.ParseBytes(mem)
+	if err != nil {
+		return fmt.Errorf("-mem: %w", err)
+	}
+	if state == "" {
+		return errors.New("-state is required (drain/resume state lives there)")
+	}
+	srv, err := serve.New(serve.Config{
+		MemBudgetBytes: budget,
+		StateDir:       state,
+		Procs:          procs,
+		Workers:        workers,
+		MaxRunning:     maxRunning,
+		MaxQueue:       maxQueue,
+		TenantQuota:    quota,
+		Machine:        machine,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("fouridxd: serving on %s (budget %s, state %s)\n", addr, units.FormatBytes(budget), state)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("fouridxd: draining (in-flight jobs checkpoint at their next slab boundary)")
+	// Drain first so in-flight event streams see their jobs finish;
+	// then close the listener.
+	if err := srv.Drain(context.Background()); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := hs.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Println("fouridxd: drained; restart with the same -state to resume interrupted jobs")
+	return nil
+}

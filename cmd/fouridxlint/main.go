@@ -5,8 +5,10 @@
 // checking of Parallel regions, determinism of results and traces,
 // freeze-protocol ordering, packed triangular indexing through
 // internal/sym, metrics and tracer accessor hygiene, runtime error
-// propagation, and doc-comment coverage of the internal packages (see
-// internal/analysis for the full rationale of each check).
+// propagation, context hygiene in the serving layer (context-first
+// parameters, handled ctx.Err() results), and doc-comment coverage of
+// the internal packages (see internal/analysis for the full rationale
+// of each check).
 //
 // Findings can be suppressed per line with a justified directive:
 //
@@ -35,6 +37,7 @@ import (
 	"strings"
 
 	"fourindex/internal/analysis"
+	"fourindex/internal/analysis/ctxdiscipline"
 	"fourindex/internal/analysis/determinism"
 	"fourindex/internal/analysis/docstring"
 	"fourindex/internal/analysis/errflow"
@@ -49,6 +52,7 @@ import (
 
 // analyzers is the full suite, in reporting-name order.
 var analyzers = []*analysis.Analyzer{
+	ctxdiscipline.Analyzer,
 	determinism.Analyzer,
 	docstring.Analyzer,
 	errflow.Analyzer,

@@ -1,0 +1,44 @@
+package fourindex
+
+import (
+	"context"
+
+	ifx "fourindex/internal/fourindex"
+	"fourindex/internal/perf"
+)
+
+// ErrCanceled is the typed error every context-aware entry point
+// (TransformContext, TuneContext, TuneFrontierContext, RunBenchContext)
+// wraps when its context is canceled or its deadline passes. Check with
+// errors.Is. A canceled call never returns a partial result: transforms
+// stop at the next l-slab or stage boundary (leaving their last
+// checkpoint intact for resume), sweeps and benchmarks stop at the next
+// simulate point.
+var ErrCanceled = ifx.ErrCanceled
+
+// TransformContext is Transform with cooperative cancellation: the
+// schedules poll ctx at their l-slab and stage boundaries — the same
+// places the fault checkpoints live — so a canceled run loses no
+// checkpointed progress and a later call against the same checkpoint
+// store resumes bitwise-identically.
+func TransformContext(ctx context.Context, scheme Scheme, opt Options) (*Result, error) {
+	return ifx.RunContext(ctx, scheme, opt)
+}
+
+// TuneContext is Tune with cooperative cancellation at every simulate
+// point.
+func TuneContext(ctx context.Context, opt Options, space TuneSpace) ([]TunePoint, error) {
+	return ifx.TuneContext(ctx, opt, space)
+}
+
+// TuneFrontierContext is TuneFrontier with cooperative cancellation at
+// every shortlist simulate point.
+func TuneFrontierContext(ctx context.Context, opt Options, space TuneSpace, tolerance float64) (*FrontierTuneResult, error) {
+	return ifx.TuneFrontierContext(ctx, opt, space, tolerance)
+}
+
+// RunBenchContext is RunBench with cooperative cancellation at every
+// matrix point.
+func RunBenchContext(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
+	return perf.RunContext(ctx, cfg)
+}

@@ -1,0 +1,120 @@
+// Package ctxdiscipline enforces context hygiene in the serving layer.
+// The job server's cancellation story — deadlines, DELETE, graceful
+// drain — works only if contexts thread through every call and
+// cancellation signals are acted on, so in packages whose import path
+// contains "serve" two rules hold:
+//
+//  1. A function taking a context.Context takes it as its first
+//     parameter (after the receiver). Trailing contexts are how a call
+//     chain quietly forks into context-free paths that outlive a drain.
+//
+//  2. The result of ctx.Err() is never discarded — not dropped as a
+//     bare statement, not assigned to the blank identifier, not lost in
+//     a go or defer statement. Polling cancellation and ignoring the
+//     answer turns a checkpoint boundary into dead code.
+//
+// Elsewhere in the repository the rules do not apply: schedules receive
+// their context through Options and the trace/metrics layers are
+// context-free by design.
+package ctxdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fourindex/internal/analysis"
+)
+
+// Analyzer is the ctxdiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc:  "in serve packages, context.Context must be the first parameter and ctx.Err() results must be handled",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "serve") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkParamOrder(pass, node.Name.Name, node.Type)
+			case *ast.FuncLit:
+				checkParamOrder(pass, "function literal", node.Type)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok && isCtxErrCall(pass.TypesInfo, call) {
+					pass.Reportf(call.Pos(), "ctx.Err() result is discarded; a polled cancellation signal must be returned or acted on")
+				}
+			case *ast.GoStmt:
+				if isCtxErrCall(pass.TypesInfo, node.Call) {
+					pass.Reportf(node.Call.Pos(), "ctx.Err() result is lost in a go statement")
+				}
+			case *ast.DeferStmt:
+				if isCtxErrCall(pass.TypesInfo, node.Call) {
+					pass.Reportf(node.Call.Pos(), "ctx.Err() result is lost in a defer statement")
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParamOrder reports a context.Context parameter that is not the
+// function's first parameter.
+func checkParamOrder(pass *analysis.Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	// Walk declared parameters in order, tracking the flat index across
+	// grouped declarations like (a, b int).
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Pos(), "context.Context is parameter %d of %s; it must come first so cancellation threads through the whole call chain", idx+1, name)
+			return
+		}
+		idx += n
+	}
+}
+
+// checkBlankAssign reports `_ = ctx.Err()`.
+func checkBlankAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	for i, rhs := range stmt.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isCtxErrCall(pass.TypesInfo, call) {
+			continue
+		}
+		// With one call on the right, the matching Lhs position is i for
+		// parallel assignment and 0 for a single multi-value spread.
+		lhsIdx := i
+		if len(stmt.Rhs) == 1 {
+			lhsIdx = 0
+		}
+		if lhsIdx >= len(stmt.Lhs) {
+			continue
+		}
+		if id, isIdent := ast.Unparen(stmt.Lhs[lhsIdx]).(*ast.Ident); isIdent && id.Name == "_" {
+			pass.Reportf(stmt.Lhs[lhsIdx].Pos(), "ctx.Err() result is assigned to the blank identifier; a polled cancellation signal must be returned or acted on")
+		}
+	}
+}
+
+// isCtxErrCall reports whether call is context.Context.Err.
+func isCtxErrCall(info *types.Info, call *ast.CallExpr) bool {
+	return analysis.IsMethodCall(info, call, "context", "Context", "Err")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && analysis.NamedTypeIs(t, "context", "Context")
+}

@@ -1,0 +1,12 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"fourindex/internal/analysis/analysistest"
+	"fourindex/internal/analysis/ctxdiscipline"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	analysistest.Run(t, ctxdiscipline.Analyzer, "./testdata/src/serve")
+}

@@ -1,0 +1,77 @@
+// Package serve is a ctxdiscipline fixture: its import path contains
+// "serve", so both rules apply — context parameters come first, and
+// polled ctx.Err() results are never discarded.
+package serve
+
+import "context"
+
+// submitLate buries the context behind the payload.
+func submitLate(name string, ctx context.Context) error { // want `context.Context is parameter 2 of submitLate`
+	return ctx.Err()
+}
+
+// submitGrouped hides the context in a grouped trailing declaration.
+func submitGrouped(a, b int, ctx context.Context) error { // want `context.Context is parameter 3 of submitGrouped`
+	_ = a
+	_ = b
+	return ctx.Err()
+}
+
+// submitFirst is the required shape.
+func submitFirst(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// methodFirst is fine: the receiver does not count as a parameter.
+type server struct{}
+
+// run takes its context first, as required.
+func (s *server) run(ctx context.Context, job string) error {
+	_ = job
+	return ctx.Err()
+}
+
+// lateLiteral pushes the context to the back of a function literal.
+var lateLiteral = func(job string, ctx context.Context) { // want `context.Context is parameter 2 of function literal`
+	_ = job
+}
+
+// dropErrStmt polls cancellation and ignores the answer.
+func dropErrStmt(ctx context.Context) {
+	ctx.Err() // want `ctx\.Err\(\) result is discarded`
+}
+
+// dropErrBlank blanks the polled signal.
+func dropErrBlank(ctx context.Context) {
+	_ = ctx.Err() // want `ctx\.Err\(\) result is assigned to the blank identifier`
+}
+
+// dropErrGo loses the signal in a goroutine.
+func dropErrGo(ctx context.Context) {
+	go ctx.Err() // want `ctx\.Err\(\) result is lost in a go statement`
+}
+
+// dropErrDefer loses the signal in a defer.
+func dropErrDefer(ctx context.Context) {
+	defer ctx.Err() // want `ctx\.Err\(\) result is lost in a defer statement`
+}
+
+// handledErr returns the polled signal: clean.
+func handledErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// doneChannel consumes cancellation through Done: clean, Err is only
+// read once the channel fires.
+func doneChannel(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -93,6 +94,13 @@ func load(dir string, tests bool, patterns []string) ([]*Package, error) {
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
+	// Resolve the dependency closure without cgo: packages like net then
+	// list their pure-Go fallback files, so the whole closure typechecks
+	// in one universe. With cgo on, net would be skipped (no C toolchain
+	// here) and its importers would resolve it through the fallback
+	// source importer's separate universe, breaking type identity (two
+	// distinct time.Time inside crypto/tls, say).
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()

@@ -48,11 +48,23 @@ func Dgemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int
 
 	// Beta-scaling is folded into the same row split as the kernel so C
 	// is swept once per worker, not serially up front and again in the
-	// accumulation.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 1 && int64(m)*int64(n)*int64(k) >= parallelThreshold && m >= 2 {
-		parallelGemm(workers, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
-		return
+	// accumulation. Extra workers come from the process-wide pool (see
+	// pool.go): concurrent Dgemm callers share one goroutine budget
+	// instead of each fanning out GOMAXPROCS of their own, and a caller
+	// that finds the pool drained runs serially rather than blocking.
+	if int64(m)*int64(n)*int64(k) >= parallelThreshold && m >= 2 {
+		want := runtime.GOMAXPROCS(0)
+		if want > m {
+			want = m
+		}
+		if want > 1 {
+			pool := getPool()
+			if extra := pool.tryAcquire(want - 1); extra > 0 {
+				parallelGemm(extra+1, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+				pool.release(extra)
+				return
+			}
+		}
 	}
 	scaleRows(beta, 0, m, n, c, ldc)
 	gemmBlocked(transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)

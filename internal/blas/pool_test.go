@@ -1,0 +1,85 @@
+package blas
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestPoolBitwiseIdentical pins the pool's correctness contract: the
+// same GEMM computed serially (pool of 1), with a full pool, and with
+// contended concurrent callers produces bitwise-identical C. The row
+// split assigns whole C rows to workers and each row's accumulation
+// order is fixed, so no worker count may change a single bit.
+func TestPoolBitwiseIdentical(t *testing.T) {
+	defer SetWorkers(runtime.NumCPU()) // restore the default for other tests
+	rng := rand.New(rand.NewSource(11))
+	// Big enough that m*n*k crosses parallelThreshold.
+	m, n, k := 160, 160, 160
+	a := randomSlice(rng, m*k)
+	b := randomSlice(rng, k*n)
+	c0 := randomSlice(rng, m*n)
+
+	run := func() []float64 {
+		c := append([]float64(nil), c0...)
+		Dgemm(false, false, m, n, k, 1.25, a, k, b, n, 0.5, c, n)
+		return c
+	}
+
+	SetWorkers(1)
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1)", got)
+	}
+	serial := run()
+
+	SetWorkers(8)
+	if got := Workers(); got != 8 {
+		t.Fatalf("Workers() = %d after SetWorkers(8)", got)
+	}
+	pooled := run()
+	for i := range serial {
+		if serial[i] != pooled[i] {
+			t.Fatalf("pooled result differs from serial at %d: %v vs %v", i, pooled[i], serial[i])
+		}
+	}
+
+	// Contended: more concurrent callers than the pool has slots, so some
+	// calls get partial grants or run serially. Every outcome must still
+	// be bitwise identical.
+	SetWorkers(2)
+	const callers = 6
+	results := make([][]float64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		for j := range serial {
+			if serial[j] != res[j] {
+				t.Fatalf("concurrent caller %d differs from serial at %d: %v vs %v", i, j, res[j], serial[j])
+			}
+		}
+	}
+}
+
+// TestPoolAccounting pins the semaphore arithmetic: grants never exceed
+// the pool, drain to zero, and come back on release.
+func TestPoolAccounting(t *testing.T) {
+	p := newWorkerPool(4) // 3 extra slots beyond the caller
+	if got := p.tryAcquire(5); got != 3 {
+		t.Fatalf("tryAcquire(5) on fresh pool of 4 = %d, want 3", got)
+	}
+	if got := p.tryAcquire(1); got != 0 {
+		t.Fatalf("tryAcquire on drained pool = %d, want 0", got)
+	}
+	p.release(2)
+	if got := p.tryAcquire(3); got != 2 {
+		t.Fatalf("tryAcquire(3) after release(2) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := NewFileCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.Latest("fullyfused-inner"); ok {
+		t.Fatal("empty store reported a record")
+	}
+	rec := Record{
+		Scheme:   "fullyfused-inner",
+		N:        12,
+		Progress: 4,
+		Words:    321,
+		State:    map[string][]float64{"C": {1.5, -2.25, 0, 3.125}},
+	}
+	ck.Save(rec)
+
+	// A fresh store over the same directory — the restarted-process view —
+	// must see the record bit-for-bit.
+	ck2, err := NewFileCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ck2.Latest("fullyfused-inner")
+	if !ok {
+		t.Fatal("record not found after reopen")
+	}
+	if got.Scheme != rec.Scheme || got.N != rec.N || got.Progress != rec.Progress || got.Words != rec.Words {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, rec)
+	}
+	if len(got.State["C"]) != len(rec.State["C"]) {
+		t.Fatalf("state length mismatch: %d vs %d", len(got.State["C"]), len(rec.State["C"]))
+	}
+	for i, v := range rec.State["C"] {
+		if got.State["C"][i] != v {
+			t.Fatalf("state[%d] = %v, want %v (bitwise)", i, got.State["C"][i], v)
+		}
+	}
+
+	// Save replaces, Drop forgets.
+	rec.Progress = 8
+	ck.Save(rec)
+	if got, _ := ck.Latest("fullyfused-inner"); got.Progress != 8 {
+		t.Fatalf("replace failed: Progress = %d", got.Progress)
+	}
+	ck.Drop("fullyfused-inner")
+	if _, ok := ck.Latest("fullyfused-inner"); ok {
+		t.Fatal("record survived Drop")
+	}
+}
+
+func TestFileCheckpointTornFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := NewFileCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn/corrupt record file must read as "no checkpoint", which the
+	// restart loop treats as a from-scratch run — never a crash.
+	if err := os.WriteFile(filepath.Join(dir, "unfused.ckpt"), []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.Latest("unfused"); ok {
+		t.Fatal("corrupt record decoded as valid")
+	}
+}
+
+func TestFileCheckpointKeyMangling(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := NewFileCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Save(Record{Scheme: "../evil/key", N: 1, Progress: 1})
+	if _, ok := ck.Latest("../evil/key"); !ok {
+		t.Fatal("mangled key did not round-trip")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].IsDir() {
+		t.Fatalf("expected exactly one record file inside the store dir, got %v", entries)
+	}
+}

@@ -1,0 +1,88 @@
+package fourindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fourindex/internal/faults"
+)
+
+// ErrCanceled reports that a transform, tuning sweep or benchmark run
+// was stopped cooperatively through its context. Cancellation is
+// all-or-nothing: a canceled call never returns a partial Result or a
+// partial sweep — callers that need resumability attach a checkpoint
+// store (Options.Faults), whose last record survives the cancellation
+// and lets a later RunContext pick up at the same l-slab or stage.
+var ErrCanceled = errors.New("fourindex: run canceled")
+
+// ctxErr converts a context's termination into the package's typed
+// cancellation error. A nil context never cancels, so the zero Options
+// keeps its historical fault-free, uncancellable behaviour.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if cause := ctx.Err(); cause != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, cause)
+	}
+	return nil
+}
+
+// canceled is the schedule-side cancellation check, called between
+// Parallel regions at the same l-slab and stage boundaries where the
+// faults checkpoints live: progress recorded before the boundary is
+// already checkpointed, so stopping here never loses completed work.
+func (c *runCtx) canceled() error { return ctxErr(c.opt.ctx) }
+
+// RunContext is Run with cooperative cancellation: the schedules poll
+// ctx at their l-slab and stage boundaries (where checkpoints are
+// taken) and between restart attempts, returning an error wrapping
+// ErrCanceled — never a partial Result — once ctx is done. Cancellation
+// is not a fault: it does not consume restart budget, does not trigger
+// hybrid degradation, and leaves the last checkpoint in place so a
+// fresh RunContext against the same store resumes bitwise-identically.
+func RunContext(ctx context.Context, scheme Scheme, opt Options) (*Result, error) {
+	opt.ctx = ctx
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	restarts := 0
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		res, err := runScheme(scheme, opt)
+		if err == nil {
+			res.Restarts = restarts
+			return res, nil
+		}
+		if !faults.Restartable(err) || restarts >= opt.Faults.RestartBudget() {
+			return nil, err
+		}
+		restarts++
+		opt.Trace.Note(fmt.Sprintf("restart %d/%d of %v after %v",
+			restarts, opt.Faults.RestartBudget(), scheme, err))
+	}
+}
+
+// TuneContext is Tune with cooperative cancellation: the sweep polls
+// ctx before each simulated configuration (and each simulation polls at
+// its own slab boundaries), returning an error wrapping ErrCanceled —
+// never a partial sweep — once ctx is done.
+func TuneContext(ctx context.Context, opt Options, space TuneSpace) ([]TunePoint, error) {
+	if opt.Run == nil {
+		return nil, fmt.Errorf("fourindex: Tune needs a machine model (Options.Run)")
+	}
+	space = space.withDefaults(opt.Spec.N)
+	points, err := sweepConfigs(ctx, opt, space, space.Schemes)
+	if err != nil {
+		return nil, err
+	}
+	sortTunePoints(points)
+	if len(points) == 0 || points[0].Err != "" {
+		return points, fmt.Errorf("fourindex: no feasible configuration in the tuning space")
+	}
+	return points, nil
+}

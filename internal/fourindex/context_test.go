@@ -1,0 +1,145 @@
+package fourindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"fourindex/internal/chem"
+	"fourindex/internal/cluster"
+	"fourindex/internal/faults"
+	"fourindex/internal/ga"
+	"fourindex/internal/trace"
+)
+
+// A context canceled mid-run must surface as a typed ErrCanceled with no
+// partial result, must leave the last checkpoint intact (that record is
+// what a draining job server resumes from), and a subsequent run over
+// the same store must resume and reproduce the uninterrupted C bitwise.
+func TestRunContextCancelMidRun(t *testing.T) {
+	sp := chem.MustSpec(8, 1, 3)
+	opt := Options{Spec: sp, Procs: 2, Mode: ga.Execute, TileN: 4, TileL: 2}
+	clean, err := Run(FullyFused, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean.C.Data()
+
+	// Cancel from the progress listener during the second slab's mark:
+	// slab 0 is checkpointed by then, and the slab-top cancellation
+	// boundary fires before slab 2 starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := trace.New(0)
+	marks := 0
+	tr.SetProgressListener(func(ev trace.ProgressEvent) {
+		if ev.Kind == "mark" {
+			marks++
+			if marks == 2 {
+				cancel()
+			}
+		}
+	})
+	store := faults.NewMemCheckpoint()
+	o := opt
+	o.Trace = tr
+	o.Faults = &faults.Injection{Checkpoint: store}
+	res, err := RunContext(ctx, FullyFused, o)
+	if err == nil {
+		t.Fatal("canceled run completed")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run failed with %v, want ErrCanceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run returned a partial result")
+	}
+	rec, ok := store.Latest(FullyFused.String())
+	if !ok {
+		t.Fatal("cancellation dropped the checkpoint; drained jobs cannot resume")
+	}
+	if rec.Progress == 0 {
+		t.Fatal("checkpoint records no progress despite completed slabs")
+	}
+
+	// Resume over the same store: bitwise identical to the clean run.
+	o2 := opt
+	o2.Faults = &faults.Injection{Checkpoint: store}
+	res2, err := RunContext(context.Background(), FullyFused, o2)
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	bitwiseEqual(t, "resumed", res2.C.Data(), want)
+	if _, ok := store.Latest(FullyFused.String()); ok {
+		t.Error("completed resume left its checkpoint behind")
+	}
+}
+
+// An already-canceled context must fail before any work starts, and the
+// same canceled context must stop Tune's sweep with the typed error.
+func TestContextCanceledBeforeStart(t *testing.T) {
+	sp := chem.MustSpec(8, 1, 3)
+	opt := Options{Spec: sp, Procs: 2, Mode: ga.Cost, TileN: 4, TileL: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Unfused, opt); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunContext on dead context: %v, want ErrCanceled", err)
+	}
+	run, err := cluster.SystemB().Configure(opt.Procs, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Run = &run
+	if _, err := TuneContext(ctx, opt, TuneSpace{TileNs: []int{4}, TileLs: []int{2}}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("TuneContext on dead context: %v, want ErrCanceled", err)
+	}
+}
+
+// Two Runs of the same scheme plus a mix of the other schedules, all in
+// flight at once with per-job checkpoint stores, must each reproduce
+// their serial result bitwise. Run under -race this is the proof that
+// no mutable state is shared across concurrent jobs.
+func TestConcurrentRuns(t *testing.T) {
+	sp := chem.MustSpec(8, 1, 5)
+	opt := Options{Spec: sp, Procs: 2, Mode: ga.Execute, TileN: 3, TileL: 2}
+	schemes := []Scheme{FullyFused, FullyFused, Unfused, Fused123, FullyFusedInner, Fused1234Pair}
+
+	want := map[Scheme][]float64{}
+	for _, s := range schemes {
+		if _, ok := want[s]; ok {
+			continue
+		}
+		res, err := Run(s, opt)
+		if err != nil {
+			t.Fatalf("%v serial: %v", s, err)
+		}
+		want[s] = res.C.Data()
+	}
+
+	errs := make([]error, len(schemes))
+	got := make([][]float64, len(schemes))
+	var wg sync.WaitGroup
+	for i, s := range schemes {
+		wg.Add(1)
+		go func(i int, s Scheme) {
+			defer wg.Done()
+			o := opt
+			o.Faults = &faults.Injection{Checkpoint: faults.NewMemCheckpoint()}
+			res, err := Run(s, o)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = res.C.Data()
+		}(i, s)
+	}
+	wg.Wait()
+	for i, s := range schemes {
+		if errs[i] != nil {
+			t.Fatalf("concurrent %v #%d: %v", s, i, errs[i])
+		}
+		bitwiseEqual(t, fmt.Sprintf("concurrent %v #%d", s, i), got[i], want[s])
+	}
+}

@@ -36,6 +36,7 @@
 package fourindex
 
 import (
+	"context"
 	"fmt"
 
 	"fourindex/internal/chem"
@@ -170,6 +171,12 @@ type Options struct {
 	// the fused path to plain fully-fused slabs on terminal faults.
 	// Nil runs fault-free.
 	Faults *faults.Injection
+
+	// ctx carries RunContext's cooperative-cancellation signal into the
+	// schedules; nil (the zero Options, and every plain Run call) never
+	// cancels. Unexported so keyed Options literals stay source-compatible
+	// and callers cannot smuggle a context past RunContext.
+	ctx context.Context
 }
 
 // withDefaults validates and fills defaults.
@@ -250,25 +257,9 @@ type Result struct {
 // rebuild-and-resume loop: the schedule re-runs against a fresh runtime
 // and picks up at the last checkpoint its previous attempt recorded.
 // Terminal faults (retry exhaustion) and genuine errors return as-is.
+// Run never cancels; RunContext adds cooperative cancellation.
 func Run(scheme Scheme, opt Options) (*Result, error) {
-	opt, err := opt.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	restarts := 0
-	for {
-		res, err := runScheme(scheme, opt)
-		if err == nil {
-			res.Restarts = restarts
-			return res, nil
-		}
-		if !faults.Restartable(err) || restarts >= opt.Faults.RestartBudget() {
-			return nil, err
-		}
-		restarts++
-		opt.Trace.Note(fmt.Sprintf("restart %d/%d of %v after %v",
-			restarts, opt.Faults.RestartBudget(), scheme, err))
-	}
+	return RunContext(context.Background(), scheme, opt)
 }
 
 // runScheme dispatches one attempt of the transform.

@@ -1,6 +1,7 @@
 package fourindex
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -309,7 +310,18 @@ const defaultFrontierTolerance = 0.5
 // axis defaults to {false, true} here (unlike Tune's historical
 // blocking-only default): the frontier pick must beat the benchmark
 // matrix's overlap points too.
+//
+// TuneFrontier never cancels; TuneFrontierContext adds cooperative
+// cancellation.
 func TuneFrontier(opt Options, space TuneSpace, tolerance float64) (*FrontierTune, error) {
+	return TuneFrontierContext(context.Background(), opt, space, tolerance)
+}
+
+// TuneFrontierContext is TuneFrontier with cooperative cancellation:
+// the shortlist simulation polls ctx before every simulate point,
+// returning an error wrapping ErrCanceled — never a partial analysis —
+// once ctx is done.
+func TuneFrontierContext(ctx context.Context, opt Options, space TuneSpace, tolerance float64) (*FrontierTune, error) {
 	if opt.Run == nil {
 		return nil, fmt.Errorf("fourindex: TuneFrontier needs a machine model (Options.Run)")
 	}
@@ -391,7 +403,11 @@ func TuneFrontier(opt Options, space TuneSpace, tolerance float64) (*FrontierTun
 		}
 	}
 
-	ft.Points = sweepConfigs(opt, space, shortlist)
+	pts, err := sweepConfigs(ctx, opt, space, shortlist)
+	if err != nil {
+		return nil, err
+	}
+	ft.Points = pts
 
 	// Soundness pass (branch and bound): lower bounds flatter fused
 	// schedules more than the cost model does, so the tolerance cut
@@ -422,7 +438,11 @@ func TuneFrontier(opt Options, space TuneSpace, tolerance float64) (*FrontierTun
 			break
 		}
 		ft.Candidates[next].Shortlisted = true
-		ft.Points = append(ft.Points, sweepConfigs(opt, space, []Scheme{ft.Candidates[next].Scheme})...)
+		rescued, err := sweepConfigs(ctx, opt, space, []Scheme{ft.Candidates[next].Scheme})
+		if err != nil {
+			return nil, err
+		}
+		ft.Points = append(ft.Points, rescued...)
 	}
 
 	ft.Simulated = len(ft.Points)

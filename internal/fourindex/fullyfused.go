@@ -67,6 +67,11 @@ func runFullyFused(opt Options, inner bool) (*Result, error) {
 	}
 
 	for tlo := startTile; tlo < c.gl.NumTiles(); tlo += lPar {
+		// Cancellation boundary: every slab before tlo is checkpointed,
+		// so stopping here loses no completed work.
+		if err := c.canceled(); err != nil {
+			return nil, err
+		}
 		batch := min(lPar, c.gl.NumTiles()-tlo)
 		if c.rt.Tracing() {
 			// Guarded so the disabled path never pays the Sprintf.

@@ -49,6 +49,11 @@ func runFused123(opt Options) (*Result, error) {
 	}
 
 	for tlo := startTile; tlo < c.nt; tlo++ {
+		// Cancellation boundary: every slab before tlo is checkpointed,
+		// so stopping here loses no completed work.
+		if err := c.canceled(); err != nil {
+			return nil, err
+		}
 		lOff, lHi := c.g.Bounds(tlo)
 		wl := lHi - lOff
 		slabGrids := []tile.Grid{c.g, c.g, c.g, tile.NewGrid(wl, wl)}

@@ -76,6 +76,11 @@ func runFusedPair(opt Options) (*Result, error) {
 		o2T.Freeze()
 	}
 
+	// Cancellation boundary: the op12 stage above is checkpointed, so a
+	// canceled run resumes directly into the op34 pass.
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	c.rt.BeginPhase("op34-fused")
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
 	if err != nil {

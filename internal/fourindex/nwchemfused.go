@@ -109,6 +109,11 @@ func runNWChemFused(opt Options) (*Result, error) {
 		o2T.Freeze()
 	}
 
+	// Cancellation boundary: the op12 stage above is checkpointed, so a
+	// canceled run resumes directly into the op34 chunk passes.
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	c.rt.BeginPhase("op34-chunks")
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
 	if err != nil {

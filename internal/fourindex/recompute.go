@@ -23,6 +23,11 @@ func runRecompute(opt Options) (*Result, error) {
 		return nil, err
 	}
 	defer c.beginRoot(Recompute)()
+	// The schedule is a single idempotent region with no checkpoints, so
+	// its only cancellation boundary is before any work starts.
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	c.rt.BeginPhase("recompute-blocks")
 	cT, err := c.rt.CreateTiledSparse("C", c.grids4(), [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
 	if err != nil {

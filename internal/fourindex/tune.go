@@ -1,7 +1,8 @@
 package fourindex
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"sort"
 
 	"fourindex/internal/ga"
@@ -87,23 +88,17 @@ func (ts TuneSpace) size() int {
 //
 // TuneFrontier walks the capacity-vs-bound frontier first and simulates
 // only a bound-shortlisted fraction of the same space; Tune remains as
-// the exhaustive reference the frontier gate compares against.
+// the exhaustive reference the frontier gate compares against. Tune
+// never cancels; TuneContext adds cooperative cancellation.
 func Tune(opt Options, space TuneSpace) ([]TunePoint, error) {
-	if opt.Run == nil {
-		return nil, fmt.Errorf("fourindex: Tune needs a machine model (Options.Run)")
-	}
-	space = space.withDefaults(opt.Spec.N)
-	points := sweepConfigs(opt, space, space.Schemes)
-	sortTunePoints(points)
-	if len(points) == 0 || points[0].Err != "" {
-		return points, fmt.Errorf("fourindex: no feasible configuration in the tuning space")
-	}
-	return points, nil
+	return TuneContext(context.Background(), opt, space)
 }
 
 // sweepConfigs cost-simulates every configuration of the space for the
-// given schemes, deduplicating repeats.
-func sweepConfigs(opt Options, space TuneSpace, schemes []Scheme) []TunePoint {
+// given schemes, deduplicating repeats. ctx is polled before every
+// simulate point (and inside each simulation at its slab boundaries):
+// a canceled sweep returns an error wrapping ErrCanceled and no points.
+func sweepConfigs(ctx context.Context, opt Options, space TuneSpace, schemes []Scheme) ([]TunePoint, error) {
 	opt.Mode = ga.Cost
 	var points []TunePoint
 	seen := map[TunePoint]bool{}
@@ -118,6 +113,9 @@ func sweepConfigs(opt Options, space TuneSpace, schemes []Scheme) []TunePoint {
 				for _, ap := range alphaPars {
 					for _, lp := range lPars {
 						for _, ov := range space.Overlaps {
+							if err := ctxErr(ctx); err != nil {
+								return nil, err
+							}
 							key := TunePoint{Scheme: scheme, TileN: tn, TileL: tl, AlphaPar: ap, LPar: lp, Overlap: ov}
 							if seen[key] {
 								continue
@@ -126,10 +124,13 @@ func sweepConfigs(opt Options, space TuneSpace, schemes []Scheme) []TunePoint {
 							o := opt
 							o.TileN, o.TileL, o.AlphaPar, o.LPar, o.Overlap = tn, tl, ap, lp, ov
 							pt := key
-							res, err := Run(scheme, o)
-							if err != nil {
+							res, err := RunContext(ctx, scheme, o)
+							switch {
+							case errors.Is(err, ErrCanceled):
+								return nil, err
+							case err != nil:
 								pt.Err = err.Error()
-							} else {
+							default:
 								pt.Seconds = res.ElapsedSeconds
 								pt.PeakBytes = res.PeakGlobalBytes
 								pt.CommElements = res.CommVolume
@@ -141,7 +142,7 @@ func sweepConfigs(opt Options, space TuneSpace, schemes []Scheme) []TunePoint {
 			}
 		}
 	}
-	return points
+	return points, nil
 }
 
 // sortTunePoints orders a sweep fastest-first with a fully deterministic

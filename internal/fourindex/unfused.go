@@ -43,7 +43,13 @@ func runUnfused(opt Options) (*Result, error) {
 		})
 	}
 
+	// Cancellation boundaries sit between the contraction stages — the
+	// same places the stage checkpoints live, so a canceled run resumes
+	// at the first stage it did not complete.
 	var o1T, o2T, o3T *ga.TiledArray
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	if stage < 1 {
 		c.rt.BeginPhase("generate-A")
 		aT, err := c.rt.CreateTiled("A", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy)
@@ -73,6 +79,9 @@ func runUnfused(opt Options) (*Result, error) {
 		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
 
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	if stage < 2 {
 		c.rt.BeginPhase("op2")
 		if o2T, err = c.rt.CreateTiled("O2", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy); err != nil {
@@ -93,6 +102,9 @@ func runUnfused(opt Options) (*Result, error) {
 		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
 
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	if stage < 3 {
 		c.rt.BeginPhase("op3")
 		if o3T, err = c.rt.CreateTiled("O3", g4, [][2]int{{0, 1}}, opt.Policy); err != nil {
@@ -113,6 +125,9 @@ func runUnfused(opt Options) (*Result, error) {
 		c.ckptRestore(rec, fmt.Sprintf("stage %d", stage+1))
 	}
 
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	c.rt.BeginPhase("op4")
 	cT, err := c.rt.CreateTiledSparse("C", g4, [][2]int{{0, 1}, {2, 3}}, opt.Policy, c.cSparsity())
 	if err != nil {

@@ -25,6 +25,8 @@
 package perf
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -230,8 +232,16 @@ func (c Config) withDefaults() Config {
 // Run executes the benchmark matrix and returns the report. The matrix
 // order is fixed (gomaxprocs, then point, then scheme, then overlap;
 // cost points after execute points) so reports are comparable line by
-// line.
+// line. Run never cancels; RunContext adds cooperative cancellation.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled before
+// every matrix point (and each point's transform polls at its own slab
+// boundaries), returning an error wrapping fourindex.ErrCanceled —
+// never a partial report — once ctx is done.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rep := &Report{SchemaVersion: SchemaVersion}
 
@@ -240,7 +250,7 @@ func Run(cfg Config) (*Report, error) {
 		for _, ep := range cfg.ExecutePoints {
 			for _, s := range cfg.Schemes {
 				for _, ov := range cfg.Overlap {
-					pt, err := runExecutePoint(s, ep, gmp, ov, cfg)
+					pt, err := runExecutePoint(ctx, s, ep, gmp, ov, cfg)
 					if err != nil {
 						runtime.GOMAXPROCS(prev)
 						return nil, err
@@ -255,7 +265,7 @@ func Run(cfg Config) (*Report, error) {
 	for _, cp := range cfg.CostPoints {
 		for _, s := range cfg.CostSchemes {
 			for _, ov := range cfg.Overlap {
-				pt, err := runCostPoint(s, cp, ov, cfg)
+				pt, err := runCostPoint(ctx, s, cp, ov, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -288,27 +298,33 @@ func executeOptions(ep ExecutePoint) (fourindex.Options, error) {
 	return fourindex.Options{Spec: spec, Procs: ep.Procs, Mode: ga.Execute}, nil
 }
 
-func runExecutePoint(s fourindex.Scheme, ep ExecutePoint, gmp int, overlap bool, cfg Config) (Point, error) {
+func runExecutePoint(ctx context.Context, s fourindex.Scheme, ep ExecutePoint, gmp int, overlap bool, cfg Config) (Point, error) {
 	opt, err := executeOptions(ep)
 	if err != nil {
 		return Point{}, err
 	}
 	opt.Overlap = overlap
 	pt := Point{Kind: "execute", Scheme: s.String(), N: ep.N, Procs: ep.Procs, Gomaxprocs: gmp, Overlap: overlap}
-	if err := fillPoint(&pt, s, opt, ep.N, 1, cfg); err != nil {
+	if err := fillPoint(ctx, &pt, s, opt, ep.N, 1, cfg); err != nil {
+		if errors.Is(err, fourindex.ErrCanceled) {
+			return Point{}, err
+		}
 		return Point{}, fmt.Errorf("perf: execute %s n=%d procs=%d: %w", s, ep.N, ep.Procs, err)
 	}
 	return pt, nil
 }
 
-func runCostPoint(s fourindex.Scheme, cp CostPoint, overlap bool, cfg Config) (Point, error) {
+func runCostPoint(ctx context.Context, s fourindex.Scheme, cp CostPoint, overlap bool, cfg Config) (Point, error) {
 	opt, err := experiments.BenchOptions(cp.Molecule, cp.System, cp.Cores)
 	if err != nil {
 		return Point{}, err
 	}
 	opt.Overlap = overlap
 	pt := Point{Kind: "cost", Scheme: s.String(), Molecule: cp.Molecule, System: cp.System, Procs: cp.Cores, Overlap: overlap}
-	if err := fillPoint(&pt, s, opt, opt.Spec.N, experiments.SpatialSymmetry, cfg); err != nil {
+	if err := fillPoint(ctx, &pt, s, opt, opt.Spec.N, experiments.SpatialSymmetry, cfg); err != nil {
+		if errors.Is(err, fourindex.ErrCanceled) {
+			return Point{}, err
+		}
 		return Point{}, fmt.Errorf("perf: cost %s %s/%s/%d: %w", s, cp.Molecule, cp.System, cp.Cores, err)
 	}
 	return pt, nil
@@ -317,10 +333,10 @@ func runCostPoint(s fourindex.Scheme, cp CostPoint, overlap bool, cfg Config) (P
 // fillPoint runs one traced pass for the deterministic accounting plus,
 // under cfg.Measure, untraced timed repetitions for the wall-clock
 // fields (tracer overhead stays out of the measurement).
-func fillPoint(pt *Point, s fourindex.Scheme, opt fourindex.Options, n, symFactor int, cfg Config) error {
+func fillPoint(ctx context.Context, pt *Point, s fourindex.Scheme, opt fourindex.Options, n, symFactor int, cfg Config) error {
 	tr := trace.New(0)
 	opt.Trace = tr
-	res, err := fourindex.Run(s, opt)
+	res, err := fourindex.RunContext(ctx, s, opt)
 	if err != nil {
 		return err
 	}
@@ -346,7 +362,7 @@ func fillPoint(pt *Point, s fourindex.Scheme, opt fourindex.Options, n, symFacto
 	for r := 0; r < cfg.Repeats; r++ {
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
-		if _, err := fourindex.Run(s, opt); err != nil {
+		if _, err := fourindex.RunContext(ctx, s, opt); err != nil {
 			return err
 		}
 		wall := time.Since(start).Seconds()

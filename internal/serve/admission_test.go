@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	ifx "fourindex/internal/fourindex"
+	"fourindex/internal/lb"
+)
+
+// TestAdmissionLedgerInvariant hammers the reservation ledger with a
+// seeded random reserve/release schedule and checks its single
+// invariant — 0 <= reserved <= budget, and reserved always equals the
+// sum of outstanding reservations — after every operation.
+func TestAdmissionLedgerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		budget := int64(1+rng.Intn(1<<20)) * 64
+		a := &admission{budget: budget}
+		var outstanding []int64
+		var sum int64
+		for op := 0; op < 400; op++ {
+			if len(outstanding) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(outstanding))
+				b := outstanding[i]
+				outstanding = append(outstanding[:i], outstanding[i+1:]...)
+				a.release(b)
+				sum -= b
+			} else {
+				b := int64(rng.Intn(int(budget+budget/2))) - 8
+				ok := a.tryReserve(b)
+				fits := b > 0 && b <= budget-sum
+				if ok != fits {
+					t.Fatalf("trial %d op %d: tryReserve(%d) = %v with %d/%d reserved",
+						trial, op, b, ok, sum, budget)
+				}
+				if ok {
+					outstanding = append(outstanding, b)
+					sum += b
+				}
+			}
+			gotBudget, reserved := a.usage()
+			if gotBudget != budget || reserved != sum || reserved < 0 || reserved > budget {
+				t.Fatalf("trial %d op %d: ledger (%d, %d), want (%d, %d) within [0, budget]",
+					trial, op, gotBudget, reserved, budget, sum)
+			}
+		}
+	}
+}
+
+// TestPlanReservationBounds cross-checks planJob's pricing against the
+// lb layer directly for every schedule: the reservation never
+// undercuts the fusion configuration's ConfigMinMemory feasibility
+// floor, stays within a small factor of the closed-form memory model
+// (the models assume ideal tilings; the dry-run pricing sees real tile
+// rounding), and a job that cannot fit the whole budget is rejected
+// with ErrOverBudget instead of queuing forever.
+func TestPlanReservationBounds(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemBudgetBytes = 1 << 30
+	s := newTestServer(t, cfg)
+
+	schemes := []string{
+		"unfused", "fused12-34", "nwchem-fused12-34", "fused123-4",
+		"fullyfused", "fullyfused-inner", "recompute", "hybrid",
+	}
+	for _, name := range schemes {
+		for _, n := range []int{16, 32, 64} {
+			for _, sym := range []int{1, 2} {
+				sp := JobSpec{Tenant: "t", N: n, Sym: sym, Scheme: name, Mode: "cost"}
+				sp, err := sp.normalize()
+				if err != nil {
+					t.Fatalf("%s n=%d: normalize: %v", name, n, err)
+				}
+				plan, err := s.planJob(context.Background(), sp)
+				if err != nil {
+					t.Fatalf("%s n=%d sym=%d: planJob: %v", name, n, sym, err)
+				}
+				modeled, err := ModeledPeakBytes(plan.scheme, n, sym, plan.tileL, cfg.MemBudgetBytes)
+				if err != nil {
+					t.Fatalf("%s: ModeledPeakBytes: %v", name, err)
+				}
+				if plan.reservedBytes < modeled/2 || plan.reservedBytes > modeled*3 {
+					t.Errorf("%s n=%d sym=%d: reservation %d far from modeled peak %d",
+						name, n, sym, plan.reservedBytes, modeled)
+				}
+				floor := lb.ConfigMinMemory(fusionConfigOf(plan.scheme), n, sym) * 8
+				if plan.minBytes != floor {
+					t.Errorf("%s n=%d sym=%d: minBytes %d, lb floor %d", name, n, sym, plan.minBytes, floor)
+				}
+				if plan.reservedBytes < floor {
+					t.Errorf("%s n=%d sym=%d: reservation %d under ConfigMinMemory floor %d",
+						name, n, sym, plan.reservedBytes, floor)
+				}
+			}
+		}
+	}
+
+	// A job whose cheapest tiling exceeds the whole budget rejects
+	// immediately at plan time.
+	tiny := testConfig(t)
+	tiny.MemBudgetBytes = 4 << 10
+	st := newTestServer(t, tiny)
+	sp, err := JobSpec{Tenant: "t", N: 128, Scheme: "unfused", Mode: "cost"}.normalize()
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if _, err := st.planJob(context.Background(), sp); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("planJob at 4KB budget: err = %v, want ErrOverBudget", err)
+	}
+}
+
+// TestAdmittedPeaksWithinBudget is the admission property proof: for
+// seeded random mixes of real planned jobs admitted and released in
+// random order against random budgets, the sum of the admitted jobs'
+// peaks never exceeds the server budget. Each plan's reservation IS
+// its dry-run peak (cost and execute mode share the allocation
+// sequence), so summing reservations sums the peaks the runs will
+// actually reach.
+func TestAdmittedPeaksWithinBudget(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemBudgetBytes = 1 << 30
+	s := newTestServer(t, cfg)
+
+	// A pool of real plans at assorted shapes.
+	var pool []jobPlan
+	for _, name := range []string{"unfused", "fullyfused", "fullyfused-inner", "fused12-34"} {
+		for _, n := range []int{16, 24, 32, 48} {
+			sp, err := JobSpec{Tenant: "t", N: n, Scheme: name, Mode: "cost"}.normalize()
+			if err != nil {
+				t.Fatalf("normalize: %v", err)
+			}
+			plan, err := s.planJob(context.Background(), sp)
+			if err != nil {
+				t.Fatalf("planJob %s n=%d: %v", name, n, err)
+			}
+			if plan.reservedBytes < plan.minBytes {
+				t.Fatalf("planJob %s n=%d: reservation %d under floor %d", name, n, plan.reservedBytes, plan.minBytes)
+			}
+			pool = append(pool, plan)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		budget := pool[rng.Intn(len(pool))].reservedBytes * int64(1+rng.Intn(4))
+		a := &admission{budget: budget}
+		var admitted []jobPlan
+		var peakSum int64
+		for op := 0; op < 200; op++ {
+			if len(admitted) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(admitted))
+				a.release(admitted[i].reservedBytes)
+				peakSum -= admitted[i].reservedBytes
+				admitted = append(admitted[:i], admitted[i+1:]...)
+			} else {
+				p := pool[rng.Intn(len(pool))]
+				if a.tryReserve(p.reservedBytes) {
+					admitted = append(admitted, p)
+					peakSum += p.reservedBytes
+				}
+			}
+			_, reserved := a.usage()
+			if reserved > budget {
+				t.Fatalf("trial %d: reserved %d exceeds budget %d", trial, reserved, budget)
+			}
+			if peakSum != reserved {
+				t.Fatalf("trial %d: admitted peaks %d disagree with ledger %d", trial, peakSum, reserved)
+			}
+		}
+	}
+}
+
+// TestModeledPeakOrdering pins the paper's memory hierarchy at the
+// admission layer: fully fused schedules are priced under the pairwise
+// fusion, which is priced under unfused — the ordering that makes
+// fusion worth admitting.
+func TestModeledPeakOrdering(t *testing.T) {
+	const n, sym = 64, 1
+	budget := int64(1 << 30)
+	price := func(s ifx.Scheme, tileL int) int64 {
+		t.Helper()
+		b, err := ModeledPeakBytes(s, n, sym, tileL, budget)
+		if err != nil {
+			t.Fatalf("ModeledPeakBytes(%v): %v", s, err)
+		}
+		return b
+	}
+	ff := price(ifx.FullyFused, 4)
+	pair := price(ifx.Fused1234Pair, 4)
+	unfused := price(ifx.Unfused, 4)
+	if !(ff < pair && pair < unfused) {
+		t.Fatalf("memory ordering violated: fullyfused %d, fused12-34 %d, unfused %d", ff, pair, unfused)
+	}
+}

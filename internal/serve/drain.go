@@ -1,0 +1,48 @@
+package serve
+
+import "context"
+
+// Drain performs graceful shutdown: stop admitting, cancel every
+// running job's context so its schedule stops at the next l-slab or
+// stage boundary (leaving a checkpoint of everything completed so
+// far), wait for the jobs to unwind, then persist the job table. A
+// server restarted on the same StateDir re-queues the interrupted jobs
+// and resumes each from its checkpoint, producing output bitwise
+// identical to an uninterrupted run.
+//
+// ctx bounds the wait: if it expires first, Drain returns ctx.Err()
+// without persisting a final snapshot — the per-transition snapshots
+// already on disk still allow a coarse recovery. Drain is idempotent;
+// concurrent calls share the same shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	s.mu.Unlock()
+
+	// Canceling the server context cancels every job context derived
+	// from it AND stops the dispatch loop. Schedules observe the
+	// cancellation at their next checkpoint boundary and return
+	// ErrCanceled, which runJob (seeing s.draining) records as
+	// StateInterrupted with the checkpoint kept.
+	s.stop()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+	}
+	if alreadyDraining {
+		// The first Drain call persists; later callers just waited.
+		return nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistLocked()
+}

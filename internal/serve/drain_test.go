@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fourindex/internal/trace"
+)
+
+// TestDrainResumeBitwiseIdentical is the drain chaos proof: a job is
+// drained mid-run (after its second slab, held there deterministically
+// by the progress hook), the server persists its queue and exits, and
+// a new server on the same state directory resumes the job from its
+// checkpoint — producing a result bitwise identical (same SHA-256 over
+// the raw float64 bit patterns of C) to an uninterrupted run.
+func TestDrainResumeBitwiseIdentical(t *testing.T) {
+	spec := smallExecuteSpec("alice")
+
+	// Reference: the same job uninterrupted on a throwaway server.
+	ref := newTestServer(t, testConfig(t))
+	refJob, err := ref.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+	refFinal := waitJob(t, ref, refJob.ID)
+	if refFinal.State != StateDone || refFinal.Result == nil {
+		t.Fatalf("reference job: state %q (%s)", refFinal.State, refFinal.Error)
+	}
+
+	// First server: hold the job at its second slab mark, so at least
+	// one slab is checkpointed and most of the work remains.
+	cfg := testConfig(t)
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	marks := 0
+	s1.progressHook = func(id string, ev trace.ProgressEvent) {
+		if ev.Kind != "mark" {
+			return
+		}
+		marks++
+		if marks == 2 {
+			close(reached)
+			<-release
+		}
+	}
+	j1, err := s1.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-reached
+
+	// Drain while the job is provably mid-run. The hook releases the
+	// schedule only after the server context is canceled, so the job
+	// cannot finish before the drain reaches it: it must observe the
+	// cancellation at its next slab boundary.
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s1.Drain(context.Background()) }()
+	<-s1.baseCtx.Done()
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	s1.mu.Lock()
+	state := s1.jobs[j1.ID].State
+	s1.mu.Unlock()
+	if state != StateInterrupted {
+		t.Fatalf("drained job in state %q, want interrupted", state)
+	}
+
+	// Drain left durable state behind: the queue snapshot and the
+	// job's slab checkpoint.
+	if _, err := os.Stat(filepath.Join(cfg.StateDir, stateFile)); err != nil {
+		t.Fatalf("queue snapshot missing after drain: %v", err)
+	}
+	ckptPath := filepath.Join(cfg.StateDir, "ckpt", j1.ID, "fullyfused.ckpt")
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("slab checkpoint missing after drain: %v", err)
+	}
+
+	// Second server on the same state dir: the interrupted job is
+	// re-queued, resumes from its checkpoint, and completes.
+	s2 := newTestServer(t, cfg)
+	final := waitJob(t, s2, j1.ID)
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("resumed job: state %q (%s)", final.State, final.Error)
+	}
+	if !final.Resumed {
+		t.Fatalf("resumed job did not report finding its predecessor's checkpoint")
+	}
+	if final.Result.ChecksumSHA256 != refFinal.Result.ChecksumSHA256 {
+		t.Fatalf("drain/resume broke bitwise reproducibility:\n  resumed   %s\n  reference %s",
+			final.Result.ChecksumSHA256, refFinal.Result.ChecksumSHA256)
+	}
+	if final.Result.FrobeniusSq != refFinal.Result.FrobeniusSq {
+		t.Fatalf("Frobenius norms differ: %v vs %v", final.Result.FrobeniusSq, refFinal.Result.FrobeniusSq)
+	}
+
+	// The completed run dropped its checkpoint.
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not dropped after successful resume (stat err: %v)", err)
+	}
+}
+
+// TestDrainPersistsQueuedJobs drains a server whose queue still holds
+// a never-started job and checks the restarted server runs it.
+func TestDrainPersistsQueuedJobs(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxRunning = 1
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	blocked, release := blockFirstMark(s1)
+	running, err := s1.Submit(context.Background(), smallExecuteSpec("alice"))
+	if err != nil {
+		t.Fatalf("submit running: %v", err)
+	}
+	<-blocked
+	queued, err := s1.Submit(context.Background(), smallExecuteSpec("bob"))
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s1.Drain(context.Background()) }()
+	<-s1.baseCtx.Done()
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// Submits during/after drain are refused.
+	if _, err := s1.Submit(context.Background(), smallExecuteSpec("carol")); err != ErrDraining {
+		t.Fatalf("submit while draining: err = %v, want ErrDraining", err)
+	}
+
+	s2 := newTestServer(t, cfg)
+	for _, id := range []string{running.ID, queued.ID} {
+		if final := waitJob(t, s2, id); final.State != StateDone {
+			t.Fatalf("job %s after restart: state %q (%s), want done", id, final.State, final.Error)
+		}
+	}
+	// The interrupted job resumed; the queued one started fresh.
+	if st := waitJob(t, s2, running.ID); !st.Resumed {
+		t.Fatalf("interrupted job did not resume from checkpoint")
+	}
+	if st := waitJob(t, s2, queued.ID); st.Resumed {
+		t.Fatalf("never-started job claims to have resumed")
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sync"
+
+	"fourindex/internal/trace"
+)
+
+// eventHub fans each job's coarse progress events (slab marks,
+// checkpoint restarts, phase spans — see trace.ProgressEvent) out to
+// any number of streaming subscribers, keeping the full history so a
+// late subscriber sees the job from the start. Publishers never block:
+// a slow subscriber loses live events beyond its buffer rather than
+// stalling the transform's progress listener.
+type eventHub struct {
+	mu   sync.Mutex
+	jobs map[string]*jobEvents
+}
+
+// jobEvents is one job's event history and live subscribers, fanned
+// out in subscription order.
+type jobEvents struct {
+	history []trace.ProgressEvent
+	subs    []chan trace.ProgressEvent
+	closed  bool
+}
+
+// maxEventHistory bounds a job's retained history; a multi-thousand
+// slab cost run keeps its most recent events, like the tracer's ring.
+const maxEventHistory = 4096
+
+// newEventHub builds an empty hub.
+func newEventHub() *eventHub {
+	return &eventHub{jobs: make(map[string]*jobEvents)}
+}
+
+// job returns (creating if needed) the entry for jobID. Caller holds
+// the hub mutex.
+func (h *eventHub) job(jobID string) *jobEvents {
+	je := h.jobs[jobID]
+	if je == nil {
+		je = &jobEvents{}
+		h.jobs[jobID] = je
+	}
+	return je
+}
+
+// publish records ev for jobID and offers it to every live subscriber.
+func (h *eventHub) publish(jobID string, ev trace.ProgressEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	je := h.job(jobID)
+	if len(je.history) >= maxEventHistory {
+		je.history = append(je.history[:0], je.history[1:]...)
+	}
+	je.history = append(je.history, ev)
+	for _, ch := range je.subs {
+		select {
+		case ch <- ev:
+		default: // subscriber is slow; it keeps the history it has
+		}
+	}
+}
+
+// subscribe returns the job's history so far plus a channel of live
+// events. The channel is closed when the job ends. Call the returned
+// cancel function when done reading.
+func (h *eventHub) subscribe(jobID string) (history []trace.ProgressEvent, live chan trace.ProgressEvent, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	je := h.job(jobID)
+	history = append([]trace.ProgressEvent(nil), je.history...)
+	live = make(chan trace.ProgressEvent, 64)
+	if je.closed {
+		close(live)
+		return history, live, func() {}
+	}
+	je.subs = append(je.subs, live)
+	return history, live, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for i, ch := range je.subs {
+			if ch == live {
+				je.subs = append(je.subs[:i], je.subs[i+1:]...)
+				close(live)
+				return
+			}
+		}
+	}
+}
+
+// finish marks the job's stream complete, closing live subscriptions.
+// The history stays readable for later subscribers.
+func (h *eventHub) finish(jobID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	je := h.job(jobID)
+	je.closed = true
+	for _, ch := range je.subs {
+		close(ch)
+	}
+	je.subs = nil
+}

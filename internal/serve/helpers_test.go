@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"testing"
+)
+
+// testConfig is a small-footprint server config rooted in a fresh
+// temp state dir.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		MemBudgetBytes: 64 << 20,
+		StateDir:       t.TempDir(),
+		Procs:          2,
+		Workers:        2,
+	}
+}
+
+// newTestServer builds a Server from cfg and closes it with the test.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// waitJob blocks until the job's event stream finishes (runJob calls
+// events.finish strictly after the terminal state is recorded) and
+// returns the final status. Event-driven, so tests never poll or
+// sleep.
+func waitJob(t *testing.T, s *Server, id string) statusJSON {
+	t.Helper()
+	_, live, cancel := s.events.subscribe(id)
+	defer cancel()
+	for range live {
+		// Drain until the hub closes the stream.
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		t.Fatalf("job %s vanished", id)
+	}
+	return j.status()
+}
+
+// smallExecuteSpec is a quick multi-slab execute-mode job: n=8 with
+// TileL=2 gives the fullyfused schedule 4 l-slabs, so there are
+// several checkpoint boundaries to cancel or drain at.
+func smallExecuteSpec(tenant string) JobSpec {
+	return JobSpec{
+		Tenant: tenant,
+		N:      8,
+		Scheme: "fullyfused",
+		Mode:   "execute",
+		TileN:  4,
+		TileL:  2,
+	}
+}

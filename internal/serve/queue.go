@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// ErrQueueFull rejects a submit when the server-wide queue bound is
+// reached; the HTTP layer maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrTenantQuota rejects a submit when the tenant already has its
+// quota of queued-or-running jobs; also a 429.
+var ErrTenantQuota = errors.New("serve: tenant quota exhausted")
+
+// ErrOverBudget rejects a job whose modeled memory footprint exceeds
+// the server's whole budget — it could never be admitted, so rejecting
+// at submit (422) beats queuing it forever.
+var ErrOverBudget = errors.New("serve: job cannot fit the server memory budget")
+
+// jobQueue is the bounded priority queue of jobs awaiting dispatch:
+// higher Spec.Priority first, submission order within a priority.
+// Tenant accounting covers queued AND running jobs, so a tenant cannot
+// monopolise the run slots by keeping its queue footprint at zero.
+// Not safe for concurrent use; the server mutex guards it.
+type jobQueue struct {
+	heap        jobHeap
+	maxQueue    int
+	tenantQuota int
+	// perTenant counts queued + running jobs per tenant; entries are
+	// removed at zero so the map does not grow with tenant churn.
+	perTenant map[string]int
+}
+
+// newJobQueue builds an empty queue with the given bounds.
+func newJobQueue(maxQueue, tenantQuota int) *jobQueue {
+	return &jobQueue{maxQueue: maxQueue, tenantQuota: tenantQuota, perTenant: make(map[string]int)}
+}
+
+// push enqueues j, enforcing the global bound and the tenant quota.
+func (q *jobQueue) push(j *Job) error {
+	if len(q.heap) >= q.maxQueue {
+		return ErrQueueFull
+	}
+	if q.perTenant[j.Spec.Tenant] >= q.tenantQuota {
+		return ErrTenantQuota
+	}
+	q.perTenant[j.Spec.Tenant]++
+	heap.Push(&q.heap, j)
+	return nil
+}
+
+// popWhere removes and returns the highest-priority job for which fit
+// returns true, or nil if none does. Jobs that fail the fit check stay
+// queued in order — first-fit by priority: a large job that does not
+// fit the remaining budget is skipped, not blocking smaller ones, and
+// is retried on the next dispatch. fit runs at most once per job and
+// its side effects (a reservation) are kept only for the returned job.
+func (q *jobQueue) popWhere(fit func(*Job) bool) *Job {
+	var skipped []*Job
+	var picked *Job
+	for q.heap.Len() > 0 {
+		j := heap.Pop(&q.heap).(*Job)
+		if fit(j) {
+			picked = j
+			break
+		}
+		skipped = append(skipped, j)
+	}
+	for _, j := range skipped {
+		heap.Push(&q.heap, j)
+	}
+	// The popped job stays in perTenant: it is about to run, and the
+	// quota covers running jobs. release() decrements when it ends.
+	return picked
+}
+
+// release decrements the tenant's queued-or-running count after a job
+// leaves the system (completed, failed, canceled, or interrupted).
+func (q *jobQueue) release(tenant string) {
+	if n := q.perTenant[tenant]; n > 1 {
+		q.perTenant[tenant] = n - 1
+	} else {
+		delete(q.perTenant, tenant)
+	}
+}
+
+// remove deletes a still-queued job (DELETE on a queued job), fixing
+// the tenant count. Returns false when j is not in the queue.
+func (q *jobQueue) remove(j *Job) bool {
+	for i, h := range q.heap {
+		if h == j {
+			heap.Remove(&q.heap, i)
+			q.release(j.Spec.Tenant)
+			return true
+		}
+	}
+	return false
+}
+
+// depth returns how many jobs are waiting.
+func (q *jobQueue) depth() int { return q.heap.Len() }
+
+// jobHeap implements container/heap ordering: priority descending,
+// then submission sequence ascending.
+type jobHeap []*Job
+
+// Len reports the heap size.
+func (h jobHeap) Len() int { return len(h) }
+
+// Less orders by (priority desc, seq asc).
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+// Swap exchanges two entries.
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push appends x (heap.Interface contract).
+func (h *jobHeap) Push(x any) { *h = append(*h, x.(*Job)) }
+
+// Pop removes and returns the last entry (heap.Interface contract).
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

@@ -245,6 +245,25 @@ type Tracer struct {
 
 	runs int32   // runtime instances registered so far
 	seqs []int32 // per-(proc+1) sequence counters, index 0 = SeqProc
+
+	// listener, when non-nil, streams coarse progress (marks, restarts,
+	// span begin/end) to an observer as it happens — the job server's
+	// per-job event feed. Hot-path events (Get/Put/compute) never reach
+	// it, so the fan-out cost stays off the transfer path.
+	listener func(ProgressEvent)
+}
+
+// ProgressEvent is one coarse progress notification streamed to the
+// listener registered with SetProgressListener: schedule marks (l-slab
+// boundaries), checkpoint restarts, and phase-span begin/end.
+type ProgressEvent struct {
+	// Kind is "mark", "restart", "span-begin" or "span-end".
+	Kind string
+	// Label is the mark label, restart description or span name.
+	Label string
+	// Clock is the emitting process's simulated time in seconds (0 for
+	// driver-level notes that have no runtime).
+	Clock float64
 }
 
 // New returns an enabled tracer whose ring buffer holds capacity events
@@ -258,6 +277,31 @@ func New(capacity int) *Tracer {
 
 // Enabled reports whether the tracer records anything; false for nil.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetProgressListener registers fn to receive coarse progress events
+// (marks, restarts, span begin/end) as they are recorded; nil removes
+// the listener. fn is called synchronously from whichever goroutine
+// emitted the event — it must be fast, safe for concurrent calls, and
+// must not call back into the tracer. Nil-safe no-op when disabled.
+func (t *Tracer) SetProgressListener(fn func(ProgressEvent)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.listener = fn
+	t.mu.Unlock()
+}
+
+// progress fans one event out to the listener. Callers must NOT hold
+// mu (the listener is user code).
+func (t *Tracer) progress(kind, label string, clock float64) {
+	t.mu.Lock()
+	fn := t.listener
+	t.mu.Unlock()
+	if fn != nil {
+		fn(ProgressEvent{Kind: kind, Label: label, Clock: clock})
+	}
+}
 
 // RegisterRun allocates a fresh run id for one runtime instance.
 // Nil-safe; the disabled tracer always returns 0.
@@ -300,6 +344,11 @@ func (t *Tracer) Emit(run int32, kind Kind, proc int, start, dur float64, name s
 		t.dropped++
 	}
 	t.mu.Unlock()
+	// Only the coarse kinds reach the progress listener; transfers and
+	// barriers are far too hot to fan out.
+	if kind == KindMark || kind == KindRestart {
+		t.progress(kind.String(), name, start)
+	}
 }
 
 // Mark records an instant annotation from sequential schedule code.
@@ -322,17 +371,19 @@ func (t *Tracer) BeginSpan(run int32, name string, clock float64, totals Totals)
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.spans) >= maxSpans {
 		t.spansDropped++
 		// Keep the stack balanced so EndSpan still pairs up.
 		t.stack = append(t.stack, openSpan{index: -1})
+		t.mu.Unlock()
 		return
 	}
 	t.spans = append(t.spans, Span{
 		Run: run, Name: name, Depth: int32(len(t.stack)), Start: clock,
 	})
 	t.stack = append(t.stack, openSpan{index: len(t.spans) - 1, begin: totals})
+	t.mu.Unlock()
+	t.progress("span-begin", name, clock)
 }
 
 // EndSpan closes the innermost open span, recording its end time and
@@ -342,19 +393,23 @@ func (t *Tracer) EndSpan(clock float64, totals Totals) {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.stack) == 0 {
+		t.mu.Unlock()
 		return
 	}
 	top := t.stack[len(t.stack)-1]
 	t.stack = t.stack[:len(t.stack)-1]
 	if top.index < 0 {
+		t.mu.Unlock()
 		return // span was dropped at begin
 	}
 	sp := &t.spans[top.index]
 	sp.End = clock
 	sp.Totals = totals.sub(top.begin)
 	sp.Done = true
+	name := sp.Name
+	t.mu.Unlock()
+	t.progress("span-end", name, clock)
 }
 
 // Spans returns a copy of the recorded spans in begin order. Open spans

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the fouridxd job server through
+# its real binary and HTTP API:
+#
+#   1. a reference transform runs to completion (202 -> done),
+#   2. an over-budget job is rejected up front (422),
+#   3. a long transform is interrupted by SIGTERM mid-run: the server
+#      drains (checkpoint + queue persisted, exit 0), a restarted
+#      server resumes the job from its checkpoint, and the resumed
+#      result's SHA-256 fingerprint must equal the uninterrupted
+#      reference's — the drain/resume bitwise-identity proof.
+#
+# Mirrors `make serve-smoke`; see README "Serving".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+ADDR=127.0.0.1:18765
+BASE="http://$ADDR"
+TMP=$(mktemp -d)
+SRV_PID=""
+trap '[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+$GO build -o "$TMP/fouridxd" ./cmd/fouridxd
+
+start_server() {
+  "$TMP/fouridxd" -addr "$ADDR" -mem 64MB -state "$TMP/state" -procs 2 -workers 2 &
+  SRV_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  fail "server did not come up on $ADDR"
+}
+
+# submit BODY -> echoes HTTP status; response body lands in $TMP/resp.json
+submit() {
+  curl -sS -o "$TMP/resp.json" -w '%{http_code}' -X POST "$BASE/jobs" -d "$1"
+}
+
+field() { # FILE KEY -> first string value of KEY
+  sed -n 's/.*"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+wait_done() { # ID -> echoes terminal state; status body in $TMP/status.json
+  local id=$1 state
+  for _ in $(seq 1 300); do
+    curl -fsS "$BASE/jobs/$id" -o "$TMP/status.json"
+    state=$(field "$TMP/status.json" state)
+    case "$state" in done|failed|canceled) echo "$state"; return 0 ;; esac
+    sleep 0.2
+  done
+  echo timeout
+}
+
+# The drain target and its reference share this spec: 48 l-slabs give
+# the SIGTERM a wide window and the resume plenty of skipped work.
+SPEC='{"tenant":"smoke","n":48,"scheme":"fullyfused","mode":"execute","tileN":8,"tileL":1}'
+
+start_server
+
+# --- Job 1: uninterrupted reference ---------------------------------
+code=$(submit "$SPEC")
+[ "$code" = 202 ] || fail "reference submit: HTTP $code, want 202"
+ref_id=$(field "$TMP/resp.json" id)
+state=$(wait_done "$ref_id")
+[ "$state" = done ] || fail "reference job ended $state, want done"
+ref_sum=$(field "$TMP/status.json" checksumSha256)
+[ -n "$ref_sum" ] || fail "reference job has no checksum"
+echo "serve-smoke: reference $ref_id done (checksum ${ref_sum:0:12}...)"
+
+# --- Job 2: over budget, rejected at admission ----------------------
+code=$(submit '{"tenant":"smoke","n":128,"scheme":"unfused","mode":"cost"}')
+[ "$code" = 422 ] || fail "over-budget submit: HTTP $code, want 422"
+echo "serve-smoke: over-budget job rejected with 422"
+
+# --- Job 3: drained mid-run, resumed after restart ------------------
+code=$(submit "$SPEC")
+[ "$code" = 202 ] || fail "drain-target submit: HTTP $code, want 202"
+drain_id=$(field "$TMP/resp.json" id)
+# Stream a few progress events so the SIGTERM provably lands mid-run.
+# head closing the pipe makes curl exit nonzero (SIGPIPE); that is the
+# intended shutdown of the stream, not a failure.
+curl -sN "$BASE/jobs/$drain_id/events" | head -n 3 >/dev/null || true
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "server exited nonzero on SIGTERM drain"
+SRV_PID=""
+grep -q '"state": "interrupted"' "$TMP/state/jobs.json" \
+  || fail "drained job not persisted as interrupted"
+[ -e "$TMP/state/ckpt/$drain_id/fullyfused.ckpt" ] \
+  || fail "no slab checkpoint on disk after drain"
+echo "serve-smoke: drained $drain_id mid-run (checkpoint + queue persisted)"
+
+start_server
+state=$(wait_done "$drain_id")
+[ "$state" = done ] || fail "resumed job ended $state, want done"
+grep -q '"resumed": true' "$TMP/status.json" \
+  || fail "restarted job did not resume from its checkpoint"
+resumed_sum=$(field "$TMP/status.json" checksumSha256)
+[ "$resumed_sum" = "$ref_sum" ] \
+  || fail "resume broke bitwise identity: $resumed_sum != $ref_sum"
+echo "serve-smoke: $drain_id resumed and matched the reference bitwise"
+
+curl -fsS "$BASE/metrics" | grep -q '^fouridxd_mem_budget_bytes ' \
+  || fail "metrics endpoint missing admission gauges"
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "second server exited nonzero on SIGTERM"
+SRV_PID=""
+echo "serve-smoke: PASS"
