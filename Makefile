@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self lint-fixtures vet golden chaos bench bench-smoke frontier frontier-golden serve-smoke ci
+.PHONY: all build test race lint lint-self lint-fixtures vet golden chains-golden chaos bench bench-smoke frontier frontier-golden serve-smoke ci
 
 all: build test vet lint
 
@@ -45,6 +45,15 @@ vet:
 golden:
 	$(GO) test -count=1 -run 'TestChromeTraceGolden' ./internal/trace/
 
+# chains-golden pins the generalized bound engine to the hand-derived
+# four-index closed forms bit-for-bit (thresholds, per-op bounds,
+# config enumeration order, I/O floors, memory floors, capacity grids,
+# full frontier curves) and checks the non-four-index chains end to end
+# (see DESIGN.md §13).
+chains-golden:
+	$(GO) test -count=1 ./internal/lb/chain/ ./internal/lb/
+	$(GO) test -count=1 -run 'TestAnalyzeChain|TestWriteChainReport|TestChainScenarios' ./internal/fourindex/
+
 # chaos runs the seeded fault-plan suite under the race detector: every
 # schedule against 50 random fault plans (bitwise-identical C or typed
 # terminal error), l-slab checkpoint resume after an injected crash, and
@@ -85,4 +94,4 @@ frontier-golden:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: build test vet lint lint-self lint-fixtures golden frontier-golden race chaos bench-smoke serve-smoke
+ci: build test vet lint lint-self lint-fixtures golden chains-golden frontier-golden race chaos bench-smoke serve-smoke

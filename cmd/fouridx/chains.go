@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fourindex"
+)
+
+// runChains implements the `fouridx chains` subcommand: build a named
+// contraction chain (the four-index transform, the MP2-style
+// half-transform, or the rectangular two-matmul chain), run the
+// generalized bound engine over it, and print thresholds, the fusion
+// ranking and — with -cap — per-configuration bounds and feasibility at
+// a fast-memory capacity.
+//
+//	fouridx chains -chain fourindex -a 368 -b 8
+//	fouridx chains -chain mp2 -a 8 -b 24 -cap 100000
+//	fouridx chains -chain rect -a 64 -b 6 -json
+func runChains(args []string) {
+	fatalIf(chainsCmd(args, os.Stdout))
+}
+
+// chainsCmd is the testable body of runChains: all validation happens
+// before the first byte of output, so a bad chain name, extent or flag
+// yields an error (and a non-zero exit) with no partial table.
+func chainsCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fouridx chains", flag.ContinueOnError)
+	var (
+		name      = fs.String("chain", "fourindex", "chain: fourindex (a=n, b=s) | mp2 (a=occ, b=virt) | rect (a=n, b=k)")
+		a         = fs.Int("a", 368, "first extent argument of the chain")
+		b         = fs.Int("b", 8, "second extent argument of the chain")
+		cap       = fs.Int64("cap", 0, "fast-memory capacity in elements (0 = rankings and curves only)")
+		perDecade = fs.Int("per-decade", 12, "capacity-grid resolution for frontier curves")
+		jsonOut   = fs.Bool("json", false, "emit the full report as JSON on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("chains: unexpected argument %q", fs.Arg(0))
+	}
+
+	c, err := fourindex.ChainByName(*name, *a, *b)
+	if err != nil {
+		return err
+	}
+	rep, err := fourindex.AnalyzeChain(c, *cap, *perDecade)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return fourindex.WriteChainReport(stdout, rep)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChainsCmdTable drives the chains subcommand body over valid and
+// invalid invocations: valid runs print the ranking (and capacity)
+// tables, invalid ones error before the first byte of output.
+func TestChainsCmdTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string   // substring of the error, "" = success
+		wantOut []string // substrings that must appear on success
+	}{
+		{
+			name: "fourindex default",
+			args: []string{"-a", "100", "-b", "4"},
+			wantOut: []string{
+				"chain fourindex: 4 ops",
+				"op1234",
+				"op1/2/3/4",
+				"IO-FLOOR",
+			},
+		},
+		{
+			name: "mp2 with capacity",
+			args: []string{"-chain", "mp2", "-a", "8", "-b", "24", "-cap", "2000000"},
+			wantOut: []string{
+				"chain mp2: 2 ops",
+				"at capacity 2000000",
+				"best op12",
+			},
+		},
+		{
+			name: "rect infeasible capacity",
+			args: []string{"-chain", "rect", "-a", "64", "-b", "6", "-cap", "10"},
+			wantOut: []string{
+				"chain rect: 2 ops",
+				"none feasible",
+			},
+		},
+		{name: "unknown chain", args: []string{"-chain", "ccsd"}, wantErr: "ccsd"},
+		{name: "bad extent", args: []string{"-chain", "rect", "-a", "3", "-b", "5"}, wantErr: "rect"},
+		{name: "negative capacity", args: []string{"-cap", "-3"}, wantErr: "capacity"},
+		{name: "stray argument", args: []string{"extra"}, wantErr: `unexpected argument "extra"`},
+		{name: "malformed flag", args: []string{"-a", "abc"}, wantErr: "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := chainsCmd(tc.args, &out)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("chainsCmd(%v) error = %v, want substring %q", tc.args, err, tc.wantErr)
+				}
+				if out.Len() != 0 {
+					t.Errorf("chainsCmd(%v) printed %d bytes before failing:\n%s", tc.args, out.Len(), out.String())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("chainsCmd(%v): %v", tc.args, err)
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("chainsCmd(%v) output missing %q:\n%s", tc.args, want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestChainsCmdJSON checks the -json path decodes back into a report.
+func TestChainsCmdJSON(t *testing.T) {
+	var out strings.Builder
+	if err := chainsCmd([]string{"-chain", "mp2", "-a", "6", "-b", "18", "-json"}, &out); err != nil {
+		t.Fatalf("chainsCmd: %v", err)
+	}
+	var rep struct {
+		Chain    string `json:"chain"`
+		Ops      int    `json:"ops"`
+		Rankings []any  `json:"rankings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Chain != "mp2" || rep.Ops != 2 || len(rep.Rankings) != 2 {
+		t.Errorf("decoded report %+v, want mp2/2 with 2 rankings", rep)
+	}
+}

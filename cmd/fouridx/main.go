@@ -36,6 +36,13 @@
 //	fouridx frontier -o FRONTIER_fouridx.json
 //	fouridx frontier -check -o FRONTIER_fouridx.json
 //	fouridx frontier -gate -baseline BENCH_fouridx.json
+//
+// The chains subcommand runs the generalized bound engine over a named
+// contraction chain — the four-index transform or the non-four-index
+// scenarios — printing thresholds, fusion rankings and capacity pricing
+// (see README "Arbitrary chains"):
+//
+//	fouridx chains -chain mp2 -a 8 -b 24 -cap 100000
 package main
 
 import (
@@ -49,21 +56,31 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		runTrace(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "chaos" {
-		runChaos(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		runBench(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "frontier" {
-		runFrontier(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "chaos":
+			runChaos(os.Args[2:])
+			return
+		case "bench":
+			runBench(os.Args[2:])
+			return
+		case "frontier":
+			runFrontier(os.Args[2:])
+			return
+		case "chains":
+			runChains(os.Args[2:])
+			return
+		default:
+			// A first argument that is not a flag must be a subcommand;
+			// anything unrecognised used to fall through and run the
+			// default transform silently — reject it instead.
+			if len(os.Args[1]) == 0 || os.Args[1][0] != '-' {
+				fatalIf(fmt.Errorf("unknown subcommand %q (expected trace, chaos, bench, frontier or chains)", os.Args[1]))
+			}
+		}
 	}
 	var (
 		n        = flag.Int("n", 16, "orbital count (ignored when -molecule is set)")

@@ -13,8 +13,22 @@
 //	curl -N localhost:8765/jobs/j1/events
 //	curl -s localhost:8765/metrics
 //
-// See README "Serving" and DESIGN.md section 12 for the admission
-// model and the drain/resume protocol.
+// Besides transforms, a job may carry a declarative contraction chain:
+// the generalized bound engine validates it, prices admission by the
+// chain's derived minimum-memory floor, and returns thresholds, fusion
+// rankings and frontier curves as the job result. Malformed chains and
+// capacities are rejected with 422, never a crash:
+//
+//	curl -s localhost:8765/jobs -d '{"tenant":"alice","chain":{
+//	    "name":"mp2",
+//	    "boundaries":[{"name":"AO","elements":1048576},
+//	                  {"name":"Half","elements":262144},
+//	                  {"name":"MO","elements":196608}],
+//	    "ops":[{"name":"op1","rows":32768,"red":32,"prod":8,"operandElements":256},
+//	           {"name":"op2","rows":8192,"red":32,"prod":24,"operandElements":768}]}}'
+//
+// See README "Serving" and DESIGN.md sections 12-13 for the admission
+// model, the drain/resume protocol and the chain bound engine.
 package main
 
 import (

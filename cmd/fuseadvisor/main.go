@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fourindex"
@@ -21,98 +22,135 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fuseadvisor:", err)
+		os.Exit(1)
+	}
+}
+
+// frontierConfigs names the curves the frontier table prints, in order.
+var frontierConfigs = []string{"op1/2/3/4", "op12/34", "op123/4", "op1234"}
+
+// run is the testable command body. Every input — flags, extents,
+// memory sizes, config names — is validated before the first byte of
+// output, so a bad invocation exits non-zero with no partial tables.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fuseadvisor", flag.ContinueOnError)
 	var (
-		n       = flag.Int("n", 368, "orbital count")
-		spatial = flag.Int("s", 8, "spatial symmetry order (power of two)")
-		mem     = flag.String("mem", "", "aggregate physical memory, e.g. 110GB (empty: skip advice)")
-		local   = flag.String("local", "", "per-process local memory, e.g. 4GB (with -mem: prints the Section 3 two-level plan)")
+		n       = fs.Int("n", 368, "orbital count")
+		spatial = fs.Int("s", 8, "spatial symmetry order (power of two)")
+		mem     = fs.String("mem", "", "aggregate physical memory, e.g. 110GB (empty: skip advice)")
+		local   = fs.String("local", "", "per-process local memory, e.g. 4GB (with -mem: prints the Section 3 two-level plan)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+	if *spatial < 1 {
+		return fmt.Errorf("-s must be at least 1, got %d", *spatial)
+	}
+	if *local != "" && *mem == "" {
+		return fmt.Errorf("-local needs -mem for the aggregate level")
+	}
+	var memBytes, localBytes int64
+	if *mem != "" {
+		b, err := units.ParseBytes(*mem)
+		if err != nil {
+			return err
+		}
+		memBytes = b
+	}
+	if *local != "" {
+		b, err := units.ParseBytes(*local)
+		if err != nil {
+			return err
+		}
+		localBytes = b
+	}
+	configs := make([]lb.FusionConfig, len(frontierConfigs))
+	for i, name := range frontierConfigs {
+		c, err := lb.ConfigByName(name)
+		if err != nil {
+			return err
+		}
+		configs[i] = c
+	}
 
 	sz := sym.ExactSizes(*n, *spatial)
 	gb := func(words int64) float64 { return float64(words) * 8 / 1e9 }
 
-	fmt.Printf("Four-index transform analysis: n = %d, spatial symmetry s = %d\n\n", *n, *spatial)
-	fmt.Printf("Tensor sizes (Table 1, exact packed counts):\n")
-	fmt.Printf("  %-4s %14s %10s\n", "", "elements", "GB")
+	fmt.Fprintf(stdout, "Four-index transform analysis: n = %d, spatial symmetry s = %d\n\n", *n, *spatial)
+	fmt.Fprintf(stdout, "Tensor sizes (Table 1, exact packed counts):\n")
+	fmt.Fprintf(stdout, "  %-4s %14s %10s\n", "", "elements", "GB")
 	for _, row := range []struct {
 		name string
 		w    int64
 	}{{"A", sz.A}, {"O1", sz.O1}, {"O2", sz.O2}, {"O3", sz.O3}, {"C", sz.C}} {
-		fmt.Printf("  %-4s %14d %10.2f\n", row.name, row.w, gb(row.w))
+		fmt.Fprintf(stdout, "  %-4s %14d %10.2f\n", row.name, row.w, gb(row.w))
 	}
 
-	fmt.Printf("\nFusion configurations ranked by I/O lower bound (Section 5.3):\n")
-	fmt.Printf("  %-12s %16s %8s %s\n", "config", "I/O (elements)", "GB", "bound")
+	fmt.Fprintf(stdout, "\nFusion configurations ranked by I/O lower bound (Section 5.3):\n")
+	fmt.Fprintf(stdout, "  %-12s %16s %8s %s\n", "config", "I/O (elements)", "GB", "bound")
 	for _, rc := range lb.RankConfigs(sz) {
 		tight := "tight"
 		if !rc.Tight {
 			tight = "lower bound only"
 		}
-		fmt.Printf("  %-12s %16d %8.1f %s\n", rc.Config, rc.IO, gb(rc.IO), tight)
+		fmt.Fprintf(stdout, "  %-12s %16d %8.1f %s\n", rc.Config, rc.IO, gb(rc.IO), tight)
 	}
 
-	fmt.Printf("\nCapacity-vs-bound frontier (knees where each curve flattens):\n")
-	fmt.Printf("  %-12s %16s %16s %16s\n", "config", "floor (elements)", "flat at S", "min memory")
+	fmt.Fprintf(stdout, "\nCapacity-vs-bound frontier (knees where each curve flattens):\n")
+	fmt.Fprintf(stdout, "  %-12s %16s %16s %16s\n", "config", "floor (elements)", "flat at S", "min memory")
 	grid := lb.CapacityGrid(*n, *spatial, 0)
-	for _, name := range []string{"op1/2/3/4", "op12/34", "op123/4", "op1234"} {
-		c, err := lb.ConfigByName(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fuseadvisor:", err)
-			os.Exit(1)
-		}
+	for _, c := range configs {
 		cv := lb.ComputeCurve(c, *n, *spatial, grid)
-		fmt.Printf("  %-12s %16d %16d %16d\n", cv.Config, cv.FloorElements, cv.FlatAtS, cv.MinMemoryElements)
+		fmt.Fprintf(stdout, "  %-12s %16d %16d %16d\n", cv.Config, cv.FloorElements, cv.FlatAtS, cv.MinMemoryElements)
 	}
 
 	n64 := int64(*n)
-	fmt.Printf("\nFast-memory thresholds:\n")
-	fmt.Printf("  single contraction tight (S >= n^2+n+1):     %d words\n", lb.SingleTightThreshold(n64))
-	fmt.Printf("  pair fusion useful (S >= 3n^2+n+1):          %d words\n", lb.PairFusionThreshold(n64))
-	fmt.Printf("  full reuse possible (S >= |C|, Thm 6.2):     %d words (%.2f GB)\n", sz.C, gb(sz.C))
-	fmt.Printf("  Listing 7 sufficient (S >= |C| + 2n^3):      %d words\n", lb.FullReuseSufficientS(n64, sz.C))
+	fmt.Fprintf(stdout, "\nFast-memory thresholds:\n")
+	fmt.Fprintf(stdout, "  single contraction tight (S >= n^2+n+1):     %d words\n", lb.SingleTightThreshold(n64))
+	fmt.Fprintf(stdout, "  pair fusion useful (S >= 3n^2+n+1):          %d words\n", lb.PairFusionThreshold(n64))
+	fmt.Fprintf(stdout, "  full reuse possible (S >= |C|, Thm 6.2):     %d words (%.2f GB)\n", sz.C, gb(sz.C))
+	fmt.Fprintf(stdout, "  Listing 7 sufficient (S >= |C| + 2n^3):      %d words\n", lb.FullReuseSufficientS(n64, sz.C))
 
-	fmt.Printf("\nSchedule memory requirements:\n")
-	fmt.Printf("  unfused (Listing 1):        %10.2f GB\n", gb(lb.MemoryUnfused(*n, *spatial)))
-	fmt.Printf("  fused 12/34 (Listing 2):    %10.2f GB\n", gb(lb.MemoryFused12_34(*n, *spatial)))
+	fmt.Fprintf(stdout, "\nSchedule memory requirements:\n")
+	fmt.Fprintf(stdout, "  unfused (Listing 1):        %10.2f GB\n", gb(lb.MemoryUnfused(*n, *spatial)))
+	fmt.Fprintf(stdout, "  fused 12/34 (Listing 2):    %10.2f GB\n", gb(lb.MemoryFused12_34(*n, *spatial)))
 	for _, tl := range []int{1, 4, 16} {
 		if tl <= *n {
-			fmt.Printf("  fully fused Tl=%-3d (Eq 8): %10.2f GB\n", tl, gb(lb.MemoryFused1234Inner(*n, *spatial, tl)))
+			fmt.Fprintf(stdout, "  fully fused Tl=%-3d (Eq 8): %10.2f GB\n", tl, gb(lb.MemoryFused1234Inner(*n, *spatial, tl)))
 		}
 	}
-	fmt.Printf("  fused/unfused flop overhead (Section 7.4): %.3fx\n", lb.FusedFlopOverhead(*n))
+	fmt.Fprintf(stdout, "  fused/unfused flop overhead (Section 7.4): %.3fx\n", lb.FusedFlopOverhead(*n))
 
-	if *mem != "" {
-		bytes, err := units.ParseBytes(*mem)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fuseadvisor:", err)
-			os.Exit(1)
-		}
-		adv := fourindex.Advise(*n, *spatial, bytes)
-		fmt.Printf("\nAdvice for %.2f GB aggregate memory (Section 7.4 hybrid):\n", float64(bytes)/1e9)
-		fmt.Printf("  scheme: %s\n", adv.Scheme)
-		fmt.Printf("  reason: %s\n", adv.Reason)
+	if memBytes > 0 {
+		adv := fourindex.Advise(*n, *spatial, memBytes)
+		fmt.Fprintf(stdout, "\nAdvice for %.2f GB aggregate memory (Section 7.4 hybrid):\n", float64(memBytes)/1e9)
+		fmt.Fprintf(stdout, "  scheme: %s\n", adv.Scheme)
+		fmt.Fprintf(stdout, "  reason: %s\n", adv.Reason)
 		if adv.Scheme == "fused" {
-			fmt.Printf("  fused-loop tile width: %d (footprint %.2f GB)\n",
+			fmt.Fprintf(stdout, "  fused-loop tile width: %d (footprint %.2f GB)\n",
 				adv.RequiredTileL, float64(adv.MemoryBytes)/1e9)
 		}
 
-		if *local != "" {
-			lbytes, err := units.ParseBytes(*local)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "fuseadvisor:", err)
-				os.Exit(1)
-			}
-			plan := lb.PlanHierarchy(*n, *spatial, bytes, lbytes)
-			fmt.Printf("\nTwo-level hierarchy plan (Section 3):\n")
+		if localBytes > 0 {
+			plan := lb.PlanHierarchy(*n, *spatial, memBytes, localBytes)
+			fmt.Fprintf(stdout, "\nTwo-level hierarchy plan (Section 3):\n")
 			for _, lv := range []lb.LevelPlan{plan.Outer, plan.Inner} {
-				fmt.Printf("  %-16s fast=%8.2f GB  config=%-8s I/O >= %.3g elements\n",
+				fmt.Fprintf(stdout, "  %-16s fast=%8.2f GB  config=%-8s I/O >= %.3g elements\n",
 					lv.Level, float64(lv.FastBytes)/1e9, lv.Config.String(), float64(lv.IOBoundElements))
-				fmt.Printf("    %s\n", lv.Note)
+				fmt.Fprintf(stdout, "    %s\n", lv.Note)
 			}
 			if plan.TileL > 0 {
-				fmt.Printf("  outer fused-loop tile width: %d\n", plan.TileL)
+				fmt.Fprintf(stdout, "  outer fused-loop tile width: %d\n", plan.TileL)
 			}
 		}
 	}
+	return nil
 }

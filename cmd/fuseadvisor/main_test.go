@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTable drives the command body over valid and invalid
+// invocations: valid runs print the full analysis, invalid ones error
+// before the first byte of output.
+func TestRunTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string   // substring of the error, "" = success
+		wantOut []string // substrings that must appear on success
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			wantOut: []string{
+				"Four-index transform analysis: n = 368",
+				"Fusion configurations ranked",
+				"op1234",
+				"Fast-memory thresholds",
+			},
+		},
+		{
+			name: "with advice and plan",
+			args: []string{"-n", "100", "-s", "4", "-mem", "8GB", "-local", "1GB"},
+			wantOut: []string{
+				"Advice for 8.00 GB",
+				"Two-level hierarchy plan",
+			},
+		},
+		{name: "zero n", args: []string{"-n", "0"}, wantErr: "-n must be positive"},
+		{name: "negative n", args: []string{"-n", "-4"}, wantErr: "-n must be positive"},
+		{name: "zero s", args: []string{"-s", "0"}, wantErr: "-s must be at least 1"},
+		{name: "bad mem", args: []string{"-mem", "lots"}, wantErr: "lots"},
+		{name: "bad local", args: []string{"-mem", "8GB", "-local", "??"}, wantErr: "??"},
+		{name: "local without mem", args: []string{"-local", "1GB"}, wantErr: "-local needs -mem"},
+		{name: "stray argument", args: []string{"extra"}, wantErr: `unexpected argument "extra"`},
+		{name: "malformed flag", args: []string{"-n", "abc"}, wantErr: "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tc.args, &out)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("run(%v) error = %v, want substring %q", tc.args, err, tc.wantErr)
+				}
+				if out.Len() != 0 {
+					t.Errorf("run(%v) printed %d bytes before failing:\n%s", tc.args, out.Len(), out.String())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("run(%v) output missing %q", tc.args, want)
+				}
+			}
+		})
+	}
+}

@@ -38,6 +38,7 @@ import (
 	ifx "fourindex/internal/fourindex"
 	"fourindex/internal/ga"
 	"fourindex/internal/lb"
+	"fourindex/internal/lb/chain"
 	"fourindex/internal/perf"
 	"fourindex/internal/scf"
 	"fourindex/internal/sym"
@@ -413,3 +414,54 @@ type FaultSweepRow = experiments.FaultSweepRow
 func RunFaultSweep(scheme Scheme, rates []float64, seedsPerRate int) ([]FaultSweepRow, error) {
 	return experiments.RunFaultSweep(scheme, rates, seedsPerRate)
 }
+
+// Chain is a declarative contraction chain: named boundary tensors
+// around a sequence of matmul-shaped contractions. The bound engine
+// derives per-op lower bounds, fusion rankings, capacity thresholds and
+// frontier curves for any Chain — the four-index transform is just the
+// built-in instance.
+type Chain = chain.Chain
+
+// ChainTensor is one boundary tensor of a Chain.
+type ChainTensor = chain.Tensor
+
+// ChainContraction is one matmul-shaped contraction of a Chain.
+type ChainContraction = chain.Contraction
+
+// ChainConfig is a fusion configuration over a Chain's contractions.
+type ChainConfig = chain.Config
+
+// ChainThresholds are the derived regime-change capacities of a Chain.
+type ChainThresholds = chain.Thresholds
+
+// ChainReport is the engine's full analysis of one Chain.
+type ChainReport = ifx.ChainReport
+
+// FourIndexChain builds the paper's four-index transform as a Chain:
+// the engine derives from it exactly the hand-proved Section 4-6
+// numbers (bounds, thresholds, rankings, curves).
+func FourIndexChain(n, s int) (*Chain, error) { return chain.FourIndex(n, s) }
+
+// MP2Chain builds the two-contraction MP2-style half-transform
+// AO -> half-transformed -> MO for occ occupied and virt virtual
+// orbitals.
+func MP2Chain(occ, virt int) (*Chain, error) { return chain.MP2(occ, virt) }
+
+// RectChain builds the rectangular two-matmul chain E = (A B) C with
+// A of shape n x k, matching the cdag.BuildRectChain pebble-game DAG.
+func RectChain(n, k int) (*Chain, error) { return chain.Rect(n, k) }
+
+// ChainByName builds a named built-in chain ("fourindex", "mp2",
+// "rect") from its two extent arguments.
+func ChainByName(name string, a, b int) (*Chain, error) { return chain.ByName(name, a, b) }
+
+// AnalyzeChain runs the bound engine over a chain: validation,
+// thresholds, fusion-configuration ranking, frontier curves, and — when
+// capacityElements > 0 — per-configuration bounds and feasibility at
+// that capacity. Errors are typed, never panics.
+func AnalyzeChain(c *Chain, capacityElements int64, perDecade int) (*ChainReport, error) {
+	return ifx.AnalyzeChain(c, capacityElements, perDecade)
+}
+
+// WriteChainReport renders a ChainReport as aligned text tables.
+func WriteChainReport(w io.Writer, rep *ChainReport) error { return ifx.WriteChainReport(w, rep) }

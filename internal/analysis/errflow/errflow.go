@@ -1,5 +1,5 @@
 // Package errflow flags discarded errors from the runtime packages (ga,
-// tensor, lb). The evaluation reproduces the paper's "Failed"
+// tensor, lb, chain). The evaluation reproduces the paper's "Failed"
 // configurations by observing ErrGlobalOOM / ErrLocalOOM from exactly
 // these APIs: a swallowed error does not just hide a bug, it silently
 // converts a "Failed" data point into a bogus success. Errors must be
@@ -19,7 +19,7 @@ import (
 // Analyzer is the errflow analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "errflow",
-	Doc:  "errors from ga/tensor/lb APIs (notably ErrGlobalOOM/ErrLocalOOM) must not be discarded",
+	Doc:  "errors from ga/tensor/lb/chain APIs (notably ErrGlobalOOM/ErrLocalOOM and the bound engine's typed errors) must not be discarded",
 	Run:  run,
 }
 
@@ -29,6 +29,10 @@ var watchedPackages = map[string]bool{
 	"ga":     true,
 	"tensor": true,
 	"lb":     true,
+	// The bound engine's typed errors (*ValidationError, *CapacityError,
+	// *OverflowError) are fouridxd's 422 responses; a dropped one turns a
+	// semantic rejection into a silently wrong bound.
+	"chain": true,
 }
 
 var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"fourindex/internal/ga"
+	"fourindex/internal/lb/chain"
 	"fourindex/internal/tile"
 )
 
@@ -65,4 +66,24 @@ func cleanErrorOnly(rt *ga.Runtime) {
 // cleanNoError calls ga APIs without error results; nothing to check.
 func cleanNoError(a *ga.Array) {
 	a.Bytes()
+}
+
+// dropChainBuilder discards a chain builder's validation error.
+func dropChainBuilder() {
+	chain.FourIndex(24, 2) // want `error from chain\.FourIndex is discarded`
+}
+
+// dropChainBound blanks the bound engine's capacity error.
+func dropChainBound(c *chain.Chain, cfg chain.Config) float64 {
+	b, _ := c.ConfigBoundAt(cfg, 0) // want `error from chain\.ConfigBoundAt is assigned to the blank identifier`
+	return b
+}
+
+// cleanChain propagates the engine's typed errors.
+func cleanChain() (*chain.Chain, error) {
+	c, err := chain.MP2(4, 12)
+	if err != nil {
+		return nil, fmt.Errorf("mp2: %w", err)
+	}
+	return c, nil
 }

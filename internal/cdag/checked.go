@@ -1,0 +1,28 @@
+package cdag
+
+import "fourindex/internal/lb/chain"
+
+// Idx4 (fourindex.go) silently wraps for extents where n^4 exceeds the
+// int range; graph builders never reach that regime (they cap at toy
+// extents), but callers sizing full tensors from user-supplied extents
+// must use the checked variant.
+
+// Idx4Checked linearises a 4-tuple at extent n like Idx4, with int64
+// arithmetic and a typed *chain.OverflowError instead of silent
+// wraparound when ((a*n+b)*n+c)*n+d does not fit. The largest safe
+// extent is n = 55108 (55108^4 < 2^63 <= 55109^4).
+func Idx4Checked(n, a, b, c, d int64) (int64, error) {
+	idx := a
+	for _, next := range []int64{b, c, d} {
+		v, err := chain.MulInt64(idx, n)
+		if err != nil {
+			return 0, err
+		}
+		v, err = chain.AddInt64(v, next)
+		if err != nil {
+			return 0, err
+		}
+		idx = v
+	}
+	return idx, nil
+}

@@ -1,0 +1,40 @@
+package cdag
+
+import (
+	"errors"
+	"testing"
+
+	"fourindex/internal/lb/chain"
+)
+
+// TestIdx4CheckedMatchesIdx4 pins the checked variant against the
+// unchecked bijection in the safe range.
+func TestIdx4CheckedMatchesIdx4(t *testing.T) {
+	const n = 7
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			got, err := Idx4Checked(n, int64(a), int64(b), int64(n-1), int64(a))
+			if err != nil {
+				t.Fatalf("Idx4Checked: %v", err)
+			}
+			if want := Idx4(n, a, b, n-1, a); got != int64(want) {
+				t.Fatalf("Idx4Checked(%d,%d,%d,%d,%d) = %d, want %d", n, a, b, n-1, a, got, want)
+			}
+		}
+	}
+}
+
+// TestIdx4CheckedOverflowBoundary pins the largest safe extent: the top
+// linear index n^4-1 fits int64 at n = 55108 and overflows at 55109 —
+// where the unchecked Idx4 would wrap silently.
+func TestIdx4CheckedOverflowBoundary(t *testing.T) {
+	const fits, wraps = 55108, 55109
+	if _, err := Idx4Checked(fits, fits-1, fits-1, fits-1, fits-1); err != nil {
+		t.Fatalf("Idx4Checked at n=%d: %v", fits, err)
+	}
+	_, err := Idx4Checked(wraps, wraps-1, wraps-1, wraps-1, wraps-1)
+	var oe *chain.OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Idx4Checked at n=%d: want *chain.OverflowError, got %v", wraps, err)
+	}
+}

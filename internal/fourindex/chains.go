@@ -1,0 +1,198 @@
+package fourindex
+
+import (
+	"fmt"
+	"io"
+
+	"fourindex/internal/lb/chain"
+)
+
+// This file bridges the generalized bound engine (internal/lb/chain) to
+// the façade, the fouridx chains subcommand, and the fouridxd job
+// payload: any declarative contraction chain — the built-in fourindex /
+// mp2 / rect scenarios or a user-submitted description — gets derived
+// bounds, fusion rankings, and frontier curves end to end.
+
+// maxChainCurves caps how many ranked configurations get full frontier
+// curves in a report; rankings always cover every configuration.
+const maxChainCurves = 16
+
+// ChainAtCapacity is one configuration's analysis at a specific
+// fast-memory capacity.
+type ChainAtCapacity struct {
+	// Config is the fusion configuration in op-notation.
+	Config string `json:"config"`
+	// BoundElements is the derived I/O lower bound at the capacity.
+	BoundElements float64 `json:"boundElements"`
+	// MinMemoryElements is the configuration's feasibility floor.
+	MinMemoryElements int64 `json:"minMemoryElements"`
+	// Feasible reports MinMemoryElements <= capacity.
+	Feasible bool `json:"feasible"`
+}
+
+// ChainReport is the engine's full analysis of one contraction chain:
+// thresholds, a ranking of every fusion configuration, frontier curves
+// for the best-ranked configurations, and (when a capacity is given)
+// per-configuration bounds at that capacity plus the admission floor.
+type ChainReport struct {
+	// Chain names the analysed chain.
+	Chain string `json:"chain"`
+	// Ops is the contraction count.
+	Ops int `json:"ops"`
+	// Boundaries lists the declared tensors in producer order.
+	Boundaries []chain.Tensor `json:"boundaries"`
+	// Thresholds are the derived regime-change capacities.
+	Thresholds chain.Thresholds `json:"thresholds"`
+	// Rankings orders every fusion configuration by I/O floor.
+	Rankings []chain.RankedConfig `json:"rankings"`
+	// Curves holds frontier curves for the best-ranked configurations
+	// (at most maxChainCurves), in ranking order.
+	Curves []chain.Curve `json:"curves"`
+	// MinMemoryElements is the smallest feasibility floor over all
+	// configurations — the analytic admission floor: below it no
+	// schedule shape runs the chain at all.
+	MinMemoryElements int64 `json:"minMemoryElements"`
+	// CapacityElements echoes the capacity the report was priced at
+	// (0 when none was given).
+	CapacityElements int64 `json:"capacityElements,omitempty"`
+	// AtCapacity analyses every configuration at CapacityElements, in
+	// ranking order (nil when no capacity was given).
+	AtCapacity []ChainAtCapacity `json:"atCapacity,omitempty"`
+	// BestConfig is the lowest-bound feasible configuration at
+	// CapacityElements ("" when no capacity was given or none fits).
+	BestConfig string `json:"bestConfig,omitempty"`
+	// BestBoundElements is BestConfig's bound at CapacityElements.
+	BestBoundElements float64 `json:"bestBoundElements,omitempty"`
+}
+
+// AnalyzeChain runs the bound engine over a chain description:
+// validation, thresholds, full configuration ranking, frontier curves,
+// and — when capacityElements > 0 — per-configuration bounds at that
+// capacity. Errors are typed (*chain.ValidationError,
+// *chain.OverflowError, *chain.CapacityError), never panics: this is
+// the path fouridxd prices user-submitted chains through.
+func AnalyzeChain(c *chain.Chain, capacityElements int64, perDecade int) (*ChainReport, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if capacityElements < 0 {
+		return nil, &chain.CapacityError{S: capacityElements, Reason: "fast-memory capacity must be positive (or 0 to skip capacity pricing)"}
+	}
+	ranked, err := c.RankConfigs()
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChainReport{
+		Chain:      c.Name,
+		Ops:        c.NumOps(),
+		Boundaries: c.Boundaries,
+		Thresholds: c.Thresholds(),
+		Rankings:   ranked,
+	}
+	rep.MinMemoryElements = ranked[0].MinMemory
+	for _, rc := range ranked {
+		if rc.MinMemory < rep.MinMemoryElements {
+			rep.MinMemoryElements = rc.MinMemory
+		}
+	}
+	grid := c.CapacityGrid(perDecade)
+	for i, rc := range ranked {
+		if i >= maxChainCurves {
+			break
+		}
+		cv, err := c.ComputeCurve(rc.Config, grid)
+		if err != nil {
+			return nil, err
+		}
+		rep.Curves = append(rep.Curves, cv)
+	}
+	if capacityElements > 0 {
+		rep.CapacityElements = capacityElements
+		for _, rc := range ranked {
+			b, err := c.ConfigBoundAt(rc.Config, capacityElements)
+			if err != nil {
+				return nil, err
+			}
+			at := ChainAtCapacity{
+				Config:            rc.Name,
+				BoundElements:     b,
+				MinMemoryElements: rc.MinMemory,
+				Feasible:          rc.MinMemory <= capacityElements,
+			}
+			rep.AtCapacity = append(rep.AtCapacity, at)
+			if at.Feasible && (rep.BestConfig == "" || at.BoundElements < rep.BestBoundElements) {
+				rep.BestConfig = at.Config
+				rep.BestBoundElements = at.BoundElements
+			}
+		}
+	}
+	return rep, nil
+}
+
+// ChainScenario names one built-in chain of the chains subcommand.
+type ChainScenario struct {
+	// Name is the registry key ("fourindex", "mp2", "rect").
+	Name string
+	// ArgNames documents the two extent arguments.
+	ArgNames [2]string
+	// Build constructs the chain for the two extents.
+	Build func(a, b int) (*chain.Chain, error)
+}
+
+// ChainScenarios lists the built-in chains in a fixed order.
+func ChainScenarios() []ChainScenario {
+	return []ChainScenario{
+		{Name: "fourindex", ArgNames: [2]string{"n", "s"}, Build: chain.FourIndex},
+		{Name: "mp2", ArgNames: [2]string{"occ", "virt"}, Build: chain.MP2},
+		{Name: "rect", ArgNames: [2]string{"n", "k"}, Build: chain.Rect},
+	}
+}
+
+// WriteChainReport renders a report as the aligned tables the chains
+// subcommand prints: the ranking table always, the capacity table when
+// the report was priced at a capacity.
+func WriteChainReport(w io.Writer, rep *ChainReport) error {
+	if _, err := fmt.Fprintf(w, "chain %s: %d ops, admission floor %d elements\n",
+		rep.Chain, rep.Ops, rep.MinMemoryElements); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "thresholds: single %d, pair-useful %d, pair %d, full-reuse %d (sufficient %d)\n",
+		rep.Thresholds.SingleTight, rep.Thresholds.PairUseful, rep.Thresholds.PairFusion,
+		rep.Thresholds.FullReuse, rep.Thresholds.FullReuseSufficient); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %16s %6s %16s %10s\n", "CONFIG", "IO-FLOOR", "TIGHT", "MIN-MEMORY", "KNEE-S"); err != nil {
+		return err
+	}
+	knees := make(map[string]int64, len(rep.Curves))
+	for _, cv := range rep.Curves {
+		knees[cv.Config] = cv.FlatAtS
+	}
+	for _, rc := range rep.Rankings {
+		knee := "-"
+		if s, ok := knees[rc.Name]; ok {
+			knee = fmt.Sprintf("%d", s)
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %16d %6v %16d %10s\n", rc.Name, rc.IO, rc.Tight, rc.MinMemory, knee); err != nil {
+			return err
+		}
+	}
+	if rep.CapacityElements > 0 {
+		best := "none feasible"
+		if rep.BestConfig != "" {
+			best = fmt.Sprintf("best %s, bound %.4g", rep.BestConfig, rep.BestBoundElements)
+		}
+		if _, err := fmt.Fprintf(w, "at capacity %d elements (%s):\n", rep.CapacityElements, best); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %18s %10s\n", "CONFIG", "BOUND", "FEASIBLE"); err != nil {
+			return err
+		}
+		for _, at := range rep.AtCapacity {
+			if _, err := fmt.Fprintf(w, "%-14s %18.6g %10v\n", at.Config, at.BoundElements, at.Feasible); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package fourindex
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fourindex/internal/lb"
+	"fourindex/internal/lb/chain"
+	"fourindex/internal/sym"
+)
+
+// TestAnalyzeChainFourIndex pins the report for the canonical four-index
+// chain against the hand-derived lb package: ranking order, admission
+// floor, and the best config at a generous capacity.
+func TestAnalyzeChainFourIndex(t *testing.T) {
+	c, err := chain.FourIndex(368, 8)
+	if err != nil {
+		t.Fatalf("FourIndex: %v", err)
+	}
+	sz := sym.ExactSizes(368, 8)
+	wantFloor := lb.ConfigMinMemory(lb.AllFusionConfigs()[0], 368, 8)
+	for _, cfg := range lb.AllFusionConfigs() {
+		if m := lb.ConfigMinMemory(cfg, 368, 8); m < wantFloor {
+			wantFloor = m
+		}
+	}
+	// Price exactly at the admission floor: the cheapest shape (fully
+	// fused) just fits, every other shape is infeasible.
+	cap := wantFloor
+	rep, err := AnalyzeChain(c, cap, 12)
+	if err != nil {
+		t.Fatalf("AnalyzeChain: %v", err)
+	}
+	if rep.Ops != 4 || len(rep.Rankings) != 8 {
+		t.Fatalf("got %d ops, %d rankings; want 4, 8", rep.Ops, len(rep.Rankings))
+	}
+	want := lb.RankConfigs(sz)
+	for i, rc := range rep.Rankings {
+		if rc.Name != want[i].Config.String() || rc.IO != want[i].IO {
+			t.Errorf("ranking[%d] = %s/%d, want %s/%d", i, rc.Name, rc.IO, want[i].Config.String(), want[i].IO)
+		}
+	}
+	// Fully fused has the lowest floor, so it is the only feasible shape
+	// at the admission floor and must win the at-capacity pricing.
+	if rep.BestConfig != "op1234" {
+		t.Errorf("BestConfig = %q, want op1234", rep.BestConfig)
+	}
+	if rep.MinMemoryElements != wantFloor {
+		t.Errorf("MinMemoryElements = %d, want %d", rep.MinMemoryElements, wantFloor)
+	}
+	if len(rep.AtCapacity) != 8 {
+		t.Fatalf("got %d at-capacity rows, want 8", len(rep.AtCapacity))
+	}
+	// Several configs share the fully-fused fallback floor, so assert
+	// the feasibility flag against each row's own floor; the unfused
+	// shapes (full intermediates resident) must be priced out.
+	for _, at := range rep.AtCapacity {
+		if want := at.MinMemoryElements <= cap; at.Feasible != want {
+			t.Errorf("config %s feasible=%v at capacity %d (floor %d), want %v",
+				at.Config, at.Feasible, cap, at.MinMemoryElements, want)
+		}
+		if at.Config == "op1234" && !at.Feasible {
+			t.Errorf("op1234 infeasible at its own floor %d", cap)
+		}
+		if at.Config == "op1/2/3/4" && at.Feasible {
+			t.Errorf("unfused feasible at the fused admission floor %d", cap)
+		}
+	}
+}
+
+// TestAnalyzeChainMP2NoCapacity checks the capacity-free path: no
+// at-capacity table, no best config, curves still present.
+func TestAnalyzeChainMP2NoCapacity(t *testing.T) {
+	c, err := chain.MP2(8, 24)
+	if err != nil {
+		t.Fatalf("MP2: %v", err)
+	}
+	rep, err := AnalyzeChain(c, 0, 10)
+	if err != nil {
+		t.Fatalf("AnalyzeChain: %v", err)
+	}
+	if rep.Ops != 2 || len(rep.Rankings) != 2 {
+		t.Fatalf("got %d ops, %d rankings; want 2, 2", rep.Ops, len(rep.Rankings))
+	}
+	if rep.CapacityElements != 0 || rep.AtCapacity != nil || rep.BestConfig != "" {
+		t.Errorf("capacity-free report carries capacity fields: %+v", rep)
+	}
+	if len(rep.Curves) != 2 {
+		t.Fatalf("got %d curves, want 2", len(rep.Curves))
+	}
+	for _, cv := range rep.Curves {
+		if len(cv.Points) == 0 {
+			t.Errorf("curve %s has no points", cv.Config)
+		}
+	}
+}
+
+// TestAnalyzeChainErrors checks the typed-error contract the serve layer
+// depends on: invalid chains and capacities return errors, never panic.
+func TestAnalyzeChainErrors(t *testing.T) {
+	var ve *chain.ValidationError
+	if _, err := AnalyzeChain(nil, 0, 10); !errors.As(err, &ve) {
+		t.Errorf("nil chain: want *chain.ValidationError, got %v", err)
+	}
+	bad := &chain.Chain{
+		Name:       "bad",
+		Boundaries: []chain.Tensor{{Name: "A", Elements: -4}, {Name: "B", Elements: 9}},
+		Ops:        []chain.Contraction{{Name: "op", Rows: 3, Red: 3, Prod: 3, OperandElements: 9}},
+	}
+	if _, err := AnalyzeChain(bad, 0, 10); !errors.As(err, &ve) {
+		t.Errorf("negative boundary: want *chain.ValidationError, got %v", err)
+	}
+	good, err := chain.Rect(32, 4)
+	if err != nil {
+		t.Fatalf("Rect: %v", err)
+	}
+	var ce *chain.CapacityError
+	if _, err := AnalyzeChain(good, -1, 10); !errors.As(err, &ce) {
+		t.Errorf("negative capacity: want *chain.CapacityError, got %v", err)
+	}
+}
+
+// TestWriteChainReport smoke-tests the text rendering both with and
+// without a capacity table.
+func TestWriteChainReport(t *testing.T) {
+	c, err := chain.Rect(64, 6)
+	if err != nil {
+		t.Fatalf("Rect: %v", err)
+	}
+	rep, err := AnalyzeChain(c, 4096, 10)
+	if err != nil {
+		t.Fatalf("AnalyzeChain: %v", err)
+	}
+	var b strings.Builder
+	if err := WriteChainReport(&b, rep); err != nil {
+		t.Fatalf("WriteChainReport: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"chain rect", "CONFIG", "IO-FLOOR", "at capacity 4096", "FEASIBLE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChainScenarios checks the registry agrees with chain.ByName.
+func TestChainScenarios(t *testing.T) {
+	for _, sc := range ChainScenarios() {
+		got, err := sc.Build(16, 4)
+		if err != nil {
+			t.Fatalf("%s build: %v", sc.Name, err)
+		}
+		want, err := chain.ByName(sc.Name, 16, 4)
+		if err != nil {
+			t.Fatalf("%s ByName: %v", sc.Name, err)
+		}
+		if got.Name != want.Name || got.NumOps() != want.NumOps() {
+			t.Errorf("%s: scenario and ByName disagree", sc.Name)
+		}
+	}
+}

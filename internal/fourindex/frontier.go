@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"fourindex/internal/lb"
+	"fourindex/internal/lb/chain"
 	"fourindex/internal/sym"
 )
 
@@ -348,6 +349,12 @@ func TuneFrontierContext(ctx context.Context, opt Options, space TuneSpace, tole
 	enforced := capElems > 0
 	if !enforced {
 		capElems = opt.Run.AggregateMemBytes() / 8
+	}
+	// A byte budget under one element, or a machine model with no
+	// memory, leaves no capacity to bound against — surface the typed
+	// capacity error instead of reaching lb's checkS panic.
+	if err := chain.CheckCapacity(capElems); err != nil {
+		return nil, fmt.Errorf("fourindex: frontier tuner: %w", err)
 	}
 
 	flopRate := opt.Run.FlopsPerSecPerRank() * float64(opt.Run.Ranks)

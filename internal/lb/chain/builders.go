@@ -1,0 +1,181 @@
+package chain
+
+import "fmt"
+
+// Builders for the chains the repository analyses end to end. Each
+// returns a validated chain or a typed error (*ValidationError for bad
+// extents, *OverflowError when a tensor size exceeds int64) — never a
+// panic, since extents reach these from CLI flags and fouridxd job
+// payloads.
+//
+// FourIndex is the paper's chain; the engine's output on it reproduces
+// every hand-derived Section 5/6 quantity in package lb bit-exactly
+// (pinned by golden tests there and in this package).
+
+// FourIndex describes the paper's four-index transform chain
+// A→O1→O2→O3→C at extent n with spatial symmetry s >= 1 on the output:
+// four (n^3 x n) x (n x n) contractions over the packed symmetric sizes
+// of Table 1 (M = n(n+1)/2):
+//
+//	|A| = M^2, |O1| = n^2 M, |O2| = M^2, |O3| = M n^2, |C| = M^2/s
+//
+// with the Section 7 width-1 streaming slabs n^3/2, n^3, n^3/2, n^3/2.
+func FourIndex(n, s int) (*Chain, error) {
+	if n <= 0 {
+		return nil, &ValidationError{Chain: "fourindex", Field: "n", Reason: fmt.Sprintf("extent must be positive, got %d", n)}
+	}
+	if s < 1 {
+		s = 1 // mirror sym.ExactSizes: no spatial symmetry
+	}
+	n64 := int64(n)
+	np, err := MulInt64(n64, n64+1)
+	if err != nil {
+		return nil, err
+	}
+	m := np / 2
+	m2, err := MulInt64(m, m)
+	if err != nil {
+		return nil, err
+	}
+	nn, err := MulInt64(n64, n64)
+	if err != nil {
+		return nil, err
+	}
+	n3, err := MulInt64(nn, n64)
+	if err != nil {
+		return nil, err
+	}
+	nnm, err := MulInt64(nn, m)
+	if err != nil {
+		return nil, err
+	}
+	op := func(name string) Contraction {
+		return Contraction{Name: name, Rows: n3, Red: n64, Prod: n64, OperandElements: nn}
+	}
+	c := &Chain{
+		Name: "fourindex",
+		Boundaries: []Tensor{
+			{Name: "A", Elements: m2, SlabElements: n3 / 2},
+			{Name: "O1", Elements: nnm, SlabElements: n3},
+			{Name: "O2", Elements: m2, SlabElements: n3 / 2},
+			{Name: "O3", Elements: nnm, SlabElements: n3 / 2},
+			{Name: "C", Elements: m2 / int64(s)},
+		},
+		Ops: []Contraction{op("op1"), op("op2"), op("op3"), op("op4")},
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MP2 describes an MP2-style half transform: the dense AO integral
+// tensor (N^4, N = occ+virt) is contracted twice, first projecting one
+// index onto the occ occupied orbitals, then one onto the virt virtual
+// orbitals:
+//
+//	AO[N^4] --C_occ[N x occ]--> Half[occ N^3] --C_virt[N x virt]--> MO[occ virt N^2]
+//
+// No symmetry packing is applied, so the sizes are the dense products;
+// streaming slabs are one unit of the outermost AO index.
+func MP2(occ, virt int) (*Chain, error) {
+	if occ <= 0 || virt <= 0 {
+		return nil, &ValidationError{Chain: "mp2", Field: "occ/virt", Reason: fmt.Sprintf("orbital counts must be positive, got (%d,%d)", occ, virt)}
+	}
+	nb, err := AddInt64(int64(occ), int64(virt))
+	if err != nil {
+		return nil, err
+	}
+	n2, err := MulInt64(nb, nb)
+	if err != nil {
+		return nil, err
+	}
+	n3, err := MulInt64(n2, nb)
+	if err != nil {
+		return nil, err
+	}
+	n4, err := MulInt64(n3, nb)
+	if err != nil {
+		return nil, err
+	}
+	half, err := MulInt64(int64(occ), n3)
+	if err != nil {
+		return nil, err
+	}
+	halfSlab, err := MulInt64(int64(occ), n2)
+	if err != nil {
+		return nil, err
+	}
+	mo, err := Mul3Int64(int64(occ), int64(virt), n2)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{
+		Name: "mp2",
+		Boundaries: []Tensor{
+			{Name: "AO", Elements: n4, SlabElements: n3},
+			{Name: "Half", Elements: half, SlabElements: halfSlab},
+			{Name: "MO", Elements: mo},
+		},
+		Ops: []Contraction{
+			{Name: "op1", Rows: n3, Red: nb, Prod: int64(occ), OperandElements: satMul(nb, int64(occ))},
+			{Name: "op2", Rows: satMul(int64(occ), n2), Red: nb, Prod: int64(virt), OperandElements: satMul(nb, int64(virt))},
+		},
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Rect describes the rectangular two-matmul chain of cdag.BuildRectChain
+// (Section 4's second producer-consumer example): E = (A*B)*D with
+// A (N x K), B (K x N), D (N x K) and N >= K >= 1 — the regime where the
+// N x N intermediate dwarfs both products' inherent I/O and fusion is
+// maximally profitable. Streaming slabs are one row of A and of C.
+func Rect(n, k int) (*Chain, error) {
+	if n < k || k < 1 {
+		return nil, &ValidationError{Chain: "rect", Field: "n/k", Reason: fmt.Sprintf("need n >= k >= 1, got (%d,%d)", n, k)}
+	}
+	n64, k64 := int64(n), int64(k)
+	nk, err := MulInt64(n64, k64)
+	if err != nil {
+		return nil, err
+	}
+	n2, err := MulInt64(n64, n64)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{
+		Name: "rect",
+		Boundaries: []Tensor{
+			{Name: "A", Elements: nk, SlabElements: k64},
+			{Name: "C", Elements: n2, SlabElements: n64},
+			{Name: "E", Elements: nk},
+		},
+		Ops: []Contraction{
+			{Name: "op1", Rows: n64, Red: k64, Prod: n64, OperandElements: nk},
+			{Name: "op2", Rows: n64, Red: n64, Prod: k64, OperandElements: nk},
+		},
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ByName builds one of the named example chains: "fourindex" (args n, s),
+// "mp2" (args occ, virt), "rect" (args n, k). It is the registry behind
+// the fouridx chains subcommand.
+func ByName(name string, a, b int) (*Chain, error) {
+	switch name {
+	case "fourindex":
+		return FourIndex(a, b)
+	case "mp2":
+		return MP2(a, b)
+	case "rect":
+		return Rect(a, b)
+	default:
+		return nil, &ValidationError{Chain: name, Field: "name", Reason: `unknown chain (want "fourindex", "mp2", or "rect")`}
+	}
+}

@@ -1,0 +1,147 @@
+// Package chain is the generalized data-movement bound engine: it
+// derives the paper's Section 5/6 quantities — per-contraction I/O lower
+// bounds, Fusion-Lemma bounds over fused groups, fusion-configuration
+// enumeration and ranking, capacity thresholds, feasibility floors and
+// capacity-vs-bound frontier curves — from a declarative description of
+// an arbitrary contraction chain instead of the hand-derived four-index
+// closed forms (the Olivry et al. direction of ROADMAP item 3).
+//
+// A Chain declares the boundary tensors (packed element counts with all
+// symmetry factors applied, plus per-unit-width slab sizes along the
+// streamed fusion index) and the ordered contractions between them, each
+// viewed as a (Rows x Red) by (Red x Prod) matrix product against a
+// small operand. Everything else — thresholds, bounds, grids, curves —
+// is computed by the engine, and package lb's four-index API is a thin
+// delegation over FourIndex(n, s); the hand-derived closed forms survive
+// only as golden tests of the engine's output.
+//
+// Unlike package lb's historical API, every user-reachable entry point
+// here validates its inputs and returns typed errors (*ValidationError,
+// *CapacityError, *OverflowError) instead of panicking: chains and
+// capacities arrive from fouridxd job payloads, so malformed input must
+// surface as a 422, never as a server crash.
+package chain
+
+import "fmt"
+
+// Tensor describes one chain-boundary tensor of the chain: the input,
+// the intermediates, and the final output.
+type Tensor struct {
+	// Name labels the tensor ("A", "O1", ...).
+	Name string `json:"name"`
+	// Elements is the packed element count with every permutational and
+	// spatial symmetry factor applied (the |T| of Section 5).
+	Elements int64 `json:"elements"`
+	// SlabElements is the element count of a width-1 slab of the tensor
+	// along the streamed fusion index — the per-unit working set a fused
+	// schedule holds while streaming (Section 7's Tl = 1 slabs). Zero for
+	// tensors a fused group never slabs (in particular the final output,
+	// which full fusion keeps resident).
+	SlabElements int64 `json:"slabElements,omitempty"`
+}
+
+// Contraction describes one tensor contraction of the chain: it consumes
+// the tensor at its left boundary, reduces one index of length Red
+// against an operand of OperandElements entries, and produces the tensor
+// at its right boundary. Viewed as a matrix product it is
+// (Rows x Red) by (Red x Prod) — the shape the Dongarra et al. bound and
+// the tightness thresholds are derived from.
+type Contraction struct {
+	// Name labels the contraction ("op1", ...).
+	Name string `json:"name"`
+	// Rows is the product of the input tensor's non-reduced extents (the
+	// matmul row count; n^3 for the four-index transform).
+	Rows int64 `json:"rows"`
+	// Red is the reduced index extent (the matmul inner dimension).
+	Red int64 `json:"red"`
+	// Prod is the produced index extent (the matmul column count).
+	Prod int64 `json:"prod"`
+	// OperandElements is the size of the small contracted operand (the
+	// |B| = Red*Prod coefficient panel, possibly symmetry-reduced).
+	OperandElements int64 `json:"operandElements"`
+}
+
+// Chain is a declarative contraction chain: len(Boundaries) tensors
+// threaded by len(Ops) = len(Boundaries)-1 contractions, each consuming
+// Boundaries[i] and producing Boundaries[i+1].
+type Chain struct {
+	// Name labels the chain ("fourindex", "mp2", ...).
+	Name string `json:"name"`
+	// Boundaries lists the tensors in producer order: Boundaries[0] is
+	// the chain input, Boundaries[len-1] the final output.
+	Boundaries []Tensor `json:"boundaries"`
+	// Ops lists the contractions in execution order.
+	Ops []Contraction `json:"ops"`
+}
+
+// NumOps returns the number of contractions in the chain.
+func (c *Chain) NumOps() int { return len(c.Ops) }
+
+// Input returns the chain's input tensor.
+func (c *Chain) Input() Tensor { return c.Boundaries[0] }
+
+// Output returns the chain's final output tensor.
+func (c *Chain) Output() Tensor { return c.Boundaries[len(c.Boundaries)-1] }
+
+// in returns the element count flowing into op i (0-based).
+func (c *Chain) in(i int) int64 { return c.Boundaries[i].Elements }
+
+// out returns the element count flowing out of op i (0-based).
+func (c *Chain) out(i int) int64 { return c.Boundaries[i+1].Elements }
+
+// Validate checks the chain description, returning a *ValidationError
+// naming the first offending field. A nil error means every engine
+// method is safe to call.
+func (c *Chain) Validate() error {
+	if c == nil {
+		return &ValidationError{Chain: "", Field: "chain", Reason: "missing chain description"}
+	}
+	bad := func(field, reason string, args ...any) error {
+		return &ValidationError{Chain: c.Name, Field: field, Reason: fmt.Sprintf(reason, args...)}
+	}
+	if len(c.Ops) == 0 {
+		return bad("ops", "chain needs at least one contraction")
+	}
+	if len(c.Ops) > MaxOps {
+		return bad("ops", "chain has %d contractions, engine cap is %d (2^(m-1) config enumeration)", len(c.Ops), MaxOps)
+	}
+	if len(c.Boundaries) != len(c.Ops)+1 {
+		return bad("boundaries", "chain with %d ops needs %d boundary tensors, got %d",
+			len(c.Ops), len(c.Ops)+1, len(c.Boundaries))
+	}
+	for i, t := range c.Boundaries {
+		if t.Elements <= 0 {
+			return bad(fmt.Sprintf("boundaries[%d].elements", i), "tensor %q needs a positive element count, got %d", t.Name, t.Elements)
+		}
+		if t.SlabElements < 0 {
+			return bad(fmt.Sprintf("boundaries[%d].slabElements", i), "tensor %q has a negative slab size %d", t.Name, t.SlabElements)
+		}
+		if t.SlabElements > t.Elements {
+			return bad(fmt.Sprintf("boundaries[%d].slabElements", i), "tensor %q slab %d exceeds its %d elements", t.Name, t.SlabElements, t.Elements)
+		}
+	}
+	for i, op := range c.Ops {
+		if op.Rows <= 0 || op.Red <= 0 || op.Prod <= 0 {
+			return bad(fmt.Sprintf("ops[%d]", i), "contraction %q needs positive Rows/Red/Prod, got (%d,%d,%d)", op.Name, op.Rows, op.Red, op.Prod)
+		}
+		if op.OperandElements <= 0 {
+			return bad(fmt.Sprintf("ops[%d].operandElements", i), "contraction %q needs a positive operand size, got %d", op.Name, op.OperandElements)
+		}
+		// The matmul volume Rows*Red*Prod feeds the Dongarra bound; it
+		// must fit int64 (the typed overflow check the serve path relies
+		// on to 422 absurd extents instead of wrapping silently).
+		if _, err := Mul3Int64(op.Rows, op.Red, op.Prod); err != nil {
+			return bad(fmt.Sprintf("ops[%d]", i), "contraction %q shape (%d,%d,%d): %v", op.Name, op.Rows, op.Red, op.Prod, err)
+		}
+	}
+	// Every fused group's floor sums in+out; the grand total must fit.
+	var total int64
+	for _, t := range c.Boundaries {
+		sum, err := AddInt64(total, t.Elements)
+		if err != nil {
+			return bad("boundaries", "total tensor size: %v", err)
+		}
+		total = sum
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package chain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is a fusion configuration: a partition of an m-contraction
+// chain into contiguous fused groups of 1-based op numbers, e.g.
+// {{1,2},{3,4}} is op12/34. It generalizes lb.FusionConfig to chains of
+// any length.
+type Config struct {
+	// Groups lists the fused groups in chain order; each group is a run
+	// of consecutive op numbers starting at 1.
+	Groups [][]int `json:"groups"`
+}
+
+// String renders the paper's notation: op12/34, op1/2/3/4, op1234, ...
+// (op numbers are concatenated digit-wise, so the notation is only
+// unambiguous for chains of at most 9 contractions — within the engine's
+// MaxOps cap).
+func (c Config) String() string {
+	parts := make([]string, len(c.Groups))
+	for i, g := range c.Groups {
+		var b strings.Builder
+		for _, op := range g {
+			fmt.Fprintf(&b, "%d", op)
+		}
+		parts[i] = b.String()
+	}
+	return "op" + strings.Join(parts, "/")
+}
+
+// EnumerateConfigs enumerates every contiguous grouping of an m-op
+// chain — the 2^(m-1) compositions of m — in the same order as
+// lb.AllFusionConfigs: each of the m-1 group boundaries (after op 2, 3,
+// ...) is cut when its bit is set, with the boundary after op i mapped
+// to bit i-2.
+func EnumerateConfigs(m int) []Config {
+	if m < 1 {
+		return nil
+	}
+	var out []Config
+	for mask := 0; mask < 1<<(m-1); mask++ {
+		var groups [][]int
+		cur := []int{1}
+		for op := 2; op <= m; op++ {
+			if mask&(1<<(op-2)) != 0 { // boundary cut
+				groups = append(groups, cur)
+				cur = []int{op}
+			} else {
+				cur = append(cur, op)
+			}
+		}
+		groups = append(groups, cur)
+		out = append(out, Config{Groups: groups})
+	}
+	return out
+}
+
+// ConfigByName finds an m-op fusion configuration from its op-notation
+// string, returning a *ValidationError for unknown names.
+func ConfigByName(m int, name string) (Config, error) {
+	for _, c := range EnumerateConfigs(m) {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return Config{}, &ValidationError{Field: "config", Reason: fmt.Sprintf("unknown fusion config %q for a %d-op chain", name, m)}
+}
+
+// Unfused returns the all-singletons configuration of an m-op chain.
+func Unfused(m int) Config {
+	groups := make([][]int, m)
+	for i := range groups {
+		groups[i] = []int{i + 1}
+	}
+	return Config{Groups: groups}
+}
+
+// FullyFused returns the single-group configuration of an m-op chain.
+func FullyFused(m int) Config {
+	g := make([]int, m)
+	for i := range g {
+		g[i] = i + 1
+	}
+	return Config{Groups: [][]int{g}}
+}
+
+// CheckConfig verifies that cfg is a contiguous partition of the chain's
+// ops 1..m, returning a *ValidationError otherwise.
+func (c *Chain) CheckConfig(cfg Config) error {
+	bad := func(reason string, args ...any) error {
+		return &ValidationError{Chain: c.Name, Field: "config", Reason: fmt.Sprintf(reason, args...)}
+	}
+	if len(cfg.Groups) == 0 {
+		return bad("configuration has no groups")
+	}
+	want := 1
+	for _, g := range cfg.Groups {
+		if len(g) == 0 {
+			return bad("configuration has an empty group")
+		}
+		for _, op := range g {
+			if op != want {
+				return bad("groups must partition ops 1..%d contiguously; got op %d where %d was expected", len(c.Ops), op, want)
+			}
+			want++
+		}
+	}
+	if want != len(c.Ops)+1 {
+		return bad("configuration covers %d ops, chain has %d", want-1, len(c.Ops))
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+package chain_test
+
+import (
+	"math"
+	"testing"
+
+	"fourindex/internal/lb"
+	"fourindex/internal/lb/chain"
+	"fourindex/internal/sym"
+)
+
+// The golden contract of the refactor: every hand-derived Section 5/6
+// quantity must be reproduced bit-exactly by the engine from the
+// declarative FourIndex description. The closed forms are written out
+// literally here (not via lb, which now delegates) so the engine is
+// pinned against the paper, with the independently implemented lb memory
+// models as the second anchor.
+
+// benchSizes are the (n, s) pairs of the benchmark systems plus small
+// and asymmetric extents.
+var benchSizes = []struct{ n, s int }{
+	{368, 8}, {580, 8}, {698, 8}, {256, 1}, {100, 4}, {12, 1}, {5, 2},
+}
+
+func fourIndex(t *testing.T, n, s int) *chain.Chain {
+	t.Helper()
+	ch, err := chain.FourIndex(n, s)
+	if err != nil {
+		t.Fatalf("FourIndex(%d,%d): %v", n, s, err)
+	}
+	return ch
+}
+
+func TestFourIndexBoundariesMatchSymSizes(t *testing.T) {
+	for _, bs := range benchSizes {
+		ch := fourIndex(t, bs.n, bs.s)
+		sz := sym.ExactSizes(bs.n, bs.s)
+		want := []int64{sz.A, sz.O1, sz.O2, sz.O3, sz.C}
+		for i, w := range want {
+			if got := ch.Boundaries[i].Elements; got != w {
+				t.Errorf("n=%d s=%d boundary %d = %d, want %d", bs.n, bs.s, i, got, w)
+			}
+		}
+	}
+}
+
+func TestThresholdsMatchClosedForms(t *testing.T) {
+	for _, bs := range benchSizes {
+		n64 := int64(bs.n)
+		c := sym.ExactSizes(bs.n, bs.s).C
+		got := fourIndex(t, bs.n, bs.s).Thresholds()
+		want := chain.Thresholds{
+			SingleTight:         n64*n64 + n64 + 1,
+			PairUseful:          3 * n64 * n64,
+			PairFusion:          3*n64*n64 + n64 + 1,
+			FullReuse:           c,
+			FullReuseSufficient: c + 2*n64*n64*n64,
+		}
+		if got != want {
+			t.Errorf("n=%d s=%d thresholds = %+v, want %+v", bs.n, bs.s, got, want)
+		}
+	}
+}
+
+func TestOpBoundMatchesContractionLBBitExactly(t *testing.T) {
+	for _, bs := range benchSizes {
+		ch := fourIndex(t, bs.n, bs.s)
+		n64 := int64(bs.n)
+		sz := sym.ExactSizes(bs.n, bs.s)
+		bounds := []int64{sz.A, sz.O1, sz.O2, sz.O3, sz.C}
+		for _, S := range []int64{7, n64 * n64, n64*n64 + n64 + 1, 4 * n64 * n64} {
+			for i := 0; i < 4; i++ {
+				in, out := bounds[i], bounds[i+1]
+				// The paper's closed form, written out literally.
+				d := 1.73 * float64(n64*n64*n64) * float64(n64) * float64(n64) / math.Sqrt(float64(S))
+				want := float64(in + out)
+				if d > want {
+					want = d
+				}
+				if got := chain.MatmulOpLB(ch.Ops[i].Rows, ch.Ops[i].Red, ch.Ops[i].Prod, S, in, out); got != want {
+					t.Fatalf("n=%d op%d S=%d: engine %v != closed form %v", bs.n, i+1, S, got, want)
+				}
+				if got := lb.ContractionLB(n64, S, in, out); got != want {
+					t.Fatalf("n=%d op%d S=%d: lb.ContractionLB %v != closed form %v", bs.n, i+1, S, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerationReproducesAllFusionConfigs(t *testing.T) {
+	want := lb.AllFusionConfigs()
+	got := chain.EnumerateConfigs(4)
+	if len(got) != len(want) {
+		t.Fatalf("EnumerateConfigs(4) yields %d configs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Errorf("config %d = %s, want %s (order must match)", i, got[i], want[i])
+		}
+		if len(got[i].Groups) != len(want[i].Groups) {
+			t.Errorf("config %d group count mismatch", i)
+			continue
+		}
+		for gi, g := range got[i].Groups {
+			wg := want[i].Groups[gi]
+			if len(g) != len(wg) {
+				t.Errorf("config %d group %d mismatch", i, gi)
+				continue
+			}
+			for oi := range g {
+				if g[oi] != wg[oi] {
+					t.Errorf("config %d group %d op %d = %d, want %d", i, gi, oi, g[oi], wg[oi])
+				}
+			}
+		}
+	}
+}
+
+func TestConfigIOMatchesClosedFormSums(t *testing.T) {
+	for _, bs := range benchSizes {
+		ch := fourIndex(t, bs.n, bs.s)
+		sz := sym.ExactSizes(bs.n, bs.s)
+		bounds := []int64{sz.A, sz.O1, sz.O2, sz.O3, sz.C}
+		for _, cfg := range chain.EnumerateConfigs(4) {
+			var want int64
+			for _, g := range cfg.Groups {
+				want += bounds[g[0]-1] + bounds[g[len(g)-1]]
+			}
+			got, err := ch.ConfigIO(cfg)
+			if err != nil {
+				t.Fatalf("ConfigIO(%s): %v", cfg, err)
+			}
+			if got != want {
+				t.Errorf("n=%d s=%d ConfigIO(%s) = %d, want %d", bs.n, bs.s, cfg, got, want)
+			}
+		}
+	}
+}
+
+// TestConfigMinMemoryMatchesMemoryModels pins the engine's slab-derived
+// feasibility floors against the independently implemented Section 2/7
+// memory models in lb.
+func TestConfigMinMemoryMatchesMemoryModels(t *testing.T) {
+	for _, bs := range benchSizes {
+		ch := fourIndex(t, bs.n, bs.s)
+		for _, cfg := range chain.EnumerateConfigs(4) {
+			var want int64
+			switch cfg.String() {
+			case "op1/2/3/4":
+				want = lb.MemoryUnfused(bs.n, bs.s)
+			case "op12/34":
+				want = lb.MemoryFused12_34(bs.n, bs.s)
+			case "op123/4":
+				want = lb.MemoryFused123(bs.n, bs.s, 1)
+			default: // op1234 and every unimplemented shape
+				want = lb.MemoryFused1234Inner(bs.n, bs.s, 1)
+			}
+			got, err := ch.ConfigMinMemory(cfg)
+			if err != nil {
+				t.Fatalf("ConfigMinMemory(%s): %v", cfg, err)
+			}
+			if got != want {
+				t.Errorf("n=%d s=%d ConfigMinMemory(%s) = %d, want %d", bs.n, bs.s, cfg, got, want)
+			}
+		}
+	}
+}
+
+// TestCapacityGridMatchesClosedFormConstruction replays the historical
+// closed-form grid construction and requires the engine's grid to be
+// identical.
+func TestCapacityGridMatchesClosedFormConstruction(t *testing.T) {
+	for _, bs := range benchSizes {
+		n64 := int64(bs.n)
+		c := sym.ExactSizes(bs.n, bs.s).C
+		lo := (n64*n64 + n64 + 1) / 2
+		if lo < 3 {
+			lo = 3
+		}
+		hi := 2 * lb.MemoryUnfused(bs.n, bs.s)
+		ratio := math.Pow(10, 1/float64(8))
+		want := []int64{n64*n64 + n64 + 1, 3 * n64 * n64, 3*n64*n64 + n64 + 1, c, c + 2*n64*n64*n64}
+		for x := float64(lo); x <= float64(hi); x *= ratio {
+			want = append(want, int64(math.Round(x)))
+		}
+		want = append(want, hi)
+		// Sort + dedupe as the historical code did.
+		for i := 0; i < len(want); i++ {
+			for j := i + 1; j < len(want); j++ {
+				if want[j] < want[i] {
+					want[i], want[j] = want[j], want[i]
+				}
+			}
+		}
+		dedup := want[:0]
+		var prev int64 = -1
+		for _, v := range want {
+			if v != prev {
+				dedup = append(dedup, v)
+				prev = v
+			}
+		}
+		want = dedup
+		got := fourIndex(t, bs.n, bs.s).CapacityGrid(0)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d s=%d grid has %d points, want %d", bs.n, bs.s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d s=%d grid[%d] = %d, want %d", bs.n, bs.s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConfigBoundMonotoneInS is the frontier property: more fast memory
+// never raises a lower bound, on every chain the engine ships.
+func TestConfigBoundMonotoneInS(t *testing.T) {
+	chains := []*chain.Chain{fourIndex(t, 48, 2)}
+	if mp2, err := chain.MP2(8, 24); err != nil {
+		t.Fatalf("MP2: %v", err)
+	} else {
+		chains = append(chains, mp2)
+	}
+	if rect, err := chain.Rect(64, 6); err != nil {
+		t.Fatalf("Rect: %v", err)
+	} else {
+		chains = append(chains, rect)
+	}
+	for _, ch := range chains {
+		grid := ch.CapacityGrid(16)
+		for _, cfg := range chain.EnumerateConfigs(ch.NumOps()) {
+			prev := math.Inf(1)
+			for _, S := range grid {
+				b, err := ch.ConfigBoundAt(cfg, S)
+				if err != nil {
+					t.Fatalf("%s %s S=%d: %v", ch.Name, cfg, S, err)
+				}
+				if b > prev*(1+1e-12) {
+					t.Fatalf("%s %s: bound rises from %v to %v at S=%d", ch.Name, cfg, prev, b, S)
+				}
+				prev = b
+			}
+		}
+	}
+}
+
+// TestFourIndexCurveMatchesLB pins full curve delegation: lb.ComputeCurve
+// and the engine agree point-for-point (bit-exact floats).
+func TestFourIndexCurveMatchesLB(t *testing.T) {
+	const n, s = 368, 8
+	ch := fourIndex(t, n, s)
+	grid := lb.CapacityGrid(n, s, 0)
+	for _, cfg := range chain.EnumerateConfigs(4) {
+		want := lb.ComputeCurve(lb.FusionConfig{Groups: cfg.Groups}, n, s, grid)
+		got, err := ch.ComputeCurve(cfg, grid)
+		if err != nil {
+			t.Fatalf("ComputeCurve(%s): %v", cfg, err)
+		}
+		if got.Config != want.Config || got.FloorElements != want.FloorElements ||
+			got.FlatAtS != want.FlatAtS || got.MinMemoryElements != want.MinMemoryElements {
+			t.Fatalf("curve header mismatch for %s: %+v vs %+v", cfg, got, want)
+		}
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("curve %s has %d points, want %d", cfg, len(got.Points), len(want.Points))
+		}
+		for i := range got.Points {
+			if got.Points[i].S != want.Points[i].S || got.Points[i].BoundElements != want.Points[i].BoundElements {
+				t.Fatalf("curve %s point %d: %+v vs %+v", cfg, i, got.Points[i], want.Points[i])
+			}
+		}
+	}
+}
+
+// TestRankConfigsTheoremOrder checks Theorem 5.2's total order survives
+// the generalization on the four-index chain and that the two-op chains
+// rank full fusion first.
+func TestRankConfigsTheoremOrder(t *testing.T) {
+	ch := fourIndex(t, 368, 8)
+	ranked, err := ch.RankConfigs()
+	if err != nil {
+		t.Fatalf("RankConfigs: %v", err)
+	}
+	if len(ranked) != 8 {
+		t.Fatalf("got %d ranked configs, want 8", len(ranked))
+	}
+	if ranked[0].Name != "op1234" {
+		t.Errorf("best config = %s, want op1234", ranked[0].Name)
+	}
+	wantLB := lb.RankConfigs(sym.ExactSizes(368, 8))
+	for i := range ranked {
+		if ranked[i].Name != wantLB[i].Config.String() || ranked[i].IO != wantLB[i].IO || ranked[i].Tight != wantLB[i].Tight {
+			t.Errorf("rank %d: engine (%s, %d, %v) vs lb (%s, %d, %v)", i,
+				ranked[i].Name, ranked[i].IO, ranked[i].Tight,
+				wantLB[i].Config, wantLB[i].IO, wantLB[i].Tight)
+		}
+	}
+}
+
+// TestMP2EndToEnd drives a non-four-index chain through bounds,
+// rankings, and curves.
+func TestMP2EndToEnd(t *testing.T) {
+	ch, err := chain.MP2(16, 48)
+	if err != nil {
+		t.Fatalf("MP2: %v", err)
+	}
+	nb := int64(16 + 48)
+	ao := nb * nb * nb * nb
+	half := 16 * nb * nb * nb
+	mo := 16 * 48 * nb * nb
+	ranked, err := ch.RankConfigs()
+	if err != nil {
+		t.Fatalf("RankConfigs: %v", err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("got %d configs for a 2-op chain, want 2", len(ranked))
+	}
+	if ranked[0].Name != "op12" || ranked[0].IO != ao+mo {
+		t.Errorf("best = (%s, %d), want (op12, %d)", ranked[0].Name, ranked[0].IO, ao+mo)
+	}
+	if ranked[1].Name != "op1/2" || ranked[1].IO != (ao+half)+(half+mo) {
+		t.Errorf("unfused = (%s, %d), want (op1/2, %d)", ranked[1].Name, ranked[1].IO, (ao+half)+(half+mo))
+	}
+	cv, err := ch.ComputeCurve(chain.FullyFused(2), nil)
+	if err != nil {
+		t.Fatalf("ComputeCurve: %v", err)
+	}
+	if cv.FlatAtS == 0 {
+		t.Errorf("fully fused MP2 curve never flattens (FlatAtS = 0)")
+	}
+	if cv.FloorElements != ao+mo {
+		t.Errorf("fused floor = %d, want %d", cv.FloorElements, ao+mo)
+	}
+	flat, err := ch.ConfigFlatThreshold(chain.FullyFused(2))
+	if err != nil {
+		t.Fatalf("ConfigFlatThreshold: %v", err)
+	}
+	// The closed-form threshold guarantees flatness; the detected knee
+	// may be earlier when the lemma term never exceeds the floor on the
+	// grid, but never later.
+	if cv.FlatAtS > flat {
+		t.Errorf("detected knee %d is after the closed-form flat threshold %d", cv.FlatAtS, flat)
+	}
+}
+
+// TestRectEndToEnd checks the rectangular chain: fusion saves nearly the
+// whole N x N intermediate (the Section 4 example the chain encodes).
+func TestRectEndToEnd(t *testing.T) {
+	ch, err := chain.Rect(96, 4)
+	if err != nil {
+		t.Fatalf("Rect: %v", err)
+	}
+	nk, n2 := int64(96*4), int64(96*96)
+	fusedIO, err := ch.ConfigIO(chain.FullyFused(2))
+	if err != nil {
+		t.Fatalf("ConfigIO: %v", err)
+	}
+	unfusedIO, err := ch.ConfigIO(chain.Unfused(2))
+	if err != nil {
+		t.Fatalf("ConfigIO: %v", err)
+	}
+	if fusedIO != 2*nk {
+		t.Errorf("fused floor = %d, want %d", fusedIO, 2*nk)
+	}
+	if unfusedIO-fusedIO != 2*n2 {
+		t.Errorf("fusion saving = %d, want 2|C| = %d", unfusedIO-fusedIO, 2*n2)
+	}
+	cv, err := ch.ComputeCurve(chain.FullyFused(2), nil)
+	if err != nil {
+		t.Fatalf("ComputeCurve: %v", err)
+	}
+	if cv.FlatAtS == 0 || cv.MinMemoryElements <= 0 {
+		t.Errorf("rect curve missing knee or feasibility edge: %+v", cv)
+	}
+}

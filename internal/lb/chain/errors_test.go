@@ -1,0 +1,166 @@
+package chain_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fourindex/internal/lb/chain"
+)
+
+func TestMulInt64Boundary(t *testing.T) {
+	cases := []struct {
+		a, b     int64
+		want     int64
+		overflow bool
+	}{
+		{0, math.MaxInt64, 0, false},
+		{1, math.MaxInt64, math.MaxInt64, false},
+		{math.MaxInt64 / 2, 2, math.MaxInt64 - 1, false},
+		{math.MaxInt64/2 + 1, 2, 0, true},
+		{math.MaxInt64, math.MaxInt64, 0, true},
+		{-1, math.MinInt64, 0, true},
+		{math.MinInt64, -1, 0, true},
+		{-3, 5, -15, false},
+		{3037000499, 3037000499, 3037000499 * 3037000499, false}, // floor(sqrt(MaxInt64))^2
+		{3037000500, 3037000500, 0, true},
+	}
+	for _, tc := range cases {
+		got, err := chain.MulInt64(tc.a, tc.b)
+		if tc.overflow {
+			var oe *chain.OverflowError
+			if !errors.As(err, &oe) {
+				t.Errorf("MulInt64(%d,%d): want *OverflowError, got %v", tc.a, tc.b, err)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("MulInt64(%d,%d) = (%d,%v), want (%d,nil)", tc.a, tc.b, got, err, tc.want)
+		}
+	}
+}
+
+func TestAddInt64Boundary(t *testing.T) {
+	if _, err := chain.AddInt64(math.MaxInt64, 1); err == nil {
+		t.Error("AddInt64(MaxInt64, 1): want overflow")
+	}
+	if _, err := chain.AddInt64(math.MinInt64, -1); err == nil {
+		t.Error("AddInt64(MinInt64, -1): want overflow")
+	}
+	if v, err := chain.AddInt64(math.MaxInt64-1, 1); err != nil || v != math.MaxInt64 {
+		t.Errorf("AddInt64(MaxInt64-1, 1) = (%d,%v)", v, err)
+	}
+}
+
+// TestFourIndexOverflowBoundary pins the largest representable four-index
+// extent: the op volume n^5 must fit int64, which holds up to n = 6208
+// (6208^5 ~ 9.221e18 < 2^63-1) and overflows at 6209.
+func TestFourIndexOverflowBoundary(t *testing.T) {
+	if _, err := chain.FourIndex(6208, 1); err != nil {
+		t.Fatalf("FourIndex(6208): %v", err)
+	}
+	_, err := chain.FourIndex(6209, 1)
+	if err == nil {
+		t.Fatal("FourIndex(6209): want overflow error")
+	}
+	var oe *chain.OverflowError
+	var ve *chain.ValidationError
+	if !errors.As(err, &oe) && !errors.As(err, &ve) {
+		t.Fatalf("FourIndex(6209): want typed overflow/validation error, got %T %v", err, err)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	var ve *chain.ValidationError
+	if _, err := chain.FourIndex(0, 1); !errors.As(err, &ve) {
+		t.Errorf("FourIndex(0): want *ValidationError, got %v", err)
+	}
+	if _, err := chain.MP2(0, 4); !errors.As(err, &ve) {
+		t.Errorf("MP2(0,4): want *ValidationError, got %v", err)
+	}
+	if _, err := chain.Rect(3, 5); !errors.As(err, &ve) {
+		t.Errorf("Rect(3,5): want *ValidationError, got %v", err)
+	}
+	if _, err := chain.ByName("ccsd", 4, 4); !errors.As(err, &ve) {
+		t.Errorf(`ByName("ccsd"): want *ValidationError, got %v`, err)
+	}
+	for _, good := range []struct {
+		name string
+		a, b int
+	}{{"fourindex", 24, 2}, {"mp2", 4, 12}, {"rect", 32, 4}} {
+		if _, err := chain.ByName(good.name, good.a, good.b); err != nil {
+			t.Errorf("ByName(%q): %v", good.name, err)
+		}
+	}
+}
+
+func TestChainValidate(t *testing.T) {
+	var ve *chain.ValidationError
+	var nilChain *chain.Chain
+	if err := nilChain.Validate(); !errors.As(err, &ve) {
+		t.Errorf("nil chain: want *ValidationError, got %v", err)
+	}
+	cases := []struct {
+		name string
+		c    chain.Chain
+	}{
+		{"no ops", chain.Chain{Boundaries: []chain.Tensor{{Name: "A", Elements: 1}}}},
+		{"boundary count", chain.Chain{
+			Boundaries: []chain.Tensor{{Name: "A", Elements: 1}},
+			Ops:        []chain.Contraction{{Rows: 1, Red: 1, Prod: 1, OperandElements: 1}},
+		}},
+		{"non-positive elements", chain.Chain{
+			Boundaries: []chain.Tensor{{Name: "A", Elements: 0}, {Name: "B", Elements: 1}},
+			Ops:        []chain.Contraction{{Rows: 1, Red: 1, Prod: 1, OperandElements: 1}},
+		}},
+		{"slab exceeds elements", chain.Chain{
+			Boundaries: []chain.Tensor{{Name: "A", Elements: 4, SlabElements: 9}, {Name: "B", Elements: 1}},
+			Ops:        []chain.Contraction{{Rows: 2, Red: 2, Prod: 1, OperandElements: 2}},
+		}},
+		{"bad shape", chain.Chain{
+			Boundaries: []chain.Tensor{{Name: "A", Elements: 4}, {Name: "B", Elements: 1}},
+			Ops:        []chain.Contraction{{Rows: -2, Red: 2, Prod: 1, OperandElements: 2}},
+		}},
+		{"volume overflow", chain.Chain{
+			Boundaries: []chain.Tensor{{Name: "A", Elements: 4}, {Name: "B", Elements: 1}},
+			Ops:        []chain.Contraction{{Rows: math.MaxInt64 / 2, Red: 4, Prod: 4, OperandElements: 2}},
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); !errors.As(err, &ve) {
+			t.Errorf("%s: want *ValidationError, got %v", tc.name, err)
+		}
+	}
+	tooLong := chain.Chain{Name: "long"}
+	for i := 0; i <= chain.MaxOps; i++ {
+		tooLong.Boundaries = append(tooLong.Boundaries, chain.Tensor{Name: "T", Elements: 2})
+		tooLong.Ops = append(tooLong.Ops, chain.Contraction{Rows: 1, Red: 1, Prod: 1, OperandElements: 1})
+	}
+	tooLong.Boundaries = append(tooLong.Boundaries, chain.Tensor{Name: "T", Elements: 2})
+	if err := tooLong.Validate(); !errors.As(err, &ve) {
+		t.Errorf("over MaxOps: want *ValidationError, got %v", err)
+	}
+}
+
+func TestCapacityErrorsInsteadOfPanics(t *testing.T) {
+	ch, err := chain.FourIndex(16, 1)
+	if err != nil {
+		t.Fatalf("FourIndex: %v", err)
+	}
+	var ce *chain.CapacityError
+	for _, S := range []int64{0, -5} {
+		if _, err := ch.ConfigBoundAt(chain.FullyFused(4), S); !errors.As(err, &ce) {
+			t.Errorf("ConfigBoundAt(S=%d): want *CapacityError, got %v", S, err)
+		}
+	}
+	if _, err := ch.ComputeCurve(chain.FullyFused(4), []int64{100, 0}); !errors.As(err, &ce) {
+		t.Errorf("ComputeCurve with S=0 grid point: want *CapacityError, got %v", err)
+	}
+	var ve *chain.ValidationError
+	if _, err := ch.ConfigBoundAt(chain.Config{Groups: [][]int{{1, 3}}}, 100); !errors.As(err, &ve) {
+		t.Errorf("non-contiguous config: want *ValidationError, got %v", err)
+	}
+	if _, err := ch.ConfigIO(chain.Config{}); !errors.As(err, &ve) {
+		t.Errorf("empty config: want *ValidationError, got %v", err)
+	}
+}

@@ -2,8 +2,6 @@ package lb
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"fourindex/internal/sym"
 )
@@ -11,10 +9,10 @@ import (
 // The capacity-vs-bound frontier: for every fast-memory capacity S there
 // is a data-movement lower bound, and the paper's three thresholds
 // (S >= n^2+n+1, S >= 3n^2+n+1, S >= |C|) are the knees where the curve
-// flattens onto its memory-independent floor. This file sweeps S over a
-// deterministic grid and evaluates each fusion configuration's bound at
-// every point, turning the single-point Section 5/6 results into whole
-// curves (the Orojenesis-style capacity sweep of ROADMAP item 2).
+// flattens onto its memory-independent floor. Every quantity in this
+// file is derived by the chain engine (internal/lb/chain) from the
+// declarative chain.FourIndex(n, s) description; the historical closed
+// forms are pinned against the engine's output by golden tests.
 
 // Thresholds collects the closed-form capacities (in elements) at which
 // the paper's bounds change regime for extent n with spatial symmetry s.
@@ -36,16 +34,16 @@ type Thresholds struct {
 	FullReuseSufficient int64 `json:"fullReuseSufficient"`
 }
 
-// ThresholdsFor returns the closed-form knee capacities for (n, s).
+// ThresholdsFor returns the knee capacities for (n, s), derived by the
+// chain engine.
 func ThresholdsFor(n, s int) Thresholds {
-	n64 := int64(n)
-	c := sym.ExactSizes(n, s).C
+	t := fourIndexChain(n, s).Thresholds()
 	return Thresholds{
-		SingleTight:         SingleTightThreshold(n64),
-		PairUseful:          3 * n64 * n64,
-		PairFusion:          PairFusionThreshold(n64),
-		FullReuse:           c,
-		FullReuseSufficient: FullReuseSufficientS(n64, c),
+		SingleTight:         t.SingleTight,
+		PairUseful:          t.PairUseful,
+		PairFusion:          t.PairFusion,
+		FullReuse:           t.FullReuse,
+		FullReuseSufficient: t.FullReuseSufficient,
 	}
 }
 
@@ -69,77 +67,11 @@ func ThresholdsFor(n, s int) Thresholds {
 // tests pin).
 func ConfigBoundAt(c FusionConfig, n, s int, S int64) float64 {
 	checkS(S)
-	sz := sym.ExactSizes(n, s)
-	var total float64
-	for _, g := range c.Groups {
-		total += groupBoundAt(g, int64(n), sz, S)
+	b, err := fourIndexChain(n, s).ConfigBoundAt(c.engine(), S)
+	if err != nil {
+		panic(fmt.Sprintf("lb: bad fusion config %v: %v", c.Groups, err))
 	}
-	return total
-}
-
-// groupBoundAt returns the capacity-S lower bound of one fused group.
-func groupBoundAt(g []int, n int64, sz sym.Sizes, S int64) float64 {
-	first, last := g[0], g[len(g)-1]
-	floor := float64(tensorSize(sz, first-1) + tensorSize(sz, last))
-	switch len(g) {
-	case 1:
-		return singleBoundAt(first, n, sz, S)
-	case 2:
-		return pairBoundAt(first, n, sz, S)
-	case 3:
-		// No tight construction exists for a fused triple; the Fusion
-		// Lemma chain is the best known bound, and it collapses onto the
-		// group floor once the per-contraction bounds are tight.
-		return math.Max(floor, lemmaChainAt(g, n, sz, S))
-	default: // the full op1234 chain
-		if S >= sz.C {
-			return floor // Theorem 6.2: full reuse attainable
-		}
-		// Full reuse impossible: any schedule must at least pay the best
-		// partial decomposition, op12/34 (Theorem 5.2).
-		pair := pairBoundAt(1, n, sz, S) + pairBoundAt(3, n, sz, S)
-		return math.Max(math.Max(floor, pair), lemmaChainAt(g, n, sz, S))
-	}
-}
-
-// singleBoundAt is the capacity-S bound of contraction op (1-4) alone:
-// |in|+|out| above the Listing 5 threshold, ContractionLB below it.
-func singleBoundAt(op int, n int64, sz sym.Sizes, S int64) float64 {
-	in, out := tensorSize(sz, op-1), tensorSize(sz, op)
-	if S >= SingleTightThreshold(n) {
-		return float64(in + out)
-	}
-	return ContractionLB(n, S, in, out)
-}
-
-// pairBoundAt is the capacity-S bound of the fused pair (op, op+1):
-// |in|+|out| above the Theorem 5.1 threshold; below it, the Section 5.1
-// fused bound — the Fusion Lemma over the two raw matmul (Dongarra)
-// bounds, 3.46 n^5/sqrt(S) - 2|mid| — which exceeds the floor right up
-// to the threshold (this is what makes S = 3n^2+n+1 a knee rather than
-// a smooth approach).
-func pairBoundAt(op int, n int64, sz sym.Sizes, S int64) float64 {
-	floor := float64(tensorSize(sz, op-1) + tensorSize(sz, op+1))
-	if S >= PairFusionThreshold(n) {
-		return floor
-	}
-	d := DongarraMatmulLB(n*n*n, n, n, S)
-	lemma := FusionLemma(d, d, tensorSize(sz, op))
-	return math.Max(floor, lemma)
-}
-
-// lemmaChainAt chains the Fusion Lemma over a fused group: the sum of
-// per-contraction bounds minus two crossings of every internal
-// intermediate.
-func lemmaChainAt(g []int, n int64, sz sym.Sizes, S int64) float64 {
-	var lemma float64
-	for _, op := range g {
-		lemma += singleBoundAt(op, n, sz, S)
-	}
-	for i := 0; i < len(g)-1; i++ {
-		lemma -= 2 * float64(tensorSize(sz, g[i]))
-	}
-	return lemma
+	return b
 }
 
 // ConfigFlatThreshold returns the capacity at which ConfigBoundAt
@@ -147,21 +79,9 @@ func lemmaChainAt(g []int, n int64, sz sym.Sizes, S int64) float64 {
 // the per-group tightness thresholds. Beyond it, more fast memory cannot
 // reduce the configuration's data movement.
 func ConfigFlatThreshold(c FusionConfig, n, s int) int64 {
-	n64 := int64(n)
-	var t int64
-	for _, g := range c.Groups {
-		var gt int64
-		switch len(g) {
-		case 1, 3:
-			gt = SingleTightThreshold(n64)
-		case 2:
-			gt = PairFusionThreshold(n64)
-		default:
-			gt = sym.ExactSizes(n, s).C
-		}
-		if gt > t {
-			t = gt
-		}
+	t, err := fourIndexChain(n, s).ConfigFlatThreshold(c.engine())
+	if err != nil {
+		panic(fmt.Sprintf("lb: bad fusion config %v: %v", c.Groups, err))
 	}
 	return t
 }
@@ -169,24 +89,16 @@ func ConfigFlatThreshold(c FusionConfig, n, s int) int64 {
 // ConfigMinMemory returns the minimum aggregate-memory footprint (in
 // elements) at which the schedule family realising fusion configuration
 // c can run at all, from the Section 2/7 memory models evaluated at
-// their smallest tile widths. Below it the configuration's region of the
-// frontier is infeasible (by Theorem 6.2 no amount of scheduling helps).
+// their smallest tile widths — derived by the chain engine from the
+// four-index chain's declared streaming slabs. Below it the
+// configuration's region of the frontier is infeasible (by Theorem 6.2
+// no amount of scheduling helps).
 func ConfigMinMemory(c FusionConfig, n, s int) int64 {
-	switch c.String() {
-	case "op1/2/3/4":
-		return MemoryUnfused(n, s)
-	case "op12/34":
-		return MemoryFused12_34(n, s)
-	case "op123/4":
-		return MemoryFused123(n, s, 1)
-	case "op1234":
-		return MemoryFused1234Inner(n, s, 1)
-	default:
-		// Configurations without an implemented schedule (op1/23/4, ...)
-		// are bounded below by the cheapest implemented one that fuses at
-		// least as much: the fully fused minimum.
-		return MemoryFused1234Inner(n, s, 1)
+	v, err := fourIndexChain(n, s).ConfigMinMemory(c.engine())
+	if err != nil {
+		panic(fmt.Sprintf("lb: bad fusion config %v: %v", c.Groups, err))
 	}
+	return v
 }
 
 // CapacityGrid builds the deterministic capacity sweep for (n, s): a
@@ -198,36 +110,7 @@ func ConfigMinMemory(c FusionConfig, n, s int) int64 {
 // grid points. The result is strictly increasing, duplicate-free, and a
 // pure function of its arguments.
 func CapacityGrid(n, s, perDecade int) []int64 {
-	if perDecade <= 0 {
-		perDecade = 8
-	}
-	th := ThresholdsFor(n, s)
-	lo := th.SingleTight / 2
-	if lo < 3 {
-		lo = 3
-	}
-	hi := 2 * MemoryUnfused(n, s)
-	ratio := math.Pow(10, 1/float64(perDecade))
-	grid := []int64{th.SingleTight, th.PairUseful, th.PairFusion, th.FullReuse, th.FullReuseSufficient}
-	for x := float64(lo); x <= float64(hi); x *= ratio {
-		grid = append(grid, int64(math.Round(x)))
-	}
-	grid = append(grid, hi)
-	return dedupeSorted(grid)
-}
-
-// dedupeSorted sorts capacities ascending and removes duplicates.
-func dedupeSorted(grid []int64) []int64 {
-	sort.Slice(grid, func(i, j int) bool { return grid[i] < grid[j] })
-	out := grid[:0]
-	var prev int64 = -1
-	for _, v := range grid {
-		if v != prev {
-			out = append(out, v)
-			prev = v
-		}
-	}
-	return out
+	return fourIndexChain(n, s).CapacityGrid(perDecade)
 }
 
 // CurvePoint is one sample of a configuration's frontier curve.
@@ -258,25 +141,21 @@ type Curve struct {
 // ComputeCurve sweeps fusion configuration c over the capacity grid and
 // returns its frontier curve, including the detected flattening knee.
 func ComputeCurve(c FusionConfig, n, s int, grid []int64) Curve {
-	if len(grid) == 0 {
-		grid = CapacityGrid(n, s, 0)
+	cv, err := fourIndexChain(n, s).ComputeCurve(c.engine(), grid)
+	if err != nil {
+		panic(fmt.Sprintf("lb: ComputeCurve %v: %v", c.Groups, err))
 	}
-	sz := sym.ExactSizes(n, s)
-	cv := Curve{
-		Config:            c.String(),
-		FloorElements:     ConfigIO(c, sz),
-		MinMemoryElements: ConfigMinMemory(c, n, s),
-		Points:            make([]CurvePoint, 0, len(grid)),
+	out := Curve{
+		Config:            cv.Config,
+		FloorElements:     cv.FloorElements,
+		FlatAtS:           cv.FlatAtS,
+		MinMemoryElements: cv.MinMemoryElements,
+		Points:            make([]CurvePoint, len(cv.Points)),
 	}
-	floor := float64(cv.FloorElements)
-	for _, S := range grid {
-		b := ConfigBoundAt(c, n, s, S)
-		cv.Points = append(cv.Points, CurvePoint{S: S, BoundElements: b})
-		if cv.FlatAtS == 0 && b <= floor {
-			cv.FlatAtS = S
-		}
+	for i, p := range cv.Points {
+		out.Points[i] = CurvePoint{S: p.S, BoundElements: p.BoundElements}
 	}
-	return cv
+	return out
 }
 
 // MemoryFused123 is the memory model of the op123/4 schedule (Fused123):

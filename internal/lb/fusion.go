@@ -3,93 +3,62 @@ package lb
 import (
 	"fmt"
 	"sort"
-	"strings"
 
+	"fourindex/internal/lb/chain"
 	"fourindex/internal/sym"
 )
 
 // FusionConfig is a partition of the four-contraction chain into
-// contiguous fused groups, e.g. {{1,2},{3,4}} is op12/34.
+// contiguous fused groups, e.g. {{1,2},{3,4}} is op12/34. It is the
+// four-index view of chain.Config.
 type FusionConfig struct {
 	Groups [][]int
 }
 
+// engine converts to the chain engine's configuration type.
+func (c FusionConfig) engine() chain.Config { return chain.Config{Groups: c.Groups} }
+
 // String renders the paper's notation: op12/34, op1/2/3/4, op1234, ...
-func (c FusionConfig) String() string {
-	parts := make([]string, len(c.Groups))
-	for i, g := range c.Groups {
-		var b strings.Builder
-		for _, op := range g {
-			fmt.Fprintf(&b, "%d", op)
-		}
-		parts[i] = b.String()
-	}
-	return "op" + strings.Join(parts, "/")
-}
+func (c FusionConfig) String() string { return c.engine().String() }
 
 // AllFusionConfigs enumerates every contiguous grouping of the four
-// contractions: the 2^3 = 8 compositions of 4.
+// contractions: the 2^3 = 8 compositions of 4, in the engine's
+// enumeration order.
 func AllFusionConfigs() []FusionConfig {
-	var out []FusionConfig
-	// Each of the 3 boundaries (after op1, op2, op3) is cut or fused.
-	for mask := 0; mask < 8; mask++ {
-		var groups [][]int
-		cur := []int{1}
-		for op := 2; op <= 4; op++ {
-			if mask&(1<<(op-2)) != 0 { // boundary cut
-				groups = append(groups, cur)
-				cur = []int{op}
-			} else {
-				cur = append(cur, op)
-			}
-		}
-		groups = append(groups, cur)
-		out = append(out, FusionConfig{Groups: groups})
+	cfgs := chain.EnumerateConfigs(4)
+	out := make([]FusionConfig, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = FusionConfig{Groups: c.Groups}
 	}
 	return out
 }
 
 // ConfigByName finds a fusion configuration from its op-notation string.
 func ConfigByName(name string) (FusionConfig, error) {
-	for _, c := range AllFusionConfigs() {
-		if c.String() == name {
-			return c, nil
-		}
+	c, err := chain.ConfigByName(4, name)
+	if err != nil {
+		return FusionConfig{}, fmt.Errorf("lb: unknown fusion config %q", name)
 	}
-	return FusionConfig{}, fmt.Errorf("lb: unknown fusion config %q", name)
+	return FusionConfig{Groups: c.Groups}, nil
 }
 
-// tensorSize returns the size of the tensor flowing between op i and
-// op i+1 (0 = A, 4 = C) from the symmetric size table.
-func tensorSize(sz sym.Sizes, boundary int) int64 {
-	switch boundary {
-	case 0:
-		return sz.A
-	case 1:
-		return sz.O1
-	case 2:
-		return sz.O2
-	case 3:
-		return sz.O3
-	case 4:
-		return sz.C
-	default:
-		panic(fmt.Sprintf("lb: bad tensor boundary %d", boundary))
-	}
+// boundarySizes lists the five tensor sizes in boundary order
+// (A, O1, O2, O3, C) for the engine's floor computation.
+func boundarySizes(sz sym.Sizes) []int64 {
+	return []int64{sz.A, sz.O1, sz.O2, sz.O3, sz.C}
 }
 
 // ConfigIO returns the Section 5.3 I/O lower bound for a fusion
 // configuration with the symmetric tensor sizes of Table 1: the sum over
-// fused groups of (group input size + group output size). For groups of
-// one or two contractions this bound is tight (Listings 5 and 6); for
-// three or more it is a valid lower bound.
+// fused groups of (group input size + group output size), derived by the
+// chain engine. For groups of one or two contractions this bound is
+// tight (Listings 5 and 6); for three or more it is a valid lower bound.
 func ConfigIO(c FusionConfig, sz sym.Sizes) int64 {
-	var total int64
-	for _, g := range c.Groups {
-		first, last := g[0], g[len(g)-1]
-		total += tensorSize(sz, first-1) + tensorSize(sz, last)
+	v, err := chain.FloorIO(boundarySizes(sz), c.engine())
+	if err != nil {
+		panic(fmt.Sprintf("lb: bad fusion config %v: %v", c.Groups, err))
 	}
-	return total
+	return v
 }
 
 // ConfigTight reports whether ConfigIO is a tight bound for the

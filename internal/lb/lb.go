@@ -1,16 +1,27 @@
 // Package lb implements the paper's data-movement lower-bound analysis
-// (Sections 4-6): published matrix-multiplication I/O lower bounds, the
-// Fusion Lemma, per-contraction tight bounds, the enumeration and
-// ordering of fusion configurations for the four-index transform, the
-// necessary/sufficient conditions for full intermediate reuse, and the
-// memory/flop formulas behind the fuse/unfuse hybrid driver (Section 7.4).
+// (Sections 4-6) for the four-index transform: published matrix-
+// multiplication I/O lower bounds, the Fusion Lemma, per-contraction
+// tight bounds, the enumeration and ordering of fusion configurations,
+// the necessary/sufficient conditions for full intermediate reuse, and
+// the memory/flop formulas behind the fuse/unfuse hybrid driver
+// (Section 7.4).
+//
+// Since the generalized bound engine landed, every Section 5/6 quantity
+// here is *derived* by internal/lb/chain from the declarative
+// chain.FourIndex(n, s) description; this package is the four-index
+// façade over the engine, and the historical closed forms survive as
+// golden tests of the engine's output. The panic-on-bad-input contract
+// is also historical and kept for internal programmer errors only —
+// code paths fed by user input (fouridxd payloads, CLI flags) must call
+// the chain engine directly and handle its typed errors.
 //
 // All bounds are in elements (words) unless named *Bytes.
 package lb
 
 import (
 	"fmt"
-	"math"
+
+	"fourindex/internal/lb/chain"
 )
 
 // HongKungMatmulLB returns the Hong & Kung asymptotic I/O lower bound for
@@ -19,27 +30,38 @@ import (
 // asymptotic).
 func HongKungMatmulLB(n, s int64) float64 {
 	checkS(s)
-	return float64(n) * float64(n) * float64(n) / math.Sqrt(float64(s))
+	return chain.HongKung(n, s)
 }
 
 // IronyMatmulLB returns the Irony/Toledo/Tiskin constant-factor bound for
 // an (ni x nj) by (nj x nk) product: ni*nj*nk / (2*sqrt(2*S)).
 func IronyMatmulLB(ni, nj, nk, s int64) float64 {
 	checkS(s)
-	return float64(ni) * float64(nj) * float64(nk) / (2 * math.Sqrt(2*float64(s)))
+	return chain.Irony(ni, nj, nk, s)
 }
 
 // DongarraMatmulLB returns the tighter Dongarra et al. bound used
 // throughout the paper: 1.73 * ni*nj*nk / sqrt(S).
 func DongarraMatmulLB(ni, nj, nk, s int64) float64 {
 	checkS(s)
-	return 1.73 * float64(ni) * float64(nj) * float64(nk) / math.Sqrt(float64(s))
+	return chain.Dongarra(ni, nj, nk, s)
 }
 
 func checkS(s int64) {
 	if s <= 0 {
 		panic(fmt.Sprintf("lb: non-positive fast memory size %d", s))
 	}
+}
+
+// fourIndexChain builds the engine description of the four-index chain,
+// panicking on invalid extents — lb's internal callers only reach it
+// with already-validated benchmark sizes.
+func fourIndexChain(n, s int) *chain.Chain {
+	ch, err := chain.FourIndex(n, s)
+	if err != nil {
+		panic(fmt.Sprintf("lb: bad four-index extents (n=%d, s=%d): %v", n, s, err))
+	}
+	return ch
 }
 
 // TiledMatmulIO returns the data movement achieved by a T-tiled classical
@@ -63,7 +85,7 @@ func UntiledMatmulIO(n int64) float64 {
 // consumer C2 and the size of the intermediate O1 flowing between them,
 // any fused schedule has I/O at least lb1 + lb2 - 2*|O1|.
 func FusionLemma(lb1, lb2 float64, sizeO1 int64) float64 {
-	return lb1 + lb2 - 2*float64(sizeO1)
+	return chain.FusionLemma(lb1, lb2, sizeO1)
 }
 
 // MaxFusionSaving bounds the I/O reduction fusion can deliver: unfused
@@ -85,12 +107,8 @@ func MaxFusionSaving(unfusedIO, fusedLB float64) float64 {
 // For S >= n^2 + n + 1 the sum of input and output sizes is tight
 // (Listing 5 achieves it).
 func ContractionLB(n, s, in, out int64) float64 {
-	d := DongarraMatmulLB(n*n*n, n, n, s)
-	io := float64(in + out)
-	if d > io {
-		return d
-	}
-	return io
+	checkS(s)
+	return chain.MatmulOpLB(n*n*n, n, n, s, in, out)
 }
 
 // SingleTightThreshold returns the fast-memory size above which one

@@ -9,6 +9,7 @@ import (
 	ifx "fourindex/internal/fourindex"
 	"fourindex/internal/ga"
 	"fourindex/internal/lb"
+	"fourindex/internal/lb/chain"
 	"fourindex/internal/sym"
 )
 
@@ -76,6 +77,9 @@ func fusionConfigOf(scheme ifx.Scheme) lb.FusionConfig {
 // tune; ctx.Err() is surfaced, never swallowed. Jobs whose reservation
 // exceeds the whole budget fail with ErrOverBudget.
 func (s *Server) planJob(ctx context.Context, sp JobSpec) (jobPlan, error) {
+	if sp.Chain != nil {
+		return s.planChainJob(sp)
+	}
 	spec, err := chemSpec(sp)
 	if err != nil {
 		return jobPlan{}, err
@@ -139,6 +143,42 @@ func (s *Server) planJob(ctx context.Context, sp JobSpec) (jobPlan, error) {
 	if p.reservedBytes > s.cfg.MemBudgetBytes {
 		return jobPlan{}, fmt.Errorf("%w: %s at tileN=%d tileL=%d peaks at %d bytes, budget is %d",
 			ErrOverBudget, p.scheme, p.tileN, p.tileL, p.reservedBytes, s.cfg.MemBudgetBytes)
+	}
+	return p, nil
+}
+
+// planChainJob prices a chain-analysis job by its derived bounds: the
+// engine's minimum-memory floor over all fusion configurations — the
+// least fast memory any schedule shape needs for this chain — becomes
+// the admission reservation, exactly as ConfigMinMemory does for the
+// built-in transform. Engine errors are typed and surface as 422s.
+func (s *Server) planChainJob(sp JobSpec) (jobPlan, error) {
+	p := jobPlan{chainSpec: sp.Chain, mode: ga.Cost, capacityElements: sp.CapacityElements}
+	if p.capacityElements == 0 {
+		p.capacityElements = s.cfg.MemBudgetBytes / 8
+	}
+	ranked, err := sp.Chain.RankConfigs()
+	if err != nil {
+		return jobPlan{}, fmt.Errorf("serve: price chain %s: %w", sp.Chain.Name, err)
+	}
+	minElems := ranked[0].MinMemory
+	for _, rc := range ranked {
+		if rc.MinMemory < minElems {
+			minElems = rc.MinMemory
+		}
+	}
+	// The floor can sit near MaxInt64 for saturating chains; an
+	// overflowing byte conversion is by definition over any budget.
+	minBytes, err := chain.MulInt64(minElems, 8)
+	if err != nil {
+		return jobPlan{}, fmt.Errorf("%w: chain %s: minimum-memory floor %d elements overflows the byte ledger",
+			ErrOverBudget, sp.Chain.Name, minElems)
+	}
+	p.minBytes = minBytes
+	p.reservedBytes = p.minBytes
+	if p.reservedBytes > s.cfg.MemBudgetBytes {
+		return jobPlan{}, fmt.Errorf("%w: chain %s needs at least %d bytes (derived minimum-memory floor), budget is %d",
+			ErrOverBudget, sp.Chain.Name, p.reservedBytes, s.cfg.MemBudgetBytes)
 	}
 	return p, nil
 }

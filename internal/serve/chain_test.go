@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fourindex/internal/lb/chain"
+)
+
+// chainJobSpec builds a small valid chain job.
+func chainJobSpec(t *testing.T, tenant string) JobSpec {
+	t.Helper()
+	c, err := chain.Rect(32, 4)
+	if err != nil {
+		t.Fatalf("Rect: %v", err)
+	}
+	return JobSpec{Tenant: tenant, Chain: c}
+}
+
+// TestChainJobEndToEnd submits a chain-analysis job over HTTP and
+// checks it runs to done with the engine's report, priced by the
+// derived minimum-memory floor.
+func TestChainJobEndToEnd(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, chainJobSpec(t, "chem"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit chain job: status %d, want 202", resp.StatusCode)
+	}
+	if st.Chain != "rect" {
+		t.Errorf("status chain = %q, want rect", st.Chain)
+	}
+	if st.ReservedBytes <= 0 {
+		t.Errorf("chain job reserved %d bytes, want > 0 (priced by derived floor)", st.ReservedBytes)
+	}
+
+	final := waitJob(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("chain job state %s (%s), want done", final.State, final.Error)
+	}
+	rep := final.Result.ChainReport
+	if rep == nil {
+		t.Fatal("done chain job has no ChainReport")
+	}
+	if rep.Chain != "rect" || rep.Ops != 2 || len(rep.Rankings) != 2 {
+		t.Errorf("report %s/%d ops/%d rankings, want rect/2/2", rep.Chain, rep.Ops, len(rep.Rankings))
+	}
+	// CapacityElements defaulted to the server budget in elements, so
+	// the report must be priced and this small chain must fit.
+	if rep.CapacityElements != testConfig(t).MemBudgetBytes/8 {
+		// testConfig uses a fresh TempDir per call but a fixed budget.
+		t.Errorf("report capacity %d, want budget/8", rep.CapacityElements)
+	}
+	if rep.BestConfig == "" {
+		t.Error("report picked no feasible config at the server budget")
+	}
+}
+
+// TestChainJobRejections exercises the hardened error paths: malformed
+// chains and capacities must come back as 422 semantic rejections (not
+// panics, not 500s), and over-budget chains as 422 via ErrOverBudget.
+func TestChainJobRejections(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rect, err := chain.Rect(32, 4)
+	if err != nil {
+		t.Fatalf("Rect: %v", err)
+	}
+	huge, err := chain.FourIndex(368, 8) // floor ~5.6 GB >> 64 MB test budget
+	if err != nil {
+		t.Fatalf("FourIndex: %v", err)
+	}
+	malformed := &chain.Chain{
+		Name:       "bad",
+		Boundaries: []chain.Tensor{{Name: "A", Elements: -1}, {Name: "B", Elements: 4}},
+		Ops:        []chain.Contraction{{Name: "op", Rows: 2, Red: 2, Prod: 2, OperandElements: 4}},
+	}
+	wrongShape := &chain.Chain{
+		Name:       "short",
+		Boundaries: []chain.Tensor{{Name: "A", Elements: 16}},
+		Ops:        []chain.Contraction{{Name: "op", Rows: 4, Red: 4, Prod: 4, OperandElements: 16}},
+	}
+
+	cases := []struct {
+		name string
+		spec JobSpec
+		want int
+	}{
+		{"malformed chain", JobSpec{Tenant: "a", Chain: malformed}, http.StatusUnprocessableEntity},
+		{"wrong boundary count", JobSpec{Tenant: "a", Chain: wrongShape}, http.StatusUnprocessableEntity},
+		{"negative capacity", JobSpec{Tenant: "a", Chain: rect, CapacityElements: -5}, http.StatusUnprocessableEntity},
+		{"over budget", JobSpec{Tenant: "a", Chain: huge}, http.StatusUnprocessableEntity},
+		{"chain plus n", JobSpec{Tenant: "a", N: 8, Chain: rect}, http.StatusBadRequest},
+		{"chain plus scheme", JobSpec{Tenant: "a", Scheme: "unfused", Chain: rect}, http.StatusBadRequest},
+		{"capacity without chain", JobSpec{Tenant: "a", N: 8, CapacityElements: 100}, http.StatusBadRequest},
+		{"no tenant", JobSpec{Chain: rect}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _ := postJob(t, ts, tc.spec)
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// TestChainJobPersistRoundTrip pins that a chain job survives the
+// persist/restore cycle with its plan intact.
+func TestChainJobPersistRoundTrip(t *testing.T) {
+	c, err := chain.MP2(4, 12)
+	if err != nil {
+		t.Fatalf("MP2: %v", err)
+	}
+	j := &Job{
+		ID:    "j3",
+		Seq:   3,
+		Spec:  JobSpec{Tenant: "a", Chain: c, CapacityElements: 9000},
+		State: StateQueued,
+		plan: jobPlan{
+			chainSpec:        c,
+			capacityElements: 9000,
+			reservedBytes:    1 << 20,
+			minBytes:         1 << 20,
+		},
+	}
+	got, err := persistJob(j).restore()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got.plan.chainSpec == nil || got.plan.chainSpec.Name != "mp2" {
+		t.Fatalf("restored plan lost the chain: %+v", got.plan)
+	}
+	if got.plan.capacityElements != 9000 || got.plan.reservedBytes != 1<<20 {
+		t.Errorf("restored plan = cap %d reserved %d, want 9000, %d",
+			got.plan.capacityElements, got.plan.reservedBytes, 1<<20)
+	}
+
+	// A tampered state file with a broken chain must fail restore, not
+	// panic later in the engine.
+	pj := persistJob(j)
+	pj.Plan.Chain = &chain.Chain{Name: "evil"}
+	if _, err := pj.restore(); err == nil {
+		t.Error("restore accepted a chain with no ops")
+	}
+}

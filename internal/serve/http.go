@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+
+	"fourindex/internal/lb/chain"
 )
 
 // retryAfterSeconds is the fixed backpressure hint returned with every
@@ -71,11 +73,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, httpError{Error: err.Error()})
 	case errors.Is(err, ErrOverBudget):
 		writeJSON(w, http.StatusUnprocessableEntity, httpError{Error: err.Error()})
+	case isChainError(err):
+		// The bound engine's typed errors — malformed chain description,
+		// non-positive capacity, size-arithmetic overflow — are semantic
+		// rejections of a well-formed request: 422, never a panic.
+		writeJSON(w, http.StatusUnprocessableEntity, httpError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
 	}
+}
+
+// isChainError reports whether err is one of the bound engine's typed
+// errors.
+func isChainError(err error) bool {
+	var ve *chain.ValidationError
+	var ce *chain.CapacityError
+	var oe *chain.OverflowError
+	return errors.As(err, &ve) || errors.As(err, &ce) || errors.As(err, &oe)
 }
 
 // ErrDraining rejects submits while the server drains.

@@ -7,6 +7,7 @@ import (
 	"fourindex/internal/chem"
 	ifx "fourindex/internal/fourindex"
 	"fourindex/internal/ga"
+	"fourindex/internal/lb/chain"
 )
 
 // JobSpec is the client-facing description of one transform request,
@@ -41,6 +42,16 @@ type JobSpec struct {
 	TileL int `json:"tileL,omitempty"`
 	// DeadlineSeconds cancels the job if it runs longer (0 = none).
 	DeadlineSeconds float64 `json:"deadlineSeconds,omitempty"`
+	// Chain submits a chain-analysis job instead of a transform: the
+	// generalized bound engine derives thresholds, fusion rankings and
+	// frontier curves for the described contraction chain, and admission
+	// prices the job by the chain's derived minimum-memory floor.
+	// Mutually exclusive with Molecule/N/Scheme.
+	Chain *chain.Chain `json:"chain,omitempty"`
+	// CapacityElements prices the chain at a specific fast-memory
+	// capacity (0 = the server's memory budget in elements). Only
+	// meaningful with Chain.
+	CapacityElements int64 `json:"capacityElements,omitempty"`
 }
 
 // Job states, as reported by the status API.
@@ -85,6 +96,8 @@ type JobResult struct {
 	// FrobeniusSq is |C|_F^2, a humanly comparable summary of the same
 	// tensor (execute mode only).
 	FrobeniusSq float64 `json:"frobeniusSq,omitempty"`
+	// ChainReport is the bound engine's analysis (chain jobs only).
+	ChainReport *ifx.ChainReport `json:"chainReport,omitempty"`
 }
 
 // Job is one submitted transform request and its lifecycle state.
@@ -108,6 +121,9 @@ type Job struct {
 
 	plan   jobPlan
 	cancel context.CancelFunc
+	// chainReport carries a chain job's engine analysis from executeJob
+	// to runJob's result recording.
+	chainReport *ifx.ChainReport
 }
 
 // jobPlan is the admission-time resolution of a JobSpec: the concrete
@@ -129,6 +145,11 @@ type jobPlan struct {
 	// reservation is cross-checked against (reservedBytes >= minBytes
 	// always; the admission property test pins this).
 	minBytes int64
+	// chainSpec marks a chain-analysis job (nil for transforms); the
+	// reservation then derives from the chain's minimum-memory floor and
+	// capacityElements is the capacity the report prices at.
+	chainSpec        *chain.Chain
+	capacityElements int64
 }
 
 // maxExecuteOrbitals bounds execute-mode problems: beyond this the
@@ -141,6 +162,27 @@ const maxExecuteOrbitals = 96
 func (sp JobSpec) normalize() (JobSpec, error) {
 	if sp.Tenant == "" {
 		return sp, fmt.Errorf("serve: job needs a tenant")
+	}
+	if sp.Chain != nil {
+		// Chain-analysis job: the chain description is the whole problem,
+		// so the transform knobs must be absent. Validation errors are
+		// typed (the HTTP layer maps them to 422, never a panic).
+		if sp.Molecule != "" || sp.N != 0 || sp.Scheme != "" || sp.Mode != "" {
+			return sp, fmt.Errorf("serve: chain jobs take no molecule, n, scheme or mode")
+		}
+		if err := sp.Chain.Validate(); err != nil {
+			return sp, err
+		}
+		if sp.CapacityElements < 0 {
+			return sp, &chain.CapacityError{S: sp.CapacityElements, Reason: "capacityElements must be positive (or 0 for the server budget)"}
+		}
+		if sp.DeadlineSeconds < 0 {
+			return sp, fmt.Errorf("serve: negative deadline")
+		}
+		return sp, nil
+	}
+	if sp.CapacityElements != 0 {
+		return sp, fmt.Errorf("serve: capacityElements only applies to chain jobs")
 	}
 	if sp.Molecule != "" {
 		m, err := chem.ByName(sp.Molecule)
@@ -193,6 +235,7 @@ type statusJSON struct {
 	Tenant        string     `json:"tenant"`
 	State         string     `json:"state"`
 	Priority      int        `json:"priority"`
+	Chain         string     `json:"chain,omitempty"`
 	N             int        `json:"n"`
 	Sym           int        `json:"sym"`
 	Scheme        string     `json:"scheme"`
@@ -207,6 +250,18 @@ type statusJSON struct {
 
 // status renders the job for the API. Caller holds the server mutex.
 func (j *Job) status() statusJSON {
+	if c := j.plan.chainSpec; c != nil {
+		return statusJSON{
+			ID:            j.ID,
+			Tenant:        j.Spec.Tenant,
+			State:         j.State,
+			Priority:      j.Spec.Priority,
+			Chain:         c.Name,
+			ReservedBytes: j.plan.reservedBytes,
+			Error:         j.Error,
+			Result:        j.Result,
+		}
+	}
 	return statusJSON{
 		ID:            j.ID,
 		Tenant:        j.Spec.Tenant,

@@ -11,6 +11,7 @@ import (
 	"fourindex/internal/chem"
 	ifx "fourindex/internal/fourindex"
 	"fourindex/internal/ga"
+	"fourindex/internal/lb/chain"
 )
 
 // stateFile is the queue snapshot inside Config.StateDir. Together
@@ -64,6 +65,10 @@ type persistedPlan struct {
 	// ReservedBytes and MinBytes pin the admission reservation.
 	ReservedBytes int64 `json:"reservedBytes"`
 	MinBytes      int64 `json:"minBytes"`
+	// Chain and CapacityElements persist a chain-analysis job's problem
+	// (chain jobs have no chem.Spec to reconstruct).
+	Chain            *chain.Chain `json:"chain,omitempty"`
+	CapacityElements int64        `json:"capacityElements,omitempty"`
 }
 
 // persistJob renders a Job durable. Caller holds the server mutex.
@@ -71,6 +76,24 @@ func persistJob(j *Job) persistedJob {
 	mode := "execute"
 	if j.plan.mode == ga.Cost {
 		mode = "cost"
+	}
+	if c := j.plan.chainSpec; c != nil {
+		return persistedJob{
+			ID:      j.ID,
+			Seq:     j.Seq,
+			Spec:    j.Spec,
+			State:   j.State,
+			Error:   j.Error,
+			Resumed: j.Resumed,
+			Result:  j.Result,
+			Plan: persistedPlan{
+				Mode:             mode,
+				ReservedBytes:    j.plan.reservedBytes,
+				MinBytes:         j.plan.minBytes,
+				Chain:            c,
+				CapacityElements: j.plan.capacityElements,
+			},
+		}
 	}
 	return persistedJob{
 		ID:      j.ID,
@@ -97,6 +120,30 @@ func persistJob(j *Job) persistedJob {
 
 // restore rebuilds the in-memory Job from its durable record.
 func (pj persistedJob) restore() (*Job, error) {
+	if c := pj.Plan.Chain; c != nil {
+		// Chain jobs carry no chem.Spec; re-validate the persisted chain
+		// so a hand-edited state file cannot smuggle a bad description
+		// past admission.
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: restore job %s: %w", pj.ID, err)
+		}
+		return &Job{
+			ID:      pj.ID,
+			Seq:     pj.Seq,
+			Spec:    pj.Spec,
+			State:   pj.State,
+			Error:   pj.Error,
+			Resumed: pj.Resumed,
+			Result:  pj.Result,
+			plan: jobPlan{
+				mode:             ga.Cost,
+				reservedBytes:    pj.Plan.ReservedBytes,
+				minBytes:         pj.Plan.MinBytes,
+				chainSpec:        c,
+				capacityElements: pj.Plan.CapacityElements,
+			},
+		}, nil
+	}
 	spec, err := chem.NewSpec(pj.Plan.N, pj.Plan.Sym, pj.Plan.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("serve: restore job %s: %w", pj.ID, err)

@@ -29,7 +29,11 @@ func (s *Server) runJob(j *Job) {
 	switch {
 	case err == nil:
 		j.State = StateDone
-		j.Result = buildResult(res)
+		if j.plan.chainSpec != nil {
+			j.Result = &JobResult{ChainReport: j.chainReport}
+		} else {
+			j.Result = buildResult(res)
+		}
 	case errors.Is(err, ifx.ErrCanceled) && s.draining:
 		// Drain interruption: the schedule stopped at a slab boundary
 		// with its checkpoint on disk. The restarted server re-queues
@@ -59,9 +63,14 @@ func (s *Server) runJob(j *Job) {
 	s.nudge()
 }
 
+// chainGridPerDecade is the frontier-curve resolution for chain jobs.
+const chainGridPerDecade = 10
+
 // executeJob builds the transform options for j and runs it. It
 // returns whether the run resumed from a pre-existing checkpoint (a
-// drained predecessor's work).
+// drained predecessor's work). Chain-analysis jobs instead run the
+// bound engine and return the report inside a synthetic result-free
+// path (see chainResult).
 func (s *Server) executeJob(j *Job) (res *ifx.Result, resumed bool, err error) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if j.Spec.DeadlineSeconds > 0 {
@@ -71,6 +80,15 @@ func (s *Server) executeJob(j *Job) (res *ifx.Result, resumed bool, err error) {
 	s.mu.Lock()
 	j.cancel = cancel
 	s.mu.Unlock()
+
+	if j.plan.chainSpec != nil {
+		rep, err := ifx.AnalyzeChain(j.plan.chainSpec, j.plan.capacityElements, chainGridPerDecade)
+		if err != nil {
+			return nil, false, err
+		}
+		j.chainReport = rep
+		return nil, false, ctx.Err()
+	}
 
 	ckpt, err := faults.NewFileCheckpoint(filepath.Join(s.cfg.StateDir, "ckpt", j.ID))
 	if err != nil {
