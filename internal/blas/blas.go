@@ -313,10 +313,3 @@ func Idamax(x []float64) int {
 	}
 	return bi
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

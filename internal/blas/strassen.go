@@ -1,0 +1,270 @@
+package blas
+
+import "sync/atomic"
+
+// The Strassen-Winograd GEMM path: recursive 7-multiply splitting over
+// the blocked kernel as the base case. One recursion level replaces 8
+// half-size multiplies with 7 plus 15 half-size elementwise passes, so
+// it wins only once the multiplies are large enough for the saved
+// quarter-multiply to dominate the extra O(n^2) traffic — the crossover
+// threshold below which recursion hands off to Dgemm (and through it to
+// gemmBlocked/gemmBlockedTransB and the shared worker pool). The
+// schedule is the standard Winograd operand-sharing variant: three
+// pooled temporaries per level (S: mh*kh, T: kh*nh, P: mh*nh) with the
+// four C quadrants used as accumulators, and odd dimensions peeled as
+// rank-updates/border GEMMs around an even core.
+//
+// Strassen reassociates additions, so results are NOT bitwise identical
+// to Dgemm — callers that need bitwise-stable output (the deterministic
+// transform modes, by default) stay on Dgemm and opt in explicitly via
+// Options.Strassen at the schedule layer.
+
+// DefaultStrassenCrossover is the dimension threshold below which
+// DgemmStrassen delegates entirely to the classic blocked kernel. It is
+// a conservative portable default; `fouridx bench` runs a calibration
+// sweep (internal/perf.CalibrateStrassen) that measures the true
+// crossover on the host and records it in the bench artifact.
+const DefaultStrassenCrossover = 256
+
+var strassenCrossover atomic.Int64
+
+func init() {
+	strassenCrossover.Store(DefaultStrassenCrossover)
+}
+
+// SetStrassenCrossover sets the process-wide Strassen crossover: a
+// recursion step is taken only while m, n and k all exceed the
+// crossover. Values <= 0 disable the Strassen path entirely
+// (DgemmStrassen becomes Dgemm). Safe for concurrent use.
+func SetStrassenCrossover(v int) {
+	strassenCrossover.Store(int64(v))
+}
+
+// StrassenCrossover reports the current process-wide crossover.
+func StrassenCrossover() int {
+	return int(strassenCrossover.Load())
+}
+
+// DgemmStrassen computes C = alpha*op(A)*op(B) + beta*C like Dgemm, via
+// Strassen-Winograd recursion while m, n, k all exceed the crossover
+// (see SetStrassenCrossover). Below the crossover — or when the path is
+// disabled — it is exactly Dgemm, bitwise included. Above it the result
+// differs from Dgemm only by reassociation rounding (O(eps) relative).
+func DgemmStrassen(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	cut := StrassenCrossover()
+	if cut <= 0 || m <= cut || n <= cut || k <= cut || alpha == 0 {
+		Dgemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	checkMatrix("A", a, lda, rows(transA, m, k), cols(transA, m, k))
+	checkMatrix("B", b, ldb, rows(transB, k, n), cols(transB, k, n))
+	checkMatrix("C", c, ldc, m, n)
+
+	if beta == 0 {
+		strassenRec(transA, transB, m, n, k, a, lda, b, ldb, c, ldc, cut)
+		if alpha != 1 {
+			for i := 0; i < m; i++ {
+				row := c[i*ldc : i*ldc+n]
+				for j := range row {
+					row[j] *= alpha
+				}
+			}
+		}
+		return
+	}
+	// beta != 0: the recursion overwrites its destination, so form the
+	// product in a pooled buffer and fold alpha/beta in one pass.
+	p := getBuf(m * n)
+	strassenRec(transA, transB, m, n, k, a, lda, b, ldb, p, n, cut)
+	for i := 0; i < m; i++ {
+		crow := c[i*ldc : i*ldc+n]
+		prow := p[i*n : i*n+n]
+		if beta == 1 {
+			for j, v := range prow {
+				crow[j] += alpha * v
+			}
+		} else {
+			for j, v := range prow {
+				crow[j] = alpha*v + beta*crow[j]
+			}
+		}
+	}
+	putBuf(p)
+}
+
+// opOff returns the offset of element (i, j) of op(X) in the stored
+// matrix: transposition swaps the roles of the indices, not the stride.
+func opOff(ld int, trans bool, i, j int) int {
+	if trans {
+		return j*ld + i
+	}
+	return i*ld + j
+}
+
+// strides returns the op-space (row, column) strides of a stored matrix
+// with leading dimension ld: transposition swaps them.
+func strides(ld int, trans bool) (rs, cs int) {
+	if trans {
+		return 1, ld
+	}
+	return ld, 1
+}
+
+// geComb stores dst = sx*op(X) + sy*op(Y) for r x c op-shaped operands
+// into a plain row-major destination.
+func geComb(dst []float64, ldd, r, c int, sx float64, x []float64, ldx int, tx bool, sy float64, y []float64, ldy int, ty bool) {
+	xr, xc := strides(ldx, tx)
+	yr, yc := strides(ldy, ty)
+	for i := 0; i < r; i++ {
+		drow := dst[i*ldd : i*ldd+c]
+		xi, yi := i*xr, i*yr
+		for j := range drow {
+			drow[j] = sx*x[xi+j*xc] + sy*y[yi+j*yc]
+		}
+	}
+}
+
+// geAcc accumulates dst += sx*op(X) into a plain row-major destination.
+func geAcc(dst []float64, ldd, r, c int, sx float64, x []float64, ldx int, tx bool) {
+	xr, xc := strides(ldx, tx)
+	for i := 0; i < r; i++ {
+		drow := dst[i*ldd : i*ldd+c]
+		xi := i * xr
+		for j := range drow {
+			drow[j] += sx * x[xi+j*xc]
+		}
+	}
+}
+
+// geRevSub stores dst = op(Y) - dst in place.
+func geRevSub(dst []float64, ldd, r, c int, y []float64, ldy int, ty bool) {
+	yr, yc := strides(ldy, ty)
+	for i := 0; i < r; i++ {
+		drow := dst[i*ldd : i*ldd+c]
+		yi := i * yr
+		for j := range drow {
+			drow[j] = y[yi+j*yc] - drow[j]
+		}
+	}
+}
+
+// mAdd accumulates dst += sign*src over plain r x c strided matrices.
+func mAdd(dst []float64, ldd int, src []float64, lds, r, c int, sign float64) {
+	for i := 0; i < r; i++ {
+		drow := dst[i*ldd : i*ldd+c]
+		srow := src[i*lds : i*lds+c]
+		if sign == 1 {
+			for j, v := range srow {
+				drow[j] += v
+			}
+		} else {
+			for j, v := range srow {
+				drow[j] -= v
+			}
+		}
+	}
+}
+
+// mSum stores dst = x + y over plain r x c strided matrices.
+func mSum(dst []float64, ldd int, x []float64, ldx int, y []float64, ldy, r, c int) {
+	for i := 0; i < r; i++ {
+		drow := dst[i*ldd : i*ldd+c]
+		xrow := x[i*ldx : i*ldx+c]
+		yrow := y[i*ldy : i*ldy+c]
+		for j := range drow {
+			drow[j] = xrow[j] + yrow[j]
+		}
+	}
+}
+
+// strassenRec overwrites dst (m x n, row stride ldd) with op(A)*op(B)
+// using the Winograd schedule; below the crossover it hands off to the
+// blocked kernel (alpha=1, beta=0), which inherits the worker pool's
+// parallel row split above parallelThreshold.
+//
+// The schedule (S1..S4, T1..T4, M1..M7, U1..U7 in the standard Winograd
+// naming) is ordered so three temporaries suffice, with the C quadrants
+// as accumulators:
+//
+//	C11 = M1 + M2
+//	C12 = M1 + M6 + M5 + M3
+//	C21 = M1 + M6 + M7 - M4
+//	C22 = M1 + M6 + M7 + M5
+func strassenRec(transA, transB bool, m, n, k int, a []float64, lda int, b []float64, ldb int, dst []float64, ldd, cut int) {
+	if m <= cut || n <= cut || k <= cut {
+		Dgemm(transA, transB, m, n, k, 1, a, lda, b, ldb, 0, dst, ldd)
+		return
+	}
+	m2, n2, k2 := m&^1, n&^1, k&^1
+	mh, nh, kh := m2/2, n2/2, k2/2
+
+	a11 := a
+	a12 := a[opOff(lda, transA, 0, kh):]
+	a21 := a[opOff(lda, transA, mh, 0):]
+	a22 := a[opOff(lda, transA, mh, kh):]
+	b11 := b
+	b12 := b[opOff(ldb, transB, 0, nh):]
+	b21 := b[opOff(ldb, transB, kh, 0):]
+	b22 := b[opOff(ldb, transB, kh, nh):]
+	c11 := dst
+	c12 := dst[nh:]
+	c21 := dst[mh*ldd:]
+	c22 := dst[mh*ldd+nh:]
+
+	s := getBuf(mh * kh)
+	t := getBuf(kh * nh)
+	p := getBuf(mh * nh)
+
+	// S1 = A21+A22, T1 = B12-B11; C22 = S1*T1 (M5).
+	geComb(s, kh, mh, kh, 1, a21, lda, transA, 1, a22, lda, transA)
+	geComb(t, nh, kh, nh, 1, b12, ldb, transB, -1, b11, ldb, transB)
+	strassenRec(false, false, mh, nh, kh, s, kh, t, nh, c22, ldd, cut)
+	// S2 = S1-A11, T2 = B22-T1; C21 = S2*T2 (M6).
+	geAcc(s, kh, mh, kh, -1, a11, lda, transA)
+	geRevSub(t, nh, kh, nh, b22, ldb, transB)
+	strassenRec(false, false, mh, nh, kh, s, kh, t, nh, c21, ldd, cut)
+	// C11 = A11*B11 (M1).
+	strassenRec(transA, transB, mh, nh, kh, a11, lda, b11, ldb, c11, ldd, cut)
+	// C21 += C11 (U2 = M1+M6), C12 = C21+C22 (U4 = U2+M5).
+	mAdd(c21, ldd, c11, ldd, mh, nh, 1)
+	mSum(c12, ldd, c21, ldd, c22, ldd, mh, nh)
+	// S3 = A11-A21, T3 = T2-B11; P = S3*T3 (M7).
+	geComb(s, kh, mh, kh, 1, a11, lda, transA, -1, a21, lda, transA)
+	geAcc(t, nh, kh, nh, -1, b11, ldb, transB)
+	strassenRec(false, false, mh, nh, kh, s, kh, t, nh, p, nh, cut)
+	// C21 += P (U3 = U2+M7), C22 += C21 (final C22 = U3+M5).
+	mAdd(c21, ldd, p, nh, mh, nh, 1)
+	mAdd(c22, ldd, c21, ldd, mh, nh, 1)
+	// T4 = T3+B11-B21; P = A22*T4 (M4); C21 -= P (final C21 = U3-M4).
+	geAcc(t, nh, kh, nh, 1, b11, ldb, transB)
+	geAcc(t, nh, kh, nh, -1, b21, ldb, transB)
+	strassenRec(transA, false, mh, nh, kh, a22, lda, t, nh, p, nh, cut)
+	mAdd(c21, ldd, p, nh, mh, nh, -1)
+	// S4 = S3+A12-A22; P = S4*B22 (M3); C12 += P (final C12 = U4+M3).
+	geAcc(s, kh, mh, kh, 1, a12, lda, transA)
+	geAcc(s, kh, mh, kh, -1, a22, lda, transA)
+	strassenRec(false, transB, mh, nh, kh, s, kh, b22, ldb, p, nh, cut)
+	mAdd(c12, ldd, p, nh, mh, nh, 1)
+	// P = A12*B21 (M2); C11 += P (final C11 = M1+M2).
+	strassenRec(transA, transB, mh, nh, kh, a12, lda, b21, ldb, p, nh, cut)
+	mAdd(c11, ldd, p, nh, mh, nh, 1)
+
+	putBuf(s)
+	putBuf(t)
+	putBuf(p)
+
+	// Odd-dimension peeling around the even core: an odd k contributes a
+	// rank-(k-k2) update to the core block; an odd m or n contributes a
+	// border row/column strip computed at full depth by the classic
+	// kernel. The strips do not overlap (the m-strip spans all n columns,
+	// the n-strip only the core's m2 rows).
+	if k2 < k {
+		Dgemm(transA, transB, m2, n2, k-k2, 1, a[opOff(lda, transA, 0, k2):], lda, b[opOff(ldb, transB, k2, 0):], ldb, 1, dst, ldd)
+	}
+	if m2 < m {
+		Dgemm(transA, transB, m-m2, n, k, 1, a[opOff(lda, transA, m2, 0):], lda, b, ldb, 0, dst[m2*ldd:], ldd)
+	}
+	if n2 < n {
+		Dgemm(transA, transB, m2, n-n2, k, 1, a, lda, b[opOff(ldb, transB, 0, n2):], ldb, 0, dst[n2:], ldd)
+	}
+}

@@ -1,0 +1,135 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withCrossover runs f with the process-wide crossover forced to cut,
+// restoring the previous value afterwards.
+func withCrossover(t *testing.T, cut int, f func()) {
+	t.Helper()
+	prev := StrassenCrossover()
+	SetStrassenCrossover(cut)
+	defer SetStrassenCrossover(prev)
+	f()
+}
+
+// TestDgemmStrassenMatchesClassic pins the Strassen path against the
+// classic kernel over a size/transpose/alpha-beta grid with a small
+// forced crossover so several recursion levels engage, including odd
+// dimensions at every level. Strassen reassociates additions, so the
+// comparison is a tight elementwise tolerance, not bitwise.
+func TestDgemmStrassenMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []struct{ m, n, k int }{
+		{16, 16, 16},
+		{17, 19, 23}, // odd everywhere, multiple levels
+		{32, 32, 32},
+		{33, 31, 35},
+		{48, 12, 40}, // n below the crossover: recursion must hand off
+		{40, 48, 9},  // k below the crossover
+		{64, 33, 47},
+	}
+	scales := []struct{ alpha, beta float64 }{
+		{1, 0}, {1, 1}, {2, 0}, {-1, 1}, {0.5, -2}, {0, 3},
+	}
+	withCrossover(t, 8, func() {
+		for _, d := range dims {
+			for _, ta := range []bool{false, true} {
+				for _, tb := range []bool{false, true} {
+					lda := cols(ta, d.m, d.k)
+					ldb := cols(tb, d.k, d.n)
+					a := randomSlice(rng, rows(ta, d.m, d.k)*lda)
+					b := randomSlice(rng, rows(tb, d.k, d.n)*ldb)
+					c0 := randomSlice(rng, d.m*d.n)
+					for _, sc := range scales {
+						want := append([]float64(nil), c0...)
+						got := append([]float64(nil), c0...)
+						Dgemm(ta, tb, d.m, d.n, d.k, sc.alpha, a, lda, b, ldb, sc.beta, want, d.n)
+						DgemmStrassen(ta, tb, d.m, d.n, d.k, sc.alpha, a, lda, b, ldb, sc.beta, got, d.n)
+						// Entries are O(1) normals summed over k<=64
+						// products: 1e-11 is ~1e5 ulps of headroom yet
+						// catches any schedule error (which is O(1)).
+						if diff := maxAbsDiff(want, got); diff > 1e-11 {
+							t.Fatalf("m=%d n=%d k=%d ta=%v tb=%v alpha=%g beta=%g: max |classic-strassen| = %g",
+								d.m, d.n, d.k, ta, tb, sc.alpha, sc.beta, diff)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestDgemmStrassenBelowCrossoverBitwise verifies the delegation
+// contract: with every dimension at or below the crossover (or the path
+// disabled), DgemmStrassen is Dgemm, bitwise included.
+func TestDgemmStrassenBelowCrossoverBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, n, k := 24, 24, 24
+	a := randomSlice(rng, m*k)
+	b := randomSlice(rng, k*n)
+	c0 := randomSlice(rng, m*n)
+	for _, cut := range []int{0, -1, 24, 1024} {
+		withCrossover(t, cut, func() {
+			want := append([]float64(nil), c0...)
+			got := append([]float64(nil), c0...)
+			Dgemm(false, false, m, n, k, 1.5, a, k, b, n, 0.5, want, n)
+			DgemmStrassen(false, false, m, n, k, 1.5, a, k, b, n, 0.5, got, n)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("cut=%d: element %d differs bitwise: %v vs %v", cut, i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDgemmStrassenPooledBuffersClean runs the recursion repeatedly so
+// every temporary is a pool reuse, checking results stay exact: a
+// recycled buffer must be indistinguishable from a fresh one.
+func TestDgemmStrassenPooledBuffersClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n, k := 33, 29, 31
+	a := randomSlice(rng, m*k)
+	b := randomSlice(rng, k*n)
+	want := make([]float64, m*n)
+	naiveGemm(false, false, m, n, k, 1, a, k, b, n, 0, want, n)
+	withCrossover(t, 8, func() {
+		for iter := 0; iter < 5; iter++ {
+			got := make([]float64, m*n)
+			DgemmStrassen(false, false, m, n, k, 1, a, k, b, n, 0, got, n)
+			if diff := maxAbsDiff(want, got); diff > 1e-11 {
+				t.Fatalf("iter %d: max |naive-strassen| = %g", iter, diff)
+			}
+		}
+	})
+}
+
+// TestStrassenWorkspacePool covers the bucketed buffer pool directly:
+// reuse returns zeroed slices of the requested length.
+func TestStrassenWorkspacePool(t *testing.T) {
+	s := getBuf(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("getBuf(100): len=%d cap=%d, want 100/128", len(s), cap(s))
+	}
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	putBuf(s)
+	r := getBuf(80)
+	if len(r) != 80 {
+		t.Fatalf("getBuf(80) after put: len=%d", len(r))
+	}
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	if getBuf(0) != nil {
+		t.Fatal("getBuf(0) should be nil")
+	}
+	putBuf(nil) // must not panic
+}

@@ -1,0 +1,149 @@
+package fourindex
+
+import (
+	"testing"
+
+	"fourindex/internal/blas"
+	"fourindex/internal/chem"
+	"fourindex/internal/faults"
+	"fourindex/internal/ga"
+	"fourindex/internal/sym"
+)
+
+// forceCrossover shrinks the process-wide Strassen crossover so the
+// recursion engages at test-sized extents, restoring it afterwards.
+func forceCrossover(t *testing.T, cut int) {
+	t.Helper()
+	prev := blas.StrassenCrossover()
+	blas.SetStrassenCrossover(cut)
+	t.Cleanup(func() { blas.SetStrassenCrossover(prev) })
+}
+
+// TestStrassenOffBitwiseStable pins the opt-in contract: with
+// Options.Strassen false — and with it true but the crossover above
+// every GEMM dimension the run produces, where the path delegates
+// entirely — C is bitwise identical to the default path for every
+// schedule.
+func TestStrassenOffBitwiseStable(t *testing.T) {
+	sp := chem.MustSpec(12, 2, 11)
+	base := Options{Spec: sp, Procs: 3, Mode: ga.Execute, TileN: 4, TileL: 3}
+	for _, scheme := range append(append([]Scheme{}, allSchemes...), NWChemFused, Hybrid) {
+		plain, err := Run(scheme, base)
+		if err != nil {
+			t.Fatalf("%v plain: %v", scheme, err)
+		}
+		off := base
+		off.Strassen = false
+		offRes, err := Run(scheme, off)
+		if err != nil {
+			t.Fatalf("%v strassen off: %v", scheme, err)
+		}
+		bitwiseEqual(t, scheme.String()+" strassen=false", offRes.C.Data(), plain.C.Data())
+
+		// Default crossover (256) far exceeds any GEMM dimension at
+		// n=12, so even Strassen=true must delegate bitwise.
+		on := base
+		on.Strassen = true
+		onRes, err := Run(scheme, on)
+		if err != nil {
+			t.Fatalf("%v strassen above crossover: %v", scheme, err)
+		}
+		bitwiseEqual(t, scheme.String()+" strassen above crossover", onRes.C.Data(), plain.C.Data())
+	}
+}
+
+// TestStrassenSchedulesMatchClassic forces the crossover down so the
+// Winograd recursion really engages inside the schedules, then checks
+// every schedule's C against the classic path within reassociation
+// rounding.
+func TestStrassenSchedulesMatchClassic(t *testing.T) {
+	forceCrossover(t, 8)
+	sp := chem.MustSpec(12, 2, 11)
+	base := Options{Spec: sp, Procs: 3, Mode: ga.Execute, TileN: 4, TileL: 3}
+	for _, scheme := range append(append([]Scheme{}, allSchemes...), NWChemFused, Hybrid) {
+		classic, err := Run(scheme, base)
+		if err != nil {
+			t.Fatalf("%v classic: %v", scheme, err)
+		}
+		o := base
+		o.Strassen = true
+		str, err := Run(scheme, o)
+		if err != nil {
+			t.Fatalf("%v strassen: %v", scheme, err)
+		}
+		if d := sym.MaxAbsDiffC(str.C, classic.C); d > 1e-9 {
+			t.Errorf("%v: max |classic-strassen| = %g", scheme, d)
+		}
+	}
+}
+
+// TestStrassenSelfDeterministic pins that a Strassen run is
+// deterministic against itself: same options, same crossover, bitwise
+// identical C — with and without overlap, which must not move a bit
+// either way.
+func TestStrassenSelfDeterministic(t *testing.T) {
+	forceCrossover(t, 8)
+	sp := chem.MustSpec(12, 2, 11)
+	opt := Options{Spec: sp, Procs: 3, Mode: ga.Execute, TileN: 4, TileL: 3, Strassen: true}
+	for _, scheme := range append(append([]Scheme{}, allSchemes...), NWChemFused, Hybrid) {
+		first, err := Run(scheme, opt)
+		if err != nil {
+			t.Fatalf("%v first: %v", scheme, err)
+		}
+		again, err := Run(scheme, opt)
+		if err != nil {
+			t.Fatalf("%v again: %v", scheme, err)
+		}
+		bitwiseEqual(t, scheme.String()+" strassen repeat", again.C.Data(), first.C.Data())
+
+		o := opt
+		o.Overlap = true
+		overlapped, err := Run(scheme, o)
+		if err != nil {
+			t.Fatalf("%v strassen overlap: %v", scheme, err)
+		}
+		bitwiseEqual(t, scheme.String()+" strassen overlap", overlapped.C.Data(), first.C.Data())
+	}
+}
+
+// TestChaosStrassenDeterministic runs the seeded fault suite with the
+// Strassen path engaged: every completed faulty run must reproduce the
+// fault-free Strassen C bitwise — checkpoint-restart replays the same
+// kernels in the same order, so the reassociated arithmetic is still
+// deterministic.
+func TestChaosStrassenDeterministic(t *testing.T) {
+	forceCrossover(t, 4)
+	sp := chem.MustSpec(8, 1, 5)
+	opt := Options{Spec: sp, Procs: 3, Mode: ga.Execute, TileN: 3, TileL: 2, Strassen: true}
+	seeds := uint64(20)
+	if testing.Short() {
+		seeds = 5
+	}
+	for _, scheme := range []Scheme{Unfused, FullyFused, FullyFusedInner, NWChemFused, Hybrid} {
+		clean, err := Run(scheme, opt)
+		if err != nil {
+			t.Fatalf("%v fault-free: %v", scheme, err)
+		}
+		want := clean.C.Data()
+		completed := 0
+		for seed := uint64(1); seed <= seeds; seed++ {
+			o := opt
+			o.Faults = &faults.Injection{
+				Plan:       faults.RandomPlan(seed, 0.1, o.Procs),
+				Checkpoint: faults.NewMemCheckpoint(),
+			}
+			res, err := Run(scheme, o)
+			if err != nil {
+				if !faults.Injected(err) {
+					t.Errorf("%v seed %d: failed with a non-injected error: %v", scheme, seed, err)
+				}
+				continue
+			}
+			completed++
+			bitwiseEqual(t, scheme.String()+" strassen chaos", res.C.Data(), want)
+		}
+		if completed == 0 {
+			t.Errorf("%v: no seed out of %d completed under a 10%% fault rate with strassen on", scheme, seeds)
+		}
+	}
+}

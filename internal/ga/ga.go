@@ -151,13 +151,14 @@ type Runtime struct {
 	// process id with a single writer (that process's goroutine), like
 	// clocks. nbChanFree is the simulated time each process's comm
 	// channel becomes free (in-flight transfers serialise per process);
-	// nbPrev chains Execute-mode apply goroutines so deferred copies
-	// land in per-process FIFO order; nbOutstanding counts handles not
-	// yet waited (checked at region exit); commExposed/commOverlapped
-	// split each process's transfer seconds into time it waited for
-	// versus time hidden behind compute.
+	// nbAppliers holds the per-process Execute-mode apply workers that
+	// land deferred copies in per-process FIFO order; nbOutstanding
+	// counts handles not yet waited (checked at region exit);
+	// commExposed/commOverlapped split each process's transfer seconds
+	// into time it waited for versus time hidden behind compute.
 	nbChanFree     []float64
-	nbPrev         []chan struct{}
+	nbAppliers     []*nbApplier
+	applierWG      sync.WaitGroup
 	nbOutstanding  []int
 	commExposed    []float64
 	commOverlapped []float64
@@ -167,8 +168,11 @@ type Runtime struct {
 	// tile-sized Get/Put/Acc buffers once per work unit, and without
 	// reuse that garbage dominates execute-mode allocation volume. The
 	// ledger accounting in AllocLocal/FreeLocal is unchanged — pooling
-	// only recycles the physical storage.
+	// only recycles the physical storage. boxPool recycles the
+	// *[]float64 headers cycled through bufPools so putPooled does not
+	// allocate a fresh 3-word box per recycle.
 	bufPools [poolBuckets]sync.Pool
+	boxPool  sync.Pool
 }
 
 // poolBuckets bounds the buffer-pool size classes: bucket b holds
@@ -192,7 +196,6 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		opSeqs:         make([]int64, cfg.Procs),
 		slow:           make([]float64, cfg.Procs),
 		nbChanFree:     make([]float64, cfg.Procs),
-		nbPrev:         make([]chan struct{}, cfg.Procs),
 		nbOutstanding:  make([]int, cfg.Procs),
 		commExposed:    make([]float64, cfg.Procs),
 		commOverlapped: make([]float64, cfg.Procs),
@@ -309,6 +312,13 @@ type regionPanic struct {
 // captured, sibling barriers are poisoned, and an error is returned.
 // Clocks are synchronised to the maximum at exit.
 func (rt *Runtime) Parallel(body func(p *Proc)) error {
+	// Overlapped Execute regions run one long-lived apply worker per
+	// process (see nb.go); workers are drained and joined before the
+	// region returns on every path, including panic propagation.
+	appliers := rt.cfg.Overlap && rt.cfg.Mode == Execute
+	if appliers {
+		rt.startAppliers()
+	}
 	var wg sync.WaitGroup
 	panics := make(chan regionPanic, rt.cfg.Procs)
 	for i := 0; i < rt.cfg.Procs; i++ {
@@ -334,6 +344,9 @@ func (rt *Runtime) Parallel(body func(p *Proc)) error {
 	}
 	wg.Wait()
 	close(panics)
+	if appliers {
+		rt.stopAppliers()
+	}
 	if rp, ok := <-panics; ok {
 		rt.barrier.reset(rt.cfg.Procs)
 		if err, isErr := rp.val.(error); isErr {
@@ -512,7 +525,10 @@ func (rt *Runtime) getPooled(words int64) []float64 {
 		return make([]float64, words)
 	}
 	if v := rt.bufPools[bkt].Get(); v != nil {
-		s := (*(v.(*[]float64)))[:words]
+		box := v.(*[]float64)
+		s := (*box)[:words]
+		*box = nil
+		rt.boxPool.Put(box)
 		clear(s)
 		return s
 	}
@@ -527,8 +543,14 @@ func (rt *Runtime) putPooled(s []float64) {
 	if bkt < 0 || cap(s) != 1<<bkt {
 		return
 	}
-	s = s[:cap(s)]
-	rt.bufPools[bkt].Put(&s)
+	var box *[]float64
+	if v := rt.boxPool.Get(); v != nil {
+		box = v.(*[]float64)
+	} else {
+		box = new([]float64)
+	}
+	*box = s[:cap(s)]
+	rt.bufPools[bkt].Put(box)
 }
 
 // poolBucket returns the smallest power-of-two bucket holding words

@@ -2,6 +2,7 @@ package ga
 
 import (
 	"fmt"
+	"sync"
 
 	"fourindex/internal/metrics"
 	"fourindex/internal/trace"
@@ -29,14 +30,18 @@ import (
 //
 // Execute model. Put/Acc payloads are copied synchronously into a
 // handle-owned staging buffer at issue (the caller may reuse its buffer
-// immediately); the actual tile read or update runs on a worker
-// goroutine. Workers are chained per process so deferred operations
-// apply in exactly the per-process program order the blocking verbs
-// would have used — combined with the schedules' single-writer-per-tile
-// ownership this keeps results bitwise identical to blocking execution.
-// Staging storage comes from the runtime's buffer pool but is owned by
-// the handle until Wait, so a pooled buffer is never reused while a
-// transfer is in flight.
+// immediately); the actual tile read or update is enqueued, by value,
+// on the issuing process's long-lived apply worker (started by Parallel
+// for overlapped Execute regions), so deferred operations apply in
+// exactly the per-process program order the blocking verbs would have
+// used — combined with the schedules' single-writer-per-tile ownership
+// this keeps results bitwise identical to blocking execution. One
+// worker per process, fed a buffered channel of plain request structs,
+// replaces the earlier goroutine-per-operation chain whose closure,
+// channel and goroutine allocations dominated overlap-mode allocation
+// volume. Staging storage comes from the runtime's buffer pool but is
+// owned by the handle until Wait, so a pooled buffer is never reused
+// while a transfer is in flight.
 //
 // Fault injection fires at Wait, not issue: Waits occur in per-process
 // program order, so the (proc, seq) stream a fault plan keys on is
@@ -100,11 +105,12 @@ type Handle struct {
 	dur     float64
 	arrival float64
 
-	// Execute-mode fields: done is closed by the worker chain once the
-	// deferred copy has applied; staging holds a Put/Acc payload until
-	// then. stagingWords is the local-memory ledger charge released at
-	// Wait.
-	done         chan struct{}
+	// Execute-mode fields: seq is this operation's position in the
+	// issuing process's apply-worker stream (0 when no deferred apply
+	// was enqueued); staging holds a Put/Acc payload until the worker
+	// lands it. stagingWords is the local-memory ledger charge released
+	// at Wait.
+	seq          int64
 	staging      []float64
 	stagingWords int64
 
@@ -152,7 +158,7 @@ func (p *Proc) NbGetT(a *TiledArray, buf []float64, coords ...int) *Handle {
 		if len(buf) < words {
 			panic(fmt.Sprintf("ga: NbGetT buffer %d < tile words %d", len(buf), words))
 		}
-		h.done = p.nbSpawn(func() { a.nbReadTile(buf, id, words) })
+		h.seq = p.nbEnqueue(nbApplyReq{a: a, buf: buf, id: id, words: words, get: true})
 	}
 	p.rt.nbOutstanding[p.id]++
 	return h
@@ -207,8 +213,7 @@ func (p *Proc) nbUpdateT(verb string, op nbOp, a *TiledArray, alpha float64, buf
 		}
 		h.staging = p.rt.getPooled(int64(words))
 		copy(h.staging, buf[:words])
-		acc := op == nbAcc
-		h.done = p.nbSpawn(func() { a.nbApplyTile(acc, alpha, h.staging, id, words) })
+		h.seq = p.nbEnqueue(nbApplyReq{a: a, buf: h.staging, id: id, words: words, acc: op == nbAcc, alpha: alpha})
 	}
 	p.rt.nbOutstanding[p.id]++
 	return h
@@ -262,21 +267,100 @@ func (p *Proc) nbIssue(h *Handle, a *TiledArray, id int, isLoad bool) bool {
 	return remote
 }
 
-// nbSpawn schedules apply on this process's worker chain: each deferred
-// operation waits for the previous one, so nonblocking operations apply
-// in per-process FIFO order no matter when their Waits happen.
-func (p *Proc) nbSpawn(apply func()) chan struct{} {
-	prev := p.rt.nbPrev[p.id]
-	done := make(chan struct{})
-	p.rt.nbPrev[p.id] = done
-	go func() {
-		if prev != nil {
-			<-prev
+// nbApplyReq is one deferred Execute-mode tile operation, passed by
+// value through the apply worker's channel so enqueueing allocates
+// nothing. get selects nbReadTile (buf is the caller's destination);
+// otherwise nbApplyTile runs with buf as the handle-owned staging copy.
+type nbApplyReq struct {
+	a     *TiledArray
+	buf   []float64
+	id    int
+	words int
+	alpha float64
+	acc   bool
+	get   bool
+}
+
+// nbApplier is one process's apply worker: a single long-lived
+// goroutine draining a FIFO of deferred operations. issued has a single
+// writer (the process goroutine); applied is published under mu and
+// waited on via cond.
+type nbApplier struct {
+	ch      chan nbApplyReq
+	mu      sync.Mutex
+	cond    *sync.Cond
+	issued  int64
+	applied int64
+}
+
+// nbApplierQueue is the apply channel's buffer depth. Deep enough that
+// issuing processes rarely block behind in-flight tile copies; shallow
+// enough that an abandoned region drains quickly.
+const nbApplierQueue = 128
+
+// run drains the apply channel until it is closed, publishing each
+// completion for Wait.
+func (ap *nbApplier) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for req := range ap.ch {
+		if req.get {
+			req.a.nbReadTile(req.buf, req.id, req.words)
+		} else {
+			req.a.nbApplyTile(req.acc, req.alpha, req.buf, req.id, req.words)
 		}
-		apply()
-		close(done)
-	}()
-	return done
+		ap.mu.Lock()
+		ap.applied++
+		ap.cond.Broadcast()
+		ap.mu.Unlock()
+	}
+}
+
+// waitFor blocks until the operation with the given sequence number has
+// applied.
+func (ap *nbApplier) waitFor(seq int64) {
+	ap.mu.Lock()
+	for ap.applied < seq {
+		ap.cond.Wait()
+	}
+	ap.mu.Unlock()
+}
+
+// nbEnqueue hands req to this process's apply worker and returns its
+// sequence number (1-based within the region).
+func (p *Proc) nbEnqueue(req nbApplyReq) int64 {
+	ap := p.rt.nbAppliers[p.id]
+	ap.issued++
+	ap.ch <- req
+	return ap.issued
+}
+
+// startAppliers arms one apply worker per process for an overlapped
+// Execute region. Sequence counters restart per region — handles cannot
+// outlive the region that issued them.
+func (rt *Runtime) startAppliers() {
+	if rt.nbAppliers == nil {
+		rt.nbAppliers = make([]*nbApplier, rt.cfg.Procs)
+		for i := range rt.nbAppliers {
+			ap := &nbApplier{}
+			ap.cond = sync.NewCond(&ap.mu)
+			rt.nbAppliers[i] = ap
+		}
+	}
+	for _, ap := range rt.nbAppliers {
+		ap.ch = make(chan nbApplyReq, nbApplierQueue)
+		ap.issued, ap.applied = 0, 0
+		rt.applierWG.Add(1)
+		go ap.run(&rt.applierWG)
+	}
+}
+
+// stopAppliers closes every apply channel and joins the workers,
+// draining any operations a panicking region abandoned.
+func (rt *Runtime) stopAppliers() {
+	for _, ap := range rt.nbAppliers {
+		close(ap.ch)
+	}
+	rt.applierWG.Wait()
 }
 
 // nbReadTile is the deferred Execute-mode tile read, with the same lock
@@ -346,8 +430,8 @@ func (h *Handle) Wait(p *Proc) {
 	}
 	p.rt.commOverlapped[p.id] += overlapped
 	p.rt.traceEmit(trace.KindWait, p.id, now, exposed, h.name, h.words, h.remote)
-	if h.done != nil {
-		<-h.done
+	if h.seq > 0 {
+		p.rt.nbAppliers[p.id].waitFor(h.seq)
 	}
 	if h.staging != nil {
 		p.rt.putPooled(h.staging)

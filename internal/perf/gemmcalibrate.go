@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fourindex/internal/blas"
+)
+
+// StrassenPoint is one rung of the Strassen calibration ladder: the
+// blocked classical kernel timed against one level of Strassen-Winograd
+// recursion at a square n x n x n product.
+type StrassenPoint struct {
+	// N is the square product dimension.
+	N int `json:"n"`
+	// ClassicSeconds is the best Dgemm time; StrassenSeconds the best
+	// DgemmStrassen time with the crossover forced to n/2 (exactly one
+	// recursion level, the marginal decision the crossover makes).
+	ClassicSeconds  float64 `json:"classicSeconds"`
+	StrassenSeconds float64 `json:"strassenSeconds"`
+	// Ratio is ClassicSeconds / StrassenSeconds: above 1.0 the
+	// recursion beat the blocked kernel at this size.
+	Ratio float64 `json:"ratio"`
+}
+
+// StrassenCalibration is the crossover autotune result recorded in the
+// benchmark artifact: the full measured ladder plus the picked
+// crossover. Timings are machine-dependent; Gate compares only the
+// ladder's sizes, never its timings or the pick.
+type StrassenCalibration struct {
+	Sizes []StrassenPoint `json:"sizes"`
+	// Crossover is the smallest ladder size at which Strassen won and
+	// kept winning at every larger size, or -1 when the recursion never
+	// paid off on this machine. A run wanting the tuned threshold calls
+	// blas.SetStrassenCrossover(Crossover - 1) so dimensions >= the
+	// winning size recurse.
+	Crossover int `json:"crossover"`
+}
+
+// DefaultStrassenLadder is the calibration sweep's size ladder. The top
+// rung deliberately exceeds the largest gemmbench size so the artifact
+// demonstrates the above-crossover win.
+func DefaultStrassenLadder() []int { return []int{128, 192, 256, 384, 512, 768} }
+
+// CalibrateStrassen times the classic blocked kernel against one level
+// of Strassen-Winograd recursion at each ladder size (best of trials)
+// and picks the crossover deterministically from the measurements: the
+// smallest size that wins together with every larger size. The
+// process-wide crossover is saved and restored around the sweep.
+func CalibrateStrassen(sizes []int, trials int) StrassenCalibration {
+	if trials <= 0 {
+		trials = gemmBenchTrials
+	}
+	cal := StrassenCalibration{Crossover: -1}
+	prev := blas.StrassenCrossover()
+	defer blas.SetStrassenCrossover(prev)
+	for _, n := range sizes {
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i] = float64(i%13) - 6
+		}
+		for i := range b {
+			b[i] = float64(i%7) - 3
+		}
+		classic := func() {
+			blas.Dgemm(false, false, n, n, n, 1, a, n, b, n, 0, c, n)
+		}
+		strassen := func() {
+			blas.SetStrassenCrossover(n / 2)
+			blas.DgemmStrassen(false, false, n, n, n, 1, a, n, b, n, 0, c, n)
+			blas.SetStrassenCrossover(prev)
+		}
+		timed := func(f func()) float64 {
+			start := time.Now()
+			f()
+			return time.Since(start).Seconds()
+		}
+		// One untimed warmup each (buffer-pool population, cache state),
+		// then interleaved best-of-trials: alternating the variants per
+		// round means slow drift in machine load degrades both sides
+		// evenly instead of whichever happened to run second.
+		classic()
+		strassen()
+		pt := StrassenPoint{N: n}
+		for trial := 0; trial < trials; trial++ {
+			if w := timed(classic); trial == 0 || w < pt.ClassicSeconds {
+				pt.ClassicSeconds = w
+			}
+			if w := timed(strassen); trial == 0 || w < pt.StrassenSeconds {
+				pt.StrassenSeconds = w
+			}
+		}
+		if pt.StrassenSeconds > 0 {
+			pt.Ratio = pt.ClassicSeconds / pt.StrassenSeconds
+		}
+		cal.Sizes = append(cal.Sizes, pt)
+	}
+	// Smallest size from which Strassen wins monotonically upward.
+	for i := len(cal.Sizes) - 1; i >= 0; i-- {
+		if cal.Sizes[i].Ratio <= 1 {
+			break
+		}
+		cal.Crossover = cal.Sizes[i].N
+	}
+	return cal
+}
+
+// String renders the calibration for the bench subcommand's summary.
+func (c StrassenCalibration) String() string {
+	var sb strings.Builder
+	sb.WriteString("strassen crossover sweep (classic/strassen, >1 = strassen wins):\n")
+	for _, p := range c.Sizes {
+		fmt.Fprintf(&sb, "  n=%-4d classic %8.3fms  strassen %8.3fms  ratio %.3f\n",
+			p.N, 1e3*p.ClassicSeconds, 1e3*p.StrassenSeconds, p.Ratio)
+	}
+	if c.Crossover < 0 {
+		sb.WriteString("  picked crossover: none (strassen never won)")
+	} else {
+		fmt.Fprintf(&sb, "  picked crossover: %d", c.Crossover)
+	}
+	return sb.String()
+}

@@ -1,0 +1,96 @@
+package perf
+
+import (
+	"runtime"
+
+	"fourindex/internal/ga"
+	"fourindex/internal/tile"
+)
+
+// NbAllocResult reports the nonblocking-verb allocation microbenchmark:
+// the heap-allocation cost of issuing and waiting NbAccT/NbGetT pairs
+// with overlap off (where the verbs degrade to their blocking
+// equivalents) versus on (staging copies plus the per-process apply
+// worker). The overlap path's per-operation delta is the quantity the
+// staging pools and the single-worker applier exist to keep bounded —
+// before them, every operation allocated a goroutine, a channel and a
+// closure and the delta sat several times higher.
+type NbAllocResult struct {
+	// Procs and OpsPerProc size the hammering region; each op is one
+	// NbAccT+Wait followed by one NbGetT+Wait on the process's own tile.
+	Procs      int `json:"procs"`
+	OpsPerProc int `json:"opsPerProc"`
+	// TileWords is each tile's element count.
+	TileWords int `json:"tileWords"`
+	// BlockingAllocs and OverlapAllocs are the measured region's heap
+	// allocation counts with Overlap off and on (pools warmed first).
+	BlockingAllocs int64 `json:"blockingAllocs"`
+	OverlapAllocs  int64 `json:"overlapAllocs"`
+	// DeltaPerOp is (OverlapAllocs - BlockingAllocs) per individual
+	// verb+Wait pair.
+	DeltaPerOp float64 `json:"deltaPerOp"`
+}
+
+// BenchNbAlloc measures the allocation delta of the overlapped
+// nonblocking path against the blocking one: procs processes each issue
+// opsPerProc accumulate+fetch pairs against their own dim x dim tile,
+// once per overlap setting, with a warmup region populating the buffer
+// pools before each measurement.
+func BenchNbAlloc(procs, opsPerProc, dim int) (NbAllocResult, error) {
+	res := NbAllocResult{Procs: procs, OpsPerProc: opsPerProc, TileWords: dim * dim}
+	for _, overlap := range []bool{false, true} {
+		allocs, err := nbAllocRegion(procs, opsPerProc, dim, overlap)
+		if err != nil {
+			return NbAllocResult{}, err
+		}
+		if overlap {
+			res.OverlapAllocs = allocs
+		} else {
+			res.BlockingAllocs = allocs
+		}
+	}
+	totalOps := float64(2 * procs * opsPerProc)
+	res.DeltaPerOp = float64(res.OverlapAllocs-res.BlockingAllocs) / totalOps
+	return res, nil
+}
+
+// nbAllocRegion runs the hammering region once for warmup and once
+// measured, returning the measured region's Mallocs delta.
+func nbAllocRegion(procs, opsPerProc, dim int, overlap bool) (int64, error) {
+	rt, err := ga.NewRuntime(ga.Config{Procs: procs, Mode: ga.Execute, Overlap: overlap})
+	if err != nil {
+		return 0, err
+	}
+	g := tile.NewGrid(dim*procs, dim)
+	h := tile.NewGrid(dim, dim)
+	a, err := rt.CreateTiled("nballoc", []tile.Grid{g, h}, nil, tile.RoundRobin)
+	if err != nil {
+		return 0, err
+	}
+	defer rt.DestroyTiled(a)
+
+	words := dim * dim
+	region := func(ops int) error {
+		return rt.Parallel(func(p *ga.Proc) {
+			buf := p.MustAllocLocal(int64(words))
+			defer p.FreeLocal(buf)
+			for i := range buf.Data {
+				buf.Data[i] = float64(i + p.ID())
+			}
+			for r := 0; r < ops; r++ {
+				p.NbAccT(a, 1, buf.Data, p.ID(), 0).Wait(p)
+				p.NbGetT(a, buf.Data, p.ID(), 0).Wait(p)
+			}
+		})
+	}
+	if err := region(opsPerProc); err != nil { // warmup: populate pools
+		return 0, err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	if err := region(opsPerProc); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&ms1)
+	return int64(ms1.Mallocs - ms0.Mallocs), nil
+}

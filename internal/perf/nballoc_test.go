@@ -1,0 +1,21 @@
+package perf
+
+import "testing"
+
+// TestNbAllocDeltaBounded is the overlap allocation-regression gate:
+// the overlapped nonblocking path may allocate a handle and little else
+// per operation beyond the blocking path. The pre-pooling path spawned
+// a goroutine, a channel and a closure per operation (≈5-7 extra
+// allocations each) and tripped this bound immediately.
+func TestNbAllocDeltaBounded(t *testing.T) {
+	res, err := BenchNbAlloc(3, 2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("blocking %d allocs, overlap %d allocs, delta %.2f/op",
+		res.BlockingAllocs, res.OverlapAllocs, res.DeltaPerOp)
+	if res.DeltaPerOp > 3 {
+		t.Errorf("overlap path allocates %.2f more objects per op than blocking (want <= 3): %+v",
+			res.DeltaPerOp, res)
+	}
+}

@@ -42,7 +42,9 @@ import (
 // incompatibly; Gate refuses to compare across versions. Version 2
 // added the overlap axis (each matrix cell runs with the nonblocking
 // communication path off and on) and the exposed-comm fraction.
-const SchemaVersion = 2
+// Version 3 added the Strassen axis on execute points and the
+// crossover-calibration block.
+const SchemaVersion = 3
 
 // benchSeed fixes the integral-generator seed for every benchmark run.
 const benchSeed = 7
@@ -86,6 +88,14 @@ type Config struct {
 	// selects {false, true}, which pins the overlap win (cost-mode
 	// simulated seconds and the exposed-comm fraction) in the baseline.
 	Overlap []bool
+	// Strassen sweeps Options.Strassen over execute points (cost points
+	// charge identical classical flops either way, so the axis would
+	// only duplicate them). Empty selects {false, true}.
+	Strassen []bool
+	// Calibrate runs the Strassen crossover sweep (CalibrateStrassen)
+	// and records it in the report. Full benchmark runs only — the
+	// sweep's large GEMMs dominate a smoke run's budget.
+	Calibrate bool
 	// Measure records wall time and allocations (and the read-path and
 	// transposed-B GEMM microbenchmarks). Off, the report is fully
 	// deterministic.
@@ -106,6 +116,7 @@ func DefaultConfig() Config {
 		},
 		Gomaxprocs: []int{1, 4},
 		Measure:    true,
+		Calibrate:  true,
 		Repeats:    3,
 	}
 }
@@ -157,6 +168,10 @@ type Point struct {
 	// Overlap reports whether the point ran with the nonblocking
 	// communication path (Options.Overlap).
 	Overlap bool `json:"overlap,omitempty"`
+	// Strassen reports whether the point routed its contraction GEMMs
+	// through the Strassen-Winograd path (Options.Strassen; execute
+	// points only).
+	Strassen bool `json:"strassen,omitempty"`
 
 	// Deterministic accounting, identical across machines and runs.
 	Flops           int64   `json:"flops"`
@@ -181,14 +196,20 @@ type Point struct {
 	Measured *Measured `json:"measured,omitempty"`
 }
 
-// Key identifies a point across reports (for baseline comparison).
+// Key identifies a point across reports (for baseline comparison). The
+// Strassen suffix appears only on Strassen points, so classic-path keys
+// are stable across the schema-2 to schema-3 transition.
 func (p Point) Key() string {
 	ov := 0
 	if p.Overlap {
 		ov = 1
 	}
-	return fmt.Sprintf("%s/%s/n%d/%s%s/p%d/g%d/o%d",
-		p.Kind, p.Scheme, p.N, p.Molecule, p.System, p.Procs, p.Gomaxprocs, ov)
+	st := ""
+	if p.Strassen {
+		st = "/st1"
+	}
+	return fmt.Sprintf("%s/%s/n%d/%s%s/p%d/g%d/o%d%s",
+		p.Kind, p.Scheme, p.N, p.Molecule, p.System, p.Procs, p.Gomaxprocs, ov, st)
 }
 
 // Report is the schema-versioned benchmark output.
@@ -199,6 +220,8 @@ type Report struct {
 	ReadPath *ReadPathResult `json:"readPath,omitempty"`
 	// GemmTransB is the transposed-B GEMM microbenchmark (Measure only).
 	GemmTransB *GemmTransBResult `json:"gemmTransB,omitempty"`
+	// Strassen is the crossover calibration sweep (Calibrate only).
+	Strassen *StrassenCalibration `json:"strassen,omitempty"`
 }
 
 // withDefaults fills the config's empty fields.
@@ -222,6 +245,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Overlap) == 0 {
 		c.Overlap = []bool{false, true}
+	}
+	if len(c.Strassen) == 0 {
+		c.Strassen = []bool{false, true}
 	}
 	if c.Repeats <= 0 {
 		c.Repeats = 3
@@ -250,12 +276,14 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 		for _, ep := range cfg.ExecutePoints {
 			for _, s := range cfg.Schemes {
 				for _, ov := range cfg.Overlap {
-					pt, err := runExecutePoint(ctx, s, ep, gmp, ov, cfg)
-					if err != nil {
-						runtime.GOMAXPROCS(prev)
-						return nil, err
+					for _, st := range cfg.Strassen {
+						pt, err := runExecutePoint(ctx, s, ep, gmp, ov, st, cfg)
+						if err != nil {
+							runtime.GOMAXPROCS(prev)
+							return nil, err
+						}
+						rep.Points = append(rep.Points, pt)
 					}
-					rep.Points = append(rep.Points, pt)
 				}
 			}
 		}
@@ -286,6 +314,10 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 		gb := BenchGemmTransB(192, 192, 192)
 		rep.GemmTransB = &gb
 	}
+	if cfg.Calibrate {
+		cal := CalibrateStrassen(DefaultStrassenLadder(), cfg.Repeats)
+		rep.Strassen = &cal
+	}
 	return rep, nil
 }
 
@@ -298,13 +330,14 @@ func executeOptions(ep ExecutePoint) (fourindex.Options, error) {
 	return fourindex.Options{Spec: spec, Procs: ep.Procs, Mode: ga.Execute}, nil
 }
 
-func runExecutePoint(ctx context.Context, s fourindex.Scheme, ep ExecutePoint, gmp int, overlap bool, cfg Config) (Point, error) {
+func runExecutePoint(ctx context.Context, s fourindex.Scheme, ep ExecutePoint, gmp int, overlap, strassen bool, cfg Config) (Point, error) {
 	opt, err := executeOptions(ep)
 	if err != nil {
 		return Point{}, err
 	}
 	opt.Overlap = overlap
-	pt := Point{Kind: "execute", Scheme: s.String(), N: ep.N, Procs: ep.Procs, Gomaxprocs: gmp, Overlap: overlap}
+	opt.Strassen = strassen
+	pt := Point{Kind: "execute", Scheme: s.String(), N: ep.N, Procs: ep.Procs, Gomaxprocs: gmp, Overlap: overlap, Strassen: strassen}
 	if err := fillPoint(ctx, &pt, s, opt, ep.N, 1, cfg); err != nil {
 		if errors.Is(err, fourindex.ErrCanceled) {
 			return Point{}, err

@@ -191,14 +191,14 @@ func TestAuditBoundUsesFastMemory(t *testing.T) {
 func TestWriteAuditTable(t *testing.T) {
 	rows := []trace.AuditRow{
 		{Phase: "generate-A", ActualElems: 100, Flops: 1000, Seconds: 0.5},
-		{Phase: "op1", BoundElems: 80, ActualElems: 100, Flops: 2000, Seconds: 1.5, Attained: 0.8},
+		{Phase: "op1", BoundElems: 80, TightBoundElems: 90, ActualElems: 100, Flops: 2000, Seconds: 1.5, Attained: 0.8, TightAttained: 0.9},
 	}
 	var buf bytes.Buffer
 	if err := trace.WriteAuditTable(&buf, rows); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"phase", "lb-elems", "attained", "generate-A", "op1", "0.800"} {
+	for _, want := range []string{"phase", "lb-elems", "tight-lb", "attained", "tight-att", "generate-A", "op1", "0.800", "0.900"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("audit table missing %q:\n%s", want, out)
 		}
@@ -207,5 +207,102 @@ func TestWriteAuditTable(t *testing.T) {
 	line := strings.Split(out, "\n")[1]
 	if !strings.Contains(line, "-") {
 		t.Errorf("unbounded row should show '-': %q", line)
+	}
+}
+
+// runAuditedAt traces one scheme with a per-process local-memory cap
+// and audits it at exactly that capacity — the honest configuration the
+// hourglass bound is claimed for (a bound at capacity S is only
+// meaningful for an execution that actually fit in S).
+func runAuditedAt(t *testing.T, scheme fourindex.Scheme, n, s int, fastWords int64) ([]trace.AuditRow, bool) {
+	t.Helper()
+	spec, err := chem.NewSpec(n, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(1 << 16)
+	opt := fourindex.Options{
+		Spec:          spec,
+		Procs:         4,
+		Mode:          ga.Cost,
+		TileN:         4,
+		TileL:         4,
+		Trace:         tr,
+		LocalMemBytes: fastWords * 8,
+	}
+	if _, err := fourindex.Run(scheme, opt); err != nil {
+		return nil, false // schedule needs more than fastWords; not an audit case
+	}
+	return tr.Audit(n, s, fastWords), true
+}
+
+// TestAuditTightAttainedNeverExceedsOne is the regression the tightened
+// bound exists for: across every schedule, symmetry and fast-memory
+// capacity the run actually fits in, the hourglass-tightened attained
+// fraction stays within ~1.0 — a valid bound never exceeds measured
+// movement. (The dense classic bound carries no such guarantee: it
+// prices the full n^5 iteration space whether or not packing and
+// recomputation changed the arithmetic.)
+func TestAuditTightAttainedNeverExceedsOne(t *testing.T) {
+	schemes := []fourindex.Scheme{
+		fourindex.Unfused,
+		fourindex.Fused1234Pair,
+		fourindex.FullyFused,
+		fourindex.FullyFusedInner,
+		fourindex.Fused123,
+		fourindex.NWChemFused,
+	}
+	const slack = 1.0 + 1e-9
+	audited := 0
+	for _, sym := range []int{1, 2} {
+		for _, fastWords := range []int64{1 << 11, 1 << 13, 1 << 15, 1 << 17} {
+			for _, scheme := range schemes {
+				rows, ok := runAuditedAt(t, scheme, 16, sym, fastWords)
+				if !ok {
+					continue
+				}
+				for _, r := range rows {
+					if r.BoundElems == 0 {
+						continue
+					}
+					audited++
+					if r.TightBoundElems <= 0 {
+						t.Errorf("%v s=%d S=%d %s: no tight bound", scheme, sym, fastWords, r.Phase)
+					}
+					if r.TightAttained > slack {
+						t.Errorf("%v s=%d S=%d %s: tight attained %.4f exceeds 1.0 (bound %.6g, actual %d)",
+							scheme, sym, fastWords, r.Phase, r.TightAttained, r.TightBoundElems, r.ActualElems)
+					}
+				}
+			}
+		}
+	}
+	if audited == 0 {
+		t.Fatal("no bounded phase audited at any capacity")
+	}
+}
+
+// TestAuditTightBoundSharperThanDense pins the hourglass tightening
+// itself: in the bandwidth-dominated regime, for a phase whose measured
+// arithmetic matches the dense iteration space, the flops-derived
+// 2/sqrt(S) bound must come out strictly above the classic Dongarra
+// 1.73/sqrt(S) one — the new column is a tighter yardstick, not a
+// relabelling.
+func TestAuditTightBoundSharperThanDense(t *testing.T) {
+	rows, ok := runAuditedAt(t, fourindex.NWChemFused, 16, 1, 1<<11)
+	if !ok {
+		t.Skip("nwchem schedule no longer fits in the probe capacity")
+	}
+	sharper := 0
+	for _, r := range rows {
+		if r.BoundElems == 0 {
+			continue
+		}
+		if r.TightBoundElems > r.BoundElems {
+			sharper++
+		}
+	}
+	if sharper == 0 {
+		t.Errorf("no phase had a tight bound above the dense bound: %+v", rows)
 	}
 }
